@@ -1,0 +1,12 @@
+package main
+
+import "testing"
+
+func TestRejectsBadInputs(t *testing.T) {
+	if err := run([]string{"-protocol", "swim"}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if err := run([]string{"-device", "not-an-address:xx"}); err == nil {
+		t.Error("bad device address accepted")
+	}
+}

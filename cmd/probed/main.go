@@ -1,0 +1,90 @@
+// Command probed runs a presence-protocol device daemon on a UDP
+// socket. Control points (cmd/probecp) can then monitor it; killing the
+// daemon (Ctrl-C sends a bye first, SIGKILL is a silent crash) exercises
+// the two leave paths the paper distinguishes.
+//
+// Usage:
+//
+//	probed [-listen ADDR] [-id N] [-protocol sapp|dcpp|naive]
+//	       [-min-gap D] [-min-cp-delay D]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"presence/internal/core"
+	"presence/internal/core/dcpp"
+	"presence/internal/core/naive"
+	"presence/internal/core/sapp"
+	"presence/internal/ident"
+	"presence/internal/rtnet"
+)
+
+func main() {
+	if err := run(os.Args[1:]); err != nil {
+		fmt.Fprintln(os.Stderr, "probed:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string) error {
+	fs := flag.NewFlagSet("probed", flag.ContinueOnError)
+	var (
+		listen     = fs.String("listen", "127.0.0.1:9300", "UDP listen address")
+		id         = fs.Uint("id", 1, "device node id")
+		protocol   = fs.String("protocol", "dcpp", "protocol: sapp, dcpp or naive")
+		minGap     = fs.Duration("min-gap", dcpp.DefaultMinGap, "DCPP δ_min (inverse nominal load)")
+		minCPDelay = fs.Duration("min-cp-delay", dcpp.DefaultMinCPDelay, "DCPP d_min (inverse max CP frequency)")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	devID := ident.NodeID(id64(*id))
+	var build rtnet.DeviceBuilder
+	switch *protocol {
+	case "dcpp":
+		cfg := dcpp.DefaultDeviceConfig()
+		cfg.MinGap, cfg.MinCPDelay = *minGap, *minCPDelay
+		build = func(env core.Env) (core.Device, error) { return dcpp.NewDevice(devID, env, cfg) }
+	case "sapp":
+		build = func(env core.Env) (core.Device, error) {
+			return sapp.NewDevice(devID, env, sapp.DefaultDeviceConfig())
+		}
+	case "naive":
+		build = func(env core.Env) (core.Device, error) { return naive.NewDevice(devID, env) }
+	default:
+		return fmt.Errorf("unknown protocol %q", *protocol)
+	}
+	srv, err := rtnet.NewDeviceServer(rtnet.DeviceServerConfig{ID: devID, ListenAddr: *listen}, build)
+	if err != nil {
+		return err
+	}
+	if err := srv.Start(); err != nil {
+		return err
+	}
+	fmt.Printf("probed: %s device %v listening on %s\n", *protocol, devID, srv.Addr())
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	<-sig
+	fmt.Println("probed: announcing bye and shutting down")
+	srv.Bye()
+	// Give byes a moment on the wire before the socket closes.
+	time.Sleep(100 * time.Millisecond)
+	c := srv.Counters()
+	fmt.Printf("probed: served %d packets in, %d out (%d decode errors)\n",
+		c.PacketsIn, c.PacketsOut, c.DecodeErrors)
+	return srv.Close()
+}
+
+func id64(v uint) uint32 {
+	if v == 0 || v > 1<<31 {
+		return 1
+	}
+	return uint32(v)
+}

@@ -1,0 +1,29 @@
+package main
+
+import "testing"
+
+func TestID64(t *testing.T) {
+	cases := []struct {
+		in   uint
+		want uint32
+	}{
+		{0, 1}, // invalid → primary
+		{1, 1},
+		{42, 42},
+		{1 << 32, 1}, // overflow → primary
+	}
+	for _, c := range cases {
+		if got := id64(c.in); got != c.want {
+			t.Errorf("id64(%d) = %d, want %d", c.in, got, c.want)
+		}
+	}
+}
+
+func TestRejectsBadInputs(t *testing.T) {
+	if err := run([]string{"-protocol", "swim"}); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+	if err := run([]string{"-listen", "not-an-address:xx"}); err == nil {
+		t.Error("bad listen address accepted")
+	}
+}

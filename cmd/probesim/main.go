@@ -1,0 +1,141 @@
+// Command probesim runs a single presence-protocol simulation scenario
+// and prints the measured device load, per-CP fairness and detection
+// statistics.
+//
+// Usage:
+//
+//	probesim [-protocol sapp|dcpp|naive] [-cps N] [-duration D] [-seed N]
+//	         [-churn] [-kill-at D] [-leave-at D -leave-to N]
+//	         [-loss P] [-plot] [-out FILE]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"presence/internal/asciiplot"
+	"presence/internal/simnet"
+	"presence/internal/simrun"
+	"presence/internal/stats"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "probesim:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("probesim", flag.ContinueOnError)
+	var (
+		protocol  = fs.String("protocol", "dcpp", "protocol: sapp, dcpp or naive")
+		cps       = fs.Int("cps", 20, "number of control points")
+		duration  = fs.Duration("duration", 10*time.Minute, "simulated horizon")
+		seed      = fs.Uint64("seed", 1, "simulation seed")
+		churn     = fs.Bool("churn", false, "enable the paper's Fig. 5 churn instead of a static population")
+		killAt    = fs.Duration("kill-at", 0, "crash the device silently at this time (0 = never)")
+		leaveAt   = fs.Duration("leave-at", 0, "mass-leave time (0 = never)")
+		leaveTo   = fs.Int("leave-to", 2, "population remaining after the mass leave")
+		loss      = fs.Float64("loss", 0, "Bernoulli packet-loss probability")
+		devices   = fs.Int("devices", 1, "number of devices (every CP monitors each)")
+		discovery = fs.Bool("discovery", false, "enable UPnP-style announcements; CPs discover devices dynamically")
+		traceFile = fs.String("trace", "", "write a deterministic event trace to this file")
+		plot      = fs.Bool("plot", false, "render the device load as an ASCII plot")
+		outFile   = fs.String("out", "", "write the device-load series to this .dat file")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	cfg := simrun.Config{
+		Protocol:       simrun.Protocol(*protocol),
+		Seed:           *seed,
+		Devices:        *devices,
+		RecordCPSeries: false,
+	}
+	if *loss > 0 {
+		cfg.Net.Loss = simnet.Bernoulli{P: *loss}
+	}
+	if *discovery {
+		cfg.Discovery = simrun.DiscoveryConfig{Enabled: true, ProbeOnDiscovery: true}
+	}
+	if *traceFile != "" {
+		f, err := os.Create(*traceFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		cfg.Trace = f
+	}
+	w, err := simrun.NewWorld(cfg)
+	if err != nil {
+		return err
+	}
+	if *churn {
+		if err := w.StartChurn(simrun.DefaultUniformChurn()); err != nil {
+			return err
+		}
+	} else if err := w.AddCPsStaggered(*cps, 5*time.Second); err != nil {
+		return err
+	}
+	if *leaveAt > 0 {
+		if err := w.ScheduleMassLeave(*leaveAt, *leaveTo); err != nil {
+			return err
+		}
+	}
+	var killTime time.Duration
+	if *killAt > 0 {
+		killTime = *killAt
+		w.ScheduleDeviceCrash(*killAt)
+	}
+	w.Run(*duration)
+
+	load := w.DeviceLoad().Stats()
+	fmt.Fprintf(out, "protocol        %s\n", cfg.Protocol)
+	fmt.Fprintf(out, "simulated       %v (%d events)\n", *duration, w.Sim().Executed())
+	fmt.Fprintf(out, "device load     mean %.3f /s, var %.3f, peak %.1f /s (%d probes)\n",
+		load.Mean(), load.Variance(), load.Max(), w.DeviceLoad().Total())
+	occ := w.Net().BufferOccupancy()
+	fmt.Fprintf(out, "net buffer      mean %.4g msgs, max %.0f\n", occ.Mean(), occ.Max())
+	c := w.Net().Counters()
+	fmt.Fprintf(out, "net counters    sent %d delivered %d lost %d overflowed %d unroutable %d\n",
+		c.Sent, c.Delivered, c.LostInFlight, c.Overflowed, c.Unroutable)
+	freqs := w.CPFrequencies()
+	if len(freqs) > 0 {
+		lo, hi := freqs[0], freqs[len(freqs)-1]
+		fmt.Fprintf(out, "cp frequencies  %d active, range [%.3g, %.3g] /s, Jain fairness %.4f\n",
+			len(freqs), lo, hi, stats.JainIndex(freqs))
+	}
+	if killTime > 0 {
+		var lat stats.Welford
+		detected := 0
+		for _, h := range w.ActiveCPs() {
+			if h.Lost {
+				detected++
+				lat.Add((h.LostAt - killTime).Seconds())
+			}
+		}
+		fmt.Fprintf(out, "crash detection %d/%d CPs, latency mean %.3fs max %.3fs\n",
+			detected, len(w.ActiveCPs()), lat.Mean(), lat.Max())
+	}
+	if *plot {
+		fmt.Fprintln(out, asciiplot.Render([]*stats.TimeSeries{w.DeviceLoad().Series()}, asciiplot.Options{
+			Title: "device load (probes/s)", Width: 100, Height: 20,
+		}))
+	}
+	if *outFile != "" {
+		f, err := os.Create(*outFile)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := w.DeviceLoad().Series().WriteDAT(f); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "series written  %s\n", *outFile)
+	}
+	return nil
+}

@@ -1,0 +1,77 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestStaticScenario(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-protocol", "dcpp", "-cps", "5", "-duration", "1m", "-seed", "7"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	text := out.String()
+	for _, want := range []string{"protocol        dcpp", "device load", "Jain fairness"} {
+		if !strings.Contains(text, want) {
+			t.Fatalf("output missing %q:\n%s", want, text)
+		}
+	}
+}
+
+func TestChurnWithKillAndPlot(t *testing.T) {
+	var out strings.Builder
+	err := run([]string{"-churn", "-duration", "2m", "-kill-at", "90s", "-plot"}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "crash detection") {
+		t.Fatalf("missing detection summary:\n%s", out.String())
+	}
+	if !strings.Contains(out.String(), "device load (probes/s)") {
+		t.Fatal("missing ASCII plot")
+	}
+}
+
+func TestMassLeaveAndLossAndDATOutput(t *testing.T) {
+	dat := filepath.Join(t.TempDir(), "load.dat")
+	var out strings.Builder
+	err := run([]string{"-protocol", "sapp", "-cps", "10", "-duration", "2m",
+		"-leave-at", "1m", "-leave-to", "2", "-loss", "0.05", "-out", dat}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(string(data), "# t(sec)") {
+		t.Fatal("dat file missing header")
+	}
+}
+
+func TestRejectsBadProtocol(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-protocol", "swim"}, &out); err == nil {
+		t.Error("unknown protocol accepted")
+	}
+}
+
+func TestMultiDeviceDiscoveryTrace(t *testing.T) {
+	traceFile := filepath.Join(t.TempDir(), "run.trace")
+	var out strings.Builder
+	err := run([]string{"-devices", "2", "-discovery", "-cps", "4",
+		"-duration", "90s", "-trace", traceFile}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(traceFile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), " join cp_01") || !strings.Contains(string(data), " probe ") {
+		t.Fatalf("trace missing events: %.200s", string(data))
+	}
+}

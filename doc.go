@@ -1,0 +1,45 @@
+// Package presence is a Go implementation and reproduction of
+//
+//	"Are You Still There? — A Lightweight Algorithm To Monitor Node
+//	Presence in Self-Configuring Networks", H. Bohnenkamp, J. Gorter,
+//	J. Guidi, J.-P. Katoen, DSN 2005.
+//
+// It provides:
+//
+//   - the two probe protocols the paper studies — the self-adaptive
+//     probe protocol (SAPP) of Bodlaender et al. and the paper's
+//     device-controlled probe protocol (DCPP) — plus a naive fixed-rate
+//     baseline, all as runtime-agnostic state machines;
+//   - a deterministic discrete-event simulation runtime with the paper's
+//     network model, churn scenarios and measurements, replacing the
+//     MODEST/MÖBIUS tool chain the authors used;
+//   - a real-network UDP runtime that runs the exact same engine code on
+//     sockets and the wall clock;
+//   - the full experiment suite regenerating every table and figure of
+//     the paper's evaluation (see internal/experiments, cmd/probebench
+//     and EXPERIMENTS.md).
+//
+// The root package is a facade over the internal packages; examples and
+// external users need only import "presence".
+//
+// # Quick start (simulation)
+//
+//	w, err := presence.NewSimulation(presence.SimConfig{
+//		Protocol: presence.ProtocolDCPP,
+//		Seed:     1,
+//	})
+//	if err != nil { ... }
+//	w.AddCPs(20)
+//	w.Run(5 * time.Minute)
+//	load := w.DeviceLoad().Stats() // ≈ 10 probes/s, never above L_nom
+//
+// # Quick start (real network)
+//
+//	dev, err := presence.NewUDPDCPPDevice(presence.UDPDeviceConfig{
+//		ID: 1, ListenAddr: "127.0.0.1:0",
+//	}, presence.DefaultDCPPDeviceConfig())
+//	...
+//	cp, err := presence.NewUDPDCPPControlPoint(presence.UDPControlPointConfig{
+//		ID: 2, Device: 1, DeviceAddr: dev.Addr().String(),
+//	}, presence.DCPPPolicyConfig{}, listener)
+package presence

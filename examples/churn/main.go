@@ -1,0 +1,48 @@
+// churn reproduces the paper's Fig. 5: a DCPP device under worst-case
+// membership churn — the control-point population is redrawn uniformly
+// from {1..60} every ~20 s — keeps its probe load pinned at the nominal
+// limit, with only short spikes when many CPs join at once.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"presence"
+)
+
+func main() {
+	log.SetFlags(0)
+	const horizon = 1800 * time.Second // the paper plots 30 minutes
+	w, err := presence.NewSimulation(presence.SimConfig{
+		Protocol: presence.ProtocolDCPP,
+		Seed:     2005,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := w.StartChurn(presence.DefaultUniformChurn()); err != nil {
+		log.Fatal(err)
+	}
+	w.Run(horizon)
+
+	load := w.DeviceLoad().Stats()
+	cps := w.CPCountStats()
+	fmt.Println("DCPP under churn: population ~ U{1..60}, redrawn every Exp(0.05) — Fig. 5")
+	fmt.Println()
+	fmt.Printf("  device load:  mean %.2f probes/s, variance %.1f, σ %.2f (paper: 9.7, 20.0, ±4.5)\n",
+		load.Mean(), load.Variance(), load.StdDev())
+	fmt.Printf("  load peak:    %.0f probes/s (join bursts), falls back to L_nom = 10 immediately\n", load.Max())
+	fmt.Printf("  population:   mean %.1f CPs (E[U{1..60}] = 30.5)\n", cps.Mean())
+	fmt.Println()
+	fmt.Println(presence.RenderPlot(
+		[]*presence.TimeSeries{w.DeviceLoad().Series(), w.CPCountSeries()},
+		presence.PlotOptions{
+			Title:  "device load (+) and active CPs (x) over 30 simulated minutes",
+			Width:  100,
+			Height: 22,
+		}))
+	fmt.Println("However many CPs arrive, the device schedules their probes ≥ δ_min apart,")
+	fmt.Println("so the steady load can never exceed L_nom — the paper's core guarantee.")
+}

@@ -1,0 +1,86 @@
+// discovery shows why the paper exists: UPnP-style announcements with a
+// max-age detect a silently crashed device only after the max-age
+// lapses (the UPnP spec minimum is 30 minutes!), while the probe
+// protocol layered on top of discovery meets the paper's "order of one
+// second" requirement.
+//
+// The scenario: three devices announce themselves; ten control points
+// discover them dynamically and start DCPP probers; one device then
+// crashes silently.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"presence"
+)
+
+func main() {
+	log.SetFlags(0)
+	const (
+		maxAge = 60 * time.Second
+		period = 20 * time.Second
+	)
+	w, err := presence.NewSimulation(presence.SimConfig{
+		Protocol: presence.ProtocolDCPP,
+		Seed:     7,
+		Devices:  3,
+		Discovery: presence.DiscoveryConfig{
+			Enabled:          true,
+			Announce:         presence.AnnouncerConfig{MaxAge: maxAge, Period: period},
+			ProbeOnDiscovery: true,
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := w.AddCPs(10); err != nil {
+		log.Fatal(err)
+	}
+
+	// Let the periodic announcements reach the CPs and the probers spin
+	// up.
+	w.Run(45 * time.Second)
+	fmt.Println("3 devices announcing (max-age 60s), 10 CPs discovering + DCPP-probing")
+	fmt.Println()
+	cp := w.ActiveCPs()[0]
+	for _, d := range w.Devices() {
+		at, ok := cp.DiscoveredDevice(d.ID)
+		if !ok {
+			log.Fatalf("device %v never discovered", d.ID)
+		}
+		fmt.Printf("  %s discovered device %v at t=%v; probing it at ≤ f_max\n",
+			cp.Name, d.ID, at.Round(time.Millisecond))
+	}
+
+	victim := w.Devices()[2]
+	killAt := w.KillDeviceID(victim.ID)
+	fmt.Printf("\ndevice %v crashes silently at t=%v\n\n", victim.ID, killAt.Round(time.Second))
+	w.Run(killAt + maxAge + 10*time.Second)
+
+	var probeWorst, expiryWorst time.Duration
+	for _, h := range w.ActiveCPs() {
+		if at, ok := h.LostDevice(victim.ID); ok {
+			if lat := at - killAt; lat > probeWorst {
+				probeWorst = lat
+			}
+		}
+	}
+	// For comparison, the announcement-expiry path: last announcement ≤
+	// period before the crash, expiry max-age later.
+	expiryWorst = maxAge + time.Second // + registry sweep granularity
+
+	fmt.Printf("  probe-layer detection:       worst %v across 10 CPs\n", probeWorst.Round(time.Millisecond))
+	fmt.Printf("  announcement-expiry fallback: up to %v (max-age + sweep)\n", expiryWorst)
+	fmt.Printf("  at the UPnP spec minimum max-age of 1800s the gap becomes three orders of magnitude\n\n")
+
+	// The healthy devices are unaffected.
+	for _, d := range w.Devices()[:2] {
+		st := d.Load.Stats()
+		fmt.Printf("  healthy device %v: load %.2f probes/s (bounded by its own L_nom)\n", d.ID, st.Mean())
+	}
+	fmt.Println("\nThis is the paper's premise in one run: discovery tells you who is there,")
+	fmt.Println("only probing tells you — quickly — who still is.")
+}

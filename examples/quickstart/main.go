@@ -1,0 +1,57 @@
+// Quickstart: simulate a DCPP deployment — one device, 20 control
+// points — for five simulated minutes and print what the paper promises:
+// the device load stays at its nominal limit and every control point
+// gets the same probe frequency.
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"presence"
+)
+
+func main() {
+	log.SetFlags(0)
+	w, err := presence.NewSimulation(presence.SimConfig{
+		Protocol: presence.ProtocolDCPP,
+		Seed:     1,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err := w.AddCPs(20); err != nil {
+		log.Fatal(err)
+	}
+	// Let the schedule absorb the join burst, then measure five minutes.
+	w.Run(30 * time.Second)
+	w.ResetMeasurements()
+	w.Run(30*time.Second + 5*time.Minute)
+
+	load := w.DeviceLoad().Stats()
+	freqs := w.CPFrequencies()
+	fmt.Println("DCPP, 1 device (L_nom = 10 probes/s), 20 control points, 5 simulated minutes")
+	fmt.Printf("  device load:     %.2f probes/s (never above %.1f)\n", load.Mean(), load.Max())
+	fmt.Printf("  per-CP rate:     %.3g .. %.3g probes/s (fair share is L_nom/k = 0.5)\n",
+		freqs[0], freqs[len(freqs)-1])
+	fmt.Printf("  Jain fairness:   %.4f (1 = perfectly fair)\n", presence.JainIndex(freqs))
+
+	// Now crash the device silently and measure how fast the CPs notice.
+	killAt := w.KillDevice()
+	w.Run(killAt + 10*time.Second)
+	var worst time.Duration
+	detected := 0
+	for _, h := range w.ActiveCPs() {
+		if h.Lost {
+			detected++
+			if lat := h.LostAt - killAt; lat > worst {
+				worst = lat
+			}
+		}
+	}
+	fmt.Printf("  silent crash:    %d/%d CPs detected it, worst latency %v\n",
+		detected, len(w.ActiveCPs()), worst.Round(time.Millisecond))
+	fmt.Println("\n(the worst case is the CP's scheduled wait, k·δ_min = 2s, plus a full")
+	fmt.Println(" failed probe cycle TOF + 3·TOS = 85ms — exactly what the schedule predicts)")
+}

@@ -1,0 +1,126 @@
+// Package asciiplot renders time series as terminal scatter plots, so
+// the examples and cmd/probebench can show the reproduced figures
+// without any plotting dependency.
+package asciiplot
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"presence/internal/stats"
+)
+
+// Glyphs assigned to series in order, mirroring gnuplot's point styles.
+var glyphs = []byte{'+', 'x', 'o', '*', '#', '@', '%', '~'}
+
+// Options configure a plot.
+type Options struct {
+	// Title is printed above the plot.
+	Title string
+	// Width and Height are the canvas size in characters (excluding
+	// axes). Zero values mean 72×20.
+	Width, Height int
+	// YLabel annotates the vertical axis.
+	YLabel string
+	// YMin/YMax fix the vertical range; both zero = auto-scale.
+	YMin, YMax float64
+}
+
+// Render draws the series onto a character canvas with axes and a
+// legend. Empty input yields a note instead of a panic.
+func Render(series []*stats.TimeSeries, opts Options) string {
+	width, height := opts.Width, opts.Height
+	if width <= 0 {
+		width = 72
+	}
+	if height <= 0 {
+		height = 20
+	}
+	var tMin, tMax, vMin, vMax float64
+	first := true
+	for _, s := range series {
+		for _, p := range s.Points() {
+			t := p.T.Seconds()
+			if first {
+				tMin, tMax, vMin, vMax = t, t, p.V, p.V
+				first = false
+				continue
+			}
+			tMin = math.Min(tMin, t)
+			tMax = math.Max(tMax, t)
+			vMin = math.Min(vMin, p.V)
+			vMax = math.Max(vMax, p.V)
+		}
+	}
+	if first {
+		return "(no data to plot)\n"
+	}
+	if opts.YMin != 0 || opts.YMax != 0 {
+		vMin, vMax = opts.YMin, opts.YMax
+	}
+	if vMax == vMin {
+		vMax = vMin + 1
+	}
+	if tMax == tMin {
+		tMax = tMin + 1
+	}
+
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	for si, s := range series {
+		g := glyphs[si%len(glyphs)]
+		for _, p := range s.Points() {
+			x := int(float64(width-1) * (p.T.Seconds() - tMin) / (tMax - tMin))
+			y := int(float64(height-1) * (p.V - vMin) / (vMax - vMin))
+			if x < 0 || x >= width || y < 0 || y >= height {
+				continue
+			}
+			row := height - 1 - y
+			grid[row][x] = g
+		}
+	}
+
+	var b strings.Builder
+	if opts.Title != "" {
+		fmt.Fprintf(&b, "%s\n", opts.Title)
+	}
+	yTop := fmt.Sprintf("%.3g", vMax)
+	yBot := fmt.Sprintf("%.3g", vMin)
+	labelWidth := len(yTop)
+	if len(yBot) > labelWidth {
+		labelWidth = len(yBot)
+	}
+	for i, row := range grid {
+		label := strings.Repeat(" ", labelWidth)
+		switch i {
+		case 0:
+			label = pad(yTop, labelWidth)
+		case height - 1:
+			label = pad(yBot, labelWidth)
+		case height / 2:
+			if opts.YLabel != "" {
+				label = pad(opts.YLabel, labelWidth)
+			}
+		}
+		fmt.Fprintf(&b, "%s |%s\n", label, string(row))
+	}
+	fmt.Fprintf(&b, "%s +%s\n", strings.Repeat(" ", labelWidth), strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%s  %-*s%s\n", strings.Repeat(" ", labelWidth), width-10,
+		fmt.Sprintf("%.6gs", tMin), fmt.Sprintf("%10.6gs", tMax))
+	for si, s := range series {
+		fmt.Fprintf(&b, "  %c %s\n", glyphs[si%len(glyphs)], s.Name())
+	}
+	return b.String()
+}
+
+// pad right-aligns s in a field of the given width, truncating if
+// needed.
+func pad(s string, width int) string {
+	if len(s) > width {
+		return s[:width]
+	}
+	return strings.Repeat(" ", width-len(s)) + s
+}

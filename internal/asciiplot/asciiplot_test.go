@@ -1,0 +1,93 @@
+package asciiplot
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"presence/internal/stats"
+)
+
+func series(name string, vals ...float64) *stats.TimeSeries {
+	s := stats.NewTimeSeries(name)
+	for i, v := range vals {
+		s.Add(time.Duration(i)*time.Second, v)
+	}
+	return s
+}
+
+func TestRenderEmpty(t *testing.T) {
+	out := Render(nil, Options{})
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty plot output: %q", out)
+	}
+	out = Render([]*stats.TimeSeries{stats.NewTimeSeries("empty")}, Options{})
+	if !strings.Contains(out, "no data") {
+		t.Fatalf("empty series output: %q", out)
+	}
+}
+
+func TestRenderBasics(t *testing.T) {
+	s := series("load", 0, 5, 10, 5, 0)
+	out := Render([]*stats.TimeSeries{s}, Options{Title: "Device Load", Width: 40, Height: 10})
+	if !strings.Contains(out, "Device Load") {
+		t.Fatal("title missing")
+	}
+	if !strings.Contains(out, "load") {
+		t.Fatal("legend missing")
+	}
+	if !strings.Contains(out, "+") {
+		t.Fatal("no glyphs plotted")
+	}
+	if !strings.Contains(out, "10") || !strings.Contains(out, "0") {
+		t.Fatal("axis labels missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + 10 rows + axis + x labels + 1 legend line
+	if len(lines) != 1+10+1+1+1 {
+		t.Fatalf("got %d lines:\n%s", len(lines), out)
+	}
+}
+
+func TestRenderMultipleSeriesDistinctGlyphs(t *testing.T) {
+	a := series("alpha", 1, 2, 3)
+	b := series("beta", 3, 2, 1)
+	out := Render([]*stats.TimeSeries{a, b}, Options{Width: 30, Height: 8})
+	if !strings.Contains(out, "+ alpha") || !strings.Contains(out, "x beta") {
+		t.Fatalf("legend glyph assignment wrong:\n%s", out)
+	}
+	if !strings.Contains(out, "x") {
+		t.Fatal("second series not plotted")
+	}
+}
+
+func TestRenderFixedRangeClipsOutliers(t *testing.T) {
+	s := series("spiky", 1, 100, 1)
+	out := Render([]*stats.TimeSeries{s}, Options{Width: 30, Height: 8, YMin: 0, YMax: 10})
+	if !strings.Contains(out, "10") {
+		t.Fatal("fixed y-max label missing")
+	}
+	// The out-of-range point must be clipped, not wrap around.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.Count(line, "+") > 2 {
+			t.Fatalf("unexpected glyph density, clipping broken:\n%s", out)
+		}
+	}
+}
+
+func TestRenderConstantSeries(t *testing.T) {
+	s := series("flat", 5, 5, 5)
+	out := Render([]*stats.TimeSeries{s}, Options{Width: 20, Height: 5})
+	if !strings.Contains(out, "+") {
+		t.Fatalf("constant series not plotted:\n%s", out)
+	}
+}
+
+func TestPad(t *testing.T) {
+	if got := pad("ab", 4); got != "  ab" {
+		t.Fatalf("pad = %q", got)
+	}
+	if got := pad("abcdef", 4); got != "abcd" {
+		t.Fatalf("pad truncation = %q", got)
+	}
+}

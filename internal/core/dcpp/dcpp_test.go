@@ -1,0 +1,411 @@
+package dcpp
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"presence/internal/core"
+	"presence/internal/ident"
+)
+
+type fakeEnv struct {
+	now      time.Duration
+	sent     []core.Message
+	sentTo   []ident.NodeID
+	alarmAt  time.Duration
+	alarmSet bool
+}
+
+func (e *fakeEnv) Now() time.Duration { return e.now }
+func (e *fakeEnv) Send(to ident.NodeID, msg core.Message) {
+	e.sent = append(e.sent, msg)
+	e.sentTo = append(e.sentTo, to)
+}
+func (e *fakeEnv) SetAlarm(at time.Duration) { e.alarmAt, e.alarmSet = at, true }
+func (e *fakeEnv) StopAlarm()                { e.alarmSet = false }
+
+func (e *fakeEnv) lastWait(t *testing.T) time.Duration {
+	t.Helper()
+	if len(e.sent) == 0 {
+		t.Fatal("nothing sent")
+	}
+	rep, ok := e.sent[len(e.sent)-1].(core.ReplyMsg)
+	if !ok {
+		t.Fatalf("last message is %T", e.sent[len(e.sent)-1])
+	}
+	pl, ok := rep.Payload.(core.DCPPReply)
+	if !ok {
+		t.Fatalf("payload is %T", rep.Payload)
+	}
+	return pl.Wait
+}
+
+func newDevice(t *testing.T, env *fakeEnv, cfg DeviceConfig) *Device {
+	t.Helper()
+	d, err := NewDevice(1, env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func sec(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+func TestDeviceConfigValidation(t *testing.T) {
+	env := &fakeEnv{}
+	bad := []DeviceConfig{
+		{MinGap: 0, MinCPDelay: time.Second},
+		{MinGap: time.Second, MinCPDelay: 0},
+		{MinGap: -time.Second, MinCPDelay: time.Second},
+	}
+	for i, cfg := range bad {
+		if _, err := NewDevice(1, env, cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	if _, err := NewDevice(ident.None, env, DefaultDeviceConfig()); err == nil {
+		t.Error("invalid id accepted")
+	}
+	if _, err := NewDevice(1, nil, DefaultDeviceConfig()); err == nil {
+		t.Error("nil env accepted")
+	}
+}
+
+func TestConfigDerivedRates(t *testing.T) {
+	cfg := DefaultDeviceConfig()
+	if got := cfg.NominalLoad(); got != 10 {
+		t.Fatalf("L_nom = %g, want 10", got)
+	}
+	if got := cfg.MaxCPFrequency(); got != 2 {
+		t.Fatalf("f_max = %g, want 2", got)
+	}
+}
+
+func TestIdleDeviceAssignsMinCPDelay(t *testing.T) {
+	// A lone CP probing an idle device must be told to come back after
+	// d_min — i.e. it probes at its maximum frequency f_max.
+	env := &fakeEnv{now: sec(100)}
+	d := newDevice(t, env, DefaultDeviceConfig())
+	d.OnProbe(7, core.ProbeMsg{From: 7, Cycle: 1})
+	if got := env.lastWait(t); got != DefaultMinCPDelay {
+		t.Fatalf("idle wait = %v, want d_min %v", got, DefaultMinCPDelay)
+	}
+	if d.NextSlot() != sec(100)+DefaultMinCPDelay {
+		t.Fatalf("nt = %v", d.NextSlot())
+	}
+}
+
+func TestBusyDeviceSpacesSlotsByMinGap(t *testing.T) {
+	// Many CPs probing at once: slots must pack δ_min apart, bounding
+	// the device load at L_nom.
+	env := &fakeEnv{}
+	d := newDevice(t, env, DefaultDeviceConfig())
+	var prev time.Duration
+	for i := 0; i < 20; i++ {
+		id := ident.NodeID(i + 10)
+		d.OnProbe(id, core.ProbeMsg{From: id, Cycle: 1})
+		slot := d.NextSlot()
+		if i > 0 {
+			gap := slot - prev
+			if gap < DefaultMinGap {
+				t.Fatalf("slot gap %v < δ_min after probe %d", gap, i)
+			}
+		}
+		prev = slot
+	}
+	// After the backlog exceeds d_min, each new probe adds exactly δ_min.
+	if want := DefaultMinCPDelay + 19*DefaultMinGap; d.NextSlot() != want {
+		t.Fatalf("nt after 20 probes = %v, want %v", d.NextSlot(), want)
+	}
+}
+
+func TestWaitNeverBelowMinCPDelay(t *testing.T) {
+	env := &fakeEnv{}
+	d := newDevice(t, env, DefaultDeviceConfig())
+	for i := 0; i < 50; i++ {
+		id := ident.NodeID(i + 10)
+		d.OnProbe(id, core.ProbeMsg{From: id, Cycle: 1})
+		if got := env.lastWait(t); got < DefaultMinCPDelay {
+			t.Fatalf("wait %v < d_min for probe %d", got, i)
+		}
+	}
+}
+
+func TestIdleGapResetsSchedule(t *testing.T) {
+	// Deviation check: after a long idle period the device must hand out
+	// d_min again, not an absurd wait growing with idle time.
+	env := &fakeEnv{}
+	d := newDevice(t, env, DefaultDeviceConfig())
+	d.OnProbe(7, core.ProbeMsg{From: 7, Cycle: 1})
+	env.now = sec(3600) // one hour later
+	d.OnProbe(8, core.ProbeMsg{From: 8, Cycle: 1})
+	if got := env.lastWait(t); got != DefaultMinCPDelay {
+		t.Fatalf("wait after idle hour = %v, want d_min", got)
+	}
+}
+
+func TestDuplicateProbeIsIdempotent(t *testing.T) {
+	env := &fakeEnv{}
+	d := newDevice(t, env, DefaultDeviceConfig())
+	d.OnProbe(7, core.ProbeMsg{From: 7, Cycle: 5, Attempt: 0})
+	nt := d.NextSlot()
+	firstWait := env.lastWait(t)
+	// Retransmission of the same cycle 30 ms later: same slot, shrunken
+	// wait, nt unchanged.
+	env.now = 30 * time.Millisecond
+	d.OnProbe(7, core.ProbeMsg{From: 7, Cycle: 5, Attempt: 1})
+	if d.NextSlot() != nt {
+		t.Fatalf("duplicate probe advanced nt: %v -> %v", nt, d.NextSlot())
+	}
+	if got, want := env.lastWait(t), firstWait-30*time.Millisecond; got != want {
+		t.Fatalf("duplicate wait = %v, want %v", got, want)
+	}
+	if d.DupReplies() != 1 {
+		t.Fatalf("DupReplies = %d, want 1", d.DupReplies())
+	}
+	// A new cycle from the same CP claims a fresh slot.
+	env.now = sec(1)
+	d.OnProbe(7, core.ProbeMsg{From: 7, Cycle: 6, Attempt: 0})
+	if d.NextSlot() == nt {
+		t.Fatal("new cycle did not claim a new slot")
+	}
+}
+
+func TestDuplicateAfterSlotPassedClampsToZero(t *testing.T) {
+	env := &fakeEnv{}
+	d := newDevice(t, env, DefaultDeviceConfig())
+	d.OnProbe(7, core.ProbeMsg{From: 7, Cycle: 5})
+	env.now = sec(10) // long after the assigned slot
+	d.OnProbe(7, core.ProbeMsg{From: 7, Cycle: 5, Attempt: 1})
+	if got := env.lastWait(t); got != 0 {
+		t.Fatalf("stale duplicate wait = %v, want 0", got)
+	}
+}
+
+func TestDedupeDisabledTreatsEveryProbeFresh(t *testing.T) {
+	env := &fakeEnv{}
+	cfg := DefaultDeviceConfig()
+	cfg.DedupeTTL = -1
+	d := newDevice(t, env, cfg)
+	d.OnProbe(7, core.ProbeMsg{From: 7, Cycle: 5})
+	nt := d.NextSlot()
+	d.OnProbe(7, core.ProbeMsg{From: 7, Cycle: 5, Attempt: 1})
+	if d.NextSlot() == nt {
+		t.Fatal("with dedupe disabled, the duplicate must claim a new slot")
+	}
+	if d.Entries() != 0 {
+		t.Fatalf("Entries = %d, want 0 with dedupe disabled", d.Entries())
+	}
+	d.Start()
+	if env.alarmSet {
+		t.Fatal("sweep alarm armed with dedupe disabled")
+	}
+}
+
+func TestSweepPrunesExpiredEntries(t *testing.T) {
+	env := &fakeEnv{}
+	cfg := DefaultDeviceConfig()
+	cfg.DedupeTTL = time.Second
+	d := newDevice(t, env, cfg)
+	d.Start()
+	if !env.alarmSet || env.alarmAt != time.Second {
+		t.Fatalf("sweep alarm at %v (set=%v)", env.alarmAt, env.alarmSet)
+	}
+	d.OnProbe(7, core.ProbeMsg{From: 7, Cycle: 1})
+	d.OnProbe(8, core.ProbeMsg{From: 8, Cycle: 1})
+	if d.Entries() != 2 {
+		t.Fatalf("Entries = %d, want 2", d.Entries())
+	}
+	env.now = sec(2.5)
+	d.OnAlarm()
+	if d.Entries() != 0 {
+		t.Fatalf("Entries = %d after sweep, want 0", d.Entries())
+	}
+	if !env.alarmSet || env.alarmAt != sec(3.5) {
+		t.Fatalf("sweep not re-armed: at %v", env.alarmAt)
+	}
+}
+
+func TestMaxEntriesEvictsOldest(t *testing.T) {
+	env := &fakeEnv{}
+	cfg := DefaultDeviceConfig()
+	cfg.MaxEntries = 3
+	d := newDevice(t, env, cfg)
+	for i := 0; i < 3; i++ {
+		env.now = time.Duration(i) * time.Millisecond
+		id := ident.NodeID(10 + i)
+		d.OnProbe(id, core.ProbeMsg{From: id, Cycle: 1})
+	}
+	env.now = time.Second
+	d.OnProbe(99, core.ProbeMsg{From: 99, Cycle: 1})
+	if d.Entries() != 3 {
+		t.Fatalf("Entries = %d, want capped 3", d.Entries())
+	}
+	// The oldest (id 10) must have been evicted: its retransmission now
+	// claims a fresh slot instead of a dedupe reply.
+	dups := d.DupReplies()
+	d.OnProbe(10, core.ProbeMsg{From: 10, Cycle: 1, Attempt: 1})
+	if d.DupReplies() != dups {
+		t.Fatal("evicted entry still answered from the table")
+	}
+}
+
+func TestPolicyObeysDevice(t *testing.T) {
+	p, err := NewPolicy(PolicyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := p.NextDelay(core.CycleResult{Payload: core.DCPPReply{Wait: sec(1.25)}})
+	if got != sec(1.25) {
+		t.Fatalf("delay = %v, want the device's wait", got)
+	}
+	if p.LastWait() != sec(1.25) {
+		t.Fatalf("LastWait = %v", p.LastWait())
+	}
+}
+
+func TestPolicyClampsNegativeWait(t *testing.T) {
+	p, _ := NewPolicy(PolicyConfig{})
+	if got := p.NextDelay(core.CycleResult{Payload: core.DCPPReply{Wait: -time.Second}}); got != 0 {
+		t.Fatalf("delay = %v, want 0", got)
+	}
+}
+
+func TestPolicyMaxWaitCap(t *testing.T) {
+	p, err := NewPolicy(PolicyConfig{MaxWait: sec(2)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := p.NextDelay(core.CycleResult{Payload: core.DCPPReply{Wait: time.Hour}}); got != sec(2) {
+		t.Fatalf("delay = %v, want capped 2s", got)
+	}
+}
+
+func TestPolicyFallbackOnForeignPayload(t *testing.T) {
+	p, _ := NewPolicy(PolicyConfig{})
+	if got := p.NextDelay(core.CycleResult{Payload: core.SAPPReply{}}); got != time.Second {
+		t.Fatalf("delay = %v, want 1s fallback", got)
+	}
+	p2, _ := NewPolicy(PolicyConfig{FallbackDelay: sec(3)})
+	if got := p2.NextDelay(core.CycleResult{Payload: core.EmptyReply{}}); got != sec(3) {
+		t.Fatalf("delay = %v, want configured fallback", got)
+	}
+}
+
+func TestPolicyConfigValidation(t *testing.T) {
+	if _, err := NewPolicy(PolicyConfig{MaxWait: -1}); err == nil {
+		t.Error("negative MaxWait accepted")
+	}
+	if _, err := NewPolicy(PolicyConfig{FallbackDelay: -1}); err == nil {
+		t.Error("negative FallbackDelay accepted")
+	}
+}
+
+// Property (paper invariant (i)): for any arrival pattern, consecutive
+// fresh slot assignments are at least δ_min apart.
+func TestPropertySlotSpacing(t *testing.T) {
+	f := func(gapsMs []uint16, ids []uint8) bool {
+		env := &fakeEnv{}
+		d, err := NewDevice(1, env, DefaultDeviceConfig())
+		if err != nil {
+			return false
+		}
+		var slots []time.Duration
+		cycle := uint32(0)
+		for i, g := range gapsMs {
+			env.now += time.Duration(g) * time.Millisecond
+			id := ident.NodeID(2)
+			if i < len(ids) {
+				id = ident.NodeID(uint32(ids[i]) + 2)
+			}
+			cycle++
+			d.OnProbe(id, core.ProbeMsg{From: id, Cycle: cycle})
+			slots = append(slots, d.NextSlot())
+		}
+		for i := 1; i < len(slots); i++ {
+			if slots[i]-slots[i-1] < DefaultMinGap {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property (paper invariant (ii)): the wait handed to a CP for a fresh
+// probe is always at least d_min.
+func TestPropertyWaitAtLeastMinCPDelay(t *testing.T) {
+	f := func(gapsMs []uint16, ids []uint8) bool {
+		env := &fakeEnv{}
+		d, err := NewDevice(1, env, DefaultDeviceConfig())
+		if err != nil {
+			return false
+		}
+		cycle := uint32(0)
+		for i, g := range gapsMs {
+			env.now += time.Duration(g) * time.Millisecond
+			id := ident.NodeID(2)
+			if i < len(ids) {
+				id = ident.NodeID(uint32(ids[i]) + 2)
+			}
+			cycle++
+			before := len(env.sent)
+			d.OnProbe(id, core.ProbeMsg{From: id, Cycle: cycle})
+			rep := env.sent[before].(core.ReplyMsg)
+			if rep.Payload.(core.DCPPReply).Wait < DefaultMinCPDelay {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: nt never moves backwards.
+func TestPropertyScheduleMonotone(t *testing.T) {
+	f := func(gapsMs []uint16, dup []bool) bool {
+		env := &fakeEnv{}
+		d, err := NewDevice(1, env, DefaultDeviceConfig())
+		if err != nil {
+			return false
+		}
+		cycle := uint32(1)
+		prev := d.NextSlot()
+		for i, g := range gapsMs {
+			env.now += time.Duration(g) * time.Millisecond
+			if !(i < len(dup) && dup[i]) {
+				cycle++
+			}
+			d.OnProbe(7, core.ProbeMsg{From: 7, Cycle: cycle})
+			if d.NextSlot() < prev {
+				return false
+			}
+			prev = d.NextSlot()
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDeviceOnProbe(b *testing.B) {
+	env := &fakeEnv{}
+	d, err := NewDevice(1, env, DefaultDeviceConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env.sent = env.sent[:0]
+		env.sentTo = env.sentTo[:0]
+		env.now = time.Duration(i) * time.Millisecond
+		id := ident.NodeID(i%64 + 2)
+		d.OnProbe(id, core.ProbeMsg{From: id, Cycle: uint32(i)})
+	}
+}

@@ -1,0 +1,73 @@
+package dcpp
+
+import (
+	"fmt"
+	"time"
+
+	"presence/internal/core"
+)
+
+// PolicyConfig parameterises the DCPP control-point policy.
+type PolicyConfig struct {
+	// MaxWait caps the wait a CP accepts from a device, protecting
+	// against a buggy or malicious device starving the monitor. Zero
+	// means no cap (the paper's behaviour).
+	MaxWait time.Duration
+	// FallbackDelay is used when a reply carries no usable DCPP payload
+	// (protocol mismatch). Zero means 1 s.
+	FallbackDelay time.Duration
+}
+
+// Validate checks the configuration.
+func (c PolicyConfig) Validate() error {
+	if c.MaxWait < 0 {
+		return fmt.Errorf("dcpp: MaxWait %v must be non-negative", c.MaxWait)
+	}
+	if c.FallbackDelay < 0 {
+		return fmt.Errorf("dcpp: FallbackDelay %v must be non-negative", c.FallbackDelay)
+	}
+	return nil
+}
+
+// Policy is the DCPP control-point delay policy: "the delay between two
+// probe cycles is now directly determined by the device. Each reply to a
+// probe is accompanied with a delay d ... the CP sets a timer and waits
+// until d time-units have passed before it initiates the next probe
+// cycle."
+type Policy struct {
+	cfg      PolicyConfig
+	lastWait time.Duration
+}
+
+var _ core.DelayPolicy = (*Policy)(nil)
+
+// NewPolicy validates the configuration and returns a policy.
+func NewPolicy(cfg PolicyConfig) (*Policy, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.FallbackDelay == 0 {
+		cfg.FallbackDelay = time.Second
+	}
+	return &Policy{cfg: cfg}, nil
+}
+
+// LastWait returns the most recent device-assigned wait.
+func (p *Policy) LastWait() time.Duration { return p.lastWait }
+
+// NextDelay obeys the device's schedule.
+func (p *Policy) NextDelay(res core.CycleResult) time.Duration {
+	rep, ok := res.Payload.(core.DCPPReply)
+	if !ok {
+		return p.cfg.FallbackDelay
+	}
+	wait := rep.Wait
+	if wait < 0 {
+		wait = 0
+	}
+	if p.cfg.MaxWait > 0 && wait > p.cfg.MaxWait {
+		wait = p.cfg.MaxWait
+	}
+	p.lastWait = wait
+	return wait
+}

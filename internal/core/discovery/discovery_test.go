@@ -1,0 +1,166 @@
+package discovery
+
+import (
+	"testing"
+	"time"
+
+	"presence/internal/core"
+	"presence/internal/ident"
+)
+
+type fakeEnv struct {
+	now      time.Duration
+	sent     []core.Message
+	sentTo   []ident.NodeID
+	alarmAt  time.Duration
+	alarmSet bool
+}
+
+func (e *fakeEnv) Now() time.Duration { return e.now }
+func (e *fakeEnv) Send(to ident.NodeID, m core.Message) {
+	e.sent = append(e.sent, m)
+	e.sentTo = append(e.sentTo, to)
+}
+func (e *fakeEnv) SetAlarm(at time.Duration) { e.alarmAt, e.alarmSet = at, true }
+func (e *fakeEnv) StopAlarm()                { e.alarmSet = false }
+
+func (e *fakeEnv) fire(t *testing.T, onAlarm func()) {
+	t.Helper()
+	if !e.alarmSet {
+		t.Fatal("no alarm pending")
+	}
+	e.now = e.alarmAt
+	e.alarmSet = false
+	onAlarm()
+}
+
+func sec(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+func TestAnnouncerValidation(t *testing.T) {
+	env := &fakeEnv{}
+	if _, err := NewAnnouncer(ident.None, env, AnnouncerConfig{}); err == nil {
+		t.Error("invalid id accepted")
+	}
+	if _, err := NewAnnouncer(1, nil, AnnouncerConfig{}); err == nil {
+		t.Error("nil env accepted")
+	}
+	if _, err := NewAnnouncer(1, env, AnnouncerConfig{MaxAge: time.Second, Period: 2 * time.Second}); err == nil {
+		t.Error("period beyond max-age accepted")
+	}
+	if _, err := NewAnnouncer(1, env, AnnouncerConfig{MaxAge: -time.Second}); err == nil {
+		t.Error("negative max-age accepted")
+	}
+}
+
+func TestAnnouncerBroadcastsPeriodically(t *testing.T) {
+	env := &fakeEnv{}
+	a, err := NewAnnouncer(1, env, AnnouncerConfig{MaxAge: sec(30)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	a.Start()
+	if len(env.sent) != 1 {
+		t.Fatalf("sent %d announcements at start, want 1", len(env.sent))
+	}
+	if env.sentTo[0] != ident.Broadcast {
+		t.Fatalf("announcement target = %v, want broadcast", env.sentTo[0])
+	}
+	m := env.sent[0].(core.AnnounceMsg)
+	if m.From != 1 || m.MaxAge != sec(30) {
+		t.Fatalf("announcement = %+v", m)
+	}
+	// Default period is MaxAge/3 = 10 s.
+	if !env.alarmSet || env.alarmAt != sec(10) {
+		t.Fatalf("next announcement at %v, want 10s", env.alarmAt)
+	}
+	env.fire(t, a.OnAlarm)
+	env.fire(t, a.OnAlarm)
+	if a.Sent() != 3 {
+		t.Fatalf("Sent() = %d, want 3", a.Sent())
+	}
+	a.Stop()
+	if env.alarmSet {
+		t.Fatal("Stop left the announcement alarm armed")
+	}
+}
+
+func TestRegistryDiscoversAndExpires(t *testing.T) {
+	env := &fakeEnv{}
+	var discovered, expired []ident.NodeID
+	r, err := NewRegistry(9, env, RegistryConfig{
+		SweepEvery:   time.Second,
+		OnDiscovered: func(d ident.NodeID, _ time.Duration) { discovered = append(discovered, d) },
+		OnExpired:    func(d ident.NodeID, _ time.Duration) { expired = append(expired, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Start()
+	r.OnAnnounce(core.AnnounceMsg{From: 1, MaxAge: sec(3)})
+	if len(discovered) != 1 || discovered[0] != 1 {
+		t.Fatalf("discovered = %v", discovered)
+	}
+	if !r.Known(1) {
+		t.Fatal("device not known after announce")
+	}
+	// Re-announce refreshes without re-discovering.
+	env.now = sec(2)
+	r.OnAnnounce(core.AnnounceMsg{From: 1, MaxAge: sec(3)})
+	if len(discovered) != 1 {
+		t.Fatal("refresh re-triggered discovery")
+	}
+	// Sweeps before expiry keep it; after 2+3 s it expires.
+	for env.alarmSet && env.now < sec(6) {
+		env.fire(t, r.OnAlarm)
+	}
+	if r.Known(1) {
+		t.Fatal("device still known after max-age silence")
+	}
+	if len(expired) != 1 || expired[0] != 1 {
+		t.Fatalf("expired = %v", expired)
+	}
+	// Rediscovery after expiry fires OnDiscovered again.
+	r.OnAnnounce(core.AnnounceMsg{From: 1, MaxAge: sec(3)})
+	if len(discovered) != 2 {
+		t.Fatal("re-discovery after expiry not reported")
+	}
+}
+
+func TestRegistryIgnoresInvalidAnnouncements(t *testing.T) {
+	env := &fakeEnv{}
+	r, err := NewRegistry(9, env, RegistryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.OnAnnounce(core.AnnounceMsg{From: ident.None, MaxAge: sec(3)})
+	r.OnAnnounce(core.AnnounceMsg{From: 2, MaxAge: 0})
+	if len(r.Devices()) != 0 {
+		t.Fatalf("registry accepted invalid announcements: %v", r.Devices())
+	}
+}
+
+func TestRegistryForget(t *testing.T) {
+	env := &fakeEnv{}
+	r, err := NewRegistry(9, env, RegistryConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.OnAnnounce(core.AnnounceMsg{From: 3, MaxAge: sec(60)})
+	r.Forget(3)
+	if r.Known(3) {
+		t.Fatal("Forget did not remove the device")
+	}
+}
+
+func TestRegistryValidation(t *testing.T) {
+	env := &fakeEnv{}
+	if _, err := NewRegistry(ident.None, env, RegistryConfig{}); err == nil {
+		t.Error("invalid id accepted")
+	}
+	if _, err := NewRegistry(9, nil, RegistryConfig{}); err == nil {
+		t.Error("nil env accepted")
+	}
+	if _, err := NewRegistry(9, env, RegistryConfig{SweepEvery: -time.Second}); err == nil {
+		t.Error("negative sweep accepted")
+	}
+}

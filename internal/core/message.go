@@ -1,0 +1,122 @@
+// Package core implements the protocol machinery shared by the paper's
+// two probe protocols: the message vocabulary, the bounded-retransmission
+// probe cycle (Fig. 1 of the paper), and the interfaces through which the
+// SAPP and DCPP engines plug in.
+//
+// Engines are pure, single-threaded state machines driven through the Env
+// interface. The same engine code runs under the discrete-event simulator
+// (internal/simrun) and on real UDP sockets (internal/rtnet).
+package core
+
+import (
+	"time"
+
+	"presence/internal/ident"
+)
+
+// Message is the sealed set of protocol messages.
+type Message interface{ isMessage() }
+
+// ProbeMsg is the "are you still there?" probe a control point sends to a
+// device. Cycle numbers a probe cycle (monotonically increasing per CP);
+// Attempt numbers the transmission within the cycle (0 = first probe,
+// 1..MaxRetransmits = retransmissions). The pair lets engines match
+// replies under reordering, duplication and loss.
+type ProbeMsg struct {
+	From    ident.NodeID
+	Cycle   uint32
+	Attempt uint8
+}
+
+func (ProbeMsg) isMessage() {}
+
+// ReplyMsg is the device's answer to a probe. Cycle and Attempt echo the
+// probe being answered; Payload is protocol specific.
+type ReplyMsg struct {
+	From    ident.NodeID
+	Cycle   uint32
+	Attempt uint8
+	Payload Payload
+}
+
+func (ReplyMsg) isMessage() {}
+
+// ByeMsg announces a graceful leave of the sending device ("normally,
+// when a node goes off-line, it informs other nodes by sending a
+// bye-message").
+type ByeMsg struct {
+	From ident.NodeID
+}
+
+func (ByeMsg) isMessage() {}
+
+// LeaveNotice disseminates a detected device absence across the CP
+// overlay built from the SAPP reply's last-two-probers field. Origin is
+// the CP that detected the absence, Seq de-duplicates notices and TTL
+// bounds flooding.
+type LeaveNotice struct {
+	Device ident.NodeID
+	Origin ident.NodeID
+	Seq    uint32
+	TTL    uint8
+}
+
+func (LeaveNotice) isMessage() {}
+
+// AnnounceMsg is a device's periodic presence announcement (UPnP-style
+// ssdp:alive): the receiver may consider the device present for MaxAge.
+// The paper's probe protocols complement these announcements — max-age
+// expiry alone detects absence far too slowly (minutes, not the
+// required "order of one second").
+type AnnounceMsg struct {
+	From   ident.NodeID
+	MaxAge time.Duration
+}
+
+func (AnnounceMsg) isMessage() {}
+
+// Payload is the sealed set of protocol-specific reply payloads.
+type Payload interface{ isPayload() }
+
+// SAPPReply carries the device's inflated probe counter pc and the ids of
+// the last two distinct probing CPs (the overlay hint).
+type SAPPReply struct {
+	ProbeCount  uint64
+	LastProbers [2]ident.NodeID
+}
+
+func (SAPPReply) isPayload() {}
+
+// DCPPReply carries the wait the probing CP must observe before its next
+// probe cycle: nt' − t in the paper's notation.
+type DCPPReply struct {
+	Wait time.Duration
+}
+
+func (DCPPReply) isPayload() {}
+
+// EmptyReply is the payload of the naive baseline protocol, which adapts
+// nothing.
+type EmptyReply struct{}
+
+func (EmptyReply) isPayload() {}
+
+// Env is an engine's window on the world, implemented by the simulation
+// runtime (virtual time, simulated network) and the UDP runtime (wall
+// clock, sockets).
+//
+// Each engine owns exactly one alarm slot: SetAlarm replaces any pending
+// expiry, and the runtime calls the engine's OnAlarm when it fires. The
+// protocols are designed to need at most one outstanding timer.
+type Env interface {
+	// Now returns the current time as an offset from the runtime's epoch.
+	Now() time.Duration
+	// Send transmits a message. Delivery is best-effort: messages may be
+	// lost, reordered or duplicated.
+	Send(to ident.NodeID, msg Message)
+	// SetAlarm schedules the engine's OnAlarm callback at time at,
+	// replacing any pending alarm.
+	SetAlarm(at time.Duration)
+	// StopAlarm cancels any pending alarm.
+	StopAlarm()
+}

@@ -1,0 +1,89 @@
+// Package naive implements the strawman the paper's introduction
+// dismisses: "the simplest scheme one could consider is to regularly
+// probe a device ... this scheme, however, easily leads to over- or
+// underloading of devices."
+//
+// The CP probes at a fixed period regardless of device load; the device
+// answers with an empty payload. The extension experiments use it as the
+// baseline against which SAPP's adaptivity and DCPP's scheduling are
+// compared: with k CPs the device load is k/period, unbounded in k.
+package naive
+
+import (
+	"fmt"
+	"time"
+
+	"presence/internal/core"
+	"presence/internal/ident"
+)
+
+// DefaultPeriod is one probe per second per CP, a typical "ping once a
+// second" choice.
+const DefaultPeriod = time.Second
+
+// Policy is the fixed-period delay policy.
+type Policy struct {
+	period time.Duration
+}
+
+var _ core.DelayPolicy = (*Policy)(nil)
+
+// NewPolicy returns a fixed-period policy. Zero means DefaultPeriod.
+func NewPolicy(period time.Duration) (*Policy, error) {
+	if period < 0 {
+		return nil, fmt.Errorf("naive: period %v must be non-negative", period)
+	}
+	if period == 0 {
+		period = DefaultPeriod
+	}
+	return &Policy{period: period}, nil
+}
+
+// Period returns the fixed inter-cycle delay.
+func (p *Policy) Period() time.Duration { return p.period }
+
+// NextDelay implements core.DelayPolicy.
+func (p *Policy) NextDelay(core.CycleResult) time.Duration { return p.period }
+
+// Device answers probes with an empty payload and counts them.
+type Device struct {
+	id          ident.NodeID
+	env         core.Env
+	probesTotal uint64
+}
+
+var _ core.Device = (*Device)(nil)
+
+// NewDevice returns a naive device engine.
+func NewDevice(id ident.NodeID, env core.Env) (*Device, error) {
+	if !id.Valid() {
+		return nil, fmt.Errorf("naive: invalid device id")
+	}
+	if env == nil {
+		return nil, fmt.Errorf("naive: nil env")
+	}
+	return &Device{id: id, env: env}, nil
+}
+
+// ID returns the device's node id.
+func (d *Device) ID() ident.NodeID { return d.id }
+
+// ProbesTotal returns the number of probes answered.
+func (d *Device) ProbesTotal() uint64 { return d.probesTotal }
+
+// Start implements core.Device; the naive device needs no maintenance.
+func (d *Device) Start() {}
+
+// OnProbe answers immediately with an empty payload.
+func (d *Device) OnProbe(from ident.NodeID, m core.ProbeMsg) {
+	d.probesTotal++
+	d.env.Send(from, core.ReplyMsg{
+		From:    d.id,
+		Cycle:   m.Cycle,
+		Attempt: m.Attempt,
+		Payload: core.EmptyReply{},
+	})
+}
+
+// OnAlarm implements core.Device; never armed.
+func (d *Device) OnAlarm() {}

@@ -1,0 +1,80 @@
+package naive
+
+import (
+	"testing"
+	"time"
+
+	"presence/internal/core"
+	"presence/internal/ident"
+)
+
+type fakeEnv struct {
+	now  time.Duration
+	sent []core.Message
+}
+
+func (e *fakeEnv) Now() time.Duration                  { return e.now }
+func (e *fakeEnv) Send(_ ident.NodeID, m core.Message) { e.sent = append(e.sent, m) }
+func (e *fakeEnv) SetAlarm(time.Duration)              {}
+func (e *fakeEnv) StopAlarm()                          {}
+
+func TestPolicyFixedPeriod(t *testing.T) {
+	p, err := NewPolicy(250 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5; i++ {
+		if got := p.NextDelay(core.CycleResult{Payload: core.EmptyReply{}}); got != 250*time.Millisecond {
+			t.Fatalf("delay = %v, want fixed period", got)
+		}
+	}
+	if p.Period() != 250*time.Millisecond {
+		t.Fatalf("Period() = %v", p.Period())
+	}
+}
+
+func TestPolicyDefaults(t *testing.T) {
+	p, err := NewPolicy(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Period() != DefaultPeriod {
+		t.Fatalf("Period() = %v, want default", p.Period())
+	}
+	if _, err := NewPolicy(-time.Second); err == nil {
+		t.Fatal("negative period accepted")
+	}
+}
+
+func TestDeviceReplies(t *testing.T) {
+	env := &fakeEnv{}
+	d, err := NewDevice(1, env)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d.Start()
+	d.OnProbe(7, core.ProbeMsg{From: 7, Cycle: 9, Attempt: 2})
+	d.OnAlarm() // must be harmless
+	if len(env.sent) != 1 {
+		t.Fatalf("sent %d messages, want 1", len(env.sent))
+	}
+	rep := env.sent[0].(core.ReplyMsg)
+	if rep.Cycle != 9 || rep.Attempt != 2 {
+		t.Fatalf("reply = %+v", rep)
+	}
+	if _, ok := rep.Payload.(core.EmptyReply); !ok {
+		t.Fatalf("payload = %T, want EmptyReply", rep.Payload)
+	}
+	if d.ProbesTotal() != 1 {
+		t.Fatalf("ProbesTotal = %d", d.ProbesTotal())
+	}
+}
+
+func TestDeviceValidation(t *testing.T) {
+	if _, err := NewDevice(ident.None, &fakeEnv{}); err == nil {
+		t.Error("invalid id accepted")
+	}
+	if _, err := NewDevice(1, nil); err == nil {
+		t.Error("nil env accepted")
+	}
+}

@@ -1,0 +1,215 @@
+// Package overlay implements the leave-dissemination phase the paper
+// describes but does not analyse: "the CPs are dynamically organized in
+// an overlay network by letting the device, on each probe, return the ids
+// of the last two (distinct) processes that probed it. On detecting the
+// absence of a device, the CP uses this overlay network to inform all CPs
+// about the leave of the device rapidly."
+//
+// Each CP accumulates overlay neighbours from the SAPP replies it sees
+// and floods a LeaveNotice (TTL-bounded, de-duplicated) when it detects a
+// device's absence or receives a notice it has not seen before.
+package overlay
+
+import (
+	"fmt"
+	"time"
+
+	"presence/internal/core"
+	"presence/internal/ident"
+)
+
+// DefaultTTL bounds flooding depth. With each node knowing its last two
+// probers the overlay diameter is small; 8 hops covers hundreds of CPs.
+const DefaultTTL = 8
+
+// DefaultMaxNeighbors bounds per-CP overlay state.
+const DefaultMaxNeighbors = 16
+
+// Config parameterises a Manager.
+type Config struct {
+	// TTL is the hop budget on flooded notices. Zero means DefaultTTL.
+	TTL uint8
+	// MaxNeighbors bounds the neighbour set (oldest evicted). Zero means
+	// DefaultMaxNeighbors.
+	MaxNeighbors int
+	// MaxSeen bounds the duplicate-suppression memory. Zero means 1024.
+	MaxSeen int
+	// OnInformed, if non-nil, is invoked the first time this CP learns —
+	// by local detection or by notice — that a device left.
+	OnInformed func(device ident.NodeID, at time.Duration)
+}
+
+type noticeKey struct {
+	device ident.NodeID
+	origin ident.NodeID
+	seq    uint32
+}
+
+// Manager is the per-CP overlay state machine. Like all engines it is
+// single-threaded, driven by its runtime.
+type Manager struct {
+	id  ident.NodeID
+	env core.Env
+	cfg Config
+
+	neighbors      map[ident.NodeID]int // id -> recency counter
+	neighborClock  int
+	seen           map[noticeKey]struct{}
+	seenOrder      []noticeKey
+	informed       map[ident.NodeID]time.Duration
+	seq            uint32
+	noticesSent    uint64
+	noticesDropped uint64
+}
+
+// NewManager returns an overlay manager for CP id.
+func NewManager(id ident.NodeID, env core.Env, cfg Config) (*Manager, error) {
+	if !id.Valid() {
+		return nil, fmt.Errorf("overlay: invalid node id")
+	}
+	if env == nil {
+		return nil, fmt.Errorf("overlay: nil env")
+	}
+	if cfg.TTL == 0 {
+		cfg.TTL = DefaultTTL
+	}
+	if cfg.MaxNeighbors == 0 {
+		cfg.MaxNeighbors = DefaultMaxNeighbors
+	}
+	if cfg.MaxNeighbors < 1 {
+		return nil, fmt.Errorf("overlay: MaxNeighbors %d must be positive", cfg.MaxNeighbors)
+	}
+	if cfg.MaxSeen == 0 {
+		cfg.MaxSeen = 1024
+	}
+	if cfg.MaxSeen < 1 {
+		return nil, fmt.Errorf("overlay: MaxSeen %d must be positive", cfg.MaxSeen)
+	}
+	return &Manager{
+		id:        id,
+		env:       env,
+		cfg:       cfg,
+		neighbors: make(map[ident.NodeID]int),
+		seen:      make(map[noticeKey]struct{}),
+		informed:  make(map[ident.NodeID]time.Duration),
+	}, nil
+}
+
+// ObserveReply harvests overlay neighbours from a SAPP reply payload.
+// Non-SAPP payloads are ignored (DCPP replies carry no overlay hint).
+func (m *Manager) ObserveReply(payload core.Payload) {
+	rep, ok := payload.(core.SAPPReply)
+	if !ok {
+		return
+	}
+	for _, id := range rep.LastProbers {
+		if id.Valid() && id != m.id {
+			m.addNeighbor(id)
+		}
+	}
+}
+
+// AddNeighbor inserts an explicitly known peer (e.g. from configuration).
+func (m *Manager) AddNeighbor(id ident.NodeID) {
+	if id.Valid() && id != m.id {
+		m.addNeighbor(id)
+	}
+}
+
+func (m *Manager) addNeighbor(id ident.NodeID) {
+	m.neighborClock++
+	if _, exists := m.neighbors[id]; !exists && len(m.neighbors) >= m.cfg.MaxNeighbors {
+		oldest, oldestAt := ident.None, int(^uint(0)>>1)
+		for n, at := range m.neighbors {
+			if at < oldestAt {
+				oldest, oldestAt = n, at
+			}
+		}
+		delete(m.neighbors, oldest)
+	}
+	m.neighbors[id] = m.neighborClock
+}
+
+// Neighbors returns the current overlay neighbour set.
+func (m *Manager) Neighbors() []ident.NodeID {
+	out := make([]ident.NodeID, 0, len(m.neighbors))
+	for id := range m.neighbors {
+		out = append(out, id)
+	}
+	return out
+}
+
+// Informed returns when this CP learned that the device left, if it has.
+func (m *Manager) Informed(device ident.NodeID) (time.Duration, bool) {
+	at, ok := m.informed[device]
+	return at, ok
+}
+
+// NoticesSent returns the number of LeaveNotice messages transmitted.
+func (m *Manager) NoticesSent() uint64 { return m.noticesSent }
+
+// AnnounceLeave floods a leave notice after this CP locally detected the
+// device's absence. Announcing a device already known to be gone is a
+// no-op.
+func (m *Manager) AnnounceLeave(device ident.NodeID) {
+	if _, done := m.informed[device]; done {
+		return
+	}
+	now := m.env.Now()
+	m.informed[device] = now
+	m.notify(device, now)
+	m.seq++
+	n := core.LeaveNotice{Device: device, Origin: m.id, Seq: m.seq, TTL: m.cfg.TTL}
+	m.markSeen(noticeKey{device, m.id, m.seq})
+	m.flood(n, ident.None)
+}
+
+// OnLeaveNotice handles a flooded notice: record, forward once, dedupe.
+func (m *Manager) OnLeaveNotice(from ident.NodeID, n core.LeaveNotice) {
+	key := noticeKey{n.Device, n.Origin, n.Seq}
+	if _, dup := m.seen[key]; dup {
+		m.noticesDropped++
+		return
+	}
+	m.markSeen(key)
+	if from.Valid() {
+		m.addNeighbor(from) // the sender is clearly alive and reachable
+	}
+	if _, done := m.informed[n.Device]; !done {
+		now := m.env.Now()
+		m.informed[n.Device] = now
+		m.notify(n.Device, now)
+	}
+	if n.TTL <= 1 {
+		return
+	}
+	n.TTL--
+	m.flood(n, from)
+}
+
+func (m *Manager) notify(device ident.NodeID, at time.Duration) {
+	if m.cfg.OnInformed != nil {
+		m.cfg.OnInformed(device, at)
+	}
+}
+
+func (m *Manager) flood(n core.LeaveNotice, except ident.NodeID) {
+	for id := range m.neighbors {
+		if id == except || id == n.Origin {
+			continue
+		}
+		m.noticesSent++
+		m.env.Send(id, n)
+	}
+}
+
+// markSeen records a notice key with FIFO eviction.
+func (m *Manager) markSeen(k noticeKey) {
+	if len(m.seenOrder) >= m.cfg.MaxSeen {
+		drop := m.seenOrder[0]
+		m.seenOrder = m.seenOrder[1:]
+		delete(m.seen, drop)
+	}
+	m.seen[k] = struct{}{}
+	m.seenOrder = append(m.seenOrder, k)
+}

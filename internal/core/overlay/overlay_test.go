@@ -1,0 +1,209 @@
+package overlay
+
+import (
+	"sort"
+	"testing"
+	"time"
+
+	"presence/internal/core"
+	"presence/internal/ident"
+)
+
+type fakeEnv struct {
+	now    time.Duration
+	sent   []core.Message
+	sentTo []ident.NodeID
+}
+
+func (e *fakeEnv) Now() time.Duration { return e.now }
+func (e *fakeEnv) Send(to ident.NodeID, m core.Message) {
+	e.sent = append(e.sent, m)
+	e.sentTo = append(e.sentTo, to)
+}
+func (e *fakeEnv) SetAlarm(time.Duration) {}
+func (e *fakeEnv) StopAlarm()             {}
+
+func newManager(t *testing.T, id ident.NodeID, env *fakeEnv, cfg Config) *Manager {
+	t.Helper()
+	m, err := NewManager(id, env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func TestValidation(t *testing.T) {
+	env := &fakeEnv{}
+	if _, err := NewManager(ident.None, env, Config{}); err == nil {
+		t.Error("invalid id accepted")
+	}
+	if _, err := NewManager(5, nil, Config{}); err == nil {
+		t.Error("nil env accepted")
+	}
+	if _, err := NewManager(5, env, Config{MaxNeighbors: -1}); err == nil {
+		t.Error("negative MaxNeighbors accepted")
+	}
+	if _, err := NewManager(5, env, Config{MaxSeen: -1}); err == nil {
+		t.Error("negative MaxSeen accepted")
+	}
+}
+
+func TestObserveReplyHarvestsNeighbors(t *testing.T) {
+	env := &fakeEnv{}
+	m := newManager(t, 5, env, Config{})
+	m.ObserveReply(core.SAPPReply{ProbeCount: 1, LastProbers: [2]ident.NodeID{7, 9}})
+	got := m.Neighbors()
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != 2 || got[0] != 7 || got[1] != 9 {
+		t.Fatalf("neighbors = %v, want [7 9]", got)
+	}
+	// Own id and invalid ids are skipped.
+	m.ObserveReply(core.SAPPReply{LastProbers: [2]ident.NodeID{5, ident.None}})
+	if len(m.Neighbors()) != 2 {
+		t.Fatalf("neighbors grew on self/invalid hint: %v", m.Neighbors())
+	}
+	// DCPP payloads carry no hints.
+	m.ObserveReply(core.DCPPReply{Wait: time.Second})
+	if len(m.Neighbors()) != 2 {
+		t.Fatal("DCPP payload changed the neighbour set")
+	}
+}
+
+func TestNeighborEviction(t *testing.T) {
+	env := &fakeEnv{}
+	m := newManager(t, 5, env, Config{MaxNeighbors: 2})
+	m.AddNeighbor(10)
+	m.AddNeighbor(11)
+	m.AddNeighbor(12) // evicts 10, the oldest
+	got := m.Neighbors()
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if len(got) != 2 || got[0] != 11 || got[1] != 12 {
+		t.Fatalf("neighbors = %v, want [11 12]", got)
+	}
+}
+
+func TestAnnounceLeaveFloodsToNeighbors(t *testing.T) {
+	env := &fakeEnv{now: 3 * time.Second}
+	var informedAt time.Duration
+	m := newManager(t, 5, env, Config{OnInformed: func(_ ident.NodeID, at time.Duration) { informedAt = at }})
+	m.AddNeighbor(7)
+	m.AddNeighbor(9)
+	m.AnnounceLeave(1)
+	if len(env.sent) != 2 {
+		t.Fatalf("sent %d notices, want 2", len(env.sent))
+	}
+	n := env.sent[0].(core.LeaveNotice)
+	if n.Device != 1 || n.Origin != 5 || n.TTL != DefaultTTL {
+		t.Fatalf("notice = %+v", n)
+	}
+	if informedAt != 3*time.Second {
+		t.Fatalf("OnInformed at %v", informedAt)
+	}
+	if at, ok := m.Informed(1); !ok || at != 3*time.Second {
+		t.Fatalf("Informed = %v, %v", at, ok)
+	}
+	// Re-announcing is a no-op.
+	m.AnnounceLeave(1)
+	if len(env.sent) != 2 {
+		t.Fatal("duplicate announce flooded again")
+	}
+}
+
+func TestOnLeaveNoticeForwardsOnce(t *testing.T) {
+	env := &fakeEnv{}
+	informed := 0
+	m := newManager(t, 5, env, Config{OnInformed: func(ident.NodeID, time.Duration) { informed++ }})
+	m.AddNeighbor(7)
+	m.AddNeighbor(9)
+	n := core.LeaveNotice{Device: 1, Origin: 2, Seq: 1, TTL: 4}
+	m.OnLeaveNotice(7, n)
+	if informed != 1 {
+		t.Fatalf("informed %d times, want 1", informed)
+	}
+	// Forwarded to 9 only (not back to sender 7, not to origin).
+	if len(env.sentTo) != 1 || env.sentTo[0] != 9 {
+		t.Fatalf("forwarded to %v, want [9]", env.sentTo)
+	}
+	fwd := env.sent[0].(core.LeaveNotice)
+	if fwd.TTL != 3 {
+		t.Fatalf("forwarded TTL = %d, want decremented 3", fwd.TTL)
+	}
+	// Duplicate: dropped entirely.
+	m.OnLeaveNotice(9, n)
+	if len(env.sent) != 1 || informed != 1 {
+		t.Fatal("duplicate notice was processed")
+	}
+}
+
+func TestOnLeaveNoticeTTLExhausted(t *testing.T) {
+	env := &fakeEnv{}
+	m := newManager(t, 5, env, Config{})
+	m.AddNeighbor(9)
+	m.OnLeaveNotice(7, core.LeaveNotice{Device: 1, Origin: 2, Seq: 1, TTL: 1})
+	if len(env.sent) != 0 {
+		t.Fatal("TTL-1 notice was forwarded")
+	}
+	// Still recorded as informed.
+	if _, ok := m.Informed(1); !ok {
+		t.Fatal("TTL-exhausted notice did not inform")
+	}
+}
+
+func TestSenderBecomesNeighbor(t *testing.T) {
+	env := &fakeEnv{}
+	m := newManager(t, 5, env, Config{})
+	m.OnLeaveNotice(7, core.LeaveNotice{Device: 1, Origin: 2, Seq: 1, TTL: 3})
+	if len(m.Neighbors()) != 1 || m.Neighbors()[0] != 7 {
+		t.Fatalf("neighbors = %v, want sender [7]", m.Neighbors())
+	}
+}
+
+func TestSeenEviction(t *testing.T) {
+	env := &fakeEnv{}
+	m := newManager(t, 5, env, Config{MaxSeen: 2})
+	for seq := uint32(1); seq <= 3; seq++ {
+		m.OnLeaveNotice(7, core.LeaveNotice{Device: ident.NodeID(seq + 100), Origin: 2, Seq: seq, TTL: 1})
+	}
+	// Seq 1 was evicted from the dedupe memory: replaying it is treated
+	// as new (only the dedupe key set is bounded, informedness persists).
+	before := m.noticesDropped
+	m.OnLeaveNotice(7, core.LeaveNotice{Device: 101, Origin: 2, Seq: 1, TTL: 1})
+	if m.noticesDropped != before {
+		t.Fatal("evicted key still deduplicated")
+	}
+}
+
+func TestFloodDissemination(t *testing.T) {
+	// Wire three managers in a line 5–6–7 through a tiny router and
+	// check a notice from 5 reaches 7 via 6.
+	envs := map[ident.NodeID]*fakeEnv{5: {}, 6: {}, 7: {}}
+	mgrs := map[ident.NodeID]*Manager{}
+	for id, env := range envs {
+		mgrs[id] = newManager(t, id, env, Config{})
+	}
+	mgrs[5].AddNeighbor(6)
+	mgrs[6].AddNeighbor(7)
+	mgrs[5].AnnounceLeave(1)
+	// Route queued messages until quiescent.
+	for moved := true; moved; {
+		moved = false
+		for id, env := range envs {
+			for i := 0; i < len(env.sent); i++ {
+				notice, ok := env.sent[i].(core.LeaveNotice)
+				if !ok {
+					continue
+				}
+				to := env.sentTo[i]
+				mgrs[to].OnLeaveNotice(id, notice)
+				moved = true
+			}
+			env.sent = env.sent[:0]
+			env.sentTo = env.sentTo[:0]
+		}
+	}
+	for id, m := range mgrs {
+		if _, ok := m.Informed(1); !ok {
+			t.Fatalf("CP %v never informed", id)
+		}
+	}
+}

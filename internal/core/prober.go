@@ -1,0 +1,288 @@
+package core
+
+import (
+	"errors"
+	"fmt"
+	"time"
+
+	"presence/internal/ident"
+)
+
+// CycleResult describes a successfully completed probe cycle.
+type CycleResult struct {
+	// Payload is the protocol-specific reply content.
+	Payload Payload
+	// SentAt is the send time of the probe attempt that was answered.
+	// The paper's load estimator uses this when a cycle needed
+	// retransmission ("in case of a failed probe, the time at which the
+	// retransmitted probe has been sent is taken").
+	SentAt time.Duration
+	// RepliedAt is the receive time of the reply.
+	RepliedAt time.Duration
+	// Attempts is the number of probes sent in the cycle (1 = answered
+	// on the first probe).
+	Attempts int
+}
+
+// DelayPolicy chooses the inter-probe-cycle delay δ after each successful
+// cycle. This is where SAPP and DCPP differ: SAPP computes δ from the
+// experienced load, DCPP obeys the wait dictated by the device, and the
+// naive baseline returns a constant.
+type DelayPolicy interface {
+	NextDelay(res CycleResult) time.Duration
+}
+
+// Listener observes presence events from a Prober. Implementations must
+// be cheap and non-blocking; they run on the engine's event loop.
+type Listener interface {
+	// DeviceAlive is invoked on every successful probe cycle.
+	DeviceAlive(device ident.NodeID, res CycleResult)
+	// DeviceLost is invoked when a full cycle (first probe plus all
+	// retransmissions) goes unanswered. The prober stops afterwards.
+	DeviceLost(device ident.NodeID, at time.Duration)
+	// DeviceBye is invoked when the device announces a graceful leave.
+	// The prober stops afterwards.
+	DeviceBye(device ident.NodeID, at time.Duration)
+}
+
+// NopListener is a Listener that ignores all events.
+type NopListener struct{}
+
+// DeviceAlive implements Listener.
+func (NopListener) DeviceAlive(ident.NodeID, CycleResult) {}
+
+// DeviceLost implements Listener.
+func (NopListener) DeviceLost(ident.NodeID, time.Duration) {}
+
+// DeviceBye implements Listener.
+func (NopListener) DeviceBye(ident.NodeID, time.Duration) {}
+
+var _ Listener = NopListener{}
+
+// ProberStats counts a prober's activity.
+type ProberStats struct {
+	ProbesSent   uint64
+	CyclesOK     uint64
+	CyclesFailed uint64
+	Retransmits  uint64
+	StaleReplies uint64
+}
+
+// proberState enumerates the cycle state machine of Fig. 1.
+type proberState int
+
+const (
+	stateIdle       proberState = iota + 1 // created or restarted, no cycle yet
+	stateAwaitReply                        // probe sent, waiting for reply or timeout
+	stateWaiting                           // cycle done, waiting δ before the next
+	stateStopped                           // lost the device, saw a bye, or Stop()ed
+)
+
+func (s proberState) String() string {
+	switch s {
+	case stateIdle:
+		return "idle"
+	case stateAwaitReply:
+		return "await-reply"
+	case stateWaiting:
+		return "waiting"
+	case stateStopped:
+		return "stopped"
+	default:
+		return fmt.Sprintf("proberState(%d)", int(s))
+	}
+}
+
+// ProberOptions configures a Prober.
+type ProberOptions struct {
+	// ID is this control point's identity.
+	ID ident.NodeID
+	// Device is the monitored device.
+	Device ident.NodeID
+	// Env binds the engine to a runtime.
+	Env Env
+	// Policy chooses the inter-cycle delay. Required.
+	Policy DelayPolicy
+	// Listener observes presence events. Defaults to NopListener.
+	Listener Listener
+	// Retransmit parameterises the probe cycle. Zero value means the
+	// paper's defaults.
+	Retransmit RetransmitConfig
+	// Observer, if non-nil, is invoked whenever a new inter-cycle delay
+	// has been chosen — the hook behind the 1/δ traces of Figs. 2–4.
+	Observer func(now time.Duration, delay time.Duration)
+}
+
+// Prober is the control-point side of the probe cycle: it sends a probe,
+// retransmits on timeout (TOF for the first probe, TOS for the rest), and
+// either completes the cycle on a reply — asking its DelayPolicy when to
+// probe next — or declares the device absent after MaxRetransmits
+// unanswered retransmissions.
+//
+// Prober is not safe for concurrent use; runtimes serialise all calls.
+type Prober struct {
+	id       ident.NodeID
+	device   ident.NodeID
+	env      Env
+	policy   DelayPolicy
+	listener Listener
+	cfg      RetransmitConfig
+	observer func(time.Duration, time.Duration)
+
+	state   proberState
+	cycle   uint32
+	attempt int
+	sentAt  []time.Duration // send time per attempt of the current cycle
+	stats   ProberStats
+}
+
+// NewProber validates the options and returns a ready (but not started)
+// prober.
+func NewProber(opts ProberOptions) (*Prober, error) {
+	if !opts.ID.Valid() {
+		return nil, errors.New("core: prober needs a valid ID")
+	}
+	if !opts.Device.Valid() {
+		return nil, errors.New("core: prober needs a valid device id")
+	}
+	if opts.Env == nil {
+		return nil, errors.New("core: prober needs an Env")
+	}
+	if opts.Policy == nil {
+		return nil, errors.New("core: prober needs a DelayPolicy")
+	}
+	if opts.Retransmit == (RetransmitConfig{}) {
+		opts.Retransmit = DefaultRetransmit()
+	}
+	if err := opts.Retransmit.Validate(); err != nil {
+		return nil, err
+	}
+	if opts.Listener == nil {
+		opts.Listener = NopListener{}
+	}
+	return &Prober{
+		id:       opts.ID,
+		device:   opts.Device,
+		env:      opts.Env,
+		policy:   opts.Policy,
+		listener: opts.Listener,
+		cfg:      opts.Retransmit,
+		observer: opts.Observer,
+		state:    stateIdle,
+		sentAt:   make([]time.Duration, opts.Retransmit.MaxRetransmits+1),
+	}, nil
+}
+
+// ID returns the prober's node id.
+func (p *Prober) ID() ident.NodeID { return p.id }
+
+// Device returns the monitored device's id.
+func (p *Prober) Device() ident.NodeID { return p.device }
+
+// Stats returns a snapshot of the prober's counters.
+func (p *Prober) Stats() ProberStats { return p.stats }
+
+// Stopped reports whether the prober has stopped (device lost, bye seen,
+// or Stop called).
+func (p *Prober) Stopped() bool { return p.state == stateStopped }
+
+// Start begins the first probe cycle. It may also be used to resume
+// monitoring after the prober stopped. Starting a prober that is already
+// probing or waiting is a no-op.
+func (p *Prober) Start() {
+	if p.state == stateAwaitReply || p.state == stateWaiting {
+		return
+	}
+	p.state = stateIdle
+	p.beginCycle()
+}
+
+// Stop halts monitoring and cancels any pending timer. The policy state
+// is retained, so a later Start resumes with the learned delay.
+func (p *Prober) Stop() {
+	p.env.StopAlarm()
+	p.state = stateStopped
+}
+
+func (p *Prober) beginCycle() {
+	p.cycle++
+	p.attempt = 0
+	p.state = stateAwaitReply
+	p.sendProbe()
+	p.env.SetAlarm(p.env.Now() + p.cfg.FirstTimeout)
+}
+
+func (p *Prober) sendProbe() {
+	p.sentAt[p.attempt] = p.env.Now()
+	p.stats.ProbesSent++
+	p.env.Send(p.device, ProbeMsg{From: p.id, Cycle: p.cycle, Attempt: uint8(p.attempt)})
+}
+
+// OnAlarm handles the engine's single timer: a probe timeout while
+// awaiting a reply, or the end of the inter-cycle wait.
+func (p *Prober) OnAlarm() {
+	switch p.state {
+	case stateAwaitReply:
+		if p.attempt >= p.cfg.MaxRetransmits {
+			// All probes of the cycle unanswered: the device has left.
+			p.stats.CyclesFailed++
+			p.state = stateStopped
+			p.listener.DeviceLost(p.device, p.env.Now())
+			return
+		}
+		p.attempt++
+		p.stats.Retransmits++
+		p.sendProbe()
+		p.env.SetAlarm(p.env.Now() + p.cfg.RetryTimeout)
+	case stateWaiting:
+		p.beginCycle()
+	case stateIdle, stateStopped:
+		// Spurious alarm (e.g. raced with Stop in the real runtime);
+		// ignore.
+	}
+}
+
+// OnReply handles a reply from the device. Replies for earlier cycles or
+// duplicates for an already-completed cycle are counted and ignored.
+func (p *Prober) OnReply(m ReplyMsg) {
+	if p.state != stateAwaitReply || m.Cycle != p.cycle || int(m.Attempt) > p.attempt {
+		p.stats.StaleReplies++
+		return
+	}
+	res := CycleResult{
+		Payload:   m.Payload,
+		SentAt:    p.sentAt[m.Attempt],
+		RepliedAt: p.env.Now(),
+		Attempts:  p.attempt + 1,
+	}
+	p.stats.CyclesOK++
+	p.listener.DeviceAlive(p.device, res)
+	delay := p.policy.NextDelay(res)
+	if delay < 0 {
+		delay = 0
+	}
+	if p.observer != nil {
+		p.observer(p.env.Now(), delay)
+	}
+	p.state = stateWaiting
+	p.env.SetAlarm(p.env.Now() + delay)
+}
+
+// OnBye handles a graceful-leave announcement from the device.
+func (p *Prober) OnBye(m ByeMsg) {
+	if m.From != p.device || p.state == stateStopped {
+		return
+	}
+	p.env.StopAlarm()
+	p.state = stateStopped
+	p.listener.DeviceBye(p.device, p.env.Now())
+}
+
+// Device is the device-side protocol engine: it answers probes. Start
+// arms any periodic maintenance the engine needs (adaptive-Δ windows for
+// SAPP, dedupe-table sweeps for DCPP).
+type Device interface {
+	Start()
+	OnProbe(from ident.NodeID, m ProbeMsg)
+	OnAlarm()
+}

@@ -1,0 +1,457 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"presence/internal/ident"
+)
+
+// fakeEnv is a hand-driven Env for engine unit tests.
+type fakeEnv struct {
+	now      time.Duration
+	sent     []sentMsg
+	alarmAt  time.Duration
+	alarmSet bool
+}
+
+type sentMsg struct {
+	to  ident.NodeID
+	msg Message
+}
+
+func (e *fakeEnv) Now() time.Duration { return e.now }
+
+func (e *fakeEnv) Send(to ident.NodeID, msg Message) {
+	e.sent = append(e.sent, sentMsg{to: to, msg: msg})
+}
+
+func (e *fakeEnv) SetAlarm(at time.Duration) {
+	e.alarmAt, e.alarmSet = at, true
+}
+
+func (e *fakeEnv) StopAlarm() { e.alarmSet = false }
+
+// fireAlarm advances time to the pending alarm and invokes fn.
+func (e *fakeEnv) fireAlarm(t *testing.T, fn func()) {
+	t.Helper()
+	if !e.alarmSet {
+		t.Fatal("no alarm pending")
+	}
+	e.now = e.alarmAt
+	e.alarmSet = false
+	fn()
+}
+
+func (e *fakeEnv) lastProbe(t *testing.T) ProbeMsg {
+	t.Helper()
+	if len(e.sent) == 0 {
+		t.Fatal("nothing sent")
+	}
+	m, ok := e.sent[len(e.sent)-1].msg.(ProbeMsg)
+	if !ok {
+		t.Fatalf("last message is %T, want ProbeMsg", e.sent[len(e.sent)-1].msg)
+	}
+	return m
+}
+
+// fixedPolicy returns a constant delay and records the results it saw.
+type fixedPolicy struct {
+	delay   time.Duration
+	results []CycleResult
+}
+
+func (p *fixedPolicy) NextDelay(res CycleResult) time.Duration {
+	p.results = append(p.results, res)
+	return p.delay
+}
+
+// recListener records presence events.
+type recListener struct {
+	alive []CycleResult
+	lost  []time.Duration
+	byes  []time.Duration
+}
+
+func (l *recListener) DeviceAlive(_ ident.NodeID, res CycleResult) { l.alive = append(l.alive, res) }
+func (l *recListener) DeviceLost(_ ident.NodeID, at time.Duration) { l.lost = append(l.lost, at) }
+func (l *recListener) DeviceBye(_ ident.NodeID, at time.Duration)  { l.byes = append(l.byes, at) }
+
+func newTestProber(t *testing.T, env *fakeEnv, policy DelayPolicy, lst Listener) *Prober {
+	t.Helper()
+	p, err := NewProber(ProberOptions{
+		ID:       7,
+		Device:   1,
+		Env:      env,
+		Policy:   policy,
+		Listener: lst,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+func TestProberOptionValidation(t *testing.T) {
+	env := &fakeEnv{}
+	policy := &fixedPolicy{}
+	cases := []struct {
+		name string
+		opts ProberOptions
+	}{
+		{"missing id", ProberOptions{Device: 1, Env: env, Policy: policy}},
+		{"missing device", ProberOptions{ID: 7, Env: env, Policy: policy}},
+		{"missing env", ProberOptions{ID: 7, Device: 1, Policy: policy}},
+		{"missing policy", ProberOptions{ID: 7, Device: 1, Env: env}},
+		{"bad retransmit", ProberOptions{ID: 7, Device: 1, Env: env, Policy: policy,
+			Retransmit: RetransmitConfig{FirstTimeout: -1, RetryTimeout: 1, MaxRetransmits: 1}}},
+	}
+	for _, c := range cases {
+		if _, err := NewProber(c.opts); err == nil {
+			t.Errorf("%s: accepted", c.name)
+		}
+	}
+}
+
+func TestRetransmitConfigDefaults(t *testing.T) {
+	c := DefaultRetransmit()
+	if c.FirstTimeout != 22*time.Millisecond || c.RetryTimeout != 21*time.Millisecond || c.MaxRetransmits != 3 {
+		t.Fatalf("defaults = %+v, want paper values", c)
+	}
+	if err := c.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// TOF + 3·TOS = 85 ms.
+	if got := c.WorstCaseDetection(); got != 85*time.Millisecond {
+		t.Fatalf("WorstCaseDetection = %v, want 85ms", got)
+	}
+}
+
+func TestStartSendsFirstProbe(t *testing.T) {
+	env := &fakeEnv{now: time.Second}
+	p := newTestProber(t, env, &fixedPolicy{delay: time.Second}, nil)
+	p.Start()
+	if len(env.sent) != 1 {
+		t.Fatalf("sent %d messages, want 1", len(env.sent))
+	}
+	probe := env.lastProbe(t)
+	if probe.From != 7 || probe.Cycle != 1 || probe.Attempt != 0 {
+		t.Fatalf("probe = %+v", probe)
+	}
+	if env.sent[0].to != 1 {
+		t.Fatalf("probe sent to %v, want device 1", env.sent[0].to)
+	}
+	if !env.alarmSet || env.alarmAt != time.Second+DefaultFirstTimeout {
+		t.Fatalf("alarm at %v (set=%v), want TOF after start", env.alarmAt, env.alarmSet)
+	}
+}
+
+func TestSuccessfulCycleSchedulesNext(t *testing.T) {
+	env := &fakeEnv{}
+	policy := &fixedPolicy{delay: 2 * time.Second}
+	lst := &recListener{}
+	p := newTestProber(t, env, policy, lst)
+	p.Start()
+	env.now = 10 * time.Millisecond
+	p.OnReply(ReplyMsg{From: 1, Cycle: 1, Attempt: 0, Payload: EmptyReply{}})
+	if len(lst.alive) != 1 {
+		t.Fatalf("alive events = %d, want 1", len(lst.alive))
+	}
+	res := lst.alive[0]
+	if res.SentAt != 0 || res.RepliedAt != 10*time.Millisecond || res.Attempts != 1 {
+		t.Fatalf("result = %+v", res)
+	}
+	if !env.alarmSet || env.alarmAt != 10*time.Millisecond+2*time.Second {
+		t.Fatalf("next cycle alarm at %v", env.alarmAt)
+	}
+	// Firing the wait alarm starts cycle 2.
+	env.fireAlarm(t, p.OnAlarm)
+	probe := env.lastProbe(t)
+	if probe.Cycle != 2 || probe.Attempt != 0 {
+		t.Fatalf("second cycle probe = %+v", probe)
+	}
+	if st := p.Stats(); st.CyclesOK != 1 || st.ProbesSent != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestRetransmissionTimeouts(t *testing.T) {
+	env := &fakeEnv{}
+	p := newTestProber(t, env, &fixedPolicy{delay: time.Second}, nil)
+	p.Start()
+	// First timeout after TOF, then TOS after each retransmission.
+	env.fireAlarm(t, p.OnAlarm)
+	if got := env.lastProbe(t); got.Attempt != 1 {
+		t.Fatalf("attempt after first timeout = %d, want 1", got.Attempt)
+	}
+	if env.alarmAt != env.now+DefaultRetryTimeout {
+		t.Fatalf("retry alarm at %v, want TOS after retransmit", env.alarmAt)
+	}
+	env.fireAlarm(t, p.OnAlarm)
+	env.fireAlarm(t, p.OnAlarm)
+	if got := env.lastProbe(t); got.Attempt != 3 {
+		t.Fatalf("attempt = %d, want 3", got.Attempt)
+	}
+	if st := p.Stats(); st.ProbesSent != 4 || st.Retransmits != 3 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestDeviceLostAfterAllRetransmits(t *testing.T) {
+	env := &fakeEnv{}
+	lst := &recListener{}
+	p := newTestProber(t, env, &fixedPolicy{delay: time.Second}, lst)
+	p.Start()
+	for i := 0; i < 4; i++ { // TOF + 3 retransmission timeouts
+		env.fireAlarm(t, p.OnAlarm)
+	}
+	if len(lst.lost) != 1 {
+		t.Fatalf("lost events = %d, want 1", len(lst.lost))
+	}
+	// Detection at TOF + 3·TOS after start.
+	want := DefaultFirstTimeout + 3*DefaultRetryTimeout
+	if lst.lost[0] != want {
+		t.Fatalf("lost at %v, want %v", lst.lost[0], want)
+	}
+	if !p.Stopped() {
+		t.Fatal("prober must stop after declaring loss")
+	}
+	if env.alarmSet {
+		t.Fatal("no alarm may be pending after loss")
+	}
+	if st := p.Stats(); st.CyclesFailed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestReplyToRetransmissionUsesItsSendTime(t *testing.T) {
+	env := &fakeEnv{}
+	policy := &fixedPolicy{delay: time.Second}
+	p := newTestProber(t, env, policy, nil)
+	p.Start()
+	env.fireAlarm(t, p.OnAlarm) // attempt 1 sent at TOF
+	retransmitAt := env.now
+	env.now += 5 * time.Millisecond
+	p.OnReply(ReplyMsg{From: 1, Cycle: 1, Attempt: 1, Payload: EmptyReply{}})
+	if len(policy.results) != 1 {
+		t.Fatal("policy not consulted")
+	}
+	res := policy.results[0]
+	if res.SentAt != retransmitAt {
+		t.Fatalf("SentAt = %v, want retransmission time %v", res.SentAt, retransmitAt)
+	}
+	if res.Attempts != 2 {
+		t.Fatalf("Attempts = %d, want 2", res.Attempts)
+	}
+}
+
+func TestLateReplyToEarlierAttemptAccepted(t *testing.T) {
+	// The reply to attempt 0 arrives after attempt 1 was sent: still the
+	// current cycle, so it completes the cycle using attempt 0's send
+	// time.
+	env := &fakeEnv{}
+	policy := &fixedPolicy{delay: time.Second}
+	p := newTestProber(t, env, policy, nil)
+	p.Start()
+	env.fireAlarm(t, p.OnAlarm) // attempt 1
+	p.OnReply(ReplyMsg{From: 1, Cycle: 1, Attempt: 0, Payload: EmptyReply{}})
+	if len(policy.results) != 1 {
+		t.Fatal("late reply to earlier attempt rejected")
+	}
+	if policy.results[0].SentAt != 0 {
+		t.Fatalf("SentAt = %v, want attempt-0 send time 0", policy.results[0].SentAt)
+	}
+}
+
+func TestStaleCycleReplyIgnored(t *testing.T) {
+	env := &fakeEnv{}
+	policy := &fixedPolicy{delay: time.Second}
+	p := newTestProber(t, env, policy, nil)
+	p.Start()
+	p.OnReply(ReplyMsg{From: 1, Cycle: 1, Attempt: 0, Payload: EmptyReply{}})
+	env.fireAlarm(t, p.OnAlarm) // start cycle 2
+	p.OnReply(ReplyMsg{From: 1, Cycle: 1, Attempt: 0, Payload: EmptyReply{}})
+	if len(policy.results) != 1 {
+		t.Fatalf("policy consulted %d times, want 1 (stale cycle-1 reply must be dropped)", len(policy.results))
+	}
+	if st := p.Stats(); st.StaleReplies != 1 {
+		t.Fatalf("StaleReplies = %d, want 1", st.StaleReplies)
+	}
+}
+
+func TestDuplicateReplyIgnoredWhileWaiting(t *testing.T) {
+	env := &fakeEnv{}
+	policy := &fixedPolicy{delay: time.Second}
+	p := newTestProber(t, env, policy, nil)
+	p.Start()
+	reply := ReplyMsg{From: 1, Cycle: 1, Attempt: 0, Payload: EmptyReply{}}
+	p.OnReply(reply)
+	p.OnReply(reply) // duplicate
+	if len(policy.results) != 1 {
+		t.Fatalf("policy consulted %d times, want 1", len(policy.results))
+	}
+	if st := p.Stats(); st.StaleReplies != 1 {
+		t.Fatalf("StaleReplies = %d, want 1", st.StaleReplies)
+	}
+}
+
+func TestFutureAttemptReplyIgnored(t *testing.T) {
+	// A reply claiming an attempt we never sent (corrupt or forged) must
+	// not index past the send-time array.
+	env := &fakeEnv{}
+	policy := &fixedPolicy{delay: time.Second}
+	p := newTestProber(t, env, policy, nil)
+	p.Start()
+	p.OnReply(ReplyMsg{From: 1, Cycle: 1, Attempt: 3, Payload: EmptyReply{}})
+	if len(policy.results) != 0 {
+		t.Fatal("reply for unsent attempt accepted")
+	}
+}
+
+func TestNegativePolicyDelayClamped(t *testing.T) {
+	env := &fakeEnv{}
+	p := newTestProber(t, env, &fixedPolicy{delay: -5 * time.Second}, nil)
+	p.Start()
+	env.now = time.Millisecond
+	p.OnReply(ReplyMsg{From: 1, Cycle: 1, Attempt: 0, Payload: EmptyReply{}})
+	if env.alarmAt != time.Millisecond {
+		t.Fatalf("alarm at %v, want now (clamped zero delay)", env.alarmAt)
+	}
+}
+
+func TestObserverSeesChosenDelay(t *testing.T) {
+	env := &fakeEnv{}
+	var observed []time.Duration
+	p, err := NewProber(ProberOptions{
+		ID: 7, Device: 1, Env: env, Policy: &fixedPolicy{delay: 3 * time.Second},
+		Observer: func(_ time.Duration, d time.Duration) { observed = append(observed, d) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	p.OnReply(ReplyMsg{From: 1, Cycle: 1, Attempt: 0, Payload: EmptyReply{}})
+	if len(observed) != 1 || observed[0] != 3*time.Second {
+		t.Fatalf("observed = %v", observed)
+	}
+}
+
+func TestStopCancelsAlarmAndRestartResumes(t *testing.T) {
+	env := &fakeEnv{}
+	p := newTestProber(t, env, &fixedPolicy{delay: time.Second}, nil)
+	p.Start()
+	p.Stop()
+	if env.alarmSet {
+		t.Fatal("Stop left an alarm pending")
+	}
+	if !p.Stopped() {
+		t.Fatal("not stopped")
+	}
+	p.OnAlarm() // spurious late alarm: must be ignored
+	sent := len(env.sent)
+	p.Start()
+	if len(env.sent) != sent+1 {
+		t.Fatal("restart did not send a probe")
+	}
+	if env.lastProbe(t).Cycle != 2 {
+		t.Fatalf("restart cycle = %d, want 2", env.lastProbe(t).Cycle)
+	}
+}
+
+func TestStartWhileRunningIsNoOp(t *testing.T) {
+	env := &fakeEnv{}
+	p := newTestProber(t, env, &fixedPolicy{delay: time.Second}, nil)
+	p.Start()
+	p.Start()
+	if len(env.sent) != 1 {
+		t.Fatalf("double Start sent %d probes, want 1", len(env.sent))
+	}
+}
+
+func TestByeStopsProber(t *testing.T) {
+	env := &fakeEnv{}
+	lst := &recListener{}
+	p := newTestProber(t, env, &fixedPolicy{delay: time.Second}, lst)
+	p.Start()
+	env.now = 5 * time.Millisecond
+	p.OnBye(ByeMsg{From: 1})
+	if len(lst.byes) != 1 || lst.byes[0] != 5*time.Millisecond {
+		t.Fatalf("bye events = %v", lst.byes)
+	}
+	if !p.Stopped() || env.alarmSet {
+		t.Fatal("bye must stop the prober and cancel the alarm")
+	}
+	// Bye from an unrelated device is ignored.
+	p2 := newTestProber(t, env, &fixedPolicy{delay: time.Second}, lst)
+	p2.Start()
+	p2.OnBye(ByeMsg{From: 99})
+	if p2.Stopped() {
+		t.Fatal("bye from unrelated device stopped the prober")
+	}
+}
+
+func TestRestartAfterLost(t *testing.T) {
+	env := &fakeEnv{}
+	lst := &recListener{}
+	p := newTestProber(t, env, &fixedPolicy{delay: time.Second}, lst)
+	p.Start()
+	for i := 0; i < 4; i++ {
+		env.fireAlarm(t, p.OnAlarm)
+	}
+	if len(lst.lost) != 1 {
+		t.Fatal("device not lost")
+	}
+	p.Start()
+	if p.Stopped() {
+		t.Fatal("restart failed")
+	}
+	p.OnReply(ReplyMsg{From: 1, Cycle: 2, Attempt: 0, Payload: EmptyReply{}})
+	if st := p.Stats(); st.CyclesOK != 1 {
+		t.Fatalf("stats after recovery = %+v", st)
+	}
+}
+
+func TestZeroRetransmitsLostAfterFirstTimeout(t *testing.T) {
+	env := &fakeEnv{}
+	lst := &recListener{}
+	p, err := NewProber(ProberOptions{
+		ID: 7, Device: 1, Env: env, Policy: &fixedPolicy{delay: time.Second}, Listener: lst,
+		Retransmit: RetransmitConfig{FirstTimeout: 10 * time.Millisecond, RetryTimeout: 5 * time.Millisecond, MaxRetransmits: 0},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	env.fireAlarm(t, p.OnAlarm)
+	if len(lst.lost) != 1 {
+		t.Fatal("not lost after single timeout with MaxRetransmits=0")
+	}
+}
+
+func TestProberStateString(t *testing.T) {
+	for s, want := range map[proberState]string{
+		stateIdle: "idle", stateAwaitReply: "await-reply",
+		stateWaiting: "waiting", stateStopped: "stopped",
+		proberState(99): "proberState(99)",
+	} {
+		if got := s.String(); got != want {
+			t.Errorf("state %d String() = %q, want %q", int(s), got, want)
+		}
+	}
+}
+
+func BenchmarkProberCycle(b *testing.B) {
+	env := &fakeEnv{}
+	p, err := NewProber(ProberOptions{ID: 7, Device: 1, Env: env, Policy: &fixedPolicy{delay: 0}})
+	if err != nil {
+		b.Fatal(err)
+	}
+	p.Start()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		env.sent = env.sent[:0]
+		p.OnReply(ReplyMsg{From: 1, Cycle: p.cycle, Attempt: 0, Payload: EmptyReply{}})
+		p.OnAlarm() // start next cycle
+	}
+}

@@ -1,0 +1,191 @@
+// Package sapp implements the self-adaptive probe protocol of
+// Bodlaender et al., the baseline the paper analyses (its Section 2).
+//
+// The device inflates a probe counter pc by Δ = L_ideal/L_nom on every
+// probe and returns it; control points estimate the experienced load
+// L_exp = (pc'−pc)/(t'−t) from consecutive replies and adapt their
+// inter-probe-cycle delay δ multiplicatively to keep L_exp within
+// [L_ideal/β, β·L_ideal]. The paper's analysis (Section 3) shows this
+// scheme is unfair: some CPs oscillate at high frequency while most
+// starve at δ_max. This package exists to reproduce exactly that result.
+package sapp
+
+import (
+	"fmt"
+	"time"
+
+	"presence/internal/core"
+	"presence/internal/ident"
+)
+
+// Device defaults from the paper's simulation studies: L_ideal = 10⁶,
+// L_nom = 10 probes/s, yielding Δ = 10⁵.
+const (
+	DefaultIdealLoad   = 1e6
+	DefaultNominalLoad = 10.0
+)
+
+// DeviceConfig parameterises a SAPP device.
+type DeviceConfig struct {
+	// IdealLoad is L_ideal, the reference constant known to all nodes.
+	IdealLoad float64
+	// NominalLoad is L_nom, the probe load (probes/s) the device is able
+	// or willing to sustain. Δ is derived as IdealLoad/NominalLoad.
+	NominalLoad float64
+
+	// AdaptiveDelta enables the paper's optional device-side load
+	// regulation ("if the device finds that it is getting too many
+	// probes, it can, say, double its value of Δ"). Off by default: the
+	// paper's simulations use a fixed Δ.
+	AdaptiveDelta bool
+	// AdaptWindow is the measurement window for adaptive Δ. Defaults to
+	// 5 s when AdaptiveDelta is set.
+	AdaptWindow time.Duration
+	// AdaptHigh doubles Δ when the measured load exceeds
+	// AdaptHigh·NominalLoad. Defaults to 1.5.
+	AdaptHigh float64
+	// AdaptLow halves Δ (never below the base Δ) when the measured load
+	// falls below AdaptLow·NominalLoad. Defaults to 0.5.
+	AdaptLow float64
+}
+
+// DefaultDeviceConfig returns the paper's device parameters.
+func DefaultDeviceConfig() DeviceConfig {
+	return DeviceConfig{IdealLoad: DefaultIdealLoad, NominalLoad: DefaultNominalLoad}
+}
+
+func (c *DeviceConfig) applyDefaults() {
+	if c.AdaptWindow == 0 {
+		c.AdaptWindow = 5 * time.Second
+	}
+	if c.AdaptHigh == 0 {
+		c.AdaptHigh = 1.5
+	}
+	if c.AdaptLow == 0 {
+		c.AdaptLow = 0.5
+	}
+}
+
+// Validate checks the configuration.
+func (c DeviceConfig) Validate() error {
+	if c.IdealLoad <= 0 {
+		return fmt.Errorf("sapp: IdealLoad %g must be positive", c.IdealLoad)
+	}
+	if c.NominalLoad <= 0 {
+		return fmt.Errorf("sapp: NominalLoad %g must be positive", c.NominalLoad)
+	}
+	if c.IdealLoad < c.NominalLoad {
+		return fmt.Errorf("sapp: IdealLoad %g must be >> NominalLoad %g (Δ ≥ 1)", c.IdealLoad, c.NominalLoad)
+	}
+	if c.AdaptiveDelta {
+		if c.AdaptWindow < 0 {
+			return fmt.Errorf("sapp: AdaptWindow %v must be positive", c.AdaptWindow)
+		}
+		if c.AdaptHigh <= c.AdaptLow {
+			return fmt.Errorf("sapp: AdaptHigh %g must exceed AdaptLow %g", c.AdaptHigh, c.AdaptLow)
+		}
+	}
+	return nil
+}
+
+// Device is the SAPP device engine.
+type Device struct {
+	id  ident.NodeID
+	env core.Env
+	cfg DeviceConfig
+
+	pc        uint64
+	baseDelta uint64
+	delta     uint64
+	last      [2]ident.NodeID
+
+	windowCount uint64
+	probesTotal uint64
+}
+
+var _ core.Device = (*Device)(nil)
+
+// NewDevice validates the configuration and returns a device engine.
+func NewDevice(id ident.NodeID, env core.Env, cfg DeviceConfig) (*Device, error) {
+	if !id.Valid() {
+		return nil, fmt.Errorf("sapp: invalid device id")
+	}
+	if env == nil {
+		return nil, fmt.Errorf("sapp: nil env")
+	}
+	cfg.applyDefaults()
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	delta := uint64(cfg.IdealLoad / cfg.NominalLoad)
+	if delta == 0 {
+		delta = 1
+	}
+	return &Device{id: id, env: env, cfg: cfg, baseDelta: delta, delta: delta}, nil
+}
+
+// ID returns the device's node id.
+func (d *Device) ID() ident.NodeID { return d.id }
+
+// Delta returns the current counter increment Δ.
+func (d *Device) Delta() uint64 { return d.delta }
+
+// ProbeCount returns the current probe counter pc.
+func (d *Device) ProbeCount() uint64 { return d.pc }
+
+// ProbesTotal returns the number of probes the device has answered.
+func (d *Device) ProbesTotal() uint64 { return d.probesTotal }
+
+// LastProbers returns the ids of the last two distinct probing CPs.
+func (d *Device) LastProbers() [2]ident.NodeID { return d.last }
+
+// Start arms the adaptive-Δ measurement window if enabled.
+func (d *Device) Start() {
+	if d.cfg.AdaptiveDelta {
+		d.env.SetAlarm(d.env.Now() + d.cfg.AdaptWindow)
+	}
+}
+
+// OnProbe increments pc by Δ and replies with the updated counter and the
+// last-two-probers overlay hint.
+func (d *Device) OnProbe(from ident.NodeID, m core.ProbeMsg) {
+	d.pc += d.delta
+	d.probesTotal++
+	d.windowCount++
+	d.noteProber(from)
+	d.env.Send(from, core.ReplyMsg{
+		From:    d.id,
+		Cycle:   m.Cycle,
+		Attempt: m.Attempt,
+		Payload: core.SAPPReply{ProbeCount: d.pc, LastProbers: d.last},
+	})
+}
+
+// noteProber maintains the last two *distinct* prober ids, newest first.
+func (d *Device) noteProber(from ident.NodeID) {
+	if d.last[0] == from {
+		return
+	}
+	d.last[1] = d.last[0]
+	d.last[0] = from
+}
+
+// OnAlarm closes an adaptive-Δ measurement window: the device doubles Δ
+// under overload and halves it (towards the base value) under underload.
+func (d *Device) OnAlarm() {
+	if !d.cfg.AdaptiveDelta {
+		return
+	}
+	rate := float64(d.windowCount) / d.cfg.AdaptWindow.Seconds()
+	d.windowCount = 0
+	switch {
+	case rate > d.cfg.AdaptHigh*d.cfg.NominalLoad:
+		d.delta *= 2
+	case rate < d.cfg.AdaptLow*d.cfg.NominalLoad && d.delta > d.baseDelta:
+		d.delta /= 2
+		if d.delta < d.baseDelta {
+			d.delta = d.baseDelta
+		}
+	}
+	d.env.SetAlarm(d.env.Now() + d.cfg.AdaptWindow)
+}

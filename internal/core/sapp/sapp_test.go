@@ -1,0 +1,442 @@
+package sapp
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+
+	"presence/internal/core"
+	"presence/internal/ident"
+)
+
+// fakeEnv is a minimal Env for engine unit tests.
+type fakeEnv struct {
+	now      time.Duration
+	sent     []core.Message
+	sentTo   []ident.NodeID
+	alarmAt  time.Duration
+	alarmSet bool
+}
+
+func (e *fakeEnv) Now() time.Duration { return e.now }
+func (e *fakeEnv) Send(to ident.NodeID, msg core.Message) {
+	e.sent = append(e.sent, msg)
+	e.sentTo = append(e.sentTo, to)
+}
+func (e *fakeEnv) SetAlarm(at time.Duration) { e.alarmAt, e.alarmSet = at, true }
+func (e *fakeEnv) StopAlarm()                { e.alarmSet = false }
+
+func (e *fakeEnv) lastReply(t *testing.T) core.ReplyMsg {
+	t.Helper()
+	if len(e.sent) == 0 {
+		t.Fatal("nothing sent")
+	}
+	m, ok := e.sent[len(e.sent)-1].(core.ReplyMsg)
+	if !ok {
+		t.Fatalf("last message is %T, want ReplyMsg", e.sent[len(e.sent)-1])
+	}
+	return m
+}
+
+func newDevice(t *testing.T, env *fakeEnv, cfg DeviceConfig) *Device {
+	t.Helper()
+	d, err := NewDevice(1, env, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+func TestDeviceConfigValidation(t *testing.T) {
+	env := &fakeEnv{}
+	bad := []DeviceConfig{
+		{IdealLoad: 0, NominalLoad: 10},
+		{IdealLoad: 1e6, NominalLoad: 0},
+		{IdealLoad: 5, NominalLoad: 10}, // Δ < 1
+		{IdealLoad: 1e6, NominalLoad: 10, AdaptiveDelta: true, AdaptHigh: 0.1, AdaptLow: 0.5},
+	}
+	for i, cfg := range bad {
+		if _, err := NewDevice(1, env, cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	if _, err := NewDevice(ident.None, env, DefaultDeviceConfig()); err == nil {
+		t.Error("invalid id accepted")
+	}
+	if _, err := NewDevice(1, nil, DefaultDeviceConfig()); err == nil {
+		t.Error("nil env accepted")
+	}
+}
+
+func TestDeviceDeltaDerivation(t *testing.T) {
+	d := newDevice(t, &fakeEnv{}, DefaultDeviceConfig())
+	if d.Delta() != 100000 {
+		t.Fatalf("Δ = %d, want 10⁵ (= L_ideal/L_nom = 10⁶/10)", d.Delta())
+	}
+}
+
+func TestDeviceIncrementsAndReplies(t *testing.T) {
+	env := &fakeEnv{now: time.Second}
+	d := newDevice(t, env, DefaultDeviceConfig())
+	d.OnProbe(7, core.ProbeMsg{From: 7, Cycle: 3, Attempt: 1})
+	rep := env.lastReply(t)
+	if rep.From != 1 || rep.Cycle != 3 || rep.Attempt != 1 {
+		t.Fatalf("reply = %+v", rep)
+	}
+	if env.sentTo[0] != 7 {
+		t.Fatalf("reply sent to %v, want 7", env.sentTo[0])
+	}
+	pl, ok := rep.Payload.(core.SAPPReply)
+	if !ok {
+		t.Fatalf("payload is %T", rep.Payload)
+	}
+	if pl.ProbeCount != 100000 {
+		t.Fatalf("pc = %d, want Δ after one probe", pl.ProbeCount)
+	}
+	d.OnProbe(8, core.ProbeMsg{From: 8, Cycle: 1})
+	if d.ProbeCount() != 200000 {
+		t.Fatalf("pc = %d, want 2Δ", d.ProbeCount())
+	}
+	if d.ProbesTotal() != 2 {
+		t.Fatalf("ProbesTotal = %d", d.ProbesTotal())
+	}
+}
+
+func TestDeviceLastTwoDistinctProbers(t *testing.T) {
+	env := &fakeEnv{}
+	d := newDevice(t, env, DefaultDeviceConfig())
+	probe := func(from ident.NodeID) {
+		d.OnProbe(from, core.ProbeMsg{From: from, Cycle: 1})
+	}
+	probe(7)
+	if got := d.LastProbers(); got != [2]ident.NodeID{7, ident.None} {
+		t.Fatalf("after one prober: %v", got)
+	}
+	probe(7) // repeat: must not duplicate
+	if got := d.LastProbers(); got != [2]ident.NodeID{7, ident.None} {
+		t.Fatalf("after repeated prober: %v", got)
+	}
+	probe(8)
+	if got := d.LastProbers(); got != [2]ident.NodeID{8, 7} {
+		t.Fatalf("after two probers: %v", got)
+	}
+	probe(9)
+	if got := d.LastProbers(); got != [2]ident.NodeID{9, 8} {
+		t.Fatalf("after three probers: %v", got)
+	}
+	// The reply payload carries the updated hint.
+	pl := env.lastReply(t).Payload.(core.SAPPReply)
+	if pl.LastProbers != [2]ident.NodeID{9, 8} {
+		t.Fatalf("payload overlay hint = %v", pl.LastProbers)
+	}
+}
+
+func TestDeviceStartWithoutAdaptiveDeltaSetsNoAlarm(t *testing.T) {
+	env := &fakeEnv{}
+	d := newDevice(t, env, DefaultDeviceConfig())
+	d.Start()
+	if env.alarmSet {
+		t.Fatal("non-adaptive device armed an alarm")
+	}
+	d.OnAlarm() // spurious alarm must be harmless
+}
+
+func TestAdaptiveDeltaDoublesUnderOverload(t *testing.T) {
+	env := &fakeEnv{}
+	cfg := DefaultDeviceConfig()
+	cfg.AdaptiveDelta = true
+	cfg.AdaptWindow = time.Second
+	d := newDevice(t, env, cfg)
+	d.Start()
+	if !env.alarmSet {
+		t.Fatal("adaptive device must arm its window alarm")
+	}
+	base := d.Delta()
+	// 100 probes in a 1 s window ≫ 1.5·L_nom = 15.
+	for i := 0; i < 100; i++ {
+		d.OnProbe(7, core.ProbeMsg{From: 7, Cycle: uint32(i)})
+	}
+	env.now = env.alarmAt
+	d.OnAlarm()
+	if d.Delta() != 2*base {
+		t.Fatalf("Δ = %d after overload window, want doubled %d", d.Delta(), 2*base)
+	}
+	if !env.alarmSet {
+		t.Fatal("window alarm not re-armed")
+	}
+}
+
+func TestAdaptiveDeltaHalvesButNotBelowBase(t *testing.T) {
+	env := &fakeEnv{}
+	cfg := DefaultDeviceConfig()
+	cfg.AdaptiveDelta = true
+	cfg.AdaptWindow = time.Second
+	d := newDevice(t, env, cfg)
+	d.Start()
+	base := d.Delta()
+	// Overload twice: Δ = 4·base.
+	for w := 0; w < 2; w++ {
+		for i := 0; i < 100; i++ {
+			d.OnProbe(7, core.ProbeMsg{From: 7, Cycle: uint32(i)})
+		}
+		env.now = env.alarmAt
+		d.OnAlarm()
+	}
+	if d.Delta() != 4*base {
+		t.Fatalf("Δ = %d, want %d", d.Delta(), 4*base)
+	}
+	// Idle windows: Δ halves back but never below base.
+	for w := 0; w < 5; w++ {
+		env.now = env.alarmAt
+		d.OnAlarm()
+	}
+	if d.Delta() != base {
+		t.Fatalf("Δ = %d after idle windows, want base %d", d.Delta(), base)
+	}
+}
+
+func TestCPConfigValidation(t *testing.T) {
+	bad := []CPConfig{
+		func() CPConfig { c := DefaultCPConfig(); c.AlphaInc = 1; return c }(),
+		func() CPConfig { c := DefaultCPConfig(); c.AlphaDec = 0.9; return c }(),
+		func() CPConfig { c := DefaultCPConfig(); c.Beta = 1; return c }(),
+		func() CPConfig { c := DefaultCPConfig(); c.IdealLoad = 0; return c }(),
+		func() CPConfig { c := DefaultCPConfig(); c.MinDelay = 0; return c }(),
+		func() CPConfig { c := DefaultCPConfig(); c.MaxDelay = time.Millisecond; return c }(),
+		func() CPConfig { c := DefaultCPConfig(); c.InitialDelay = time.Hour; return c }(),
+	}
+	for i, cfg := range bad {
+		if _, err := NewPolicy(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+	if _, err := NewPolicy(DefaultCPConfig()); err != nil {
+		t.Fatalf("default config rejected: %v", err)
+	}
+}
+
+func TestPolicyInitialDelayDefaultsToMin(t *testing.T) {
+	p, err := NewPolicy(DefaultCPConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Delay() != DefaultMinDelay {
+		t.Fatalf("δ₀ = %v, want δ_min (greedy join)", p.Delay())
+	}
+}
+
+func sappResult(pc uint64, at time.Duration) core.CycleResult {
+	return core.CycleResult{
+		Payload:   core.SAPPReply{ProbeCount: pc},
+		SentAt:    at,
+		RepliedAt: at,
+		Attempts:  1,
+	}
+}
+
+func TestPolicyFirstCycleKeepsDelay(t *testing.T) {
+	p, _ := NewPolicy(DefaultCPConfig())
+	d0 := p.Delay()
+	if got := p.NextDelay(sappResult(100000, time.Second)); got != d0 {
+		t.Fatalf("first cycle changed δ: %v", got)
+	}
+}
+
+func TestPolicyOverloadIncreasesDelay(t *testing.T) {
+	cfg := DefaultCPConfig()
+	cfg.InitialDelay = time.Second
+	p, _ := NewPolicy(cfg)
+	p.NextDelay(sappResult(100000, time.Second))
+	// Δpc = 10⁷ over 1 s ⇒ L_exp = 10⁷ > β·L_ideal = 1.5·10⁶ ⇒ δ ×= 2.
+	got := p.NextDelay(sappResult(100000+10000000, 2*time.Second))
+	if got != 2*time.Second {
+		t.Fatalf("δ = %v, want doubled 2s", got)
+	}
+	if p.LastLoad() != 1e7 {
+		t.Fatalf("L_exp = %g, want 1e7", p.LastLoad())
+	}
+}
+
+func TestPolicyUnderloadDecreasesDelay(t *testing.T) {
+	cfg := DefaultCPConfig()
+	cfg.InitialDelay = time.Second
+	p, _ := NewPolicy(cfg)
+	p.NextDelay(sappResult(100000, time.Second))
+	// Δpc = 10⁵ over 1 s ⇒ L_exp = 10⁵ < L_ideal/β ≈ 6.7·10⁵ ⇒ δ /= 1.5.
+	got := p.NextDelay(sappResult(200000, 2*time.Second))
+	second := float64(time.Second)
+	want := time.Duration(second / 1.5)
+	if got != want {
+		t.Fatalf("δ = %v, want %v", got, want)
+	}
+}
+
+func TestPolicyInBandKeepsDelay(t *testing.T) {
+	cfg := DefaultCPConfig()
+	cfg.InitialDelay = time.Second
+	p, _ := NewPolicy(cfg)
+	p.NextDelay(sappResult(100000, time.Second))
+	// Δpc = 10⁶ over 1 s ⇒ L_exp = L_ideal exactly: inside the band.
+	if got := p.NextDelay(sappResult(100000+1000000, 2*time.Second)); got != time.Second {
+		t.Fatalf("δ = %v, want unchanged 1s", got)
+	}
+}
+
+func TestPolicyClampsAtBounds(t *testing.T) {
+	cfg := DefaultCPConfig()
+	cfg.InitialDelay = cfg.MaxDelay
+	p, _ := NewPolicy(cfg)
+	p.NextDelay(sappResult(0, 0))
+	// Massive overload: δ must stay at δ_max.
+	if got := p.NextDelay(sappResult(1e12, time.Second)); got != cfg.MaxDelay {
+		t.Fatalf("δ = %v, want clamped at δ_max", got)
+	}
+	// Repeated underload: δ must bottom out at δ_min.
+	for i := 0; i < 100; i++ {
+		p.NextDelay(sappResult(1e12+uint64(i), time.Duration(2+i)*time.Second))
+	}
+	if got := p.Delay(); got != cfg.MinDelay {
+		t.Fatalf("δ = %v, want clamped at δ_min", got)
+	}
+}
+
+func TestPolicyUsesSendTimeOnRetransmittedCycle(t *testing.T) {
+	cfg := DefaultCPConfig()
+	cfg.InitialDelay = time.Second
+	p, _ := NewPolicy(cfg)
+	p.NextDelay(core.CycleResult{
+		Payload: core.SAPPReply{ProbeCount: 1000}, SentAt: time.Second, RepliedAt: time.Second, Attempts: 1,
+	})
+	// Retransmitted cycle: t must be the send time (2 s), not the reply
+	// time (10 s). Δpc = 1.5e6 over 1 s ⇒ L_exp = 1.5e6 which equals
+	// β·L_ideal (not >), so δ unchanged; over 9 s it would be 1.67e5 <
+	// L_ideal/β and δ would shrink. Observing "unchanged" proves the
+	// send time was used.
+	got := p.NextDelay(core.CycleResult{
+		Payload: core.SAPPReply{ProbeCount: 1000 + 1500000},
+		SentAt:  2 * time.Second, RepliedAt: 10 * time.Second, Attempts: 2,
+	})
+	if got != time.Second {
+		t.Fatalf("δ = %v, want unchanged (send-time semantics)", got)
+	}
+}
+
+func TestPolicyDeviceCounterResetReanchors(t *testing.T) {
+	cfg := DefaultCPConfig()
+	cfg.InitialDelay = time.Second
+	p, _ := NewPolicy(cfg)
+	p.NextDelay(sappResult(5000000, time.Second))
+	// Device restarted: pc dropped. Delay must not change (no spurious
+	// underload from a "negative" increment).
+	if got := p.NextDelay(sappResult(100, 2*time.Second)); got != time.Second {
+		t.Fatalf("δ = %v after counter reset, want unchanged", got)
+	}
+	// And the next cycle adapts from the new anchor.
+	got := p.NextDelay(sappResult(100+10000000, 3*time.Second))
+	if got != 2*time.Second {
+		t.Fatalf("δ = %v, want doubled from new anchor", got)
+	}
+}
+
+func TestPolicyZeroElapsedKeepsDelay(t *testing.T) {
+	cfg := DefaultCPConfig()
+	cfg.InitialDelay = time.Second
+	p, _ := NewPolicy(cfg)
+	p.NextDelay(sappResult(1000, time.Second))
+	if got := p.NextDelay(sappResult(2000, time.Second)); got != time.Second {
+		t.Fatalf("δ = %v with Δt = 0, want unchanged", got)
+	}
+}
+
+func TestPolicyNonSAPPPayloadKeepsDelay(t *testing.T) {
+	cfg := DefaultCPConfig()
+	cfg.InitialDelay = time.Second
+	p, _ := NewPolicy(cfg)
+	got := p.NextDelay(core.CycleResult{Payload: core.DCPPReply{Wait: time.Minute}})
+	if got != time.Second {
+		t.Fatalf("δ = %v on foreign payload, want unchanged", got)
+	}
+}
+
+// Property: δ always stays within [δ_min, δ_max] for arbitrary reply
+// sequences — the invariant "a CP has to obey δ_min ≤ δ ≤ δ_max".
+func TestPropertyDelayWithinBounds(t *testing.T) {
+	cfg := DefaultCPConfig()
+	f := func(increments []uint32, gapsMs []uint16) bool {
+		p, err := NewPolicy(cfg)
+		if err != nil {
+			return false
+		}
+		pc := uint64(0)
+		at := time.Duration(0)
+		for i, inc := range increments {
+			pc += uint64(inc)
+			gap := time.Millisecond
+			if i < len(gapsMs) {
+				gap = time.Duration(gapsMs[i])*time.Millisecond + time.Millisecond
+			}
+			at += gap
+			d := p.NextDelay(sappResult(pc, at))
+			if d < cfg.MinDelay || d > cfg.MaxDelay {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the adaptation is monotone in L_exp — an overloaded estimate
+// never shrinks δ and an underloaded estimate never grows it.
+func TestPropertyAdaptationDirection(t *testing.T) {
+	cfg := DefaultCPConfig()
+	cfg.InitialDelay = time.Second
+	f := func(incr uint32) bool {
+		p, err := NewPolicy(cfg)
+		if err != nil {
+			return false
+		}
+		p.NextDelay(sappResult(0, 0))
+		before := p.Delay()
+		after := p.NextDelay(sappResult(uint64(incr), time.Second))
+		lexp := float64(incr)
+		switch {
+		case lexp > cfg.Beta*cfg.IdealLoad:
+			return after >= before
+		case lexp < cfg.IdealLoad/cfg.Beta:
+			return after <= before
+		default:
+			return after == before
+		}
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDeviceOnProbe(b *testing.B) {
+	env := &fakeEnv{}
+	d, err := NewDevice(1, env, DefaultDeviceConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		env.sent = env.sent[:0]
+		env.sentTo = env.sentTo[:0]
+		d.OnProbe(7, core.ProbeMsg{From: 7, Cycle: uint32(i)})
+	}
+}
+
+func BenchmarkPolicyNextDelay(b *testing.B) {
+	p, err := NewPolicy(DefaultCPConfig())
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.NextDelay(sappResult(uint64(i)*100000, time.Duration(i)*time.Second))
+	}
+}

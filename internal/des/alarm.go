@@ -1,0 +1,62 @@
+package des
+
+import "time"
+
+// Alarm is a single-slot resettable timer bound to a simulation.
+//
+// Protocol engines in this repository are written so that each engine
+// needs at most one outstanding timer (a probe timeout or an inter-cycle
+// wait, never both). Alarm captures that discipline: setting it replaces
+// any pending expiry, mirroring the semantics of time.Timer.Reset in the
+// real-time runtime.
+type Alarm struct {
+	sim *Simulation
+	fn  func()
+	ev  *Event
+}
+
+// NewAlarm returns an alarm that invokes fn on expiry. fn must be
+// non-nil.
+func NewAlarm(sim *Simulation, fn func()) *Alarm {
+	if fn == nil {
+		panic("des: NewAlarm with nil callback")
+	}
+	return &Alarm{sim: sim, fn: fn}
+}
+
+// Set schedules the alarm to fire at virtual time t, replacing any pending
+// expiry.
+func (a *Alarm) Set(t Time) {
+	a.Stop()
+	a.ev = a.sim.At(t, a.fire)
+}
+
+// SetAfter schedules the alarm d from now, replacing any pending expiry.
+func (a *Alarm) SetAfter(d time.Duration) {
+	a.Set(a.sim.Now() + d)
+}
+
+// Stop cancels a pending expiry. Stopping an idle alarm is a no-op.
+func (a *Alarm) Stop() {
+	if a.ev != nil {
+		a.ev.Cancel()
+		a.ev = nil
+	}
+}
+
+// Pending reports whether the alarm has an expiry scheduled.
+func (a *Alarm) Pending() bool { return a.ev != nil }
+
+// ExpiresAt returns the scheduled expiry time. The second result is false
+// if the alarm is idle.
+func (a *Alarm) ExpiresAt() (Time, bool) {
+	if a.ev == nil {
+		return 0, false
+	}
+	return a.ev.At(), true
+}
+
+func (a *Alarm) fire() {
+	a.ev = nil
+	a.fn()
+}

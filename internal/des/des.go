@@ -1,0 +1,193 @@
+// Package des implements a deterministic discrete-event simulation kernel.
+//
+// It replaces the MODEST/MÖBIUS tool tandem the paper used: a virtual
+// clock, a cancellable event queue, and a single-slot Alarm helper that
+// protocol engines use for timeouts.
+//
+// Determinism: events are totally ordered by (time, creation sequence), so
+// two events scheduled for the same instant fire in the order they were
+// scheduled. A simulation run is a pure function of the callbacks'
+// behaviour; the kernel itself introduces no nondeterminism. The kernel is
+// single-threaded and must only be touched from the goroutine that calls
+// Run/Step.
+package des
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is a virtual timestamp, expressed as the duration since the start
+// of the simulation (t = 0). Using time.Duration gives nanosecond
+// resolution and exact arithmetic for all paper constants.
+type Time = time.Duration
+
+// Event is a scheduled callback. Events are created through
+// Simulation.At/After and can be cancelled before they fire.
+type Event struct {
+	at       Time
+	seq      uint64
+	fn       func()
+	index    int // heap index; -1 once popped or removed
+	canceled bool
+}
+
+// At returns the virtual time the event is scheduled for.
+func (e *Event) At() Time { return e.at }
+
+// Canceled reports whether Cancel has been called on the event.
+func (e *Event) Canceled() bool { return e.canceled }
+
+// Cancel prevents the event from firing. Cancelling an event that has
+// already fired or was already cancelled is a no-op.
+func (e *Event) Cancel() { e.canceled = true }
+
+// Simulation is a discrete-event simulator. The zero value is not usable;
+// create one with New.
+type Simulation struct {
+	now      Time
+	queue    eventQueue
+	seq      uint64
+	executed uint64
+	stopped  bool
+}
+
+// New returns a simulation with the clock at zero and an empty event
+// queue.
+func New() *Simulation {
+	return &Simulation{}
+}
+
+// Now returns the current virtual time.
+func (s *Simulation) Now() Time { return s.now }
+
+// Executed returns the number of events that have fired so far. Cancelled
+// events are not counted.
+func (s *Simulation) Executed() uint64 { return s.executed }
+
+// Pending returns the number of events still in the queue, including
+// cancelled-but-not-yet-popped events.
+func (s *Simulation) Pending() int { return s.queue.Len() }
+
+// At schedules fn to run at virtual time t. Scheduling in the past (before
+// Now) panics: in a deterministic simulation that is always a programming
+// error, never a recoverable runtime condition. Scheduling exactly at Now
+// is allowed and fires after all earlier-scheduled events for Now.
+func (s *Simulation) At(t Time, fn func()) *Event {
+	if t < s.now {
+		panic(fmt.Sprintf("des: scheduling event at %v before now %v", t, s.now))
+	}
+	if fn == nil {
+		panic("des: scheduling nil callback")
+	}
+	s.seq++
+	e := &Event{at: t, seq: s.seq, fn: fn}
+	heap.Push(&s.queue, e)
+	return e
+}
+
+// After schedules fn to run d from now. Negative d panics, as with At.
+func (s *Simulation) After(d time.Duration, fn func()) *Event {
+	return s.At(s.now+d, fn)
+}
+
+// Step pops and executes the next event. It returns false if the queue is
+// empty (after discarding any cancelled events). The clock jumps to the
+// event's timestamp before the callback runs.
+func (s *Simulation) Step() bool {
+	for s.queue.Len() > 0 {
+		e := heap.Pop(&s.queue).(*Event)
+		if e.canceled {
+			continue
+		}
+		s.now = e.at
+		s.executed++
+		e.fn()
+		return true
+	}
+	return false
+}
+
+// RunUntil executes all events scheduled up to and including horizon, then
+// advances the clock to horizon. Events scheduled by callbacks during the
+// run are processed too, as long as they fall within the horizon. It
+// returns the number of events executed. Stop aborts the loop early.
+func (s *Simulation) RunUntil(horizon Time) uint64 {
+	if horizon < s.now {
+		panic(fmt.Sprintf("des: horizon %v before now %v", horizon, s.now))
+	}
+	s.stopped = false
+	start := s.executed
+	for !s.stopped {
+		e := s.peek()
+		if e == nil || e.at > horizon {
+			break
+		}
+		s.Step()
+	}
+	if !s.stopped && s.now < horizon {
+		s.now = horizon
+	}
+	return s.executed - start
+}
+
+// RunUntilIdle executes events until the queue drains or Stop is called.
+// Use with care: self-rescheduling processes never drain.
+func (s *Simulation) RunUntilIdle() uint64 {
+	s.stopped = false
+	start := s.executed
+	for !s.stopped && s.Step() {
+	}
+	return s.executed - start
+}
+
+// Stop aborts the currently running RunUntil/RunUntilIdle after the
+// current event completes. Intended to be called from inside a callback.
+func (s *Simulation) Stop() { s.stopped = true }
+
+// eventQueue is a min-heap ordered by (at, seq).
+type eventQueue []*Event
+
+func (q eventQueue) Len() int { return len(q) }
+
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+
+func (q eventQueue) Swap(i, j int) {
+	q[i], q[j] = q[j], q[i]
+	q[i].index = i
+	q[j].index = j
+}
+
+func (q *eventQueue) Push(x any) {
+	e := x.(*Event)
+	e.index = len(*q)
+	*q = append(*q, e)
+}
+
+func (q *eventQueue) Pop() any {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.index = -1
+	*q = old[:n-1]
+	return e
+}
+
+// peek returns the next live event without executing it, discarding
+// cancelled events from the head of the queue.
+func (s *Simulation) peek() *Event {
+	for s.queue.Len() > 0 && s.queue[0].canceled {
+		heap.Pop(&s.queue)
+	}
+	if s.queue.Len() == 0 {
+		return nil
+	}
+	return s.queue[0]
+}

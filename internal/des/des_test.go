@@ -1,0 +1,376 @@
+package des
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestEmptySimulation(t *testing.T) {
+	s := New()
+	if s.Now() != 0 {
+		t.Fatalf("fresh simulation Now() = %v, want 0", s.Now())
+	}
+	if s.Step() {
+		t.Fatal("Step on empty queue must return false")
+	}
+	if n := s.RunUntil(time.Second); n != 0 {
+		t.Fatalf("RunUntil on empty queue executed %d events, want 0", n)
+	}
+	if s.Now() != time.Second {
+		t.Fatalf("RunUntil must advance clock to horizon, got %v", s.Now())
+	}
+}
+
+func TestEventsFireInTimeOrder(t *testing.T) {
+	s := New()
+	var fired []time.Duration
+	times := []time.Duration{5 * time.Second, time.Second, 3 * time.Second, 2 * time.Second, 4 * time.Second}
+	for _, at := range times {
+		at := at
+		s.At(at, func() { fired = append(fired, at) })
+	}
+	s.RunUntilIdle()
+	if len(fired) != len(times) {
+		t.Fatalf("fired %d events, want %d", len(fired), len(times))
+	}
+	if !sort.SliceIsSorted(fired, func(i, j int) bool { return fired[i] < fired[j] }) {
+		t.Fatalf("events fired out of order: %v", fired)
+	}
+}
+
+func TestTiesFireInScheduleOrder(t *testing.T) {
+	s := New()
+	var order []int
+	for i := 0; i < 10; i++ {
+		i := i
+		s.At(time.Second, func() { order = append(order, i) })
+	}
+	s.RunUntilIdle()
+	for i, got := range order {
+		if got != i {
+			t.Fatalf("tie-broken order = %v, want ascending schedule order", order)
+		}
+	}
+}
+
+func TestClockAdvancesToEventTime(t *testing.T) {
+	s := New()
+	var at time.Duration
+	s.At(7*time.Second, func() { at = s.Now() })
+	s.RunUntilIdle()
+	if at != 7*time.Second {
+		t.Fatalf("Now() inside callback = %v, want 7s", at)
+	}
+}
+
+func TestCancelPreventsExecution(t *testing.T) {
+	s := New()
+	fired := false
+	e := s.At(time.Second, func() { fired = true })
+	e.Cancel()
+	s.RunUntilIdle()
+	if fired {
+		t.Fatal("cancelled event fired")
+	}
+	if s.Executed() != 0 {
+		t.Fatalf("Executed() = %d, want 0", s.Executed())
+	}
+}
+
+func TestCancelIsIdempotent(t *testing.T) {
+	s := New()
+	e := s.At(time.Second, func() {})
+	e.Cancel()
+	e.Cancel()
+	if !e.Canceled() {
+		t.Fatal("event not marked cancelled")
+	}
+	s.RunUntilIdle()
+}
+
+func TestScheduleInsideCallback(t *testing.T) {
+	s := New()
+	var hits []time.Duration
+	s.At(time.Second, func() {
+		hits = append(hits, s.Now())
+		s.After(time.Second, func() { hits = append(hits, s.Now()) })
+	})
+	s.RunUntilIdle()
+	want := []time.Duration{time.Second, 2 * time.Second}
+	if len(hits) != 2 || hits[0] != want[0] || hits[1] != want[1] {
+		t.Fatalf("hits = %v, want %v", hits, want)
+	}
+}
+
+func TestRunUntilHorizonExclusive(t *testing.T) {
+	s := New()
+	var fired []time.Duration
+	s.At(time.Second, func() { fired = append(fired, s.Now()) })
+	s.At(2*time.Second, func() { fired = append(fired, s.Now()) })
+	s.At(3*time.Second, func() { fired = append(fired, s.Now()) })
+	n := s.RunUntil(2 * time.Second)
+	if n != 2 {
+		t.Fatalf("executed %d events, want 2", n)
+	}
+	if s.Now() != 2*time.Second {
+		t.Fatalf("Now() = %v, want 2s", s.Now())
+	}
+	// The third event must still be pending and fire on the next run.
+	n = s.RunUntil(5 * time.Second)
+	if n != 1 {
+		t.Fatalf("second run executed %d events, want 1", n)
+	}
+	if s.Now() != 5*time.Second {
+		t.Fatalf("Now() = %v, want 5s", s.Now())
+	}
+}
+
+func TestSchedulingInPastPanics(t *testing.T) {
+	s := New()
+	s.At(time.Second, func() {})
+	s.RunUntilIdle()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("scheduling in the past must panic")
+		}
+	}()
+	s.At(time.Millisecond, func() {})
+}
+
+func TestNilCallbackPanics(t *testing.T) {
+	s := New()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("nil callback must panic")
+		}
+	}()
+	s.At(time.Second, nil)
+}
+
+func TestStopAbortsRun(t *testing.T) {
+	s := New()
+	count := 0
+	var reschedule func()
+	reschedule = func() {
+		count++
+		if count == 5 {
+			s.Stop()
+			return
+		}
+		s.After(time.Second, reschedule)
+	}
+	s.After(time.Second, reschedule)
+	s.RunUntilIdle()
+	if count != 5 {
+		t.Fatalf("executed %d events, want 5", count)
+	}
+}
+
+func TestStopPreservesQueue(t *testing.T) {
+	s := New()
+	later := false
+	s.At(time.Second, func() { s.Stop() })
+	s.At(2*time.Second, func() { later = true })
+	s.RunUntil(10 * time.Second)
+	if later {
+		t.Fatal("event after Stop fired in same run")
+	}
+	s.RunUntil(10 * time.Second)
+	if !later {
+		t.Fatal("pending event lost after Stop")
+	}
+}
+
+// TestDeterminism: the same schedule, including same-time ties and
+// cancellations, yields the same execution trace.
+func TestDeterminism(t *testing.T) {
+	run := func(seed int64) []int {
+		r := rand.New(rand.NewSource(seed))
+		s := New()
+		var trace []int
+		events := make([]*Event, 0, 200)
+		for i := 0; i < 200; i++ {
+			i := i
+			at := time.Duration(r.Intn(50)) * time.Millisecond
+			events = append(events, s.At(at, func() { trace = append(trace, i) }))
+		}
+		for i, e := range events {
+			if i%7 == 0 {
+				e.Cancel()
+			}
+		}
+		s.RunUntilIdle()
+		return trace
+	}
+	a, b := run(42), run(42)
+	if len(a) != len(b) {
+		t.Fatalf("trace lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("traces diverge at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+// Property: for any set of non-negative offsets, events fire in
+// non-decreasing time order and every non-cancelled event fires exactly
+// once.
+func TestPropertyOrderingAndCompleteness(t *testing.T) {
+	f := func(offsets []uint16, cancelMask []bool) bool {
+		s := New()
+		type rec struct {
+			at    time.Duration
+			fired int
+		}
+		recs := make([]rec, len(offsets))
+		events := make([]*Event, len(offsets))
+		for i, off := range offsets {
+			i := i
+			at := time.Duration(off) * time.Microsecond
+			recs[i].at = at
+			events[i] = s.At(at, func() { recs[i].fired++ })
+		}
+		cancelled := make([]bool, len(offsets))
+		for i := range events {
+			if i < len(cancelMask) && cancelMask[i] {
+				events[i].Cancel()
+				cancelled[i] = true
+			}
+		}
+		s.RunUntilIdle()
+		for i := range recs {
+			want := 1
+			if cancelled[i] {
+				want = 0
+			}
+			if recs[i].fired != want {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAlarmFires(t *testing.T) {
+	s := New()
+	fired := 0
+	a := NewAlarm(s, func() { fired++ })
+	a.SetAfter(time.Second)
+	if !a.Pending() {
+		t.Fatal("alarm not pending after Set")
+	}
+	s.RunUntilIdle()
+	if fired != 1 {
+		t.Fatalf("alarm fired %d times, want 1", fired)
+	}
+	if a.Pending() {
+		t.Fatal("alarm still pending after firing")
+	}
+}
+
+func TestAlarmResetReplacesExpiry(t *testing.T) {
+	s := New()
+	var at time.Duration
+	a := NewAlarm(s, func() { at = s.Now() })
+	a.Set(time.Second)
+	a.Set(3 * time.Second) // replaces, does not add
+	s.RunUntilIdle()
+	if at != 3*time.Second {
+		t.Fatalf("alarm fired at %v, want 3s", at)
+	}
+	if s.Executed() != 1 {
+		t.Fatalf("executed %d events, want 1 (replaced expiry must not fire)", s.Executed())
+	}
+}
+
+func TestAlarmStop(t *testing.T) {
+	s := New()
+	fired := false
+	a := NewAlarm(s, func() { fired = true })
+	a.SetAfter(time.Second)
+	a.Stop()
+	a.Stop() // idempotent
+	s.RunUntilIdle()
+	if fired {
+		t.Fatal("stopped alarm fired")
+	}
+}
+
+func TestAlarmExpiresAt(t *testing.T) {
+	s := New()
+	a := NewAlarm(s, func() {})
+	if _, ok := a.ExpiresAt(); ok {
+		t.Fatal("idle alarm reports expiry")
+	}
+	a.Set(4 * time.Second)
+	at, ok := a.ExpiresAt()
+	if !ok || at != 4*time.Second {
+		t.Fatalf("ExpiresAt = %v, %v; want 4s, true", at, ok)
+	}
+}
+
+func TestAlarmResetInsideCallback(t *testing.T) {
+	s := New()
+	count := 0
+	var a *Alarm
+	a = NewAlarm(s, func() {
+		count++
+		if count < 3 {
+			a.SetAfter(time.Second)
+		}
+	})
+	a.SetAfter(time.Second)
+	s.RunUntilIdle()
+	if count != 3 {
+		t.Fatalf("periodic alarm fired %d times, want 3", count)
+	}
+}
+
+func TestPendingCount(t *testing.T) {
+	s := New()
+	for i := 0; i < 5; i++ {
+		s.At(time.Duration(i)*time.Second, func() {})
+	}
+	if s.Pending() != 5 {
+		t.Fatalf("Pending() = %d, want 5", s.Pending())
+	}
+	s.RunUntilIdle()
+	if s.Pending() != 0 {
+		t.Fatalf("Pending() = %d after drain, want 0", s.Pending())
+	}
+}
+
+func BenchmarkScheduleAndRun(b *testing.B) {
+	s := New()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		s.After(time.Duration(i%1000)*time.Microsecond, func() {})
+		if i%1024 == 1023 {
+			s.RunUntilIdle()
+		}
+	}
+	s.RunUntilIdle()
+}
+
+func BenchmarkSelfRescheduling(b *testing.B) {
+	s := New()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < b.N {
+			s.After(time.Microsecond, tick)
+		}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	s.After(time.Microsecond, tick)
+	s.RunUntilIdle()
+}

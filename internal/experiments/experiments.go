@@ -1,0 +1,212 @@
+// Package experiments defines one runnable experiment per table and
+// figure of the paper's evaluation, plus extension experiments for the
+// claims the paper makes in passing (loss behaviour, dissemination,
+// adaptive Δ, the naive baseline). Each experiment runs at two scales:
+// ScaleShort for CI and ScalePaper for full reproduction; the harness
+// cmd/probebench runs them all and writes the data series the figures
+// plot.
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"presence/internal/stats"
+)
+
+// Scale selects experiment horizons.
+type Scale string
+
+// Scales: Short keeps runs under a second for tests; Paper matches the
+// paper's horizons (tens of thousands of simulated seconds).
+const (
+	ScaleShort Scale = "short"
+	ScalePaper Scale = "paper"
+)
+
+// Valid reports whether s is a known scale.
+func (s Scale) Valid() bool { return s == ScaleShort || s == ScalePaper }
+
+// Options parameterise a run.
+type Options struct {
+	// Seed drives all randomness. The defaults reproduce EXPERIMENTS.md.
+	Seed uint64
+	// Scale selects the horizons. Empty means ScalePaper.
+	Scale Scale
+	// OutDir, when non-empty, receives one .dat file per recorded series.
+	OutDir string
+}
+
+func (o *Options) applyDefaults() {
+	if o.Scale == "" {
+		o.Scale = ScalePaper
+	}
+}
+
+// Metric is one measured quantity, optionally paired with the value the
+// paper reports.
+type Metric struct {
+	Name  string
+	Got   float64
+	Paper float64 // NaN when the paper gives no number
+	Unit  string
+	Note  string
+}
+
+// Report is an experiment's outcome.
+type Report struct {
+	ID         string
+	Title      string
+	PaperClaim string
+	Metrics    []Metric
+	Series     []*stats.TimeSeries
+	Findings   []string
+}
+
+// AddMetric appends a measured/paper metric pair.
+func (r *Report) AddMetric(name string, got, paper float64, unit, note string) {
+	r.Metrics = append(r.Metrics, Metric{Name: name, Got: got, Paper: paper, Unit: unit, Note: note})
+}
+
+// AddFinding appends a free-form finding line.
+func (r *Report) AddFinding(format string, args ...any) {
+	r.Findings = append(r.Findings, fmt.Sprintf(format, args...))
+}
+
+// Metric returns the named metric and whether it exists.
+func (r *Report) Metric(name string) (Metric, bool) {
+	for _, m := range r.Metrics {
+		if m.Name == name {
+			return m, true
+		}
+	}
+	return Metric{}, false
+}
+
+// Format renders the report as human-readable text (also valid
+// Markdown).
+func (r *Report) Format() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "## %s — %s\n\n", r.ID, r.Title)
+	fmt.Fprintf(&b, "Paper claim: %s\n\n", r.PaperClaim)
+	if len(r.Metrics) > 0 {
+		b.WriteString("| metric | paper | measured | unit | note |\n")
+		b.WriteString("|--------|-------|----------|------|------|\n")
+		for _, m := range r.Metrics {
+			paper := "—"
+			if !math.IsNaN(m.Paper) {
+				paper = fmt.Sprintf("%.4g", m.Paper)
+			}
+			fmt.Fprintf(&b, "| %s | %s | %.4g | %s | %s |\n", m.Name, paper, m.Got, m.Unit, m.Note)
+		}
+		b.WriteString("\n")
+	}
+	for _, f := range r.Findings {
+		fmt.Fprintf(&b, "- %s\n", f)
+	}
+	return b.String()
+}
+
+// WriteSeries writes every recorded series as a two-column .dat file in
+// dir, named <experiment-id>_<series-name>.dat.
+func (r *Report) WriteSeries(dir string) error {
+	if dir == "" || len(r.Series) == 0 {
+		return nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return fmt.Errorf("experiments: create out dir: %w", err)
+	}
+	for _, s := range r.Series {
+		name := fmt.Sprintf("%s_%s.dat", r.ID, s.Name())
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return fmt.Errorf("experiments: create %s: %w", name, err)
+		}
+		if err := s.WriteDAT(f); err != nil {
+			f.Close()
+			return fmt.Errorf("experiments: write %s: %w", name, err)
+		}
+		if err := f.Close(); err != nil {
+			return fmt.Errorf("experiments: close %s: %w", name, err)
+		}
+	}
+	return nil
+}
+
+// Experiment is a registered, runnable reproduction unit.
+type Experiment struct {
+	// ID is the stable identifier used by the CLI and EXPERIMENTS.md
+	// (e.g. "fig2-sapp-3cps").
+	ID string
+	// Title is a one-line description.
+	Title string
+	// Artefact names the paper table/figure this reproduces.
+	Artefact string
+	// Run executes the experiment.
+	Run func(opts Options) (*Report, error)
+}
+
+// registry holds all experiments in presentation order. It is populated
+// by the per-experiment files' register calls at init time and immutable
+// afterwards.
+var registry []Experiment
+
+func register(e Experiment) {
+	registry = append(registry, e)
+}
+
+// All returns the experiments in presentation order (paper artefacts
+// first, then extensions).
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.SliceStable(out, func(i, j int) bool { return order(out[i].ID) < order(out[j].ID) })
+	return out
+}
+
+// order keys the presentation order: figures/tables in paper order, then
+// extensions alphabetically.
+func order(id string) string {
+	if strings.HasPrefix(id, "ext-") {
+		return "z" + id
+	}
+	return id
+}
+
+// ByID returns the experiment with the given id.
+func ByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// RunAll executes every registered experiment with the given options and
+// returns the reports in presentation order. It stops at the first
+// error.
+func RunAll(opts Options) ([]*Report, error) {
+	all := All()
+	reports := make([]*Report, 0, len(all))
+	for _, e := range all {
+		rep, err := e.Run(opts)
+		if err != nil {
+			return reports, fmt.Errorf("experiments: %s: %w", e.ID, err)
+		}
+		if opts.OutDir != "" {
+			if err := rep.WriteSeries(opts.OutDir); err != nil {
+				return reports, err
+			}
+		}
+		reports = append(reports, rep)
+	}
+	return reports, nil
+}
+
+// unspecified marks a metric the paper gives no number for.
+func unspecified() float64 { return math.NaN() }

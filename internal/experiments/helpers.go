@@ -1,0 +1,60 @@
+package experiments
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"time"
+
+	"presence/internal/simrun"
+)
+
+// sec converts seconds to a duration.
+func sec(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+// minMax returns the extremes of a non-empty slice (0, 0 when empty).
+func minMax(xs []float64) (lo, hi float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	lo, hi = xs[0], xs[0]
+	for _, x := range xs[1:] {
+		if x < lo {
+			lo = x
+		}
+		if x > hi {
+			hi = x
+		}
+	}
+	return lo, hi
+}
+
+// formatFloats renders a slice compactly, sorted ascending.
+func formatFloats(xs []float64) string {
+	sorted := make([]float64, len(xs))
+	copy(sorted, xs)
+	sort.Float64s(sorted)
+	parts := make([]string, len(sorted))
+	for i, x := range sorted {
+		parts[i] = fmt.Sprintf("%.3g", x)
+	}
+	return "[" + strings.Join(parts, " ") + "]"
+}
+
+// sortCPsBySamples orders CP hosts by descending series sample count
+// (ties by name for determinism).
+func sortCPsBySamples(hosts []*simrun.CPHost) {
+	sort.SliceStable(hosts, func(i, j int) bool {
+		a, b := 0, 0
+		if hosts[i].Freq != nil {
+			a = hosts[i].Freq.Len()
+		}
+		if hosts[j].Freq != nil {
+			b = hosts[j].Freq.Len()
+		}
+		if a != b {
+			return a > b
+		}
+		return hosts[i].Name < hosts[j].Name
+	})
+}

@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"fmt"
+	"time"
+
+	"presence/internal/simrun"
+	"presence/internal/stats"
+)
+
+func init() {
+	register(Experiment{
+		ID:       "tab-sapp-steady",
+		Title:    "SAPP steady state, 20 CPs: bimodal per-CP delays, device load near L_nom, tiny buffer",
+		Artefact: "Section 3, steady-state simulation (in-text table)",
+		Run:      runTabSAPPSteady,
+	})
+	register(Experiment{
+		ID:       "fig2-sapp-3cps",
+		Title:    "SAPP probe frequencies of 3 CPs over 20000 s: one CP starves and never recovers",
+		Artefact: "Figure 2",
+		Run:      runFig2,
+	})
+	register(Experiment{
+		ID:       "fig3-sapp-zoom",
+		Title:    "SAPP probe frequencies of 7 of 20 CPs over one minute: strong oscillation",
+		Artefact: "Figure 3",
+		Run:      runFig3,
+	})
+	register(Experiment{
+		ID:       "fig4-sapp-leave",
+		Title:    "SAPP: 18 of 20 CPs leave at once; survivors stay unbalanced with high variance",
+		Artefact: "Figure 4",
+		Run:      runFig4,
+	})
+}
+
+// sappWorld builds a SAPP world with the paper's parameters.
+func sappWorld(seed uint64, recordSeries bool) (*simrun.World, error) {
+	cfg := simrun.Config{
+		Protocol:       simrun.ProtocolSAPP,
+		Seed:           seed,
+		RecordCPSeries: recordSeries,
+	}
+	return simrun.NewWorld(cfg)
+}
+
+func runTabSAPPSteady(opts Options) (*Report, error) {
+	opts.applyDefaults()
+	warmup, chunk, maxHorizon := sec(2000), sec(1000), sec(60000)
+	if opts.Scale == ScaleShort {
+		warmup, chunk, maxHorizon = sec(300), sec(300), sec(3000)
+	}
+	w, err := sappWorld(opts.Seed, false)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.AddCPsStaggered(20, sec(10)); err != nil {
+		return nil, err
+	}
+	w.Run(warmup)
+	w.ResetMeasurements()
+
+	// Batch-means steady-state estimation of the device load, using the
+	// paper's criteria: confidence interval 0.1 at level 0.95.
+	bm, err := stats.NewBatchMeans(stats.BatchMeansConfig{
+		BatchSize: 100, Level: 0.95, RelWidth: 0.1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	consumed := 0
+	for w.Sim().Now() < maxHorizon && !bm.Converged() {
+		w.Run(w.Sim().Now() + chunk)
+		pts := w.DeviceLoad().Series().Points()
+		for ; consumed < len(pts); consumed++ {
+			bm.Add(pts[consumed].V)
+		}
+	}
+
+	rep := &Report{
+		ID:    "tab-sapp-steady",
+		Title: "SAPP steady state (k = 20 CPs)",
+		PaperClaim: "mean delay of almost all CPs ≈ 10.0, two CPs ≈ 0.4 (optimum 2.0); " +
+			"device load near L_nom = 10 with low variance; mean network buffer length ≈ 0.004",
+	}
+	res := bm.Result()
+	loadStats := w.DeviceLoad().Stats()
+	rep.AddMetric("device_load_mean", res.Mean, 10, "probes/s", fmt.Sprintf("batch means: %s", res))
+	rep.AddMetric("device_load_var", loadStats.Variance(), unspecified(), "(probes/s)^2", "paper: \"low variance\"")
+	occ := w.Net().BufferOccupancy()
+	rep.AddMetric("buffer_mean_occupancy", occ.Mean(), 0.004, "messages", "paper: ≈0.004")
+
+	// Per-CP mean delays, sorted: the paper's bimodal distribution. A CP
+	// counts as starved when its mean delay exceeds twice the fair
+	// optimum k/L_nom = 2 s (the paper's run has the starved majority at
+	// δ_max = 10 s; the exact attractor depends on model details the
+	// paper does not specify — see EXPERIMENTS.md).
+	delays := make([]float64, 0, 20)
+	var starved, fast int
+	var maxVar float64
+	for _, h := range w.ActiveCPs() {
+		m := h.DelayStats.Mean()
+		delays = append(delays, m)
+		if m > 4 {
+			starved++
+		}
+		if m < 1 {
+			fast++
+		}
+		if v := h.DelayStats.Variance(); v > maxVar {
+			maxVar = v
+		}
+	}
+	qs, err := stats.Quantiles(delays, 0.1, 0.5, 0.9)
+	if err != nil {
+		return nil, err
+	}
+	rep.AddMetric("cp_delay_p10", qs[0], 0.4, "s", "paper: two CPs at ≈0.4 s")
+	rep.AddMetric("cp_delay_median", qs[1], 10, "s", "paper: almost all CPs ≈ 10 s")
+	rep.AddMetric("cp_delay_p90", qs[2], 10, "s", "δ_max = 10 s (starved)")
+	rep.AddMetric("cp_delay_optimal", 2, 2, "s", "k/L_nom = 20/10, never attained")
+	rep.AddMetric("cps_starved", float64(starved), 18, "CPs", "mean delay > 2× optimum; paper: 18 CPs near δ_max")
+	rep.AddMetric("cps_fast", float64(fast), unspecified(), "CPs", "mean delay < 1 s")
+	rep.AddMetric("cp_delay_max_variance", maxVar, 13.5, "s^2", "paper: most extreme CP var ≈ 13.5")
+	rep.AddFinding("sorted per-CP mean delays: %s", formatFloats(delays))
+	rep.AddFinding("the delay distribution is bimodal: %d starved near δ_max, %d fast — no CP near the fair optimum of 2 s", starved, fast)
+	return rep, nil
+}
+
+func runFig2(opts Options) (*Report, error) {
+	opts.applyDefaults()
+	horizon := sec(20000)
+	if opts.Scale == ScaleShort {
+		horizon = sec(2000)
+	}
+	w, err := sappWorld(opts.Seed, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.AddCPsStaggered(3, sec(10)); err != nil {
+		return nil, err
+	}
+	w.Run(horizon)
+
+	rep := &Report{
+		ID:    "fig2-sapp-3cps",
+		Title: "SAPP probe frequencies, 3 CPs",
+		PaperClaim: "after a short initial phase, one CP is probing less and less frequently and " +
+			"does not recover; the remaining two stabilise but keep a rather high variance",
+	}
+	tail := horizon - horizon/5
+	var freqs []float64
+	for _, h := range w.AllCPs() {
+		rep.Series = append(rep.Series, h.Freq)
+		f := h.Freq.MeanAfter(tail)
+		freqs = append(freqs, f)
+		sum := h.Freq.Summary()
+		rep.AddFinding("%s: tail mean frequency %.3g /s (overall mean %.3g, var %.3g)",
+			h.Name, f, sum.Mean(), sum.Variance())
+	}
+	minF, maxF := minMax(freqs)
+	rep.AddMetric("tail_freq_min", minF, unspecified(), "1/s", "the starving CP")
+	rep.AddMetric("tail_freq_max", maxF, unspecified(), "1/s", "the greedy CP")
+	rep.AddMetric("tail_freq_spread", maxF/minF, unspecified(), "ratio", "paper shows ≫1 (one CP starves)")
+	rep.AddMetric("fairness_jain", stats.JainIndex(freqs), unspecified(), "", "1 = fair")
+	return rep, nil
+}
+
+func runFig3(opts Options) (*Report, error) {
+	opts.applyDefaults()
+	var horizon, winFrom, winTo time.Duration
+	if opts.Scale == ScaleShort {
+		horizon, winFrom, winTo = sec(2400), sec(2300), sec(2360)
+	} else {
+		horizon, winFrom, winTo = sec(12360), sec(12300), sec(12360)
+	}
+	cfg := simrun.Config{
+		Protocol:       simrun.ProtocolSAPP,
+		Seed:           opts.Seed,
+		RecordCPSeries: true,
+	}
+	cfg.SeriesWindow.From, cfg.SeriesWindow.To = winFrom, winTo
+	w, err := simrun.NewWorld(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.AddCPsStaggered(20, sec(10)); err != nil {
+		return nil, err
+	}
+	w.Run(horizon)
+
+	rep := &Report{
+		ID:    "fig3-sapp-zoom",
+		Title: "SAPP probe frequencies over one minute, 7 of 20 CPs",
+		PaperClaim: "high variances in the individual probe frequencies of a single CP occur; " +
+			"frequencies oscillate within the minute",
+	}
+	// The paper plots 7 arbitrary CPs; take the 7 with the most samples
+	// in the window (the paper's visible curves are the active ones).
+	all := w.AllCPs()
+	sortCPsBySamples(all)
+	shown := all
+	if len(shown) > 7 {
+		shown = shown[:7]
+	}
+	var maxAmp float64
+	active := 0
+	for _, h := range shown {
+		rep.Series = append(rep.Series, h.Freq)
+		sum := h.Freq.Summary()
+		if sum.Count() > 1 {
+			active++
+			if amp := sum.Max() - sum.Min(); amp > maxAmp {
+				maxAmp = amp
+			}
+			rep.AddFinding("%s: %d samples in window, freq range [%.3g, %.3g] /s",
+				h.Name, sum.Count(), sum.Min(), sum.Max())
+		}
+	}
+	rep.AddMetric("window_cps_active", float64(active), unspecified(), "CPs", "CPs with ≥2 cycles in the minute")
+	rep.AddMetric("max_freq_amplitude", maxAmp, unspecified(), "1/s", "largest within-minute swing; paper shows swings of several 1/s")
+	return rep, nil
+}
+
+func runFig4(opts Options) (*Report, error) {
+	opts.applyDefaults()
+	horizon, leaveAt := sec(20000), sec(1000)
+	if opts.Scale == ScaleShort {
+		horizon, leaveAt = sec(3000), sec(300)
+	}
+	w, err := sappWorld(opts.Seed, true)
+	if err != nil {
+		return nil, err
+	}
+	if err := w.AddCPsStaggered(20, sec(10)); err != nil {
+		return nil, err
+	}
+	if err := w.ScheduleMassLeave(leaveAt, 2); err != nil {
+		return nil, err
+	}
+	w.Run(horizon)
+
+	rep := &Report{
+		ID:    "fig4-sapp-leave",
+		Title: "SAPP: 20 CPs, 18 leave simultaneously",
+		PaperClaim: "in a static 2-CP scenario the frequencies are equal; after the mass leave " +
+			"there is neither load balance between the survivors nor low variance",
+	}
+	survivors := w.ActiveCPs()
+	if len(survivors) != 2 {
+		return nil, fmt.Errorf("fig4: %d survivors, want 2", len(survivors))
+	}
+	tail := horizon - horizon/4
+	var freqs []float64
+	for _, h := range survivors {
+		rep.Series = append(rep.Series, h.Freq)
+		f := h.Freq.MeanAfter(tail)
+		freqs = append(freqs, f)
+		sum := h.Freq.Summary()
+		rep.AddFinding("survivor %s: tail mean freq %.3g /s, overall var %.3g", h.Name, f, sum.Variance())
+	}
+	minF, maxF := minMax(freqs)
+	rep.AddMetric("survivor_freq_ratio", maxF/minF, unspecified(), "ratio", "paper: survivors unbalanced (ratio ≫ 1)")
+	rep.AddMetric("fairness_jain_survivors", stats.JainIndex(freqs), unspecified(), "", "1 = balanced")
+	loadStats := w.DeviceLoad().Stats()
+	rep.AddMetric("post_leave_load", loadStats.Mean(), unspecified(), "probes/s", "device load after the exodus")
+	return rep, nil
+}

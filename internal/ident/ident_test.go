@@ -1,0 +1,40 @@
+package ident
+
+import "testing"
+
+func TestNoneInvalid(t *testing.T) {
+	if None.Valid() {
+		t.Fatal("None must not be valid")
+	}
+	if got := None.String(); got != "none" {
+		t.Fatalf("None.String() = %q, want %q", got, "none")
+	}
+}
+
+func TestString(t *testing.T) {
+	if got := NodeID(42).String(); got != "n42" {
+		t.Fatalf("NodeID(42).String() = %q, want %q", got, "n42")
+	}
+}
+
+func TestAllocatorUnique(t *testing.T) {
+	var a Allocator
+	seen := make(map[NodeID]bool)
+	for i := 0; i < 1000; i++ {
+		id := a.Next()
+		if !id.Valid() {
+			t.Fatalf("allocator returned invalid id at step %d", i)
+		}
+		if seen[id] {
+			t.Fatalf("allocator returned duplicate id %v", id)
+		}
+		seen[id] = true
+	}
+}
+
+func TestAllocatorStartsAtOne(t *testing.T) {
+	var a Allocator
+	if got := a.Next(); got != 1 {
+		t.Fatalf("first id = %v, want 1", got)
+	}
+}

@@ -1,0 +1,212 @@
+package rtnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"presence/internal/core"
+	"presence/internal/ident"
+	"presence/internal/wire"
+)
+
+// ControlPointConfig configures a UDP control point.
+type ControlPointConfig struct {
+	// ID is this CP's node id.
+	ID ident.NodeID
+	// Device is the monitored device's node id; replies claiming any
+	// other origin are dropped.
+	Device ident.NodeID
+	// DeviceAddr is the device's UDP address, e.g. "127.0.0.1:9300".
+	DeviceAddr string
+	// Policy chooses the inter-cycle delay (sapp.Policy, dcpp.Policy or
+	// naive.Policy). Required.
+	Policy core.DelayPolicy
+	// Listener observes presence events. Optional.
+	Listener core.Listener
+	// Retransmit parameterises the probe cycle. Zero value = paper
+	// defaults.
+	Retransmit core.RetransmitConfig
+	// OnAnnounce, if non-nil, receives device presence announcements.
+	// It runs on the CP's event loop and must not block.
+	OnAnnounce func(m core.AnnounceMsg)
+}
+
+// ControlPoint monitors one device over UDP.
+type ControlPoint struct {
+	id     ident.NodeID
+	device ident.NodeID
+	conn   *net.UDPConn
+
+	mu         sync.Mutex
+	env        *envCore
+	prober     *core.Prober
+	onAnnounce func(core.AnnounceMsg)
+	counters   Counters
+	started    bool
+	closed     bool
+
+	wg sync.WaitGroup
+}
+
+// NewControlPoint dials the device and builds the prober. Call Start to
+// begin probing and Close to shut down.
+func NewControlPoint(cfg ControlPointConfig) (*ControlPoint, error) {
+	if !cfg.ID.Valid() {
+		return nil, errors.New("rtnet: control point needs a valid id")
+	}
+	if !cfg.Device.Valid() {
+		return nil, errors.New("rtnet: control point needs a valid device id")
+	}
+	if cfg.Policy == nil {
+		return nil, errors.New("rtnet: control point needs a delay policy")
+	}
+	addr, err := resolveUDP(cfg.DeviceAddr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.DialUDP("udp", nil, addr)
+	if err != nil {
+		return nil, fmt.Errorf("rtnet: dial %q: %w", cfg.DeviceAddr, err)
+	}
+	cp := &ControlPoint{id: cfg.ID, device: cfg.Device, conn: conn, onAnnounce: cfg.OnAnnounce}
+	cp.env = newEnvCore(&cp.mu)
+	cp.env.sendFn = cp.send
+	prober, err := core.NewProber(core.ProberOptions{
+		ID:         cfg.ID,
+		Device:     cfg.Device,
+		Env:        cp.env,
+		Policy:     cfg.Policy,
+		Listener:   cfg.Listener,
+		Retransmit: cfg.Retransmit,
+	})
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	cp.prober = prober
+	cp.env.onAlarm = prober.OnAlarm
+	return cp, nil
+}
+
+// ID returns the control point's node id.
+func (cp *ControlPoint) ID() ident.NodeID { return cp.id }
+
+// Stats returns the prober's cycle counters.
+func (cp *ControlPoint) Stats() core.ProberStats {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.prober.Stats()
+}
+
+// Counters returns a snapshot of the wire counters.
+func (cp *ControlPoint) Counters() Counters {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.counters
+}
+
+// Stopped reports whether the prober has stopped (device lost or bye).
+func (cp *ControlPoint) Stopped() bool {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	return cp.prober.Stopped()
+}
+
+// Start begins probing and launches the read loop. It may be called
+// once; use Restart to resume after a loss.
+func (cp *ControlPoint) Start() error {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.closed {
+		return errClosed
+	}
+	if cp.started {
+		return errors.New("rtnet: control point already started")
+	}
+	cp.started = true
+	cp.prober.Start()
+	cp.wg.Add(1)
+	go func() {
+		defer cp.wg.Done()
+		readLoop(cp.conn, cp.dispatch, cp.countPacket)
+	}()
+	return nil
+}
+
+// Restart resumes probing after the prober stopped (device lost or bye).
+func (cp *ControlPoint) Restart() error {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.closed {
+		return errClosed
+	}
+	if !cp.started {
+		return errors.New("rtnet: control point never started")
+	}
+	cp.prober.Start()
+	return nil
+}
+
+func (cp *ControlPoint) countPacket(decodeErr bool) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	cp.counters.PacketsIn++
+	if decodeErr {
+		cp.counters.DecodeErrors++
+	}
+}
+
+func (cp *ControlPoint) dispatch(_ *net.UDPAddr, msg core.Message) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	if cp.closed {
+		return
+	}
+	switch m := msg.(type) {
+	case core.ReplyMsg:
+		if m.From != cp.device {
+			return
+		}
+		cp.prober.OnReply(m)
+	case core.ByeMsg:
+		cp.prober.OnBye(m)
+	case core.AnnounceMsg:
+		if cp.onAnnounce != nil {
+			cp.onAnnounce(m)
+		}
+	}
+}
+
+// send transmits to the dialled device. Called by the engine with the
+// mutex held; the `to` id is always the device on a CP socket.
+func (cp *ControlPoint) send(_ ident.NodeID, msg core.Message) {
+	frame, err := wire.Encode(msg)
+	if err != nil {
+		cp.counters.SendErrors++
+		return
+	}
+	if _, err := cp.conn.Write(frame); err != nil {
+		cp.counters.SendErrors++
+		return
+	}
+	cp.counters.PacketsOut++
+}
+
+// Close stops probing, closes the socket and waits for the read loop.
+// It is idempotent.
+func (cp *ControlPoint) Close() error {
+	cp.mu.Lock()
+	if cp.closed {
+		cp.mu.Unlock()
+		return nil
+	}
+	cp.closed = true
+	cp.prober.Stop()
+	cp.env.close()
+	cp.mu.Unlock()
+	err := cp.conn.Close()
+	cp.wg.Wait()
+	return err
+}

@@ -1,0 +1,233 @@
+package rtnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"presence/internal/core"
+	"presence/internal/ident"
+	"presence/internal/wire"
+)
+
+// DeviceServerConfig configures a UDP device.
+type DeviceServerConfig struct {
+	// ID is this device's node id; it must match what control points
+	// are configured to monitor.
+	ID ident.NodeID
+	// ListenAddr is the UDP address to bind, e.g. "127.0.0.1:9300" or
+	// ":0" for an ephemeral port.
+	ListenAddr string
+	// MaxPeers bounds the address table used to route replies and byes.
+	// Oldest entries are evicted. Zero means 4096.
+	MaxPeers int
+}
+
+// DeviceBuilder constructs the protocol engine against the server's Env.
+// It is how the server stays protocol-agnostic: pass
+// sapp.NewDevice/dcpp.NewDevice/naive.NewDevice here.
+type DeviceBuilder func(env core.Env) (core.Device, error)
+
+// DeviceServer hosts a device engine on a UDP socket.
+type DeviceServer struct {
+	id   ident.NodeID
+	conn *net.UDPConn
+
+	mu       sync.Mutex
+	env      *envCore
+	engine   core.Device
+	peers    map[ident.NodeID]*net.UDPAddr
+	peerSeq  map[ident.NodeID]uint64
+	seq      uint64
+	maxPeers int
+	counters Counters
+	started  bool
+	closed   bool
+
+	wg sync.WaitGroup
+}
+
+// NewDeviceServer binds the socket and builds the engine. Call Start to
+// begin serving and Close to shut down.
+func NewDeviceServer(cfg DeviceServerConfig, build DeviceBuilder) (*DeviceServer, error) {
+	if !cfg.ID.Valid() {
+		return nil, errors.New("rtnet: device needs a valid id")
+	}
+	if build == nil {
+		return nil, errors.New("rtnet: device needs an engine builder")
+	}
+	if cfg.MaxPeers == 0 {
+		cfg.MaxPeers = 4096
+	}
+	if cfg.MaxPeers < 1 {
+		return nil, fmt.Errorf("rtnet: MaxPeers %d must be positive", cfg.MaxPeers)
+	}
+	addr, err := resolveUDP(cfg.ListenAddr)
+	if err != nil {
+		return nil, err
+	}
+	conn, err := net.ListenUDP("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rtnet: listen %q: %w", cfg.ListenAddr, err)
+	}
+	s := &DeviceServer{
+		id:       cfg.ID,
+		conn:     conn,
+		peers:    make(map[ident.NodeID]*net.UDPAddr),
+		peerSeq:  make(map[ident.NodeID]uint64),
+		maxPeers: cfg.MaxPeers,
+	}
+	s.env = newEnvCore(&s.mu)
+	s.env.sendFn = s.send
+	s.env.onAlarm = func() { s.engine.OnAlarm() }
+	engine, err := build(s.env)
+	if err != nil {
+		conn.Close()
+		return nil, err
+	}
+	s.engine = engine
+	return s, nil
+}
+
+// ID returns the device's node id.
+func (s *DeviceServer) ID() ident.NodeID { return s.id }
+
+// Addr returns the bound UDP address (useful with ":0").
+func (s *DeviceServer) Addr() *net.UDPAddr {
+	return s.conn.LocalAddr().(*net.UDPAddr)
+}
+
+// Counters returns a snapshot of the wire counters.
+func (s *DeviceServer) Counters() Counters {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.counters
+}
+
+// Start launches the engine and the read loop. It may be called once.
+func (s *DeviceServer) Start() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	if s.started {
+		return errors.New("rtnet: device already started")
+	}
+	s.started = true
+	s.engine.Start()
+	s.wg.Add(1)
+	go func() {
+		defer s.wg.Done()
+		readLoop(s.conn, s.dispatch, s.countPacket)
+	}()
+	return nil
+}
+
+func (s *DeviceServer) countPacket(decodeErr bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.counters.PacketsIn++
+	if decodeErr {
+		s.counters.DecodeErrors++
+	}
+}
+
+func (s *DeviceServer) dispatch(from *net.UDPAddr, msg core.Message) {
+	probe, ok := msg.(core.ProbeMsg)
+	if !ok {
+		return // devices only understand probes
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	s.notePeer(probe.From, from)
+	s.engine.OnProbe(probe.From, probe)
+}
+
+// notePeer records the sender's address for reply routing, evicting the
+// least recently seen peer when full.
+func (s *DeviceServer) notePeer(id ident.NodeID, addr *net.UDPAddr) {
+	s.seq++
+	if _, known := s.peers[id]; !known && len(s.peers) >= s.maxPeers {
+		var oldest ident.NodeID
+		oldestSeq := s.seq
+		for p, at := range s.peerSeq {
+			if at < oldestSeq {
+				oldest, oldestSeq = p, at
+			}
+		}
+		delete(s.peers, oldest)
+		delete(s.peerSeq, oldest)
+	}
+	s.peers[id] = addr
+	s.peerSeq[id] = s.seq
+}
+
+// send routes a message to a known peer. Called by the engine with the
+// mutex held.
+func (s *DeviceServer) send(to ident.NodeID, msg core.Message) {
+	addr, ok := s.peers[to]
+	if !ok {
+		s.counters.SendErrors++
+		return
+	}
+	frame, err := wire.Encode(msg)
+	if err != nil {
+		s.counters.SendErrors++
+		return
+	}
+	if _, err := s.conn.WriteToUDP(frame, addr); err != nil {
+		s.counters.SendErrors++
+		return
+	}
+	s.counters.PacketsOut++
+}
+
+// Announce sends a presence announcement to every known peer. Real
+// UPnP would multicast to the SSDP group; a UDP unicast fan-out to past
+// probers is the closest socket-level equivalent and suffices for
+// refreshing registries of CPs that already found the device.
+func (s *DeviceServer) Announce(maxAge time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	for id := range s.peers {
+		s.send(id, core.AnnounceMsg{From: s.id, MaxAge: maxAge})
+	}
+}
+
+// Bye announces a graceful leave to every known peer. The server keeps
+// running (callers typically Close right after).
+func (s *DeviceServer) Bye() {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return
+	}
+	for id := range s.peers {
+		s.send(id, core.ByeMsg{From: s.id})
+	}
+}
+
+// Close stops the engine's timer, closes the socket and waits for the
+// read loop to exit. It is idempotent.
+func (s *DeviceServer) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	s.env.close()
+	s.mu.Unlock()
+	err := s.conn.Close()
+	s.wg.Wait()
+	return err
+}

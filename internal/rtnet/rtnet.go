@@ -1,0 +1,136 @@
+// Package rtnet runs the protocol engines on real UDP sockets and the
+// wall clock — the deployment path the paper motivates ("the algorithm
+// is very simple and can be implemented on large networks of small
+// computing devices such as mobile phones, PDAs, and so on").
+//
+// The exact engine code that runs under the deterministic simulator
+// (internal/simrun) runs here unchanged: rtnet merely implements
+// core.Env with a monotonic clock, a UDP socket and a time.Timer-backed
+// alarm. Engines are single-threaded by contract, so every engine call
+// (packet dispatch, alarm expiry, lifecycle) is serialised under one
+// mutex per node.
+package rtnet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"presence/internal/core"
+	"presence/internal/ident"
+	"presence/internal/wire"
+)
+
+// Counters tracks a node's wire-level activity. Snapshot via the node's
+// Counters method.
+type Counters struct {
+	PacketsIn    uint64
+	PacketsOut   uint64
+	DecodeErrors uint64
+	SendErrors   uint64
+}
+
+// envCore is the shared core.Env implementation for UDP-backed nodes:
+// monotonic clock since construction and a single generation-counted
+// alarm. The embedding node provides sendFn. All methods must be called
+// with the owner's mutex held (engines run under it by contract).
+type envCore struct {
+	epoch  time.Time
+	sendFn func(to ident.NodeID, msg core.Message)
+
+	mu       *sync.Mutex
+	onAlarm  func()
+	timer    *time.Timer
+	alarmGen uint64
+	closed   bool
+}
+
+func newEnvCore(mu *sync.Mutex) *envCore {
+	return &envCore{epoch: time.Now(), mu: mu}
+}
+
+// Now returns the monotonic offset since the node was created. Go's
+// time.Since uses the monotonic clock, so wall-clock jumps do not
+// disturb the protocol timers.
+func (e *envCore) Now() time.Duration { return time.Since(e.epoch) }
+
+// Send transmits a message via the owner's socket.
+func (e *envCore) Send(to ident.NodeID, msg core.Message) { e.sendFn(to, msg) }
+
+// SetAlarm schedules the engine's OnAlarm at the given offset, replacing
+// any pending alarm. A generation counter defeats the inherent
+// time.Timer race: a timer that already fired but has not yet acquired
+// the mutex becomes a no-op once superseded.
+func (e *envCore) SetAlarm(at time.Duration) {
+	e.alarmGen++
+	gen := e.alarmGen
+	d := at - e.Now()
+	if d < 0 {
+		d = 0
+	}
+	if e.timer != nil {
+		e.timer.Stop()
+	}
+	e.timer = time.AfterFunc(d, func() {
+		e.mu.Lock()
+		defer e.mu.Unlock()
+		if e.closed || gen != e.alarmGen {
+			return
+		}
+		e.onAlarm()
+	})
+}
+
+// StopAlarm cancels any pending alarm.
+func (e *envCore) StopAlarm() {
+	e.alarmGen++
+	if e.timer != nil {
+		e.timer.Stop()
+		e.timer = nil
+	}
+}
+
+// close marks the env dead and stops the timer. Callers hold the mutex.
+func (e *envCore) close() {
+	e.closed = true
+	e.alarmGen++
+	if e.timer != nil {
+		e.timer.Stop()
+		e.timer = nil
+	}
+}
+
+// readLoop pumps datagrams from conn into dispatch until the connection
+// is closed. It runs on its own goroutine; dispatch is called without
+// the node mutex held (dispatchers lock it themselves).
+func readLoop(conn *net.UDPConn, dispatch func(from *net.UDPAddr, msg core.Message), counters func(decodeErr bool)) {
+	buf := make([]byte, 2048)
+	for {
+		n, addr, err := conn.ReadFromUDP(buf)
+		if err != nil {
+			// Closed socket (or an unrecoverable error): stop pumping.
+			return
+		}
+		msg, err := wire.Decode(buf[:n])
+		if err != nil {
+			counters(true)
+			continue
+		}
+		counters(false)
+		dispatch(addr, msg)
+	}
+}
+
+// errClosed reports double-close and use-after-close mistakes.
+var errClosed = errors.New("rtnet: node closed")
+
+// resolveUDP parses an address like "127.0.0.1:9300".
+func resolveUDP(addr string) (*net.UDPAddr, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rtnet: resolve %q: %w", addr, err)
+	}
+	return ua, nil
+}

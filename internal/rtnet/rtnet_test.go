@@ -1,0 +1,386 @@
+package rtnet
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"presence/internal/core"
+	"presence/internal/core/dcpp"
+	"presence/internal/core/naive"
+	"presence/internal/core/sapp"
+	"presence/internal/ident"
+)
+
+// fastRetransmit keeps wall-clock test time low while preserving the
+// TOF > TOS shape.
+func fastRetransmit() core.RetransmitConfig {
+	return core.RetransmitConfig{
+		FirstTimeout:   60 * time.Millisecond,
+		RetryTimeout:   40 * time.Millisecond,
+		MaxRetransmits: 3,
+	}
+}
+
+// presenceLog is a thread-safe listener recording events.
+type presenceLog struct {
+	mu    sync.Mutex
+	alive int
+	lost  int
+	byes  int
+}
+
+func (l *presenceLog) DeviceAlive(ident.NodeID, core.CycleResult) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.alive++
+}
+
+func (l *presenceLog) DeviceLost(ident.NodeID, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.lost++
+}
+
+func (l *presenceLog) DeviceBye(ident.NodeID, time.Duration) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.byes++
+}
+
+func (l *presenceLog) snapshot() (alive, lost, byes int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.alive, l.lost, l.byes
+}
+
+func newDCPPServer(t *testing.T) *DeviceServer {
+	t.Helper()
+	srv, err := NewDeviceServer(DeviceServerConfig{ID: 1, ListenAddr: "127.0.0.1:0"},
+		func(env core.Env) (core.Device, error) {
+			return dcpp.NewDevice(1, env, dcpp.DeviceConfig{
+				MinGap:     20 * time.Millisecond,
+				MinCPDelay: 60 * time.Millisecond,
+			})
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
+func newDCPPCP(t *testing.T, id ident.NodeID, addr string, lst core.Listener) *ControlPoint {
+	t.Helper()
+	policy, err := dcpp.NewPolicy(dcpp.PolicyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := NewControlPoint(ControlPointConfig{
+		ID:         id,
+		Device:     1,
+		DeviceAddr: addr,
+		Policy:     policy,
+		Listener:   lst,
+		Retransmit: fastRetransmit(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return cp
+}
+
+func TestConfigValidation(t *testing.T) {
+	build := func(env core.Env) (core.Device, error) { return naive.NewDevice(1, env) }
+	if _, err := NewDeviceServer(DeviceServerConfig{ID: 0, ListenAddr: ":0"}, build); err == nil {
+		t.Error("invalid device id accepted")
+	}
+	if _, err := NewDeviceServer(DeviceServerConfig{ID: 1, ListenAddr: ":0"}, nil); err == nil {
+		t.Error("nil builder accepted")
+	}
+	if _, err := NewDeviceServer(DeviceServerConfig{ID: 1, ListenAddr: "not-an-addr:xx"}, build); err == nil {
+		t.Error("bad address accepted")
+	}
+	policy, _ := naive.NewPolicy(time.Second)
+	if _, err := NewControlPoint(ControlPointConfig{ID: 0, Device: 1, DeviceAddr: "127.0.0.1:1", Policy: policy}); err == nil {
+		t.Error("invalid CP id accepted")
+	}
+	if _, err := NewControlPoint(ControlPointConfig{ID: 2, Device: 1, DeviceAddr: "127.0.0.1:1"}); err == nil {
+		t.Error("nil policy accepted")
+	}
+}
+
+func TestDCPPOverLoopback(t *testing.T) {
+	srv := newDCPPServer(t)
+	defer srv.Close()
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr().String()
+
+	logs := make([]*presenceLog, 3)
+	cps := make([]*ControlPoint, 3)
+	for i := range cps {
+		logs[i] = &presenceLog{}
+		cps[i] = newDCPPCP(t, ident.NodeID(i+2), addr, logs[i])
+		if err := cps[i].Start(); err != nil {
+			t.Fatal(err)
+		}
+		defer cps[i].Close()
+	}
+
+	// 3 CPs at f_max = 1/60ms ≈ 16.7/s each would be 50/s, above
+	// L_nom = 50/s? MinGap 20ms ⇒ L_nom = 50/s; 3 CPs × 16.7 = 50 ⇒ at
+	// the crossover. Let them run ~1.5 s: each CP should complete ≥10
+	// cycles.
+	deadline := time.After(1500 * time.Millisecond)
+	<-deadline
+	for i, cp := range cps {
+		st := cp.Stats()
+		if st.CyclesOK < 10 {
+			t.Fatalf("cp%d completed only %d cycles", i, st.CyclesOK)
+		}
+		alive, lost, _ := logs[i].snapshot()
+		if alive < 10 || lost != 0 {
+			t.Fatalf("cp%d events: alive=%d lost=%d", i, alive, lost)
+		}
+	}
+	if c := srv.Counters(); c.PacketsIn < 30 || c.PacketsOut < 30 {
+		t.Fatalf("server counters = %+v", c)
+	}
+}
+
+func TestCrashDetectionOverLoopback(t *testing.T) {
+	srv := newDCPPServer(t)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	addr := srv.Addr().String()
+	log := &presenceLog{}
+	cp := newDCPPCP(t, 2, addr, log)
+	if err := cp.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+
+	// Let a few cycles succeed, then crash the device silently.
+	time.Sleep(400 * time.Millisecond)
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Worst case: current wait (≤60 ms) + TOF + 3·TOS = 60+60+120 = 240 ms,
+	// plus scheduling slack.
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, lost, _ := log.snapshot(); lost > 0 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	alive, lost, _ := log.snapshot()
+	if lost != 1 {
+		t.Fatalf("lost events = %d (alive=%d), want 1", lost, alive)
+	}
+	if !cp.Stopped() {
+		t.Fatal("prober still running after loss")
+	}
+	// Restart: device is gone, so the CP loses it again.
+	if err := cp.Restart(); err != nil {
+		t.Fatal(err)
+	}
+	deadline = time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, lost, _ := log.snapshot(); lost == 2 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("restarted prober never re-detected the absent device")
+}
+
+func TestByeOverLoopback(t *testing.T) {
+	srv := newDCPPServer(t)
+	defer srv.Close()
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	log := &presenceLog{}
+	cp := newDCPPCP(t, 2, srv.Addr().String(), log)
+	if err := cp.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	time.Sleep(300 * time.Millisecond)
+	srv.Bye()
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		if _, _, byes := log.snapshot(); byes == 1 {
+			if _, lost, _ := log.snapshot(); lost != 0 {
+				t.Fatal("graceful leave also reported as crash")
+			}
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("bye never delivered")
+}
+
+func TestSAPPOverLoopback(t *testing.T) {
+	srv, err := NewDeviceServer(DeviceServerConfig{ID: 1, ListenAddr: "127.0.0.1:0"},
+		func(env core.Env) (core.Device, error) {
+			return sapp.NewDevice(1, env, sapp.DefaultDeviceConfig())
+		})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cpCfg := sapp.DefaultCPConfig()
+	cpCfg.MinDelay = 20 * time.Millisecond
+	cpCfg.MaxDelay = 200 * time.Millisecond
+	policy, err := sapp.NewPolicy(cpCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	log := &presenceLog{}
+	cp, err := NewControlPoint(ControlPointConfig{
+		ID: 2, Device: 1, DeviceAddr: srv.Addr().String(),
+		Policy: policy, Listener: log, Retransmit: fastRetransmit(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	if err := cp.Start(); err != nil {
+		t.Fatal(err)
+	}
+	time.Sleep(time.Second)
+	alive, lost, _ := log.snapshot()
+	if alive < 5 || lost != 0 {
+		t.Fatalf("SAPP over UDP: alive=%d lost=%d", alive, lost)
+	}
+	if policy.LastLoad() == 0 {
+		t.Fatal("SAPP policy never computed an experienced load")
+	}
+}
+
+func TestDoubleStartAndDoubleClose(t *testing.T) {
+	srv := newDCPPServer(t)
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Start(); err == nil {
+		t.Error("second Start accepted")
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatalf("second Close errored: %v", err)
+	}
+	cp := newDCPPCP(t, 2, "127.0.0.1:1", nil)
+	if err := cp.Start(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Start(); err == nil {
+		t.Error("second CP Start accepted")
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := cp.Close(); err != nil {
+		t.Fatalf("second CP Close errored: %v", err)
+	}
+	if err := cp.Restart(); err == nil {
+		t.Error("Restart after Close accepted")
+	}
+}
+
+func TestGarbagePacketsIgnored(t *testing.T) {
+	srv := newDCPPServer(t)
+	defer srv.Close()
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Throw garbage at the device socket; it must neither crash nor
+	// reply.
+	conn, err := newGarbageConn(srv.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	for i := 0; i < 10; i++ {
+		if _, err := conn.Write([]byte("definitely not a frame")); err != nil {
+			t.Fatal(err)
+		}
+	}
+	time.Sleep(200 * time.Millisecond)
+	c := srv.Counters()
+	if c.DecodeErrors < 10 {
+		t.Fatalf("decode errors = %d, want ≥10", c.DecodeErrors)
+	}
+	if c.PacketsOut != 0 {
+		t.Fatalf("device replied to garbage: %+v", c)
+	}
+}
+
+// newGarbageConn dials a raw UDP connection for fault-injection tests.
+func newGarbageConn(addr string) (*net.UDPConn, error) {
+	ua, err := net.ResolveUDPAddr("udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return net.DialUDP("udp", nil, ua)
+}
+
+func TestAnnounceOverLoopback(t *testing.T) {
+	srv := newDCPPServer(t)
+	defer srv.Close()
+	if err := srv.Start(); err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	var announces []core.AnnounceMsg
+	policy, err := dcpp.NewPolicy(dcpp.PolicyConfig{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := NewControlPoint(ControlPointConfig{
+		ID: 2, Device: 1, DeviceAddr: srv.Addr().String(),
+		Policy: policy, Retransmit: fastRetransmit(),
+		OnAnnounce: func(m core.AnnounceMsg) {
+			mu.Lock()
+			defer mu.Unlock()
+			announces = append(announces, m)
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	if err := cp.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// The device learns the CP's address from its first probe; then the
+	// announcement can reach it.
+	time.Sleep(200 * time.Millisecond)
+	srv.Announce(60 * time.Second)
+	deadline := time.Now().Add(2 * time.Second)
+	for time.Now().Before(deadline) {
+		mu.Lock()
+		n := len(announces)
+		mu.Unlock()
+		if n > 0 {
+			mu.Lock()
+			defer mu.Unlock()
+			if announces[0].From != 1 || announces[0].MaxAge != 60*time.Second {
+				t.Fatalf("announce = %+v", announces[0])
+			}
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatal("announcement never arrived")
+}

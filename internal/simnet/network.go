@@ -1,0 +1,213 @@
+package simnet
+
+import (
+	"fmt"
+	"sort"
+
+	"presence/internal/des"
+	"presence/internal/ident"
+	"presence/internal/rng"
+	"presence/internal/stats"
+)
+
+// Handler receives a delivered message on the owning node's port.
+type Handler func(from ident.NodeID, msg any)
+
+// Config parameterises a Network.
+type Config struct {
+	// Delay is the one-way latency model. Defaults to PaperModes.
+	Delay DelayModel
+	// Loss decides in-transit drops. Defaults to NoLoss.
+	Loss LossModel
+	// BufferCap bounds the number of in-flight messages; sends beyond it
+	// are dropped ("to avoid buffer overruns, the network buffer size has
+	// been fixed to 20,000 elements"). Zero means the paper's 20 000.
+	BufferCap int
+	// DuplicateP duplicates each accepted message with this probability
+	// (the copy draws its own delay, so duplicates typically reorder).
+	// UDP can duplicate datagrams; the engines' cycle/attempt numbering
+	// must tolerate it.
+	DuplicateP float64
+}
+
+func (c *Config) applyDefaults() {
+	if c.Delay == nil {
+		c.Delay = PaperModes()
+	}
+	if c.Loss == nil {
+		c.Loss = NoLoss{}
+	}
+	if c.BufferCap == 0 {
+		c.BufferCap = 20000
+	}
+}
+
+// Counters aggregates the network's message accounting.
+type Counters struct {
+	Sent         uint64 // accepted into the network
+	Delivered    uint64
+	LostInFlight uint64 // dropped by the loss model
+	Overflowed   uint64 // dropped because the buffer was full
+	Blocked      uint64 // dropped by a partition rule
+	Unroutable   uint64 // destination not attached at delivery time
+	Duplicated   uint64 // extra copies injected by DuplicateP
+}
+
+// Network is a simulated message transport bound to a DES. It is
+// single-threaded, like everything driven by the event loop.
+type Network struct {
+	sim   *des.Simulation
+	r     *rng.Rand
+	cfg   Config
+	ports map[ident.NodeID]Handler
+
+	inFlight  int
+	counters  Counters
+	occupancy stats.TimeWeighted
+
+	blocked map[linkKey]bool
+}
+
+type linkKey struct {
+	from, to ident.NodeID
+}
+
+// New creates a network on the given simulation. The RNG should be a
+// dedicated fork (e.g. root.Fork("net")) so network draws do not perturb
+// other components.
+func New(sim *des.Simulation, r *rng.Rand, cfg Config) *Network {
+	cfg.applyDefaults()
+	n := &Network{
+		sim:     sim,
+		r:       r,
+		cfg:     cfg,
+		ports:   make(map[ident.NodeID]Handler),
+		blocked: make(map[linkKey]bool),
+	}
+	n.occupancy.Observe(sim.Now(), 0)
+	return n
+}
+
+// Attach registers a handler for a node id. Attaching an already-attached
+// id is a programming error and panics.
+func (n *Network) Attach(id ident.NodeID, h Handler) {
+	if !id.Valid() {
+		panic("simnet: attaching invalid node id")
+	}
+	if h == nil {
+		panic("simnet: attaching nil handler")
+	}
+	if _, dup := n.ports[id]; dup {
+		panic(fmt.Sprintf("simnet: node %v already attached", id))
+	}
+	n.ports[id] = h
+}
+
+// Detach removes a node. In-flight messages towards it are counted as
+// unroutable on delivery. Detaching an unknown id is a no-op (a node that
+// crashed twice is still crashed).
+func (n *Network) Detach(id ident.NodeID) {
+	delete(n.ports, id)
+}
+
+// Attached reports whether the id currently has a handler.
+func (n *Network) Attached(id ident.NodeID) bool {
+	_, ok := n.ports[id]
+	return ok
+}
+
+// Block drops all future messages from one node to another until Unblock.
+// Use two calls for a symmetric partition.
+func (n *Network) Block(from, to ident.NodeID) {
+	n.blocked[linkKey{from, to}] = true
+}
+
+// Unblock removes a Block rule.
+func (n *Network) Unblock(from, to ident.NodeID) {
+	delete(n.blocked, linkKey{from, to})
+}
+
+// Send puts a message in flight from one node to another. Messages may be
+// dropped (loss model, buffer overflow, blocked link) or reordered
+// (random delays); this mirrors UDP, which the real runtime uses.
+// Sending to ident.Broadcast delivers an independent copy to every
+// attached node except the sender (the SSDP-multicast stand-in); each
+// copy draws its own delay and loss.
+func (n *Network) Send(from, to ident.NodeID, msg any) {
+	if to == ident.Broadcast {
+		ids := make([]ident.NodeID, 0, len(n.ports))
+		for id := range n.ports {
+			if id != from {
+				ids = append(ids, id)
+			}
+		}
+		// Map iteration order is random at the language level; sort for
+		// deterministic replay.
+		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+		for _, id := range ids {
+			n.Send(from, id, msg)
+		}
+		return
+	}
+	if n.blocked[linkKey{from, to}] {
+		n.counters.Blocked++
+		return
+	}
+	if n.cfg.Loss.Lose(n.r) {
+		n.counters.LostInFlight++
+		return
+	}
+	if n.inFlight >= n.cfg.BufferCap {
+		n.counters.Overflowed++
+		return
+	}
+	n.counters.Sent++
+	n.transmit(from, to, msg)
+	if n.cfg.DuplicateP > 0 && n.r.Bool(n.cfg.DuplicateP) && n.inFlight < n.cfg.BufferCap {
+		n.counters.Duplicated++
+		n.transmit(from, to, msg)
+	}
+}
+
+// transmit puts one copy of a message in flight.
+func (n *Network) transmit(from, to ident.NodeID, msg any) {
+	n.inFlight++
+	n.occupancy.Observe(n.sim.Now(), float64(n.inFlight))
+	delay := n.cfg.Delay.Delay(n.r)
+	if delay < 0 {
+		delay = 0
+	}
+	n.sim.After(delay, func() {
+		n.inFlight--
+		n.occupancy.Observe(n.sim.Now(), float64(n.inFlight))
+		h, ok := n.ports[to]
+		if !ok {
+			n.counters.Unroutable++
+			return
+		}
+		n.counters.Delivered++
+		h(from, msg)
+	})
+}
+
+// Counters returns a snapshot of the message accounting.
+func (n *Network) Counters() Counters { return n.counters }
+
+// InFlight returns the current number of messages in transit.
+func (n *Network) InFlight() int { return n.inFlight }
+
+// BufferOccupancy closes the occupancy window at the current simulation
+// time and returns the time-weighted statistics of the in-flight count —
+// the paper's "average buffer length" (reported as ≈0.004 for the SAPP
+// steady state).
+func (n *Network) BufferOccupancy() *stats.TimeWeighted {
+	n.occupancy.Finish(n.sim.Now())
+	return &n.occupancy
+}
+
+// ResetBufferStats restarts the occupancy measurement at the current
+// simulation time — used to discard a steady-state run's warmup phase.
+func (n *Network) ResetBufferStats() {
+	n.occupancy.Reset()
+	n.occupancy.Observe(n.sim.Now(), float64(n.inFlight))
+}

@@ -1,0 +1,347 @@
+package simnet
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"presence/internal/des"
+	"presence/internal/ident"
+	"presence/internal/rng"
+)
+
+func newWorld(t *testing.T, cfg Config) (*des.Simulation, *Network) {
+	t.Helper()
+	sim := des.New()
+	return sim, New(sim, rng.New(1).Fork("net"), cfg)
+}
+
+func TestDeliverySingleMessage(t *testing.T) {
+	sim, net := newWorld(t, Config{Delay: Constant(time.Millisecond)})
+	var gotFrom ident.NodeID
+	var gotMsg any
+	net.Attach(2, func(from ident.NodeID, msg any) { gotFrom, gotMsg = from, msg })
+	net.Attach(1, func(ident.NodeID, any) {})
+	net.Send(1, 2, "ping")
+	sim.RunUntilIdle()
+	if gotFrom != 1 || gotMsg != "ping" {
+		t.Fatalf("delivered (%v, %v), want (1, ping)", gotFrom, gotMsg)
+	}
+	if sim.Now() != time.Millisecond {
+		t.Fatalf("delivery at %v, want 1ms", sim.Now())
+	}
+	c := net.Counters()
+	if c.Sent != 1 || c.Delivered != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestDelayModelsRespectBounds(t *testing.T) {
+	r := rng.New(2)
+	models := []struct {
+		name   string
+		m      DelayModel
+		lo, hi time.Duration
+	}{
+		{"constant", Constant(5 * time.Millisecond), 5 * time.Millisecond, 5 * time.Millisecond},
+		{"modes", PaperModes(), 100 * time.Microsecond, 500 * time.Microsecond},
+		{"uniform", UniformDelay{Lo: time.Millisecond, Hi: 2 * time.Millisecond}, time.Millisecond, 2 * time.Millisecond},
+		{"exp-capped", ExponentialDelay{Mean: time.Millisecond, Cap: 10 * time.Millisecond}, 0, 10 * time.Millisecond},
+	}
+	for _, m := range models {
+		for i := 0; i < 1000; i++ {
+			d := m.m.Delay(r)
+			if d < m.lo || d > m.hi {
+				t.Fatalf("%s: delay %v outside [%v, %v]", m.name, d, m.lo, m.hi)
+			}
+		}
+	}
+}
+
+func TestPaperModesUniformChoice(t *testing.T) {
+	r := rng.New(3)
+	m := PaperModes()
+	counts := map[time.Duration]int{}
+	const n = 30000
+	for i := 0; i < n; i++ {
+		counts[m.Delay(r)]++
+	}
+	if len(counts) != 3 {
+		t.Fatalf("saw %d distinct modes, want 3", len(counts))
+	}
+	for d, c := range counts {
+		if c < 9000 || c > 11000 {
+			t.Fatalf("mode %v drawn %d/%d times, want ≈1/3", d, c, n)
+		}
+	}
+}
+
+func TestBernoulliLossRate(t *testing.T) {
+	r := rng.New(4)
+	loss := Bernoulli{P: 0.2}
+	lost := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if loss.Lose(r) {
+			lost++
+		}
+	}
+	if rate := float64(lost) / n; math.Abs(rate-0.2) > 0.01 {
+		t.Fatalf("loss rate = %g, want ≈0.2", rate)
+	}
+}
+
+func TestGilbertElliottBursts(t *testing.T) {
+	r := rng.New(5)
+	g := &GilbertElliott{GoodToBad: 0.01, BadToGood: 0.1, LossGood: 0, LossBad: 1}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Mean burst length must exceed what independent losses at the same
+	// overall rate would give: count runs of consecutive losses.
+	losses, bursts := 0, 0
+	inBurst := false
+	const n = 200000
+	for i := 0; i < n; i++ {
+		if g.Lose(r) {
+			losses++
+			if !inBurst {
+				bursts++
+				inBurst = true
+			}
+		} else {
+			inBurst = false
+		}
+	}
+	if losses == 0 || bursts == 0 {
+		t.Fatal("Gilbert-Elliott channel produced no losses")
+	}
+	meanBurst := float64(losses) / float64(bursts)
+	if meanBurst < 3 {
+		t.Fatalf("mean burst length = %g, expected bursty (≥3)", meanBurst)
+	}
+}
+
+func TestGilbertElliottValidate(t *testing.T) {
+	bad := &GilbertElliott{GoodToBad: 1.5}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("invalid probability accepted")
+	}
+}
+
+func TestLossDropsMessages(t *testing.T) {
+	sim, net := newWorld(t, Config{Delay: Constant(0), Loss: Bernoulli{P: 1}})
+	delivered := 0
+	net.Attach(2, func(ident.NodeID, any) { delivered++ })
+	for i := 0; i < 10; i++ {
+		net.Send(1, 2, i)
+	}
+	sim.RunUntilIdle()
+	if delivered != 0 {
+		t.Fatalf("delivered %d messages through a 100%%-loss channel", delivered)
+	}
+	if c := net.Counters(); c.LostInFlight != 10 {
+		t.Fatalf("LostInFlight = %d, want 10", c.LostInFlight)
+	}
+}
+
+func TestBufferOverflowDrops(t *testing.T) {
+	sim, net := newWorld(t, Config{Delay: Constant(time.Second), BufferCap: 3})
+	delivered := 0
+	net.Attach(2, func(ident.NodeID, any) { delivered++ })
+	for i := 0; i < 10; i++ {
+		net.Send(1, 2, i)
+	}
+	if net.InFlight() != 3 {
+		t.Fatalf("InFlight = %d, want 3", net.InFlight())
+	}
+	sim.RunUntilIdle()
+	if delivered != 3 {
+		t.Fatalf("delivered %d, want 3", delivered)
+	}
+	if c := net.Counters(); c.Overflowed != 7 {
+		t.Fatalf("Overflowed = %d, want 7", c.Overflowed)
+	}
+}
+
+func TestUnroutableWhenDetached(t *testing.T) {
+	sim, net := newWorld(t, Config{Delay: Constant(time.Millisecond)})
+	delivered := 0
+	net.Attach(2, func(ident.NodeID, any) { delivered++ })
+	net.Send(1, 2, "a")
+	net.Detach(2) // device crashes while the message is in flight
+	sim.RunUntilIdle()
+	if delivered != 0 {
+		t.Fatal("message delivered to detached node")
+	}
+	if c := net.Counters(); c.Unroutable != 1 {
+		t.Fatalf("Unroutable = %d, want 1", c.Unroutable)
+	}
+}
+
+func TestSendToNeverAttached(t *testing.T) {
+	sim, net := newWorld(t, Config{Delay: Constant(0)})
+	net.Send(1, 99, "void")
+	sim.RunUntilIdle()
+	if c := net.Counters(); c.Unroutable != 1 {
+		t.Fatalf("Unroutable = %d, want 1", c.Unroutable)
+	}
+}
+
+func TestBlockAndUnblock(t *testing.T) {
+	sim, net := newWorld(t, Config{Delay: Constant(0)})
+	delivered := 0
+	net.Attach(2, func(ident.NodeID, any) { delivered++ })
+	net.Block(1, 2)
+	net.Send(1, 2, "blocked")
+	sim.RunUntilIdle()
+	if delivered != 0 {
+		t.Fatal("blocked link delivered a message")
+	}
+	// Direction matters: 2→1 is unaffected.
+	net.Attach(1, func(ident.NodeID, any) { delivered++ })
+	net.Send(2, 1, "reverse")
+	sim.RunUntilIdle()
+	if delivered != 1 {
+		t.Fatal("reverse direction should deliver")
+	}
+	net.Unblock(1, 2)
+	net.Send(1, 2, "after")
+	sim.RunUntilIdle()
+	if delivered != 2 {
+		t.Fatal("unblocked link did not deliver")
+	}
+	if c := net.Counters(); c.Blocked != 1 {
+		t.Fatalf("Blocked = %d, want 1", c.Blocked)
+	}
+}
+
+func TestDuplicateAttachPanics(t *testing.T) {
+	_, net := newWorld(t, Config{})
+	net.Attach(1, func(ident.NodeID, any) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate attach must panic")
+		}
+	}()
+	net.Attach(1, func(ident.NodeID, any) {})
+}
+
+func TestAttachInvalidIDPanics(t *testing.T) {
+	_, net := newWorld(t, Config{})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("attach of ident.None must panic")
+		}
+	}()
+	net.Attach(ident.None, func(ident.NodeID, any) {})
+}
+
+func TestBufferOccupancyLittleLaw(t *testing.T) {
+	// λ messages/s with constant one-way delay W ⇒ mean occupancy λ·W
+	// (Little's law). 100 msgs/s × 10 ms = 1.0.
+	sim, net := newWorld(t, Config{Delay: Constant(10 * time.Millisecond)})
+	net.Attach(2, func(ident.NodeID, any) {})
+	period := 10 * time.Millisecond
+	var tick func()
+	count := 0
+	tick = func() {
+		net.Send(1, 2, count)
+		count++
+		if count < 10000 {
+			sim.After(period, tick)
+		}
+	}
+	sim.After(0, tick)
+	sim.RunUntilIdle()
+	occ := net.BufferOccupancy()
+	if math.Abs(occ.Mean()-1.0) > 0.05 {
+		t.Fatalf("mean occupancy = %g, want ≈1.0 (Little's law)", occ.Mean())
+	}
+}
+
+func TestDeterministicDelivery(t *testing.T) {
+	run := func() []time.Duration {
+		sim := des.New()
+		net := New(sim, rng.New(42).Fork("net"), Config{})
+		var at []time.Duration
+		net.Attach(2, func(ident.NodeID, any) { at = append(at, sim.Now()) })
+		for i := 0; i < 100; i++ {
+			net.Send(1, 2, i)
+		}
+		sim.RunUntilIdle()
+		return at
+	}
+	a, b := run(), run()
+	if len(a) != len(b) {
+		t.Fatalf("runs delivered %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("delivery %d at %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func BenchmarkSendDeliver(b *testing.B) {
+	sim := des.New()
+	net := New(sim, rng.New(1).Fork("net"), Config{})
+	net.Attach(2, func(ident.NodeID, any) {})
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		net.Send(1, 2, i)
+		if i%1024 == 1023 {
+			sim.RunUntilIdle()
+		}
+	}
+	sim.RunUntilIdle()
+}
+
+func TestDuplication(t *testing.T) {
+	sim, net := newWorld(t, Config{Delay: Constant(time.Millisecond), DuplicateP: 1})
+	delivered := 0
+	net.Attach(2, func(ident.NodeID, any) { delivered++ })
+	for i := 0; i < 50; i++ {
+		net.Send(1, 2, i)
+	}
+	sim.RunUntilIdle()
+	if delivered != 100 {
+		t.Fatalf("delivered %d with DuplicateP=1, want 100", delivered)
+	}
+	c := net.Counters()
+	if c.Sent != 50 || c.Duplicated != 50 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestDuplicationRate(t *testing.T) {
+	sim, net := newWorld(t, Config{Delay: Constant(0), DuplicateP: 0.25})
+	delivered := 0
+	net.Attach(2, func(ident.NodeID, any) { delivered++ })
+	const n = 20000
+	for i := 0; i < n; i++ {
+		net.Send(1, 2, i)
+		if i%100 == 99 {
+			sim.RunUntilIdle() // drain so the buffer cap is never hit
+		}
+	}
+	sim.RunUntilIdle()
+	rate := float64(delivered-n) / n
+	if math.Abs(rate-0.25) > 0.02 {
+		t.Fatalf("duplication rate = %g, want ≈0.25", rate)
+	}
+}
+
+func TestDuplicateRespectsBufferCap(t *testing.T) {
+	sim, net := newWorld(t, Config{Delay: Constant(time.Second), DuplicateP: 1, BufferCap: 1})
+	delivered := 0
+	net.Attach(2, func(ident.NodeID, any) { delivered++ })
+	net.Send(1, 2, "x") // original takes the only buffer slot; duplicate suppressed
+	if net.InFlight() != 1 {
+		t.Fatalf("InFlight = %d, want 1", net.InFlight())
+	}
+	sim.RunUntilIdle()
+	if delivered != 1 {
+		t.Fatalf("delivered %d, want 1", delivered)
+	}
+}

@@ -1,0 +1,80 @@
+package simrun
+
+import (
+	"time"
+
+	"presence/internal/stats"
+)
+
+// LoadRecorder bins an event stream (probe arrivals at the device) into
+// fixed-width windows and exposes the per-bin rates as both a time series
+// (the Fig. 5 device-load trace) and aggregate statistics (the paper's
+// steady-state load mean/variance, e.g. 9.7 and 20.0 for DCPP under
+// churn).
+type LoadRecorder struct {
+	bin      time.Duration
+	binStart time.Duration
+	count    int
+	total    uint64
+	series   *stats.TimeSeries
+	welford  stats.Welford
+}
+
+// NewLoadRecorder returns a recorder with the given bin width, starting
+// at time start.
+func NewLoadRecorder(name string, bin time.Duration, start time.Duration) *LoadRecorder {
+	if bin <= 0 {
+		bin = time.Second
+	}
+	return &LoadRecorder{
+		bin:      bin,
+		binStart: start,
+		series:   stats.NewTimeSeries(name),
+	}
+}
+
+// Record counts one event at time now.
+func (l *LoadRecorder) Record(now time.Duration) {
+	l.advanceTo(now)
+	l.count++
+	l.total++
+}
+
+// Flush closes all bins ending at or before now. Call once at the end of
+// a run before reading statistics.
+func (l *LoadRecorder) Flush(now time.Duration) {
+	l.advanceTo(now)
+}
+
+// advanceTo emits every complete bin before now, zero-filling gaps.
+func (l *LoadRecorder) advanceTo(now time.Duration) {
+	for l.binStart+l.bin <= now {
+		rate := float64(l.count) / l.bin.Seconds()
+		l.series.Add(l.binStart+l.bin, rate)
+		l.welford.Add(rate)
+		l.count = 0
+		l.binStart += l.bin
+	}
+}
+
+// Reset discards all measurements and restarts binning at now — used to
+// drop a warmup phase.
+func (l *LoadRecorder) Reset(now time.Duration) {
+	l.count = 0
+	l.total = 0
+	l.binStart = now
+	l.series = stats.NewTimeSeries(l.series.Name())
+	l.welford.Reset()
+}
+
+// Series returns the per-bin rate time series.
+func (l *LoadRecorder) Series() *stats.TimeSeries { return l.series }
+
+// Stats returns the aggregate per-bin rate statistics.
+func (l *LoadRecorder) Stats() stats.Welford { return l.welford }
+
+// Total returns the number of recorded events since the last reset.
+func (l *LoadRecorder) Total() uint64 { return l.total }
+
+// BinWidth returns the recorder's bin width.
+func (l *LoadRecorder) BinWidth() time.Duration { return l.bin }

@@ -1,0 +1,136 @@
+package simrun
+
+import (
+	"fmt"
+	"time"
+
+	"presence/internal/rng"
+)
+
+// ScheduleMassLeave arranges for the active CP population to drop to
+// `remaining` at time `at` — the Fig. 4 scenario ("20 CPs, 18 CPs leave,
+// 2 CPs left"). The leavers are chosen uniformly at random from the CPs
+// active at that moment.
+func (w *World) ScheduleMassLeave(at time.Duration, remaining int) error {
+	if remaining < 0 {
+		return fmt.Errorf("simrun: remaining %d must be non-negative", remaining)
+	}
+	w.sim.At(at, func() {
+		active := w.ActiveCPs()
+		leave := len(active) - remaining
+		if leave <= 0 {
+			return
+		}
+		perm := w.churnRand.Perm(len(active))
+		for i := 0; i < leave; i++ {
+			w.RemoveCP(active[perm[i]].ID)
+		}
+	})
+	return nil
+}
+
+// UniformChurn is the paper's Fig. 5 worst-case dynamic scenario: "the
+// number of active CPs is uniformly chosen from the set {1, ..., 60}.
+// This choice is repeated every X time-units, where X is exponentially
+// distributed with rate 0.05."
+type UniformChurn struct {
+	// Min and Max bound the uniform population draw (paper: 1 and 60).
+	Min, Max int
+	// Rate is the redraw rate in events per second (paper: 0.05, i.e.
+	// the population changes every 20 s on average).
+	Rate float64
+}
+
+// DefaultUniformChurn returns the paper's churn parameters.
+func DefaultUniformChurn() UniformChurn {
+	return UniformChurn{Min: 1, Max: 60, Rate: 0.05}
+}
+
+// Validate checks the churn parameters.
+func (c UniformChurn) Validate() error {
+	if c.Min < 0 || c.Max < c.Min {
+		return fmt.Errorf("simrun: churn population bounds [%d, %d] invalid", c.Min, c.Max)
+	}
+	if c.Rate <= 0 {
+		return fmt.Errorf("simrun: churn rate %g must be positive", c.Rate)
+	}
+	return nil
+}
+
+// StartChurn draws an initial population immediately and then redraws it
+// at exponentially distributed intervals, adding fresh CPs or removing
+// random active ones to hit each target.
+func (w *World) StartChurn(c UniformChurn) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	r := w.churnRand.Fork("uniform")
+	var redraw func()
+	redraw = func() {
+		target := r.IntBetween(c.Min, c.Max)
+		if err := w.setPopulation(target, r); err != nil {
+			// Construction can only fail on invalid configuration, which
+			// Validate has already excluded; a failure here is a bug.
+			panic(fmt.Sprintf("simrun: churn population change: %v", err))
+		}
+		w.sim.After(r.ExpDuration(c.Rate), redraw)
+	}
+	w.sim.At(w.sim.Now(), redraw)
+	return nil
+}
+
+// setPopulation adds or removes CPs to reach the target count. Removals
+// pick uniformly among active CPs; additions join as fresh CPs unaware
+// of any schedule.
+func (w *World) setPopulation(target int, r *rng.Rand) error {
+	active := w.ActiveCPs()
+	switch {
+	case target > len(active):
+		if _, err := w.AddCPs(target - len(active)); err != nil {
+			return err
+		}
+	case target < len(active):
+		perm := r.Perm(len(active))
+		for i := 0; i < len(active)-target; i++ {
+			w.RemoveCP(active[perm[i]].ID)
+		}
+	}
+	return nil
+}
+
+// AddCPsStaggered schedules n CP joins at independent uniform times in
+// [now, now+spread). The paper keeps its CP population "continuously
+// present" but does not define their start times; staggering avoids the
+// artificial lock-step of all CPs joining in the same instant.
+func (w *World) AddCPsStaggered(n int, spread time.Duration) error {
+	if n < 0 {
+		return fmt.Errorf("simrun: negative CP count %d", n)
+	}
+	if spread < 0 {
+		return fmt.Errorf("simrun: negative spread %v", spread)
+	}
+	r := w.churnRand.Fork("stagger")
+	now := w.sim.Now()
+	for i := 0; i < n; i++ {
+		at := now
+		if spread > 0 {
+			at += r.Duration(0, spread)
+		}
+		w.sim.At(at, func() {
+			if _, err := w.AddCP(); err != nil {
+				panic(fmt.Sprintf("simrun: staggered join: %v", err))
+			}
+		})
+	}
+	return nil
+}
+
+// ScheduleDeviceCrash kills the device silently at time at.
+func (w *World) ScheduleDeviceCrash(at time.Duration) {
+	w.sim.At(at, func() { w.KillDevice() })
+}
+
+// ScheduleDeviceBye makes the device leave gracefully at time at.
+func (w *World) ScheduleDeviceBye(at time.Duration) {
+	w.sim.At(at, func() { w.DeviceBye() })
+}

@@ -1,0 +1,189 @@
+package stats
+
+import (
+	"errors"
+	"fmt"
+	"math"
+)
+
+// BatchMeans implements the batch-means method for steady-state
+// simulation output analysis, the technique the paper used ("a
+// steady-state simulation using the batch-mean technique and confidence
+// interval 0.1 with a confidence level of 0.95").
+//
+// Observations are grouped into consecutive batches of BatchSize; the
+// batch means are treated as approximately independent samples and a
+// Student-t confidence interval is placed on their grand mean. Converged
+// reports when the relative half-width drops below the target. Lag-1
+// autocorrelation of the batch means is exposed so callers (and tests)
+// can check that the batch size is large enough for the independence
+// assumption.
+type BatchMeans struct {
+	batchSize  int
+	level      float64
+	relWidth   float64
+	minBatches int
+
+	cur     Welford
+	batches []float64
+}
+
+// BatchMeansConfig configures a BatchMeans estimator.
+type BatchMeansConfig struct {
+	// BatchSize is the number of raw observations per batch. Must be >= 1.
+	BatchSize int
+	// Level is the confidence level, e.g. 0.95 (the paper's choice).
+	Level float64
+	// RelWidth is the target relative half-width of the confidence
+	// interval, e.g. 0.1 (the paper's choice). Must be > 0.
+	RelWidth float64
+	// MinBatches is the minimum number of completed batches before
+	// convergence may be declared. Defaults to 10 if zero.
+	MinBatches int
+}
+
+// NewBatchMeans returns an estimator for the given configuration.
+func NewBatchMeans(cfg BatchMeansConfig) (*BatchMeans, error) {
+	if cfg.BatchSize < 1 {
+		return nil, fmt.Errorf("stats: batch size %d < 1", cfg.BatchSize)
+	}
+	if !(cfg.Level > 0 && cfg.Level < 1) {
+		return nil, fmt.Errorf("stats: confidence level %g outside (0,1)", cfg.Level)
+	}
+	if cfg.RelWidth <= 0 {
+		return nil, errors.New("stats: relative width must be positive")
+	}
+	mb := cfg.MinBatches
+	if mb == 0 {
+		mb = 10
+	}
+	if mb < 2 {
+		return nil, fmt.Errorf("stats: MinBatches %d < 2", mb)
+	}
+	return &BatchMeans{
+		batchSize:  cfg.BatchSize,
+		level:      cfg.Level,
+		relWidth:   cfg.RelWidth,
+		minBatches: mb,
+	}, nil
+}
+
+// Add feeds one raw observation.
+func (b *BatchMeans) Add(x float64) {
+	b.cur.Add(x)
+	if int(b.cur.Count()) >= b.batchSize {
+		b.batches = append(b.batches, b.cur.Mean())
+		b.cur.Reset()
+	}
+}
+
+// Batches returns the number of completed batches.
+func (b *BatchMeans) Batches() int { return len(b.batches) }
+
+// Mean returns the grand mean over completed batches (NaN if none).
+func (b *BatchMeans) Mean() float64 {
+	if len(b.batches) == 0 {
+		return math.NaN()
+	}
+	var w Welford
+	for _, m := range b.batches {
+		w.Add(m)
+	}
+	return w.Mean()
+}
+
+// HalfWidth returns the absolute half-width of the confidence interval on
+// the grand mean (+Inf with fewer than two batches).
+func (b *BatchMeans) HalfWidth() float64 {
+	if len(b.batches) < 2 {
+		return math.Inf(1)
+	}
+	var w Welford
+	for _, m := range b.batches {
+		w.Add(m)
+	}
+	return w.ConfidenceInterval(b.level)
+}
+
+// Converged reports whether the confidence interval's relative half-width
+// |hw/mean| has reached the target with at least MinBatches batches. For
+// means near zero the absolute half-width is compared against the target
+// instead (relative width is meaningless at zero).
+func (b *BatchMeans) Converged() bool {
+	if len(b.batches) < b.minBatches {
+		return false
+	}
+	hw := b.HalfWidth()
+	m := b.Mean()
+	if math.Abs(m) < 1e-12 {
+		return hw < b.relWidth
+	}
+	return hw/math.Abs(m) < b.relWidth
+}
+
+// Lag1Autocorrelation returns the lag-1 autocorrelation of the batch
+// means, a diagnostic for batch-size adequacy (values near 0 support the
+// independence assumption). Returns NaN with fewer than three batches.
+func (b *BatchMeans) Lag1Autocorrelation() float64 {
+	n := len(b.batches)
+	if n < 3 {
+		return math.NaN()
+	}
+	var w Welford
+	for _, m := range b.batches {
+		w.Add(m)
+	}
+	mean := w.Mean()
+	var num, den float64
+	for i, m := range b.batches {
+		d := m - mean
+		den += d * d
+		if i > 0 {
+			num += (b.batches[i-1] - mean) * d
+		}
+	}
+	if den == 0 {
+		return 0
+	}
+	return num / den
+}
+
+// Rebatch doubles the batch size by pairing adjacent batch means. This is
+// the classic remedy when Lag1Autocorrelation is too high. A trailing
+// unpaired batch is dropped. The partially filled current batch is
+// unaffected (it keeps filling at the old size until completed, which is
+// acceptable for the long runs used here).
+func (b *BatchMeans) Rebatch() {
+	b.batchSize *= 2
+	merged := make([]float64, 0, len(b.batches)/2)
+	for i := 0; i+1 < len(b.batches); i += 2 {
+		merged = append(merged, (b.batches[i]+b.batches[i+1])/2)
+	}
+	b.batches = merged
+}
+
+// Result summarises the estimate.
+type Result struct {
+	Mean      float64
+	HalfWidth float64
+	Level     float64
+	Batches   int
+	Lag1      float64
+}
+
+// Result returns the current estimate summary.
+func (b *BatchMeans) Result() Result {
+	return Result{
+		Mean:      b.Mean(),
+		HalfWidth: b.HalfWidth(),
+		Level:     b.level,
+		Batches:   len(b.batches),
+		Lag1:      b.Lag1Autocorrelation(),
+	}
+}
+
+// String renders the result as "mean ± hw (level, batches)".
+func (r Result) String() string {
+	return fmt.Sprintf("%.4g ± %.3g (%.0f%%, %d batches, lag1=%.2f)",
+		r.Mean, r.HalfWidth, r.Level*100, r.Batches, r.Lag1)
+}

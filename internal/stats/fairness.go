@@ -1,0 +1,27 @@
+package stats
+
+// JainIndex returns Jain's fairness index of the given allocations:
+//
+//	J = (Σxᵢ)² / (n · Σxᵢ²)
+//
+// J is 1 when all allocations are equal and approaches 1/n when one node
+// takes everything. The paper's central finding is that SAPP's probe
+// frequencies are unfair (some CPs starve at δ_max while others probe
+// fast); DCPP's are fair by construction. JainIndex quantifies that
+// comparison in the extension experiments.
+//
+// It returns 0 for an empty slice or when all allocations are zero.
+func JainIndex(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var sum, sumSq float64
+	for _, x := range xs {
+		sum += x
+		sumSq += x * x
+	}
+	if sumSq == 0 {
+		return 0
+	}
+	return sum * sum / (float64(len(xs)) * sumSq)
+}

@@ -1,0 +1,91 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Histogram counts observations in equal-width bins over [lo, hi), with
+// explicit underflow and overflow counters. It is used for the per-CP
+// delay distributions in the SAPP steady-state table.
+type Histogram struct {
+	lo, hi float64
+	bins   []uint64
+	under  uint64
+	over   uint64
+	n      uint64
+}
+
+// NewHistogram returns a histogram with the given bounds and bin count.
+func NewHistogram(lo, hi float64, bins int) (*Histogram, error) {
+	if !(hi > lo) {
+		return nil, fmt.Errorf("stats: histogram bounds [%g,%g) empty", lo, hi)
+	}
+	if bins < 1 {
+		return nil, fmt.Errorf("stats: histogram bin count %d < 1", bins)
+	}
+	return &Histogram{lo: lo, hi: hi, bins: make([]uint64, bins)}, nil
+}
+
+// Add records one observation.
+func (h *Histogram) Add(x float64) {
+	h.n++
+	switch {
+	case x < h.lo:
+		h.under++
+	case x >= h.hi:
+		h.over++
+	default:
+		i := int(float64(len(h.bins)) * (x - h.lo) / (h.hi - h.lo))
+		if i == len(h.bins) { // guard float rounding at the upper edge
+			i--
+		}
+		h.bins[i]++
+	}
+}
+
+// Count returns the total number of observations including out-of-range.
+func (h *Histogram) Count() uint64 { return h.n }
+
+// Bin returns the count in bin i.
+func (h *Histogram) Bin(i int) uint64 { return h.bins[i] }
+
+// Bins returns the number of bins.
+func (h *Histogram) Bins() int { return len(h.bins) }
+
+// BinBounds returns the [lo, hi) interval covered by bin i.
+func (h *Histogram) BinBounds(i int) (lo, hi float64) {
+	w := (h.hi - h.lo) / float64(len(h.bins))
+	return h.lo + float64(i)*w, h.lo + float64(i+1)*w
+}
+
+// Underflow and Overflow return the out-of-range counts.
+func (h *Histogram) Underflow() uint64 { return h.under }
+
+// Overflow returns the count of observations at or above the upper bound.
+func (h *Histogram) Overflow() uint64 { return h.over }
+
+// Quantiles computes empirical quantiles of a data slice (nearest-rank
+// method). The input is not modified. Probabilities outside (0,1] are
+// rejected.
+func Quantiles(data []float64, probs ...float64) ([]float64, error) {
+	if len(data) == 0 {
+		return nil, fmt.Errorf("stats: quantiles of empty data")
+	}
+	sorted := make([]float64, len(data))
+	copy(sorted, data)
+	sort.Float64s(sorted)
+	out := make([]float64, len(probs))
+	for i, p := range probs {
+		if !(p > 0 && p <= 1) {
+			return nil, fmt.Errorf("stats: quantile probability %g outside (0,1]", p)
+		}
+		rank := int(math.Ceil(p*float64(len(sorted)))) - 1
+		if rank < 0 {
+			rank = 0
+		}
+		out[i] = sorted[rank]
+	}
+	return out, nil
+}

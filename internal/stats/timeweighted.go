@@ -1,0 +1,107 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// TimeWeighted accumulates the time-weighted mean and variance of a
+// piecewise-constant signal, such as a queue length or the number of
+// active control points. The paper reports the mean network buffer
+// occupancy (≈0.004) this way.
+//
+// Call Observe(t, v) whenever the signal changes to value v at time t;
+// observations must be fed in non-decreasing time order. Statistics cover
+// the span from the first observation to the last Observe/Finish time.
+type TimeWeighted struct {
+	started bool
+	start   time.Duration
+	last    time.Duration
+	value   float64
+	weight  float64 // accumulated seconds
+	mean    float64
+	m2      float64
+	min     float64
+	max     float64
+}
+
+// Observe records that the signal takes value v from time t onward.
+func (tw *TimeWeighted) Observe(t time.Duration, v float64) {
+	if !tw.started {
+		tw.started = true
+		tw.start, tw.last, tw.value = t, t, v
+		tw.min, tw.max = v, v
+		return
+	}
+	if t < tw.last {
+		panic(fmt.Sprintf("stats: TimeWeighted.Observe out of order: %v < %v", t, tw.last))
+	}
+	tw.accumulate(t)
+	tw.value = v
+	if v < tw.min {
+		tw.min = v
+	}
+	if v > tw.max {
+		tw.max = v
+	}
+}
+
+// Finish extends the current value up to time t, closing the measurement
+// window. Further Observe calls may still follow (with t' >= t).
+func (tw *TimeWeighted) Finish(t time.Duration) {
+	if !tw.started {
+		return
+	}
+	if t < tw.last {
+		panic(fmt.Sprintf("stats: TimeWeighted.Finish out of order: %v < %v", t, tw.last))
+	}
+	tw.accumulate(t)
+}
+
+// accumulate folds the segment [last, t) at the current value into the
+// weighted moments (West's incremental algorithm for weighted variance).
+func (tw *TimeWeighted) accumulate(t time.Duration) {
+	dt := (t - tw.last).Seconds()
+	tw.last = t
+	if dt <= 0 {
+		return
+	}
+	tw.weight += dt
+	d := tw.value - tw.mean
+	r := d * dt / tw.weight
+	tw.mean += r
+	tw.m2 += dt * d * (tw.value - tw.mean)
+}
+
+// Reset empties the accumulator.
+func (tw *TimeWeighted) Reset() { *tw = TimeWeighted{} }
+
+// Mean returns the time-weighted mean over the observed span.
+func (tw *TimeWeighted) Mean() float64 { return tw.mean }
+
+// Variance returns the time-weighted population variance.
+func (tw *TimeWeighted) Variance() float64 {
+	if tw.weight <= 0 {
+		return 0
+	}
+	return tw.m2 / tw.weight
+}
+
+// StdDev returns the square root of Variance.
+func (tw *TimeWeighted) StdDev() float64 { return math.Sqrt(tw.Variance()) }
+
+// Min returns the smallest observed value.
+func (tw *TimeWeighted) Min() float64 { return tw.min }
+
+// Max returns the largest observed value.
+func (tw *TimeWeighted) Max() float64 { return tw.max }
+
+// Span returns the observed time span in seconds.
+func (tw *TimeWeighted) Span() float64 { return tw.weight }
+
+// String summarises the accumulator.
+func (tw *TimeWeighted) String() string {
+	return fmt.Sprintf("mean=%.4g var=%.4g span=%.4gs min=%.4g max=%.4g",
+		tw.Mean(), tw.Variance(), tw.Span(), tw.Min(), tw.Max())
+}

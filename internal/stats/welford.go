@@ -1,0 +1,124 @@
+// Package stats provides the statistics tool-chain the paper's MÖBIUS
+// simulations relied on: online moment accumulation, time-weighted
+// statistics for piecewise-constant signals, the batch-means steady-state
+// estimator with Student-t confidence intervals, transient time-series
+// recording, histograms/quantiles, and Jain's fairness index.
+package stats
+
+import (
+	"fmt"
+	"math"
+)
+
+// Welford accumulates count, mean and variance of a stream of
+// observations using Welford's numerically stable online algorithm.
+// The zero value is an empty accumulator ready for use.
+type Welford struct {
+	n    uint64
+	mean float64
+	m2   float64
+	min  float64
+	max  float64
+}
+
+// Add feeds one observation.
+func (w *Welford) Add(x float64) {
+	w.n++
+	if w.n == 1 {
+		w.min, w.max = x, x
+	} else {
+		if x < w.min {
+			w.min = x
+		}
+		if x > w.max {
+			w.max = x
+		}
+	}
+	d := x - w.mean
+	w.mean += d / float64(w.n)
+	w.m2 += d * (x - w.mean)
+}
+
+// Count returns the number of observations.
+func (w *Welford) Count() uint64 { return w.n }
+
+// Mean returns the sample mean, or 0 for an empty accumulator.
+func (w *Welford) Mean() float64 { return w.mean }
+
+// Variance returns the unbiased sample variance (n−1 denominator), or 0
+// for fewer than two observations.
+func (w *Welford) Variance() float64 {
+	if w.n < 2 {
+		return 0
+	}
+	return w.m2 / float64(w.n-1)
+}
+
+// PopVariance returns the population variance (n denominator).
+func (w *Welford) PopVariance() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.m2 / float64(w.n)
+}
+
+// StdDev returns the sample standard deviation.
+func (w *Welford) StdDev() float64 { return math.Sqrt(w.Variance()) }
+
+// Min returns the smallest observation, or 0 for an empty accumulator.
+func (w *Welford) Min() float64 { return w.min }
+
+// Max returns the largest observation, or 0 for an empty accumulator.
+func (w *Welford) Max() float64 { return w.max }
+
+// StdErr returns the standard error of the mean.
+func (w *Welford) StdErr() float64 {
+	if w.n == 0 {
+		return 0
+	}
+	return w.StdDev() / math.Sqrt(float64(w.n))
+}
+
+// Merge combines another accumulator into w (Chan et al. parallel
+// variance formula). Merging an empty accumulator is a no-op.
+func (w *Welford) Merge(o Welford) {
+	if o.n == 0 {
+		return
+	}
+	if w.n == 0 {
+		*w = o
+		return
+	}
+	n := w.n + o.n
+	d := o.mean - w.mean
+	w.m2 += o.m2 + d*d*float64(w.n)*float64(o.n)/float64(n)
+	w.mean += d * float64(o.n) / float64(n)
+	if o.min < w.min {
+		w.min = o.min
+	}
+	if o.max > w.max {
+		w.max = o.max
+	}
+	w.n = n
+}
+
+// Reset empties the accumulator.
+func (w *Welford) Reset() { *w = Welford{} }
+
+// String summarises the accumulator for logs and reports.
+func (w *Welford) String() string {
+	return fmt.Sprintf("n=%d mean=%.4g var=%.4g min=%.4g max=%.4g",
+		w.n, w.Mean(), w.Variance(), w.Min(), w.Max())
+}
+
+// ConfidenceInterval returns the half-width of the two-sided confidence
+// interval for the mean at the given confidence level (e.g. 0.95), using
+// the Student-t distribution with n−1 degrees of freedom. It returns +Inf
+// for fewer than two observations.
+func (w *Welford) ConfidenceInterval(level float64) float64 {
+	if w.n < 2 {
+		return math.Inf(1)
+	}
+	t := TQuantile(1-(1-level)/2, float64(w.n-1))
+	return t * w.StdErr()
+}

@@ -1,0 +1,226 @@
+package stats
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// naiveMeanVar is the two-pass reference implementation.
+func naiveMeanVar(xs []float64) (mean, variance float64) {
+	if len(xs) == 0 {
+		return 0, 0
+	}
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	if len(xs) < 2 {
+		return mean, 0
+	}
+	for _, x := range xs {
+		d := x - mean
+		variance += d * d
+	}
+	variance /= float64(len(xs) - 1)
+	return mean, variance
+}
+
+func almostEqual(a, b, tol float64) bool {
+	if a == b {
+		return true
+	}
+	scale := math.Max(math.Abs(a), math.Abs(b))
+	if scale < 1 {
+		scale = 1
+	}
+	return math.Abs(a-b) <= tol*scale
+}
+
+func TestWelfordEmpty(t *testing.T) {
+	var w Welford
+	if w.Count() != 0 || w.Mean() != 0 || w.Variance() != 0 {
+		t.Fatal("zero-value Welford must report zeros")
+	}
+	if !math.IsInf(w.ConfidenceInterval(0.95), 1) {
+		t.Fatal("CI of empty accumulator must be +Inf")
+	}
+}
+
+func TestWelfordSingle(t *testing.T) {
+	var w Welford
+	w.Add(4.2)
+	if w.Count() != 1 || w.Mean() != 4.2 || w.Variance() != 0 {
+		t.Fatalf("single observation: %v", w.String())
+	}
+	if w.Min() != 4.2 || w.Max() != 4.2 {
+		t.Fatal("min/max of single observation wrong")
+	}
+}
+
+func TestWelfordKnownValues(t *testing.T) {
+	var w Welford
+	for _, x := range []float64{2, 4, 4, 4, 5, 5, 7, 9} {
+		w.Add(x)
+	}
+	if w.Mean() != 5 {
+		t.Fatalf("mean = %g, want 5", w.Mean())
+	}
+	// Sample variance of this classic data set is 32/7.
+	if !almostEqual(w.Variance(), 32.0/7.0, 1e-12) {
+		t.Fatalf("variance = %g, want %g", w.Variance(), 32.0/7.0)
+	}
+	if !almostEqual(w.PopVariance(), 4, 1e-12) {
+		t.Fatalf("population variance = %g, want 4", w.PopVariance())
+	}
+	if w.Min() != 2 || w.Max() != 9 {
+		t.Fatalf("min/max = %g/%g, want 2/9", w.Min(), w.Max())
+	}
+}
+
+// Property: Welford matches the naive two-pass computation.
+func TestPropertyWelfordMatchesNaive(t *testing.T) {
+	f := func(raw []int16) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		xs := make([]float64, len(raw))
+		var w Welford
+		for i, r := range raw {
+			xs[i] = float64(r) / 128
+			w.Add(xs[i])
+		}
+		mean, variance := naiveMeanVar(xs)
+		return almostEqual(w.Mean(), mean, 1e-9) && almostEqual(w.Variance(), variance, 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: merging two accumulators equals accumulating the
+// concatenation.
+func TestPropertyWelfordMerge(t *testing.T) {
+	f := func(a, b []int16) bool {
+		var wa, wb, wall Welford
+		for _, x := range a {
+			wa.Add(float64(x))
+			wall.Add(float64(x))
+		}
+		for _, x := range b {
+			wb.Add(float64(x))
+			wall.Add(float64(x))
+		}
+		wa.Merge(wb)
+		return wa.Count() == wall.Count() &&
+			almostEqual(wa.Mean(), wall.Mean(), 1e-9) &&
+			almostEqual(wa.Variance(), wall.Variance(), 1e-9)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWelfordNumericalStability(t *testing.T) {
+	// Large offset, small variance: the textbook case where the naive
+	// sum-of-squares method fails catastrophically.
+	var w Welford
+	const offset = 1e9
+	for _, x := range []float64{offset + 4, offset + 7, offset + 13, offset + 16} {
+		w.Add(x)
+	}
+	if !almostEqual(w.Mean(), offset+10, 1e-12) {
+		t.Fatalf("mean = %f", w.Mean())
+	}
+	if !almostEqual(w.Variance(), 30, 1e-9) {
+		t.Fatalf("variance = %g, want 30", w.Variance())
+	}
+}
+
+func TestWelfordReset(t *testing.T) {
+	var w Welford
+	w.Add(1)
+	w.Add(2)
+	w.Reset()
+	if w.Count() != 0 {
+		t.Fatal("Reset did not empty accumulator")
+	}
+}
+
+func TestConfidenceIntervalShrinks(t *testing.T) {
+	var w Welford
+	// Deterministic spread with fixed variance.
+	for i := 0; i < 10; i++ {
+		w.Add(float64(i % 2))
+	}
+	wide := w.ConfidenceInterval(0.95)
+	for i := 0; i < 990; i++ {
+		w.Add(float64(i % 2))
+	}
+	narrow := w.ConfidenceInterval(0.95)
+	if !(narrow < wide) {
+		t.Fatalf("CI did not shrink: %g -> %g", wide, narrow)
+	}
+	if !(narrow > 0) {
+		t.Fatalf("CI must stay positive, got %g", narrow)
+	}
+}
+
+func TestTQuantileKnownValues(t *testing.T) {
+	cases := []struct {
+		p, df, want, tol float64
+	}{
+		{0.975, 1, 12.706, 0.05},
+		{0.975, 2, 4.3027, 0.01},
+		{0.975, 5, 2.5706, 0.01},
+		{0.975, 10, 2.2281, 0.005},
+		{0.975, 30, 2.0423, 0.005},
+		{0.975, 100, 1.9840, 0.005},
+		{0.95, 10, 1.8125, 0.005},
+		{0.995, 10, 3.1693, 0.01},
+		{0.95, 1e8, 1.6449, 0.001},
+	}
+	for _, c := range cases {
+		got := TQuantile(c.p, c.df)
+		if math.Abs(got-c.want) > c.tol {
+			t.Errorf("TQuantile(%g, %g) = %g, want %g ± %g", c.p, c.df, got, c.want, c.tol)
+		}
+	}
+}
+
+func TestTQuantileSymmetry(t *testing.T) {
+	for _, df := range []float64{1, 3, 7, 25} {
+		hi := TQuantile(0.9, df)
+		lo := TQuantile(0.1, df)
+		if !almostEqual(hi, -lo, 1e-9) {
+			t.Errorf("df=%g: quantiles not symmetric: %g vs %g", df, hi, lo)
+		}
+	}
+	if TQuantile(0.5, 9) != 0 {
+		t.Error("median quantile must be 0")
+	}
+}
+
+func TestTQuantileInvalidInputs(t *testing.T) {
+	for _, c := range []struct{ p, df float64 }{{0, 5}, {1, 5}, {-0.1, 5}, {0.5, 0}, {0.5, -3}} {
+		if !math.IsNaN(TQuantile(c.p, c.df)) {
+			t.Errorf("TQuantile(%g,%g) should be NaN", c.p, c.df)
+		}
+	}
+}
+
+func TestNormQuantileKnownValues(t *testing.T) {
+	cases := []struct{ p, want float64 }{
+		{0.5, 0},
+		{0.975, 1.959964},
+		{0.95, 1.644854},
+		{0.995, 2.575829},
+		{0.025, -1.959964},
+		{0.0001, -3.719016},
+	}
+	for _, c := range cases {
+		if got := normQuantile(c.p); math.Abs(got-c.want) > 1e-5 {
+			t.Errorf("normQuantile(%g) = %g, want %g", c.p, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,72 @@
+package trace
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestNilTracerIsSafe(t *testing.T) {
+	var tr *Tracer
+	tr.Event("kind", "detail %d", 1)
+	if tr.Count() != 0 {
+		t.Fatal("nil tracer counted events")
+	}
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if New(nil, nil) != nil {
+		t.Fatal("New with nil args must return nil")
+	}
+}
+
+func TestEventFormat(t *testing.T) {
+	var buf strings.Builder
+	now := 1500 * time.Millisecond
+	tr := New(&buf, func() time.Duration { return now })
+	tr.Event("join", "cp_01")
+	now = 2 * time.Second
+	tr.Event("deliver", "probe cp_01->n1 cycle=%d", 5)
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("got %d lines: %q", len(lines), buf.String())
+	}
+	if lines[0] != "1.500000 join cp_01" {
+		t.Fatalf("line 0 = %q", lines[0])
+	}
+	if lines[1] != "2.000000 deliver probe cp_01->n1 cycle=5" {
+		t.Fatalf("line 1 = %q", lines[1])
+	}
+	if tr.Count() != 2 {
+		t.Fatalf("Count = %d", tr.Count())
+	}
+}
+
+// failWriter errors after n bytes.
+type failWriter struct{ left int }
+
+func (w *failWriter) Write(p []byte) (int, error) {
+	if len(p) > w.left {
+		n := w.left
+		w.left = 0
+		return n, errors.New("disk full")
+	}
+	w.left -= len(p)
+	return len(p), nil
+}
+
+func TestWriteErrorSurfacesOnFlush(t *testing.T) {
+	tr := New(&failWriter{left: 4}, func() time.Duration { return 0 })
+	for i := 0; i < 10000; i++ { // overflow the bufio buffer
+		tr.Event("x", "yyyyyyyyyyyyyyyyyyyyyyyyyyyyyyyy")
+	}
+	if err := tr.Flush(); err == nil {
+		t.Fatal("flush swallowed the write error")
+	}
+	// Subsequent events are dropped silently, no panic.
+	tr.Event("x", "after error")
+}

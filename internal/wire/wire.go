@@ -1,0 +1,214 @@
+// Package wire defines the binary on-the-wire encoding of the protocol
+// messages for the real-network (UDP) runtime.
+//
+// Frame layout (big endian):
+//
+//	magic   uint16  0xAD05 ("are you still there", DSN'05)
+//	version uint8   1
+//	type    uint8   message type
+//	from    uint32  sender node id
+//	cycle   uint32  probe cycle (0 for bye/leave)
+//	attempt uint8   attempt within the cycle (0 for bye/leave)
+//	payload ...     type specific (see below)
+//	crc     uint32  IEEE CRC-32 over everything above
+//
+// Payloads: probe/bye/empty-reply carry none; a SAPP reply carries
+// pc (uint64) and the two last-prober ids (2×uint32); a DCPP reply
+// carries the wait in nanoseconds (int64); a leave notice carries the
+// device, origin, sequence number (3×uint32) and TTL (uint8).
+//
+// Every frame fits comfortably in one UDP datagram (max 31 bytes), in
+// keeping with the protocol's "small computing devices" ambition.
+package wire
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"time"
+
+	"presence/internal/core"
+	"presence/internal/ident"
+)
+
+// Magic identifies presence-protocol frames.
+const Magic uint16 = 0xAD05
+
+// Version is the current wire format version.
+const Version uint8 = 1
+
+// Message types on the wire.
+const (
+	typeProbe      uint8 = 1
+	typeReplySAPP  uint8 = 2
+	typeReplyDCPP  uint8 = 3
+	typeReplyEmpty uint8 = 4
+	typeBye        uint8 = 5
+	typeLeave      uint8 = 6
+	typeAnnounce   uint8 = 7
+)
+
+const (
+	headerSize = 2 + 1 + 1 + 4 + 4 + 1
+	crcSize    = 4
+	// MaxFrameSize is the largest encoded frame (SAPP reply).
+	MaxFrameSize = headerSize + 8 + 4 + 4 + crcSize
+)
+
+// Decoding errors.
+var (
+	ErrTooShort    = errors.New("wire: frame too short")
+	ErrBadMagic    = errors.New("wire: bad magic")
+	ErrBadVersion  = errors.New("wire: unsupported version")
+	ErrBadChecksum = errors.New("wire: checksum mismatch")
+	ErrUnknownType = errors.New("wire: unknown message type")
+	ErrBadLength   = errors.New("wire: wrong frame length for type")
+)
+
+// Encode serialises a protocol message into a fresh buffer.
+func Encode(msg core.Message) ([]byte, error) {
+	return AppendEncode(make([]byte, 0, MaxFrameSize), msg)
+}
+
+// AppendEncode serialises msg, appending to dst (which may be nil), and
+// returns the extended buffer. It fails on unknown message or payload
+// types.
+func AppendEncode(dst []byte, msg core.Message) ([]byte, error) {
+	var (
+		typ           uint8
+		from          ident.NodeID
+		cycle         uint32
+		attempt       uint8
+		encodePayload func(b []byte) []byte
+	)
+	switch m := msg.(type) {
+	case core.ProbeMsg:
+		typ, from, cycle, attempt = typeProbe, m.From, m.Cycle, m.Attempt
+	case core.ReplyMsg:
+		from, cycle, attempt = m.From, m.Cycle, m.Attempt
+		switch p := m.Payload.(type) {
+		case core.SAPPReply:
+			typ = typeReplySAPP
+			encodePayload = func(b []byte) []byte {
+				b = binary.BigEndian.AppendUint64(b, p.ProbeCount)
+				b = binary.BigEndian.AppendUint32(b, uint32(p.LastProbers[0]))
+				return binary.BigEndian.AppendUint32(b, uint32(p.LastProbers[1]))
+			}
+		case core.DCPPReply:
+			typ = typeReplyDCPP
+			encodePayload = func(b []byte) []byte {
+				return binary.BigEndian.AppendUint64(b, uint64(p.Wait.Nanoseconds()))
+			}
+		case core.EmptyReply:
+			typ = typeReplyEmpty
+		default:
+			return nil, fmt.Errorf("wire: unsupported reply payload %T", m.Payload)
+		}
+	case core.ByeMsg:
+		typ, from = typeBye, m.From
+	case core.AnnounceMsg:
+		typ, from = typeAnnounce, m.From
+		maxAge := m.MaxAge
+		encodePayload = func(b []byte) []byte {
+			return binary.BigEndian.AppendUint64(b, uint64(maxAge.Nanoseconds()))
+		}
+	case core.LeaveNotice:
+		typ, from = typeLeave, m.Origin
+		p := m
+		encodePayload = func(b []byte) []byte {
+			b = binary.BigEndian.AppendUint32(b, uint32(p.Device))
+			b = binary.BigEndian.AppendUint32(b, uint32(p.Origin))
+			b = binary.BigEndian.AppendUint32(b, p.Seq)
+			return append(b, p.TTL)
+		}
+	default:
+		return nil, fmt.Errorf("wire: unsupported message type %T", msg)
+	}
+	start := len(dst)
+	dst = binary.BigEndian.AppendUint16(dst, Magic)
+	dst = append(dst, Version, typ)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(from))
+	dst = binary.BigEndian.AppendUint32(dst, cycle)
+	dst = append(dst, attempt)
+	if encodePayload != nil {
+		dst = encodePayload(dst)
+	}
+	crc := crc32.ChecksumIEEE(dst[start:])
+	return binary.BigEndian.AppendUint32(dst, crc), nil
+}
+
+// Decode parses one frame. It validates magic, version, checksum and the
+// exact frame length for the message type.
+func Decode(b []byte) (core.Message, error) {
+	if len(b) < headerSize+crcSize {
+		return nil, ErrTooShort
+	}
+	if binary.BigEndian.Uint16(b) != Magic {
+		return nil, ErrBadMagic
+	}
+	if b[2] != Version {
+		return nil, fmt.Errorf("%w: %d", ErrBadVersion, b[2])
+	}
+	body, crcBytes := b[:len(b)-crcSize], b[len(b)-crcSize:]
+	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(crcBytes) {
+		return nil, ErrBadChecksum
+	}
+	typ := b[3]
+	from := ident.NodeID(binary.BigEndian.Uint32(b[4:]))
+	cycle := binary.BigEndian.Uint32(b[8:])
+	attempt := b[12]
+	payload := body[headerSize:]
+	switch typ {
+	case typeProbe:
+		if len(payload) != 0 {
+			return nil, ErrBadLength
+		}
+		return core.ProbeMsg{From: from, Cycle: cycle, Attempt: attempt}, nil
+	case typeReplySAPP:
+		if len(payload) != 16 {
+			return nil, ErrBadLength
+		}
+		return core.ReplyMsg{From: from, Cycle: cycle, Attempt: attempt, Payload: core.SAPPReply{
+			ProbeCount: binary.BigEndian.Uint64(payload),
+			LastProbers: [2]ident.NodeID{
+				ident.NodeID(binary.BigEndian.Uint32(payload[8:])),
+				ident.NodeID(binary.BigEndian.Uint32(payload[12:])),
+			},
+		}}, nil
+	case typeReplyDCPP:
+		if len(payload) != 8 {
+			return nil, ErrBadLength
+		}
+		wait := time.Duration(int64(binary.BigEndian.Uint64(payload)))
+		return core.ReplyMsg{From: from, Cycle: cycle, Attempt: attempt, Payload: core.DCPPReply{Wait: wait}}, nil
+	case typeReplyEmpty:
+		if len(payload) != 0 {
+			return nil, ErrBadLength
+		}
+		return core.ReplyMsg{From: from, Cycle: cycle, Attempt: attempt, Payload: core.EmptyReply{}}, nil
+	case typeBye:
+		if len(payload) != 0 {
+			return nil, ErrBadLength
+		}
+		return core.ByeMsg{From: from}, nil
+	case typeAnnounce:
+		if len(payload) != 8 {
+			return nil, ErrBadLength
+		}
+		maxAge := time.Duration(int64(binary.BigEndian.Uint64(payload)))
+		return core.AnnounceMsg{From: from, MaxAge: maxAge}, nil
+	case typeLeave:
+		if len(payload) != 13 {
+			return nil, ErrBadLength
+		}
+		return core.LeaveNotice{
+			Device: ident.NodeID(binary.BigEndian.Uint32(payload)),
+			Origin: ident.NodeID(binary.BigEndian.Uint32(payload[4:])),
+			Seq:    binary.BigEndian.Uint32(payload[8:]),
+			TTL:    payload[12],
+		}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, typ)
+	}
+}

@@ -1,0 +1,216 @@
+package presence
+
+import (
+	"presence/internal/asciiplot"
+	"presence/internal/core"
+	"presence/internal/core/dcpp"
+	"presence/internal/core/discovery"
+	"presence/internal/core/naive"
+	"presence/internal/core/sapp"
+	"presence/internal/experiments"
+	"presence/internal/ident"
+	"presence/internal/rtnet"
+	"presence/internal/simrun"
+	"presence/internal/stats"
+)
+
+// Version of the library.
+const Version = "1.0.0"
+
+// NodeID identifies a node (device or control point).
+type NodeID = ident.NodeID
+
+// Protocol selects SAPP, DCPP or the naive baseline.
+type Protocol = simrun.Protocol
+
+// The available protocols.
+const (
+	ProtocolSAPP  = simrun.ProtocolSAPP
+	ProtocolDCPP  = simrun.ProtocolDCPP
+	ProtocolNaive = simrun.ProtocolNaive
+)
+
+// Simulation API (see internal/simrun for details).
+type (
+	// SimConfig assembles a simulated world.
+	SimConfig = simrun.Config
+	// World is a deterministic simulated deployment.
+	World = simrun.World
+	// CPHost is one simulated control point with its measurements.
+	CPHost = simrun.CPHost
+	// DeviceHost is the simulated device.
+	DeviceHost = simrun.DeviceHost
+	// UniformChurn is the paper's Fig. 5 churn scenario.
+	UniformChurn = simrun.UniformChurn
+	// ProcessingConfig models device computation time.
+	ProcessingConfig = simrun.ProcessingConfig
+	// DiscoveryConfig enables the UPnP-style announcement layer.
+	DiscoveryConfig = simrun.DiscoveryConfig
+	// AnnouncerConfig parameterises device announcements (max-age,
+	// period).
+	AnnouncerConfig = discovery.AnnouncerConfig
+)
+
+// NewSimulation builds a simulated world: one device (of the configured
+// protocol), no control points yet.
+func NewSimulation(cfg SimConfig) (*World, error) {
+	return simrun.NewWorld(cfg)
+}
+
+// DefaultUniformChurn returns the paper's churn parameters
+// (population U{1..60}, redrawn at rate 0.05/s).
+func DefaultUniformChurn() UniformChurn { return simrun.DefaultUniformChurn() }
+
+// Protocol configuration (paper defaults via the Default* functions).
+type (
+	// RetransmitConfig is the probe cycle of Fig. 1 (TOF, TOS, 3
+	// retransmissions).
+	RetransmitConfig = core.RetransmitConfig
+	// SAPPDeviceConfig parameterises a SAPP device (L_ideal, L_nom, Δ).
+	SAPPDeviceConfig = sapp.DeviceConfig
+	// SAPPCPConfig parameterises SAPP's adaptation rule (1).
+	SAPPCPConfig = sapp.CPConfig
+	// DCPPDeviceConfig parameterises a DCPP device (δ_min, d_min).
+	DCPPDeviceConfig = dcpp.DeviceConfig
+	// DCPPPolicyConfig parameterises the DCPP control point.
+	DCPPPolicyConfig = dcpp.PolicyConfig
+)
+
+// DefaultRetransmit returns the paper's probe-cycle parameters.
+func DefaultRetransmit() RetransmitConfig { return core.DefaultRetransmit() }
+
+// DefaultSAPPDeviceConfig returns the paper's SAPP device parameters.
+func DefaultSAPPDeviceConfig() SAPPDeviceConfig { return sapp.DefaultDeviceConfig() }
+
+// DefaultSAPPCPConfig returns the paper's SAPP CP parameters.
+func DefaultSAPPCPConfig() SAPPCPConfig { return sapp.DefaultCPConfig() }
+
+// DefaultDCPPDeviceConfig returns the paper's DCPP parameters.
+func DefaultDCPPDeviceConfig() DCPPDeviceConfig { return dcpp.DefaultDeviceConfig() }
+
+// Presence events.
+type (
+	// Listener observes presence events (alive, lost, bye).
+	Listener = core.Listener
+	// CycleResult describes a successful probe cycle.
+	CycleResult = core.CycleResult
+	// NopListener ignores all events.
+	NopListener = core.NopListener
+)
+
+// Experiment suite (the paper's tables and figures).
+type (
+	// Experiment is a registered reproduction unit.
+	Experiment = experiments.Experiment
+	// ExperimentOptions parameterise a run (seed, scale, output dir).
+	ExperimentOptions = experiments.Options
+	// ExperimentReport is an experiment's outcome.
+	ExperimentReport = experiments.Report
+)
+
+// Experiment scales.
+const (
+	ScaleShort = experiments.ScaleShort
+	ScalePaper = experiments.ScalePaper
+)
+
+// Experiments returns every registered experiment in presentation
+// order.
+func Experiments() []Experiment { return experiments.All() }
+
+// RunExperiment runs one experiment by id (e.g. "fig5-dcpp-churn").
+func RunExperiment(id string, opts ExperimentOptions) (*ExperimentReport, error) {
+	e, ok := experiments.ByID(id)
+	if !ok {
+		return nil, &UnknownExperimentError{ID: id}
+	}
+	return e.Run(opts)
+}
+
+// UnknownExperimentError reports a RunExperiment id that is not
+// registered.
+type UnknownExperimentError struct {
+	ID string
+}
+
+func (e *UnknownExperimentError) Error() string {
+	return "presence: unknown experiment " + e.ID
+}
+
+// Measurement and presentation helpers.
+type (
+	// TimeSeries records (time, value) samples (per-CP frequency
+	// traces, device-load bins).
+	TimeSeries = stats.TimeSeries
+	// SummaryStats is an online mean/variance accumulator.
+	SummaryStats = stats.Welford
+	// PlotOptions configure RenderPlot.
+	PlotOptions = asciiplot.Options
+)
+
+// JainIndex returns Jain's fairness index of the given allocations
+// (1 = perfectly fair).
+func JainIndex(xs []float64) float64 { return stats.JainIndex(xs) }
+
+// RenderPlot draws time series as an ASCII scatter plot for terminal
+// output.
+func RenderPlot(series []*TimeSeries, opts PlotOptions) string {
+	return asciiplot.Render(series, opts)
+}
+
+// UDP runtime (see internal/rtnet for details).
+type (
+	// UDPDeviceConfig configures a UDP device server.
+	UDPDeviceConfig = rtnet.DeviceServerConfig
+	// UDPDevice hosts a device engine on a UDP socket.
+	UDPDevice = rtnet.DeviceServer
+	// UDPControlPointConfig configures a UDP control point.
+	UDPControlPointConfig = rtnet.ControlPointConfig
+	// UDPControlPoint monitors one device over UDP.
+	UDPControlPoint = rtnet.ControlPoint
+)
+
+// NewUDPDCPPDevice runs a DCPP device on a UDP socket.
+func NewUDPDCPPDevice(cfg UDPDeviceConfig, dev DCPPDeviceConfig) (*UDPDevice, error) {
+	return rtnet.NewDeviceServer(cfg, func(env core.Env) (core.Device, error) {
+		return dcpp.NewDevice(cfg.ID, env, dev)
+	})
+}
+
+// NewUDPSAPPDevice runs a SAPP device on a UDP socket.
+func NewUDPSAPPDevice(cfg UDPDeviceConfig, dev SAPPDeviceConfig) (*UDPDevice, error) {
+	return rtnet.NewDeviceServer(cfg, func(env core.Env) (core.Device, error) {
+		return sapp.NewDevice(cfg.ID, env, dev)
+	})
+}
+
+// NewUDPNaiveDevice runs the naive baseline device on a UDP socket.
+func NewUDPNaiveDevice(cfg UDPDeviceConfig) (*UDPDevice, error) {
+	return rtnet.NewDeviceServer(cfg, func(env core.Env) (core.Device, error) {
+		return naive.NewDevice(cfg.ID, env)
+	})
+}
+
+// NewUDPDCPPControlPoint monitors a DCPP device over UDP. The listener
+// may be nil.
+func NewUDPDCPPControlPoint(cfg UDPControlPointConfig, policy DCPPPolicyConfig, lst Listener) (*UDPControlPoint, error) {
+	p, err := dcpp.NewPolicy(policy)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Policy = p
+	cfg.Listener = lst
+	return rtnet.NewControlPoint(cfg)
+}
+
+// NewUDPSAPPControlPoint monitors a SAPP device over UDP. The listener
+// may be nil.
+func NewUDPSAPPControlPoint(cfg UDPControlPointConfig, policy SAPPCPConfig, lst Listener) (*UDPControlPoint, error) {
+	p, err := sapp.NewPolicy(policy)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Policy = p
+	cfg.Listener = lst
+	return rtnet.NewControlPoint(cfg)
+}

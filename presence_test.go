@@ -1,0 +1,191 @@
+package presence_test
+
+import (
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"presence"
+	"presence/internal/ident"
+)
+
+func TestSimulationFacade(t *testing.T) {
+	w, err := presence.NewSimulation(presence.SimConfig{
+		Protocol: presence.ProtocolDCPP,
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AddCPs(10); err != nil {
+		t.Fatal(err)
+	}
+	w.Run(2 * time.Minute)
+	loadStats := w.DeviceLoad().Stats()
+	load := loadStats.Mean()
+	if load <= 0 || load > 10.5 {
+		t.Fatalf("facade DCPP load = %g", load)
+	}
+}
+
+func TestDefaultsMatchPaper(t *testing.T) {
+	r := presence.DefaultRetransmit()
+	if r.FirstTimeout != 22*time.Millisecond || r.RetryTimeout != 21*time.Millisecond || r.MaxRetransmits != 3 {
+		t.Fatalf("retransmit defaults = %+v", r)
+	}
+	d := presence.DefaultDCPPDeviceConfig()
+	if d.MinGap != 100*time.Millisecond || d.MinCPDelay != 500*time.Millisecond {
+		t.Fatalf("DCPP defaults = %+v", d)
+	}
+	s := presence.DefaultSAPPDeviceConfig()
+	if s.IdealLoad != 1e6 || s.NominalLoad != 10 {
+		t.Fatalf("SAPP device defaults = %+v", s)
+	}
+	cp := presence.DefaultSAPPCPConfig()
+	if cp.AlphaInc != 2 || cp.AlphaDec != 1.5 || cp.Beta != 1.5 {
+		t.Fatalf("SAPP CP defaults = %+v", cp)
+	}
+	churn := presence.DefaultUniformChurn()
+	if churn.Min != 1 || churn.Max != 60 || churn.Rate != 0.05 {
+		t.Fatalf("churn defaults = %+v", churn)
+	}
+}
+
+func TestExperimentFacade(t *testing.T) {
+	all := presence.Experiments()
+	if len(all) < 13 {
+		t.Fatalf("only %d experiments exposed", len(all))
+	}
+	rep, err := presence.RunExperiment("tab-dcpp-static", presence.ExperimentOptions{
+		Seed: 1, Scale: presence.ScaleShort,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Metrics) == 0 {
+		t.Fatal("experiment produced no metrics")
+	}
+	_, err = presence.RunExperiment("no-such-experiment", presence.ExperimentOptions{})
+	var unknown *presence.UnknownExperimentError
+	if !errors.As(err, &unknown) || unknown.ID != "no-such-experiment" {
+		t.Fatalf("err = %v, want UnknownExperimentError", err)
+	}
+}
+
+func TestUDPFacadeEndToEnd(t *testing.T) {
+	devCfg := presence.DefaultDCPPDeviceConfig()
+	devCfg.MinGap = 20 * time.Millisecond
+	devCfg.MinCPDelay = 50 * time.Millisecond
+	dev, err := presence.NewUDPDCPPDevice(presence.UDPDeviceConfig{
+		ID: 1, ListenAddr: "127.0.0.1:0",
+	}, devCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer dev.Close()
+	if err := dev.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cp, err := presence.NewUDPDCPPControlPoint(presence.UDPControlPointConfig{
+		ID: 2, Device: 1, DeviceAddr: dev.Addr().String(),
+		Retransmit: presence.RetransmitConfig{
+			FirstTimeout: 60 * time.Millisecond, RetryTimeout: 40 * time.Millisecond, MaxRetransmits: 3,
+		},
+	}, presence.DCPPPolicyConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+	if err := cp.Start(); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if cp.Stats().CyclesOK >= 3 {
+			return
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	t.Fatalf("only %d cycles completed over loopback", cp.Stats().CyclesOK)
+}
+
+func TestUDPSAPPAndNaiveDeviceConstructors(t *testing.T) {
+	sappDev, err := presence.NewUDPSAPPDevice(presence.UDPDeviceConfig{
+		ID: 1, ListenAddr: "127.0.0.1:0",
+	}, presence.DefaultSAPPDeviceConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sappDev.Close()
+	naiveDev, err := presence.NewUDPNaiveDevice(presence.UDPDeviceConfig{
+		ID: 2, ListenAddr: "127.0.0.1:0",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer naiveDev.Close()
+	cpCfg := presence.DefaultSAPPCPConfig()
+	cp, err := presence.NewUDPSAPPControlPoint(presence.UDPControlPointConfig{
+		ID: 3, Device: 1, DeviceAddr: sappDev.Addr().String(),
+	}, cpCfg, presence.NopListener{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cp.Close()
+}
+
+func TestNodeIDAlias(t *testing.T) {
+	var id presence.NodeID = 7
+	if id != ident.NodeID(7) {
+		t.Fatal("NodeID alias broken")
+	}
+	if presence.Version == "" {
+		t.Fatal("version empty")
+	}
+}
+
+func TestDiscoveryFacade(t *testing.T) {
+	w, err := presence.NewSimulation(presence.SimConfig{
+		Protocol: presence.ProtocolDCPP,
+		Seed:     3,
+		Devices:  2,
+		Discovery: presence.DiscoveryConfig{
+			Enabled:          true,
+			Announce:         presence.AnnouncerConfig{MaxAge: 30 * time.Second, Period: 10 * time.Second},
+			ProbeOnDiscovery: true,
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := w.AddCP()
+	if err != nil {
+		t.Fatal(err)
+	}
+	w.Run(time.Minute)
+	for _, d := range w.Devices() {
+		if _, ok := h.DiscoveredDevice(d.ID); !ok {
+			t.Fatalf("device %v not discovered through the facade", d.ID)
+		}
+	}
+	if len(w.Devices()) != 2 {
+		t.Fatalf("Devices() = %d", len(w.Devices()))
+	}
+}
+
+func TestRenderPlotFacade(t *testing.T) {
+	w, err := presence.NewSimulation(presence.SimConfig{Protocol: presence.ProtocolDCPP, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.AddCP(); err != nil {
+		t.Fatal(err)
+	}
+	w.Run(30 * time.Second)
+	out := presence.RenderPlot([]*presence.TimeSeries{w.DeviceLoad().Series()},
+		presence.PlotOptions{Title: "load", Width: 40, Height: 8})
+	if !strings.Contains(out, "load") || !strings.Contains(out, "+") {
+		t.Fatalf("plot output unexpected:\n%s", out)
+	}
+}
