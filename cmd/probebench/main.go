@@ -4,23 +4,30 @@
 //
 // Usage:
 //
-//	probebench [-scale paper|short] [-seed N] [-out DIR] [-only ID[,ID...]] [-plot]
+//	probebench [-scale paper|short] [-seed N] [-out DIR] [-only ID[,ID...]] [-plot] [-json [PATH]]
 //
 // The defaults reproduce EXPERIMENTS.md: paper scale, seed 2005, output
-// under ./out.
+// under ./out. With -json, a machine-readable snapshot of the simulator's
+// raw throughput (events/sec, allocs/op from the Fig. 5 churn scenario)
+// and of every experiment metric is written to PATH, or to the next free
+// BENCH_<n>.json in the working directory when PATH is empty — the
+// cross-PR performance trajectory.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
 	"strings"
+	"testing"
 	"time"
 
 	"presence/internal/asciiplot"
 	"presence/internal/experiments"
+	"presence/internal/simrun"
 )
 
 func main() {
@@ -39,6 +46,8 @@ func run(args []string, out io.Writer) error {
 		only  = fs.String("only", "", "comma-separated experiment ids (default: all)")
 		plot  = fs.Bool("plot", false, "render recorded series as ASCII plots on stdout")
 		list  = fs.Bool("list", false, "list experiment ids and exit")
+		emit  = fs.Bool("json", false, "write benchmark metrics to -jsonpath (or the next free BENCH_<n>.json)")
+		jpath = fs.String("jsonpath", "", "path for the -json snapshot ('' = auto-numbered BENCH_<n>.json)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -70,6 +79,7 @@ func run(args []string, out io.Writer) error {
 	var report strings.Builder
 	fmt.Fprintf(&report, "# Reproduction report — seed %d, scale %s\n\n", *seed, s)
 	start := time.Now()
+	metricsByExperiment := make(map[string]map[string]float64)
 	for _, e := range selected {
 		t0 := time.Now()
 		fmt.Fprintf(out, "==> %s (%s)\n", e.ID, e.Artefact)
@@ -82,6 +92,11 @@ func run(args []string, out io.Writer) error {
 				return err
 			}
 		}
+		ms := make(map[string]float64, len(rep.Metrics))
+		for _, m := range rep.Metrics {
+			ms[m.Name] = m.Got
+		}
+		metricsByExperiment[e.ID] = ms
 		text := rep.Format()
 		fmt.Fprintln(out, text)
 		report.WriteString(text)
@@ -104,5 +119,111 @@ func run(args []string, out io.Writer) error {
 		}
 		fmt.Fprintf(out, "report written to %s\n", path)
 	}
+	if *emit {
+		path, err := writeJSONSnapshot(*jpath, *seed, s, metricsByExperiment)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "benchmark snapshot written to %s\n", path)
+	}
 	return nil
+}
+
+// benchSnapshot is the schema of the BENCH_<n>.json files: one throughput
+// measurement of the raw event loop plus every experiment metric, so PRs
+// can be compared mechanically.
+type benchSnapshot struct {
+	Generated  string                        `json:"generated"`
+	Seed       uint64                        `json:"seed"`
+	Scale      string                        `json:"scale"`
+	Throughput throughputStats               `json:"throughput"`
+	Metrics    map[string]map[string]float64 `json:"metrics"`
+}
+
+type throughputStats struct {
+	// EventsPerSec is simulator events executed per wall-clock second in
+	// the Fig. 5 churn scenario (DCPP, 60 simulated seconds per op).
+	EventsPerSec float64 `json:"events_per_sec"`
+	EventsPerOp  float64 `json:"events_per_op"`
+	NsPerOp      int64   `json:"ns_per_op"`
+	BytesPerOp   int64   `json:"bytes_per_op"`
+	AllocsPerOp  int64   `json:"allocs_per_op"`
+	SimSecPerSec float64 `json:"sim_seconds_per_wall_second"`
+}
+
+// measureThroughput reruns BenchmarkSimulationThroughput's scenario under
+// testing.Benchmark so the CLI reports the same numbers as `go test
+// -bench`.
+func measureThroughput() (throughputStats, error) {
+	var totalEvents uint64
+	var iterations int
+	var benchErr error
+	res := testing.Benchmark(func(b *testing.B) {
+		// Each benchmark attempt starts fresh; only the final attempt's
+		// totals survive, matching res.N.
+		totalEvents, iterations = 0, b.N
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			w, err := simrun.NewWorld(simrun.Config{Protocol: simrun.ProtocolDCPP, Seed: uint64(i)})
+			if err != nil {
+				benchErr = err
+				return
+			}
+			if err := w.StartChurn(simrun.DefaultUniformChurn()); err != nil {
+				benchErr = err
+				return
+			}
+			w.Run(60 * time.Second)
+			totalEvents += w.Sim().Executed()
+		}
+	})
+	if benchErr != nil {
+		return throughputStats{}, benchErr
+	}
+	ns := res.NsPerOp()
+	st := throughputStats{
+		NsPerOp:     ns,
+		BytesPerOp:  res.AllocedBytesPerOp(),
+		AllocsPerOp: res.AllocsPerOp(),
+	}
+	if iterations > 0 {
+		// Mean events per op over all iterations, so the ratio against
+		// the mean ns/op is consistent (seeds vary per iteration).
+		st.EventsPerOp = float64(totalEvents) / float64(iterations)
+	}
+	if ns > 0 {
+		st.EventsPerSec = st.EventsPerOp / (float64(ns) / 1e9)
+		st.SimSecPerSec = 60 / (float64(ns) / 1e9)
+	}
+	return st, nil
+}
+
+// writeJSONSnapshot measures throughput and writes the snapshot to path,
+// or to the next free BENCH_<n>.json when path is empty.
+func writeJSONSnapshot(path string, seed uint64, scale experiments.Scale, metrics map[string]map[string]float64) (string, error) {
+	tp, err := measureThroughput()
+	if err != nil {
+		return "", err
+	}
+	snap := benchSnapshot{
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Seed:       seed,
+		Scale:      string(scale),
+		Throughput: tp,
+		Metrics:    metrics,
+	}
+	if path == "" {
+		for n := 1; ; n++ {
+			candidate := fmt.Sprintf("BENCH_%d.json", n)
+			if _, err := os.Stat(candidate); os.IsNotExist(err) {
+				path = candidate
+				break
+			}
+		}
+	}
+	b, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	return path, os.WriteFile(path, append(b, '\n'), 0o644)
 }

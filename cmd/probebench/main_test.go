@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"os"
 	"path/filepath"
 	"strings"
@@ -53,6 +54,55 @@ func TestRunWithPlot(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "cp_01_freq") {
 		t.Fatalf("plot legend missing:\n%s", out.String())
+	}
+}
+
+func TestJSONSnapshot(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_test.json")
+	var out strings.Builder
+	err := run([]string{"-scale", "short", "-only", "ext-naive-load", "-out", "", "-json", "-jsonpath", path}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap benchSnapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatalf("snapshot is not valid JSON: %v", err)
+	}
+	if snap.Throughput.EventsPerSec <= 0 || snap.Throughput.AllocsPerOp < 0 {
+		t.Fatalf("throughput section not populated: %+v", snap.Throughput)
+	}
+	if _, ok := snap.Metrics["ext-naive-load"]["load_k10"]; !ok {
+		t.Fatalf("experiment metrics missing from snapshot: %+v", snap.Metrics)
+	}
+}
+
+func TestJSONAutoNumbering(t *testing.T) {
+	dir := t.TempDir()
+	cwd, err := os.Getwd()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.Chdir(dir); err != nil {
+		t.Fatal(err)
+	}
+	defer os.Chdir(cwd)
+	if err := os.WriteFile("BENCH_1.json", []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	path, err := writeJSONSnapshot("", 1, "short", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if path != "BENCH_2.json" {
+		t.Fatalf("auto-numbered path = %q, want BENCH_2.json", path)
+	}
+	if _, err := os.Stat("BENCH_2.json"); err != nil {
+		t.Fatal(err)
 	}
 }
 

@@ -22,6 +22,31 @@
 // The root package is a facade over the internal packages; examples and
 // external users need only import "presence".
 //
+// # Performance architecture
+//
+// The simulator is built to sweep paper-scale scenarios by the hundreds:
+//
+//   - internal/des is a zero-allocation event kernel: a hand-rolled 4-ary
+//     min-heap (no interface boxing), a per-simulation free list with
+//     generation-counted handles (stale Cancel/Reschedule calls are inert
+//     no-ops), and an Alarm that reschedules its pending heap entry in
+//     place instead of cancel+push;
+//   - the hot message paths are pooled end to end: probe/reply envelopes
+//     and payloads (internal/core), in-flight network envelopes
+//     (internal/simnet) and processing-delay sends (internal/simrun) are
+//     recycled, so the steady-state event loop performs no allocations;
+//   - multi-world experiments fan out over a worker pool
+//     (internal/experiments.Replications) with index-ordered folding, so
+//     replication studies use every core yet produce bit-identical
+//     results at any worker count.
+//
+// Determinism is a hard invariant throughout: for a fixed seed, event
+// order, network draws and every reported metric reproduce exactly;
+// regression tests in internal/des, internal/simrun and
+// internal/experiments pin it. cmd/probebench -json records events/sec
+// and allocs/op snapshots (BENCH_<n>.json) to keep the trajectory
+// machine-readable across changes.
+//
 // # Quick start (simulation)
 //
 //	w, err := presence.NewSimulation(presence.SimConfig{

@@ -1,0 +1,3 @@
+module presence
+
+go 1.24

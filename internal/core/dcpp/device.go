@@ -197,12 +197,7 @@ func (d *Device) OnProbe(from ident.NodeID, m core.ProbeMsg) {
 }
 
 func (d *Device) reply(to ident.NodeID, m core.ProbeMsg, wait time.Duration) {
-	d.env.Send(to, core.ReplyMsg{
-		From:    d.id,
-		Cycle:   m.Cycle,
-		Attempt: m.Attempt,
-		Payload: core.DCPPReply{Wait: wait},
-	})
+	d.env.Send(to, core.AcquireReply(d.id, m.Cycle, m.Attempt, core.AcquireDCPPReply(wait)))
 }
 
 // remember stores an assignment, evicting the oldest entry if the table

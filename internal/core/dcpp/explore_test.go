@@ -55,7 +55,8 @@ type cpEnv struct{ w *chaosWorld }
 func (e cpEnv) Now() time.Duration { return e.w.now }
 func (e cpEnv) Send(_ ident.NodeID, m core.Message) {
 	e.w.probesSent++
-	e.w.pending = append(e.w.pending, chaosMsg{toDevice: true, msg: m})
+	e.w.pending = append(e.w.pending, chaosMsg{toDevice: true, msg: core.Flatten(m)})
+	core.Recycle(m)
 }
 func (e cpEnv) SetAlarm(at time.Duration) { e.w.cpAlarm = alarmSlot{at: at, set: true} }
 func (e cpEnv) StopAlarm()                { e.w.cpAlarm.set = false }
@@ -64,7 +65,8 @@ type devEnv struct{ w *chaosWorld }
 
 func (e devEnv) Now() time.Duration { return e.w.now }
 func (e devEnv) Send(_ ident.NodeID, m core.Message) {
-	e.w.pending = append(e.w.pending, chaosMsg{toDevice: false, msg: m})
+	e.w.pending = append(e.w.pending, chaosMsg{toDevice: false, msg: core.Flatten(m)})
+	core.Recycle(m)
 }
 func (e devEnv) SetAlarm(at time.Duration) { e.w.devAlarm = alarmSlot{at: at, set: true} }
 func (e devEnv) StopAlarm()                { e.w.devAlarm.set = false }

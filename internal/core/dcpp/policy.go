@@ -57,11 +57,15 @@ func (p *Policy) LastWait() time.Duration { return p.lastWait }
 
 // NextDelay obeys the device's schedule.
 func (p *Policy) NextDelay(res core.CycleResult) time.Duration {
-	rep, ok := res.Payload.(core.DCPPReply)
-	if !ok {
+	var wait time.Duration
+	switch rep := res.Payload.(type) {
+	case core.DCPPReply:
+		wait = rep.Wait
+	case *core.DCPPReply: // pooled form; valid only until this call returns
+		wait = rep.Wait
+	default:
 		return p.cfg.FallbackDelay
 	}
-	wait := rep.Wait
 	if wait < 0 {
 		wait = 0
 	}

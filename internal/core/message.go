@@ -9,6 +9,7 @@
 package core
 
 import (
+	"sync"
 	"time"
 
 	"presence/internal/ident"
@@ -100,6 +101,134 @@ func (DCPPReply) isPayload() {}
 type EmptyReply struct{}
 
 func (EmptyReply) isPayload() {}
+
+// Message pooling
+//
+// The probe/reply exchange is the simulator's hottest message path:
+// passing ProbeMsg/ReplyMsg values through the Message interface boxes a
+// fresh heap object per send, and reply payloads box a second one. The
+// engines therefore send *pooled pointer forms* (*ProbeMsg, *ReplyMsg
+// with pointer payloads), acquired here and recycled by whichever runtime
+// finishes delivering them (the simulated network after the handler
+// returns, the UDP runtime after encoding).
+//
+// Ownership contract: passing a pooled message to Env.Send transfers
+// ownership to the runtime. Receivers (handlers, policies, listeners)
+// may read a pooled message and its payload only until they return; code
+// that needs the data longer must copy the fields out. Pointer and value
+// forms are interchangeable on the wire and in type switches — consumers
+// accept both.
+
+var (
+	probePool = sync.Pool{New: func() any { return new(ProbeMsg) }}
+	replyPool = sync.Pool{New: func() any { return new(ReplyMsg) }}
+	sappPool  = sync.Pool{New: func() any { return new(SAPPReply) }}
+	dcppPool  = sync.Pool{New: func() any { return new(DCPPReply) }}
+)
+
+// AcquireProbe returns a pooled probe message. Ownership passes to
+// Env.Send; the delivering runtime recycles it.
+func AcquireProbe(from ident.NodeID, cycle uint32, attempt uint8) *ProbeMsg {
+	m := probePool.Get().(*ProbeMsg)
+	m.From, m.Cycle, m.Attempt = from, cycle, attempt
+	return m
+}
+
+// AcquireReply returns a pooled reply message carrying the given payload.
+// Pooled payloads (from AcquireSAPPReply/AcquireDCPPReply) are recycled
+// together with the reply.
+func AcquireReply(from ident.NodeID, cycle uint32, attempt uint8, p Payload) *ReplyMsg {
+	m := replyPool.Get().(*ReplyMsg)
+	m.From, m.Cycle, m.Attempt, m.Payload = from, cycle, attempt, p
+	return m
+}
+
+// AcquireSAPPReply returns a pooled SAPP reply payload.
+func AcquireSAPPReply(pc uint64, last [2]ident.NodeID) *SAPPReply {
+	p := sappPool.Get().(*SAPPReply)
+	p.ProbeCount, p.LastProbers = pc, last
+	return p
+}
+
+// AcquireDCPPReply returns a pooled DCPP reply payload.
+func AcquireDCPPReply(wait time.Duration) *DCPPReply {
+	p := dcppPool.Get().(*DCPPReply)
+	p.Wait = wait
+	return p
+}
+
+// Recycle returns pooled message forms (and their pooled payloads) to
+// their pools; value forms and foreign types are ignored. After Recycle
+// the message must not be touched.
+func (m *ProbeMsg) Recycle() {
+	*m = ProbeMsg{}
+	probePool.Put(m)
+}
+
+// Recycle returns the reply and any pooled payload to their pools.
+func (m *ReplyMsg) Recycle() {
+	switch p := m.Payload.(type) {
+	case *SAPPReply:
+		*p = SAPPReply{}
+		sappPool.Put(p)
+	case *DCPPReply:
+		*p = DCPPReply{}
+		dcppPool.Put(p)
+	}
+	*m = ReplyMsg{}
+	replyPool.Put(m)
+}
+
+// ClonePooled returns an independent pooled copy, for runtimes that
+// duplicate in-flight messages (the simulated network's DuplicateP).
+func (m *ProbeMsg) ClonePooled() any {
+	c := probePool.Get().(*ProbeMsg)
+	*c = *m
+	return c
+}
+
+// ClonePooled deep-copies the reply, including a pooled payload.
+func (m *ReplyMsg) ClonePooled() any {
+	c := replyPool.Get().(*ReplyMsg)
+	*c = *m
+	switch p := m.Payload.(type) {
+	case *SAPPReply:
+		c.Payload = AcquireSAPPReply(p.ProbeCount, p.LastProbers)
+	case *DCPPReply:
+		c.Payload = AcquireDCPPReply(p.Wait)
+	}
+	return c
+}
+
+// Recycle returns a pooled message form to its pool. It accepts any
+// message and ignores plain value forms, so runtimes can call it
+// unconditionally after finishing a delivery.
+func Recycle(msg Message) {
+	if r, ok := msg.(interface{ Recycle() }); ok {
+		r.Recycle()
+	}
+}
+
+// Flatten converts a pooled message form into its plain value form
+// (pointer payloads included), leaving the pooled original untouched.
+// Test doubles and encoders use it to keep working with value semantics.
+func Flatten(msg Message) Message {
+	switch m := msg.(type) {
+	case *ProbeMsg:
+		return *m
+	case *ReplyMsg:
+		v := *m
+		switch p := m.Payload.(type) {
+		case *SAPPReply:
+			v.Payload = *p
+		case *DCPPReply:
+			v.Payload = *p
+		}
+		return v
+	default:
+		return msg
+	}
+}
 
 // Env is an engine's window on the world, implemented by the simulation
 // runtime (virtual time, simulated network) and the UDP runtime (wall

@@ -77,12 +77,9 @@ func (d *Device) Start() {}
 // OnProbe answers immediately with an empty payload.
 func (d *Device) OnProbe(from ident.NodeID, m core.ProbeMsg) {
 	d.probesTotal++
-	d.env.Send(from, core.ReplyMsg{
-		From:    d.id,
-		Cycle:   m.Cycle,
-		Attempt: m.Attempt,
-		Payload: core.EmptyReply{},
-	})
+	// EmptyReply is zero-sized, so boxing it is allocation-free; only the
+	// envelope needs pooling.
+	d.env.Send(from, core.AcquireReply(d.id, m.Cycle, m.Attempt, core.EmptyReply{}))
 }
 
 // OnAlarm implements core.Device; never armed.

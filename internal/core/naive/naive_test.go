@@ -13,10 +13,14 @@ type fakeEnv struct {
 	sent []core.Message
 }
 
-func (e *fakeEnv) Now() time.Duration                  { return e.now }
-func (e *fakeEnv) Send(_ ident.NodeID, m core.Message) { e.sent = append(e.sent, m) }
-func (e *fakeEnv) SetAlarm(time.Duration)              {}
-func (e *fakeEnv) StopAlarm()                          {}
+func (e *fakeEnv) Now() time.Duration { return e.now }
+func (e *fakeEnv) Send(_ ident.NodeID, m core.Message) {
+	// Flatten pooled pointer forms so assertions keep value semantics.
+	e.sent = append(e.sent, core.Flatten(m))
+	core.Recycle(m)
+}
+func (e *fakeEnv) SetAlarm(time.Duration) {}
+func (e *fakeEnv) StopAlarm()             {}
 
 func TestPolicyFixedPeriod(t *testing.T) {
 	p, err := NewPolicy(250 * time.Millisecond)

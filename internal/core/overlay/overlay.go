@@ -12,6 +12,7 @@ package overlay
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"presence/internal/core"
@@ -98,11 +99,16 @@ func NewManager(id ident.NodeID, env core.Env, cfg Config) (*Manager, error) {
 // ObserveReply harvests overlay neighbours from a SAPP reply payload.
 // Non-SAPP payloads are ignored (DCPP replies carry no overlay hint).
 func (m *Manager) ObserveReply(payload core.Payload) {
-	rep, ok := payload.(core.SAPPReply)
-	if !ok {
+	var probers [2]ident.NodeID
+	switch rep := payload.(type) {
+	case core.SAPPReply:
+		probers = rep.LastProbers
+	case *core.SAPPReply: // pooled form; valid only until this call returns
+		probers = rep.LastProbers
+	default:
 		return
 	}
-	for _, id := range rep.LastProbers {
+	for _, id := range probers {
 		if id.Valid() && id != m.id {
 			m.addNeighbor(id)
 		}
@@ -194,10 +200,17 @@ func (m *Manager) notify(device ident.NodeID, at time.Duration) {
 }
 
 func (m *Manager) flood(n core.LeaveNotice, except ident.NodeID) {
+	// Map iteration order is random at the language level; flood in
+	// sorted id order so simulation runs replay deterministically.
+	ids := make([]ident.NodeID, 0, len(m.neighbors))
 	for id := range m.neighbors {
 		if id == except || id == n.Origin {
 			continue
 		}
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	for _, id := range ids {
 		m.noticesSent++
 		m.env.Send(id, n)
 	}

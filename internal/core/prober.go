@@ -215,7 +215,7 @@ func (p *Prober) beginCycle() {
 func (p *Prober) sendProbe() {
 	p.sentAt[p.attempt] = p.env.Now()
 	p.stats.ProbesSent++
-	p.env.Send(p.device, ProbeMsg{From: p.id, Cycle: p.cycle, Attempt: uint8(p.attempt)})
+	p.env.Send(p.device, AcquireProbe(p.id, p.cycle, uint8(p.attempt)))
 }
 
 // OnAlarm handles the engine's single timer: a probe timeout while

@@ -23,7 +23,10 @@ type sentMsg struct {
 func (e *fakeEnv) Now() time.Duration { return e.now }
 
 func (e *fakeEnv) Send(to ident.NodeID, msg Message) {
-	e.sent = append(e.sent, sentMsg{to: to, msg: msg})
+	// Engines send pooled pointer forms on the hot path; keep the value
+	// form so assertions stay simple, and recycle like a real runtime.
+	e.sent = append(e.sent, sentMsg{to: to, msg: Flatten(msg)})
+	Recycle(msg)
 }
 
 func (e *fakeEnv) SetAlarm(at time.Duration) {

@@ -153,12 +153,8 @@ func (d *Device) OnProbe(from ident.NodeID, m core.ProbeMsg) {
 	d.probesTotal++
 	d.windowCount++
 	d.noteProber(from)
-	d.env.Send(from, core.ReplyMsg{
-		From:    d.id,
-		Cycle:   m.Cycle,
-		Attempt: m.Attempt,
-		Payload: core.SAPPReply{ProbeCount: d.pc, LastProbers: d.last},
-	})
+	d.env.Send(from, core.AcquireReply(d.id, m.Cycle, m.Attempt,
+		core.AcquireSAPPReply(d.pc, d.last)))
 }
 
 // noteProber maintains the last two *distinct* prober ids, newest first.

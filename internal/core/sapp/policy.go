@@ -128,8 +128,13 @@ func (p *Policy) LastLoad() float64 { return p.lastLexp }
 // t is the reply time for a clean cycle and the answered probe's send
 // time for a cycle that needed retransmission.
 func (p *Policy) NextDelay(res core.CycleResult) time.Duration {
-	rep, ok := res.Payload.(core.SAPPReply)
-	if !ok {
+	var pc uint64
+	switch rep := res.Payload.(type) {
+	case core.SAPPReply:
+		pc = rep.ProbeCount
+	case *core.SAPPReply: // pooled form; valid only until this call returns
+		pc = rep.ProbeCount
+	default:
 		// A reply from a non-SAPP device; keep the current schedule. The
 		// runtime wires protocols consistently, so this only happens with
 		// corrupted input.
@@ -141,17 +146,17 @@ func (p *Policy) NextDelay(res core.CycleResult) time.Duration {
 	}
 	if !p.havePrev {
 		p.havePrev = true
-		p.prevPC, p.prevAt = rep.ProbeCount, t
+		p.prevPC, p.prevAt = pc, t
 		return p.delay
 	}
-	if rep.ProbeCount < p.prevPC {
+	if pc < p.prevPC {
 		// The device restarted and reset its counter; re-anchor.
-		p.prevPC, p.prevAt = rep.ProbeCount, t
+		p.prevPC, p.prevAt = pc, t
 		return p.delay
 	}
 	dt := (t - p.prevAt).Seconds()
-	dpc := rep.ProbeCount - p.prevPC
-	p.prevPC, p.prevAt = rep.ProbeCount, t
+	dpc := pc - p.prevPC
+	p.prevPC, p.prevAt = pc, t
 	if dt <= 0 {
 		return p.delay
 	}

@@ -20,8 +20,10 @@ type fakeEnv struct {
 
 func (e *fakeEnv) Now() time.Duration { return e.now }
 func (e *fakeEnv) Send(to ident.NodeID, msg core.Message) {
-	e.sent = append(e.sent, msg)
+	// Flatten pooled pointer forms so assertions keep value semantics.
+	e.sent = append(e.sent, core.Flatten(msg))
 	e.sentTo = append(e.sentTo, to)
+	core.Recycle(msg)
 }
 func (e *fakeEnv) SetAlarm(at time.Duration) { e.alarmAt, e.alarmSet = at, true }
 func (e *fakeEnv) StopAlarm()                { e.alarmSet = false }

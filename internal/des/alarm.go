@@ -9,10 +9,17 @@ import "time"
 // wait, never both). Alarm captures that discipline: setting it replaces
 // any pending expiry, mirroring the semantics of time.Timer.Reset in the
 // real-time runtime.
+//
+// Alarm.Set is the kernel's hottest scheduling call (every probe cycle
+// resets a timer at least twice), so it is allocation-free in steady
+// state: a pending expiry is rescheduled in place through its Handle, and
+// the expiry callback passed to the kernel is built once at NewAlarm
+// time, not per Set.
 type Alarm struct {
-	sim *Simulation
-	fn  func()
-	ev  *Event
+	sim  *Simulation
+	fn   func()
+	fire func() // cached wrapper handed to the kernel; one alloc at construction
+	h    Handle
 }
 
 // NewAlarm returns an alarm that invokes fn on expiry. fn must be
@@ -21,14 +28,22 @@ func NewAlarm(sim *Simulation, fn func()) *Alarm {
 	if fn == nil {
 		panic("des: NewAlarm with nil callback")
 	}
-	return &Alarm{sim: sim, fn: fn}
+	a := &Alarm{sim: sim, fn: fn}
+	a.fire = func() {
+		a.h = Handle{}
+		a.fn()
+	}
+	return a
 }
 
 // Set schedules the alarm to fire at virtual time t, replacing any pending
-// expiry.
+// expiry. A pending expiry is moved in place; only an idle alarm schedules
+// a fresh event.
 func (a *Alarm) Set(t Time) {
-	a.Stop()
-	a.ev = a.sim.At(t, a.fire)
+	if a.h.Reschedule(t) {
+		return
+	}
+	a.h = a.sim.At(t, a.fire)
 }
 
 // SetAfter schedules the alarm d from now, replacing any pending expiry.
@@ -38,25 +53,13 @@ func (a *Alarm) SetAfter(d time.Duration) {
 
 // Stop cancels a pending expiry. Stopping an idle alarm is a no-op.
 func (a *Alarm) Stop() {
-	if a.ev != nil {
-		a.ev.Cancel()
-		a.ev = nil
-	}
+	a.h.Cancel()
+	a.h = Handle{}
 }
 
 // Pending reports whether the alarm has an expiry scheduled.
-func (a *Alarm) Pending() bool { return a.ev != nil }
+func (a *Alarm) Pending() bool { return a.h.Pending() }
 
 // ExpiresAt returns the scheduled expiry time. The second result is false
 // if the alarm is idle.
-func (a *Alarm) ExpiresAt() (Time, bool) {
-	if a.ev == nil {
-		return 0, false
-	}
-	return a.ev.At(), true
-}
-
-func (a *Alarm) fire() {
-	a.ev = nil
-	a.fn()
-}
+func (a *Alarm) ExpiresAt() (Time, bool) { return a.h.When() }

@@ -69,8 +69,10 @@ func TestClockAdvancesToEventTime(t *testing.T) {
 func TestCancelPreventsExecution(t *testing.T) {
 	s := New()
 	fired := false
-	e := s.At(time.Second, func() { fired = true })
-	e.Cancel()
+	h := s.At(time.Second, func() { fired = true })
+	if !h.Cancel() {
+		t.Fatal("Cancel of a pending event must report true")
+	}
 	s.RunUntilIdle()
 	if fired {
 		t.Fatal("cancelled event fired")
@@ -82,13 +84,143 @@ func TestCancelPreventsExecution(t *testing.T) {
 
 func TestCancelIsIdempotent(t *testing.T) {
 	s := New()
-	e := s.At(time.Second, func() {})
-	e.Cancel()
-	e.Cancel()
-	if !e.Canceled() {
-		t.Fatal("event not marked cancelled")
+	h := s.At(time.Second, func() {})
+	if !h.Cancel() {
+		t.Fatal("first Cancel must report true")
+	}
+	if h.Cancel() {
+		t.Fatal("second Cancel must be a no-op")
+	}
+	if h.Pending() {
+		t.Fatal("cancelled handle still pending")
 	}
 	s.RunUntilIdle()
+}
+
+func TestCancelRemovesFromQueue(t *testing.T) {
+	s := New()
+	h := s.At(time.Second, func() {})
+	s.At(2*time.Second, func() {})
+	if s.Pending() != 2 {
+		t.Fatalf("Pending() = %d, want 2", s.Pending())
+	}
+	h.Cancel()
+	if s.Pending() != 1 {
+		t.Fatalf("Pending() = %d after cancel, want 1 (no tombstones)", s.Pending())
+	}
+}
+
+// TestCancelAfterFireIsSafe: a handle kept past its event's execution must
+// go inert, even after the kernel recycles the slot for new events.
+func TestCancelAfterFireIsSafe(t *testing.T) {
+	s := New()
+	fired := 0
+	stale := s.At(time.Second, func() { fired++ })
+	s.RunUntilIdle()
+	if fired != 1 {
+		t.Fatalf("event fired %d times, want 1", fired)
+	}
+	// Recycle the slot: the next At reuses the freed event under a new
+	// generation.
+	victim := 0
+	s.At(2*time.Second, func() { victim++ })
+	if stale.Cancel() {
+		t.Fatal("Cancel through a stale handle reported success")
+	}
+	if stale.Pending() {
+		t.Fatal("stale handle reports pending")
+	}
+	s.RunUntilIdle()
+	if victim != 1 {
+		t.Fatal("stale Cancel killed an unrelated recycled event")
+	}
+}
+
+// TestCancelAfterCancelIsSafeAcrossReuse: cancelling twice must not touch
+// the event that meanwhile reused the slot.
+func TestCancelAfterCancelIsSafeAcrossReuse(t *testing.T) {
+	s := New()
+	stale := s.At(time.Second, func() {})
+	stale.Cancel()
+	victim := 0
+	s.At(time.Second, func() { victim++ })
+	stale.Cancel()
+	s.RunUntilIdle()
+	if victim != 1 {
+		t.Fatal("double Cancel killed an unrelated recycled event")
+	}
+}
+
+func TestRescheduleMovesEvent(t *testing.T) {
+	s := New()
+	var at time.Duration
+	h := s.At(time.Second, func() { at = s.Now() })
+	if !h.Reschedule(5 * time.Second) {
+		t.Fatal("Reschedule of a pending event must report true")
+	}
+	if when, ok := h.When(); !ok || when != 5*time.Second {
+		t.Fatalf("When() = %v, %v; want 5s, true", when, ok)
+	}
+	s.RunUntilIdle()
+	if at != 5*time.Second {
+		t.Fatalf("event fired at %v, want 5s", at)
+	}
+	if s.Executed() != 1 {
+		t.Fatalf("Executed() = %d, want 1 (reschedule must not duplicate)", s.Executed())
+	}
+}
+
+func TestRescheduleOrdersAfterSameTimeEvents(t *testing.T) {
+	s := New()
+	var order []string
+	h := s.At(time.Second, func() { order = append(order, "rescheduled") })
+	s.At(2*time.Second, func() { order = append(order, "existing") })
+	h.Reschedule(2 * time.Second)
+	s.RunUntilIdle()
+	if len(order) != 2 || order[0] != "existing" || order[1] != "rescheduled" {
+		t.Fatalf("order = %v, want a rescheduled event to fire after existing same-time events", order)
+	}
+}
+
+func TestRescheduleExpiredHandleIsNoop(t *testing.T) {
+	s := New()
+	h := s.At(time.Second, func() {})
+	s.RunUntilIdle()
+	victim := 0
+	s.At(2*time.Second, func() { victim++ })
+	if h.Reschedule(3 * time.Second) {
+		t.Fatal("Reschedule through a stale handle reported success")
+	}
+	s.RunUntilIdle()
+	if victim != 1 {
+		t.Fatal("stale Reschedule disturbed an unrelated recycled event")
+	}
+}
+
+// TestFreeListReusesSlots: the steady-state schedule→fire→schedule loop
+// must not grow memory; slots are recycled through the free list.
+func TestFreeListReusesSlots(t *testing.T) {
+	s := New()
+	n := 0
+	var tick func()
+	tick = func() {
+		n++
+		if n < 10_000 {
+			s.After(time.Microsecond, tick)
+		}
+	}
+	s.After(time.Microsecond, tick)
+	s.RunUntilIdle()
+	if n != 10_000 {
+		t.Fatalf("ticked %d times, want 10000", n)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		s.After(time.Microsecond, func() {})
+		s.Step()
+	})
+	if allocs > 0 {
+		t.Fatalf("steady-state schedule+fire allocates %.1f objects/op, want 0", allocs)
+	}
 }
 
 func TestScheduleInsideCallback(t *testing.T) {
@@ -191,15 +323,15 @@ func TestDeterminism(t *testing.T) {
 		r := rand.New(rand.NewSource(seed))
 		s := New()
 		var trace []int
-		events := make([]*Event, 0, 200)
+		handles := make([]Handle, 0, 200)
 		for i := 0; i < 200; i++ {
 			i := i
 			at := time.Duration(r.Intn(50)) * time.Millisecond
-			events = append(events, s.At(at, func() { trace = append(trace, i) }))
+			handles = append(handles, s.At(at, func() { trace = append(trace, i) }))
 		}
-		for i, e := range events {
+		for i, h := range handles {
 			if i%7 == 0 {
-				e.Cancel()
+				h.Cancel()
 			}
 		}
 		s.RunUntilIdle()
@@ -227,17 +359,17 @@ func TestPropertyOrderingAndCompleteness(t *testing.T) {
 			fired int
 		}
 		recs := make([]rec, len(offsets))
-		events := make([]*Event, len(offsets))
+		handles := make([]Handle, len(offsets))
 		for i, off := range offsets {
 			i := i
 			at := time.Duration(off) * time.Microsecond
 			recs[i].at = at
-			events[i] = s.At(at, func() { recs[i].fired++ })
+			handles[i] = s.At(at, func() { recs[i].fired++ })
 		}
 		cancelled := make([]bool, len(offsets))
-		for i := range events {
+		for i := range handles {
 			if i < len(cancelMask) && cancelMask[i] {
-				events[i].Cancel()
+				handles[i].Cancel()
 				cancelled[i] = true
 			}
 		}
@@ -255,6 +387,61 @@ func TestPropertyOrderingAndCompleteness(t *testing.T) {
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
 		t.Fatal(err)
+	}
+}
+
+// TestHeapStressAgainstReference drives the 4-ary heap with a random mix
+// of schedules, cancellations and reschedules and checks the execution
+// trace against a straightforward sort-based oracle.
+func TestHeapStressAgainstReference(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		r := rand.New(rand.NewSource(seed))
+		s := New()
+		type op struct {
+			id int
+			at time.Duration
+		}
+		var live []op // oracle: events expected to fire
+		handles := map[int]Handle{}
+		var trace []int
+		next := 0
+		for i := 0; i < 500; i++ {
+			switch k := r.Intn(10); {
+			case k < 6 || len(live) == 0: // schedule
+				id := next
+				next++
+				at := time.Duration(r.Intn(1000)) * time.Millisecond
+				handles[id] = s.At(at, func() { trace = append(trace, id) })
+				live = append(live, op{id: id, at: at})
+			case k < 8: // cancel a random live event
+				j := r.Intn(len(live))
+				if !handles[live[j].id].Cancel() {
+					t.Fatalf("seed %d: Cancel of live event %d failed", seed, live[j].id)
+				}
+				live = append(live[:j], live[j+1:]...)
+			default: // reschedule a random live event
+				j := r.Intn(len(live))
+				at := time.Duration(r.Intn(1000)) * time.Millisecond
+				if !handles[live[j].id].Reschedule(at) {
+					t.Fatalf("seed %d: Reschedule of live event %d failed", seed, live[j].id)
+				}
+				// A reschedule re-sequences: drop and re-append so the
+				// oracle's stable sort mirrors the kernel's tie-break.
+				e := op{id: live[j].id, at: at}
+				live = append(live[:j], live[j+1:]...)
+				live = append(live, e)
+			}
+		}
+		sort.SliceStable(live, func(i, j int) bool { return live[i].at < live[j].at })
+		s.RunUntilIdle()
+		if len(trace) != len(live) {
+			t.Fatalf("seed %d: fired %d events, oracle expects %d", seed, len(trace), len(live))
+		}
+		for i := range live {
+			if trace[i] != live[i].id {
+				t.Fatalf("seed %d: trace[%d] = %d, oracle expects %d", seed, i, trace[i], live[i].id)
+			}
+		}
 	}
 }
 
@@ -290,6 +477,39 @@ func TestAlarmResetReplacesExpiry(t *testing.T) {
 	}
 }
 
+func TestAlarmSetEarlierReplacesExpiry(t *testing.T) {
+	s := New()
+	var at time.Duration
+	a := NewAlarm(s, func() { at = s.Now() })
+	a.Set(3 * time.Second)
+	a.Set(time.Second) // moving towards the root must sift too
+	s.RunUntilIdle()
+	if at != time.Second {
+		t.Fatalf("alarm fired at %v, want 1s", at)
+	}
+	if s.Executed() != 1 {
+		t.Fatalf("executed %d events, want 1", s.Executed())
+	}
+}
+
+// TestAlarmSetWhilePendingIsAllocationFree: the reschedule-in-place path
+// must reuse the pending heap entry.
+func TestAlarmSetWhilePendingIsAllocationFree(t *testing.T) {
+	s := New()
+	a := NewAlarm(s, func() {})
+	a.SetAfter(time.Second)
+	allocs := testing.AllocsPerRun(100, func() {
+		a.SetAfter(time.Second)
+		a.SetAfter(2 * time.Second)
+	})
+	if allocs > 0 {
+		t.Fatalf("Set on a pending alarm allocates %.1f objects/op, want 0", allocs)
+	}
+	if s.Pending() != 1 {
+		t.Fatalf("Pending() = %d, want exactly the alarm's single entry", s.Pending())
+	}
+}
+
 func TestAlarmStop(t *testing.T) {
 	s := New()
 	fired := false
@@ -300,6 +520,23 @@ func TestAlarmStop(t *testing.T) {
 	s.RunUntilIdle()
 	if fired {
 		t.Fatal("stopped alarm fired")
+	}
+}
+
+// TestAlarmStopAfterFireDoesNotKillReusedSlot: the alarm's freed event
+// slot may be claimed by an unrelated event; a late Stop must not touch
+// it.
+func TestAlarmStopAfterFireDoesNotKillReusedSlot(t *testing.T) {
+	s := New()
+	a := NewAlarm(s, func() {})
+	a.SetAfter(time.Second)
+	s.RunUntilIdle()
+	victim := 0
+	s.After(time.Second, func() { victim++ })
+	a.Stop()
+	s.RunUntilIdle()
+	if victim != 1 {
+		t.Fatal("late Alarm.Stop killed an unrelated recycled event")
 	}
 }
 
@@ -373,4 +610,15 @@ func BenchmarkSelfRescheduling(b *testing.B) {
 	b.ResetTimer()
 	s.After(time.Microsecond, tick)
 	s.RunUntilIdle()
+}
+
+func BenchmarkAlarmReset(b *testing.B) {
+	s := New()
+	a := NewAlarm(s, func() {})
+	a.SetAfter(time.Second)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		a.SetAfter(time.Duration(i%1000) * time.Microsecond)
+	}
 }

@@ -141,32 +141,47 @@ func runTabDCPPStatic(opts Options) (*Report, error) {
 		PaperClaim: "once a situation is reached where the number of probing CPs does not change, " +
 			"the device has a probe load of L_nom and the probe frequency is nearly the same for all CPs",
 	}
-	for _, k := range []int{1, 2, 5, 10, 20, 40, 60} {
+	ks := []int{1, 2, 5, 10, 20, 40, 60}
+	type outcome struct {
+		load, jain float64
+	}
+	// One independent world per population size: sweep on the worker
+	// pool, report in k order.
+	results, err := Replications(len(ks), func(i int) (outcome, error) {
+		k := ks[i]
 		w, err := simrun.NewWorld(simrun.Config{
 			Protocol: simrun.ProtocolDCPP,
 			Seed:     opts.Seed + uint64(k),
 		})
 		if err != nil {
-			return nil, err
+			return outcome{}, err
 		}
 		if err := w.AddCPsStaggered(k, sec(5)); err != nil {
-			return nil, err
+			return outcome{}, err
 		}
 		w.Run(warmup)
 		w.ResetMeasurements()
 		w.Run(warmup + measure)
 		load := w.DeviceLoad().Stats()
-		freqs := w.CPFrequencies()
-		jain := stats.JainIndex(freqs)
+		return outcome{
+			load: load.Mean(),
+			jain: stats.JainIndex(w.CPFrequencies()),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, out := range results {
+		k := ks[i]
 		// Expected: min(k·f_max, L_nom) with f_max = 2, L_nom = 10.
 		expect := float64(k) * 2
 		if expect > 10 {
 			expect = 10
 		}
-		rep.AddMetric(fmt.Sprintf("load_k%d", k), load.Mean(), expect, "probes/s",
-			fmt.Sprintf("min(k·f_max, L_nom); Jain %.4f", jain))
-		if jain < 0.99 {
-			rep.AddFinding("k=%d: fairness J=%.4f below 0.99 — unexpected for DCPP", k, jain)
+		rep.AddMetric(fmt.Sprintf("load_k%d", k), out.load, expect, "probes/s",
+			fmt.Sprintf("min(k·f_max, L_nom); Jain %.4f", out.jain))
+		if out.jain < 0.99 {
+			rep.AddFinding("k=%d: fairness J=%.4f below 0.99 — unexpected for DCPP", k, out.jain)
 		}
 	}
 	rep.AddFinding("crossover at k = L_nom/f_max = 5 CPs: below it the device is CP-limited, above it schedule-limited")

@@ -61,24 +61,39 @@ func runExtFairness(opts Options) (*Report, error) {
 		Title:      "Fairness at k = 20 CPs",
 		PaperClaim: "SAPP treats CPs unfairly (some starve, some probe fast); DCPP gives nearly the same frequency to all CPs",
 	}
-	for _, proto := range []simrun.Protocol{simrun.ProtocolSAPP, simrun.ProtocolDCPP, simrun.ProtocolNaive} {
-		w, err := simrun.NewWorld(simrun.Config{Protocol: proto, Seed: opts.Seed})
+	protocols := []simrun.Protocol{simrun.ProtocolSAPP, simrun.ProtocolDCPP, simrun.ProtocolNaive}
+	type outcome struct {
+		jain, lo, hi, load float64
+	}
+	results, err := Replications(len(protocols), func(i int) (outcome, error) {
+		w, err := simrun.NewWorld(simrun.Config{Protocol: protocols[i], Seed: opts.Seed})
 		if err != nil {
-			return nil, err
+			return outcome{}, err
 		}
 		if err := w.AddCPsStaggered(20, sec(10)); err != nil {
-			return nil, err
+			return outcome{}, err
 		}
 		w.Run(warmup)
 		w.ResetMeasurements()
 		w.Run(warmup + measure)
 		freqs := w.CPFrequencies()
-		jain := stats.JainIndex(freqs)
-		load := w.DeviceLoad().Stats()
 		lo, hi := minMax(freqs)
-		rep.AddMetric(fmt.Sprintf("jain_%s", proto), jain, unspecified(), "",
-			fmt.Sprintf("freq range [%.3g, %.3g] /s", lo, hi))
-		rep.AddMetric(fmt.Sprintf("load_%s", proto), load.Mean(), unspecified(), "probes/s", "")
+		load := w.DeviceLoad().Stats()
+		return outcome{
+			jain: stats.JainIndex(freqs),
+			lo:   lo,
+			hi:   hi,
+			load: load.Mean(),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, out := range results {
+		proto := protocols[i]
+		rep.AddMetric(fmt.Sprintf("jain_%s", proto), out.jain, unspecified(), "",
+			fmt.Sprintf("freq range [%.3g, %.3g] /s", out.lo, out.hi))
+		rep.AddMetric(fmt.Sprintf("load_%s", proto), out.load, unspecified(), "probes/s", "")
 	}
 	rep.AddFinding("expected ordering: J(DCPP) ≈ J(naive) ≈ 1 ≫ J(SAPP); naive holds fairness only by ignoring the device's load limit")
 	return rep, nil
@@ -98,52 +113,73 @@ func runExtDetect(opts Options) (*Report, error) {
 	}
 	retrans := core.DefaultRetransmit()
 	failTail := retrans.WorstCaseDetection()
+	type job struct {
+		proto simrun.Protocol
+		k     int
+	}
+	var jobs []job
 	for _, proto := range []simrun.Protocol{simrun.ProtocolDCPP, simrun.ProtocolSAPP} {
 		for _, k := range []int{1, 5, 10, 20, 40} {
-			w, err := simrun.NewWorld(simrun.Config{Protocol: proto, Seed: opts.Seed + uint64(k)})
-			if err != nil {
-				return nil, err
-			}
-			if err := w.AddCPsStaggered(k, sec(5)); err != nil {
-				return nil, err
-			}
-			w.Run(settle)
-			killAt := w.KillDevice()
-			// Allow the longest plausible wait (SAPP δ_max = 10 s) plus
-			// the failed cycle.
-			w.Run(killAt + sec(25))
-			var lat stats.Welford
-			missing := 0
-			for _, h := range w.ActiveCPs() {
-				if !h.Lost {
-					missing++
-					continue
-				}
-				lat.Add((h.LostAt - killAt).Seconds())
-			}
-			if missing > 0 {
-				rep.AddFinding("%s k=%d: %d CPs had not detected within 25 s", proto, k, missing)
-			}
-			var bound float64
-			if proto == simrun.ProtocolDCPP {
-				// Worst case: the CP just received a wait of
-				// max(d_min, k·δ_min), then needs a full failed cycle.
-				wait := 0.5
-				if kd := float64(k) * 0.1; kd > wait {
-					wait = kd
-				}
-				bound = wait + failTail.Seconds()
-			}
-			note := ""
-			if bound > 0 {
-				note = fmt.Sprintf("worst-case bound %.3g s", bound)
-				if lat.Max() > bound+0.1 {
-					rep.AddFinding("%s k=%d: max latency %.3g s exceeds bound %.3g s", proto, k, lat.Max(), bound)
-				}
-			}
-			rep.AddMetric(fmt.Sprintf("%s_k%d_mean", proto, k), lat.Mean(), unspecified(), "s", note)
-			rep.AddMetric(fmt.Sprintf("%s_k%d_max", proto, k), lat.Max(), unspecified(), "s", "")
+			jobs = append(jobs, job{proto, k})
 		}
+	}
+	type outcome struct {
+		lat     stats.Welford
+		missing int
+	}
+	// Each (protocol, population) cell is an independent world; run the
+	// sweep on the worker pool and assemble the report in job order.
+	results, err := Replications(len(jobs), func(i int) (outcome, error) {
+		j := jobs[i]
+		w, err := simrun.NewWorld(simrun.Config{Protocol: j.proto, Seed: opts.Seed + uint64(j.k)})
+		if err != nil {
+			return outcome{}, err
+		}
+		if err := w.AddCPsStaggered(j.k, sec(5)); err != nil {
+			return outcome{}, err
+		}
+		w.Run(settle)
+		killAt := w.KillDevice()
+		// Allow the longest plausible wait (SAPP δ_max = 10 s) plus
+		// the failed cycle.
+		w.Run(killAt + sec(25))
+		var out outcome
+		for _, h := range w.ActiveCPs() {
+			if !h.Lost {
+				out.missing++
+				continue
+			}
+			out.lat.Add((h.LostAt - killAt).Seconds())
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, out := range results {
+		proto, k, lat := jobs[i].proto, jobs[i].k, out.lat
+		if out.missing > 0 {
+			rep.AddFinding("%s k=%d: %d CPs had not detected within 25 s", proto, k, out.missing)
+		}
+		var bound float64
+		if proto == simrun.ProtocolDCPP {
+			// Worst case: the CP just received a wait of
+			// max(d_min, k·δ_min), then needs a full failed cycle.
+			wait := 0.5
+			if kd := float64(k) * 0.1; kd > wait {
+				wait = kd
+			}
+			bound = wait + failTail.Seconds()
+		}
+		note := ""
+		if bound > 0 {
+			note = fmt.Sprintf("worst-case bound %.3g s", bound)
+			if lat.Max() > bound+0.1 {
+				rep.AddFinding("%s k=%d: max latency %.3g s exceeds bound %.3g s", proto, k, lat.Max(), bound)
+			}
+		}
+		rep.AddMetric(fmt.Sprintf("%s_k%d_mean", proto, k), lat.Mean(), unspecified(), "s", note)
+		rep.AddMetric(fmt.Sprintf("%s_k%d_max", proto, k), lat.Max(), unspecified(), "s", "")
 	}
 	rep.AddFinding("DCPP trades detection latency for load control: with k CPs a dead device is noticed within ≈ k·δ_min + %v", failTail)
 	return rep, nil
@@ -169,15 +205,19 @@ func runExtDCPPLoss(opts Options) (*Report, error) {
 		{"bernoulli_5pct", simnet.Bernoulli{P: 0.05}},
 		{"bursty", &simnet.GilbertElliott{GoodToBad: 0.02, BadToGood: 0.2, LossGood: 0.01, LossBad: 0.5}},
 	}
-	for _, sc := range scenarios {
+	type outcome struct {
+		mean, p99, peak       float64
+		failures, retransmits uint64
+	}
+	results, err := Replications(len(scenarios), func(i int) (outcome, error) {
 		cfg := simrun.Config{Protocol: simrun.ProtocolDCPP, Seed: opts.Seed}
-		cfg.Net.Loss = sc.loss
+		cfg.Net.Loss = scenarios[i].loss
 		w, err := simrun.NewWorld(cfg)
 		if err != nil {
-			return nil, err
+			return outcome{}, err
 		}
 		if err := w.StartChurn(simrun.DefaultUniformChurn()); err != nil {
-			return nil, err
+			return outcome{}, err
 		}
 		w.Run(horizon)
 		load := w.DeviceLoad().Stats()
@@ -188,21 +228,28 @@ func runExtDCPPLoss(opts Options) (*Report, error) {
 		}
 		qs, err := stats.Quantiles(vals, 0.99)
 		if err != nil {
-			return nil, err
+			return outcome{}, err
 		}
-		var retransmits, failures uint64
+		out := outcome{mean: load.Mean(), p99: qs[0], peak: load.Max()}
 		for _, h := range w.AllCPs() {
 			st := h.Prober.Stats()
-			retransmits += st.Retransmits
-			failures += st.CyclesFailed
+			out.retransmits += st.Retransmits
+			out.failures += st.CyclesFailed
 		}
-		rep.AddMetric(fmt.Sprintf("load_mean_%s", sc.name), load.Mean(), unspecified(), "probes/s", "")
-		rep.AddMetric(fmt.Sprintf("load_p99_%s", sc.name), qs[0], unspecified(), "probes/s",
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, out := range results {
+		name := scenarios[i].name
+		rep.AddMetric(fmt.Sprintf("load_mean_%s", name), out.mean, unspecified(), "probes/s", "")
+		rep.AddMetric(fmt.Sprintf("load_p99_%s", name), out.p99, unspecified(), "probes/s",
 			"lower p99 with loss = spikes spread wider")
-		rep.AddMetric(fmt.Sprintf("load_peak_%s", sc.name), load.Max(), unspecified(), "probes/s", "")
-		rep.AddMetric(fmt.Sprintf("false_losses_%s", sc.name), float64(failures), unspecified(), "cycles",
+		rep.AddMetric(fmt.Sprintf("load_peak_%s", name), out.peak, unspecified(), "probes/s", "")
+		rep.AddMetric(fmt.Sprintf("false_losses_%s", name), float64(out.failures), unspecified(), "cycles",
 			"cycles whose 4 probes all vanished (false absence detections)")
-		rep.AddMetric(fmt.Sprintf("retransmits_%s", sc.name), float64(retransmits), unspecified(), "probes", "")
+		rep.AddMetric(fmt.Sprintf("retransmits_%s", name), float64(out.retransmits), unspecified(), "probes", "")
 	}
 	rep.AddFinding("retransmissions delay some joiners' first successful cycle, so join bursts smear across neighbouring bins, exactly as §5 predicts")
 	return rep, nil
@@ -278,7 +325,9 @@ func runExtSAPPAdaptiveDelta(opts Options) (*Report, error) {
 		adaptive bool
 		high     float64
 	}
-	for _, v := range []variant{{"fixed_delta", false, 0}, {"adaptive_delta", true, 0.6}} {
+	variants := []variant{{"fixed_delta", false, 0}, {"adaptive_delta", true, 0.6}}
+	results, err := Replications(len(variants), func(i int) (float64, error) {
+		v := variants[i]
 		cfg := simrun.Config{Protocol: simrun.ProtocolSAPP, Seed: opts.Seed}
 		dev := sapp.DefaultDeviceConfig()
 		dev.AdaptiveDelta = v.adaptive
@@ -289,16 +338,22 @@ func runExtSAPPAdaptiveDelta(opts Options) (*Report, error) {
 		cfg.SAPPDevice = dev
 		w, err := simrun.NewWorld(cfg)
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		if err := w.AddCPsStaggered(20, sec(10)); err != nil {
-			return nil, err
+			return 0, err
 		}
 		w.Run(warmup)
 		w.ResetMeasurements()
 		w.Run(warmup + measure)
 		load := w.DeviceLoad().Stats()
-		rep.AddMetric(fmt.Sprintf("load_%s", v.name), load.Mean(), unspecified(), "probes/s", "")
+		return load.Mean(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, load := range results {
+		rep.AddMetric(fmt.Sprintf("load_%s", variants[i].name), load, unspecified(), "probes/s", "")
 	}
 	rep.AddFinding("with AdaptHigh = 0.6 the device doubles Δ whenever the measured load exceeds 0.6·L_nom, driving the CP-perceived load up and the real load down — a device-side throttle on top of SAPP")
 	return rep, nil
@@ -317,23 +372,31 @@ func runExtNaiveLoad(opts Options) (*Report, error) {
 			"underloading (Section 1)",
 	}
 	const period = time.Second
-	for _, k := range []int{1, 5, 10, 20, 40, 80} {
+	ks := []int{1, 5, 10, 20, 40, 80}
+	results, err := Replications(len(ks), func(i int) (float64, error) {
+		k := ks[i]
 		w, err := simrun.NewWorld(simrun.Config{
 			Protocol:    simrun.ProtocolNaive,
 			Seed:        opts.Seed + uint64(k),
 			NaivePeriod: period,
 		})
 		if err != nil {
-			return nil, err
+			return 0, err
 		}
 		if err := w.AddCPsStaggered(k, sec(3)); err != nil {
-			return nil, err
+			return 0, err
 		}
 		w.Run(sec(30))
 		w.ResetMeasurements()
 		w.Run(sec(30) + measure)
 		load := w.DeviceLoad().Stats()
-		rep.AddMetric(fmt.Sprintf("load_k%d", k), load.Mean(), float64(k), "probes/s",
+		return load.Mean(), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for i, load := range results {
+		rep.AddMetric(fmt.Sprintf("load_k%d", ks[i]), load, float64(ks[i]), "probes/s",
 			"expected k/period; L_nom = 10 is crossed at k = 10")
 	}
 	rep.AddFinding("the naive scheme has no feedback: at k = 80 the device sees 8x its nominal load, at k = 1 it wastes detection latency — the motivation for both adaptive protocols")

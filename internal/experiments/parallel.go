@@ -1,0 +1,71 @@
+package experiments
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Replications runs n independent replication jobs on a worker pool and
+// returns their results in index order. Each job builds and runs its own
+// simrun.World (worlds are single-threaded and self-contained, so
+// independent seeds parallelise embarrassingly); the caller then folds
+// the results sequentially, in index order, so every derived statistic —
+// including floating-point accumulations — is bit-identical no matter how
+// many workers ran. The multi-world experiments (ext-seeds, ext-detect,
+// the protocol sweeps) all fan out through here, which is what makes
+// hundreds-of-replications studies in the style of DHYMON practical on
+// multicore hosts.
+//
+// The first error by job index aborts the whole run (deterministically:
+// later jobs may have failed too, but index order decides the report).
+func Replications[T any](n int, fn func(rep int) (T, error)) ([]T, error) {
+	return ReplicationsWorkers(n, 0, fn)
+}
+
+// ReplicationsWorkers is Replications with an explicit worker count;
+// workers <= 0 means GOMAXPROCS. The worker count influences scheduling
+// only, never results — the determinism regression tests run the same
+// jobs at 1 and at several workers and require identical output.
+func ReplicationsWorkers[T any](n, workers int, fn func(rep int) (T, error)) ([]T, error) {
+	if n <= 0 {
+		return nil, nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	results := make([]T, n)
+	errs := make([]error, n)
+	if workers == 1 {
+		for i := range results {
+			results[i], errs[i] = fn(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= n {
+						return
+					}
+					results[i], errs[i] = fn(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: replication %d: %w", i, err)
+		}
+	}
+	return results, nil
+}

@@ -32,25 +32,45 @@ func runExtSeeds(opts Options) (*Report, error) {
 		PaperClaim: "mean load 9.7 probes/s, variance 20.0 — reported from one simulation run; " +
 			"independent replications bound the run-to-run spread",
 	}
-	var means, variances, fairnessUnder stats.Welford
-	for i := 0; i < reps; i++ {
+	// The replications are independent worlds: fan them out over the
+	// worker pool, then fold sequentially in index order so the Welford
+	// accumulators see the same value sequence regardless of parallelism.
+	type replication struct {
+		seed           uint64
+		mean, variance float64
+		jain           float64
+	}
+	results, err := Replications(reps, func(i int) (replication, error) {
+		seed := opts.Seed + uint64(1000*i)
 		w, err := simrun.NewWorld(simrun.Config{
 			Protocol: simrun.ProtocolDCPP,
-			Seed:     opts.Seed + uint64(1000*i),
+			Seed:     seed,
 		})
 		if err != nil {
-			return nil, err
+			return replication{}, err
 		}
 		if err := w.StartChurn(simrun.DefaultUniformChurn()); err != nil {
-			return nil, err
+			return replication{}, err
 		}
 		w.Run(horizon)
 		load := w.DeviceLoad().Stats()
-		means.Add(load.Mean())
-		variances.Add(load.Variance())
-		fairnessUnder.Add(stats.JainIndex(w.CPFrequencies()))
+		return replication{
+			seed:     seed,
+			mean:     load.Mean(),
+			variance: load.Variance(),
+			jain:     stats.JainIndex(w.CPFrequencies()),
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var means, variances, fairnessUnder stats.Welford
+	for i, r := range results {
+		means.Add(r.mean)
+		variances.Add(r.variance)
+		fairnessUnder.Add(r.jain)
 		rep.AddFinding("replication %d (seed %d): load mean %.3f, var %.2f",
-			i+1, opts.Seed+uint64(1000*i), load.Mean(), load.Variance())
+			i+1, r.seed, r.mean, r.variance)
 	}
 	ciMean := means.ConfidenceInterval(0.95)
 	rep.AddMetric("replication_mean_of_means", means.Mean(), 9.7, "probes/s",

@@ -180,8 +180,10 @@ func (cp *ControlPoint) dispatch(_ *net.UDPAddr, msg core.Message) {
 }
 
 // send transmits to the dialled device. Called by the engine with the
-// mutex held; the `to` id is always the device on a CP socket.
+// mutex held; the `to` id is always the device on a CP socket. Pooled
+// messages are recycled once encoded.
 func (cp *ControlPoint) send(_ ident.NodeID, msg core.Message) {
+	defer core.Recycle(msg)
 	frame, err := wire.Encode(msg)
 	if err != nil {
 		cp.counters.SendErrors++

@@ -169,8 +169,9 @@ func (s *DeviceServer) notePeer(id ident.NodeID, addr *net.UDPAddr) {
 }
 
 // send routes a message to a known peer. Called by the engine with the
-// mutex held.
+// mutex held. Pooled messages are recycled once encoded.
 func (s *DeviceServer) send(to ident.NodeID, msg core.Message) {
+	defer core.Recycle(msg)
 	addr, ok := s.peers[to]
 	if !ok {
 		s.counters.SendErrors++

@@ -66,6 +66,80 @@ type Network struct {
 	occupancy stats.TimeWeighted
 
 	blocked map[linkKey]bool
+
+	// freeEnvs recycles in-flight envelopes (and their pre-built delivery
+	// closures) so transmit allocates nothing in steady state.
+	freeEnvs *envelope
+}
+
+// pooledMsg is the recycling contract pooled protocol messages satisfy
+// (structurally, so this package stays payload-agnostic): the network
+// owns a message once Send accepts it and recycles it after the final
+// delivery attempt. Duplicated copies are cloned first.
+type pooledMsg interface {
+	Recycle()
+	ClonePooled() any
+}
+
+// recycleMsg returns a pooled message to its pool; plain values pass
+// through untouched.
+func recycleMsg(msg any) {
+	if r, ok := msg.(pooledMsg); ok {
+		r.Recycle()
+	}
+}
+
+// cloneMsg returns an independently-owned copy of a pooled message, or
+// the message itself when it is a plain value (safe to deliver twice).
+func cloneMsg(msg any) any {
+	if c, ok := msg.(pooledMsg); ok {
+		return c.ClonePooled()
+	}
+	return msg
+}
+
+// envelope is one in-flight message. Its deliver closure is built once
+// per envelope lifetime and rescheduled from the free list thereafter.
+type envelope struct {
+	n        *Network
+	from, to ident.NodeID
+	msg      any
+	next     *envelope
+	deliver  func()
+}
+
+func (n *Network) acquireEnvelope(from, to ident.NodeID, msg any) *envelope {
+	e := n.freeEnvs
+	if e == nil {
+		e = &envelope{n: n}
+		e.deliver = e.fire
+	} else {
+		n.freeEnvs = e.next
+	}
+	e.from, e.to, e.msg = from, to, msg
+	return e
+}
+
+// fire completes one delivery: counters, handler dispatch, recycling. The
+// envelope is released before the handler runs, so a handler that sends
+// may reuse it immediately.
+func (e *envelope) fire() {
+	n := e.n
+	n.inFlight--
+	n.occupancy.Observe(n.sim.Now(), float64(n.inFlight))
+	from, to, msg := e.from, e.to, e.msg
+	e.msg = nil
+	e.next = n.freeEnvs
+	n.freeEnvs = e
+	h, ok := n.ports[to]
+	if !ok {
+		n.counters.Unroutable++
+		recycleMsg(msg)
+		return
+	}
+	n.counters.Delivered++
+	h(from, msg)
+	recycleMsg(msg)
 }
 
 type linkKey struct {
@@ -133,6 +207,10 @@ func (n *Network) Unblock(from, to ident.NodeID) {
 // Sending to ident.Broadcast delivers an independent copy to every
 // attached node except the sender (the SSDP-multicast stand-in); each
 // copy draws its own delay and loss.
+//
+// Pooled messages (see internal/core) are owned by the network from this
+// call on: they are recycled after the final delivery attempt, or right
+// here when dropped. Callers must not touch a pooled message after Send.
 func (n *Network) Send(from, to ident.NodeID, msg any) {
 	if to == ident.Broadcast {
 		ids := make([]ident.NodeID, 0, len(n.ports))
@@ -145,27 +223,32 @@ func (n *Network) Send(from, to ident.NodeID, msg any) {
 		// deterministic replay.
 		sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
 		for _, id := range ids {
-			n.Send(from, id, msg)
+			// Each recipient gets an independently-owned copy.
+			n.Send(from, id, cloneMsg(msg))
 		}
+		recycleMsg(msg)
 		return
 	}
 	if n.blocked[linkKey{from, to}] {
 		n.counters.Blocked++
+		recycleMsg(msg)
 		return
 	}
 	if n.cfg.Loss.Lose(n.r) {
 		n.counters.LostInFlight++
+		recycleMsg(msg)
 		return
 	}
 	if n.inFlight >= n.cfg.BufferCap {
 		n.counters.Overflowed++
+		recycleMsg(msg)
 		return
 	}
 	n.counters.Sent++
 	n.transmit(from, to, msg)
 	if n.cfg.DuplicateP > 0 && n.r.Bool(n.cfg.DuplicateP) && n.inFlight < n.cfg.BufferCap {
 		n.counters.Duplicated++
-		n.transmit(from, to, msg)
+		n.transmit(from, to, cloneMsg(msg))
 	}
 }
 
@@ -177,17 +260,7 @@ func (n *Network) transmit(from, to ident.NodeID, msg any) {
 	if delay < 0 {
 		delay = 0
 	}
-	n.sim.After(delay, func() {
-		n.inFlight--
-		n.occupancy.Observe(n.sim.Now(), float64(n.inFlight))
-		h, ok := n.ports[to]
-		if !ok {
-			n.counters.Unroutable++
-			return
-		}
-		n.counters.Delivered++
-		h(from, msg)
-	})
+	n.sim.After(delay, n.acquireEnvelope(from, to, msg).deliver)
 }
 
 // Counters returns a snapshot of the message accounting.

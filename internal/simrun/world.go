@@ -41,7 +41,40 @@ func (e *hostEnv) Send(to ident.NodeID, msg core.Message) {
 		return
 	}
 	d := e.proc()
-	e.w.sim.After(d, func() { e.w.net.Send(e.id, to, msg) })
+	e.w.sim.After(d, e.w.acquireSend(e.id, to, msg).fire)
+}
+
+// pendingSend is a message waiting out its sender's processing delay.
+// Worlds recycle them (with their pre-built fire closures) so a delayed
+// send allocates nothing in steady state.
+type pendingSend struct {
+	w        *World
+	from, to ident.NodeID
+	msg      core.Message
+	next     *pendingSend
+	fire     func()
+}
+
+func (w *World) acquireSend(from, to ident.NodeID, msg core.Message) *pendingSend {
+	ps := w.freeSends
+	if ps == nil {
+		ps = &pendingSend{w: w}
+		ps.fire = ps.send
+	} else {
+		w.freeSends = ps.next
+	}
+	ps.from, ps.to, ps.msg = from, to, msg
+	return ps
+}
+
+// send hands the message to the network, releasing the slot first so the
+// send may transitively reuse it.
+func (ps *pendingSend) send() {
+	w, from, to, msg := ps.w, ps.from, ps.to, ps.msg
+	ps.msg = nil
+	ps.next = w.freeSends
+	w.freeSends = ps
+	w.net.Send(from, to, msg)
 }
 
 func (e *hostEnv) SetAlarm(at time.Duration) { e.alarm.Set(at) }
@@ -102,7 +135,11 @@ type CPHost struct {
 	// Registry is non-nil when discovery is enabled.
 	Registry *discovery.Registry
 
-	probers    map[ident.NodeID]*core.Prober
+	probers map[ident.NodeID]*core.Prober
+	// proberList holds the probers in creation order (the world's device
+	// order during AddCP, discovery order afterwards), maintained
+	// incrementally so iteration never rebuilds a slice.
+	proberList []*core.Prober
 	policies   map[ident.NodeID]core.DelayPolicy
 	lost       map[ident.NodeID]time.Duration
 	discovered map[ident.NodeID]time.Duration
@@ -202,6 +239,7 @@ type World struct {
 	churnRand *rng.Rand
 	cpSeq     int
 	tracer    *trace.Tracer
+	freeSends *pendingSend
 
 	// OnCPLost, if set, is invoked whenever a CP locally detects a
 	// device's absence.
@@ -320,8 +358,15 @@ func (w *World) addDevice(index int) error {
 
 func (w *World) deviceHandler(host *DeviceHost) simnet.Handler {
 	return func(from ident.NodeID, msg any) {
-		probe, ok := msg.(core.ProbeMsg)
-		if !ok {
+		// Probes arrive in the pooled pointer form on the hot path; the
+		// value form still works (tests, hand-injected messages).
+		var probe core.ProbeMsg
+		switch m := msg.(type) {
+		case *core.ProbeMsg:
+			probe = *m
+		case core.ProbeMsg:
+			probe = m
+		default:
 			return // devices only understand probes
 		}
 		w.tracer.Event("probe", "%v->%v cycle=%d attempt=%d", from, host.ID, probe.Cycle, probe.Attempt)
@@ -417,7 +462,7 @@ func (w *World) AddCP() (*CPHost, error) {
 		host.Registry.Start()
 	}
 	w.tracer.Event("join", "%s (%v)", host.Name, host.ID)
-	for _, p := range host.orderedProbers() {
+	for _, p := range host.proberList {
 		p.Start()
 	}
 	return host, nil
@@ -455,6 +500,7 @@ func (h *CPHost) ensureProber(dev ident.NodeID) error {
 	}
 	env.alarm = des.NewAlarm(w.sim, prober.OnAlarm)
 	h.probers[dev] = prober
+	h.proberList = append(h.proberList, prober)
 	h.policies[dev] = policy
 	if primary {
 		h.Prober, h.Policy = prober, policy
@@ -467,20 +513,14 @@ func (h *CPHost) ensureProber(dev ident.NodeID) error {
 	return nil
 }
 
-// orderedProbers returns the host's probers in the world's device
-// order, for deterministic iteration.
-func (h *CPHost) orderedProbers() []*core.Prober {
-	out := make([]*core.Prober, 0, len(h.probers))
-	for _, dev := range h.w.devices {
-		if p, ok := h.probers[dev.ID]; ok {
-			out = append(out, p)
-		}
-	}
-	return out
-}
-
 func (w *World) cpHandler(host *CPHost) simnet.Handler {
 	return func(from ident.NodeID, msg any) {
+		// Replies arrive in the pooled pointer form on the hot path;
+		// normalise to the value form (keeping the payload, which may be
+		// a pooled pointer valid only until this handler returns).
+		if pm, ok := msg.(*core.ReplyMsg); ok {
+			msg = *pm
+		}
 		switch m := msg.(type) {
 		case core.ReplyMsg:
 			if host.Overlay != nil {

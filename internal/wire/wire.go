@@ -73,8 +73,10 @@ func Encode(msg core.Message) ([]byte, error) {
 
 // AppendEncode serialises msg, appending to dst (which may be nil), and
 // returns the extended buffer. It fails on unknown message or payload
-// types.
+// types. Pooled pointer forms encode identically to their value forms
+// (the caller keeps ownership; flattening copies the fields out).
 func AppendEncode(dst []byte, msg core.Message) ([]byte, error) {
+	msg = core.Flatten(msg)
 	var (
 		typ           uint8
 		from          ident.NodeID
