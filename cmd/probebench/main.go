@@ -5,13 +5,17 @@
 // Usage:
 //
 //	probebench [-scale paper|short] [-seed N] [-out DIR] [-only ID[,ID...]] [-plot] [-json [PATH]]
+//	probebench -scenario NAME|FILE [-seed N] [-out DIR] [-plot]
+//	probebench -list | -list-scenarios
 //
 // The defaults reproduce EXPERIMENTS.md: paper scale, seed 2005, output
 // under ./out. With -json, a machine-readable snapshot of the simulator's
 // raw throughput (events/sec, allocs/op from the Fig. 5 churn scenario)
 // and of every experiment metric is written to PATH, or to the next free
 // BENCH_<n>.json in the working directory when PATH is empty — the
-// cross-PR performance trajectory.
+// cross-PR performance trajectory. With -scenario, one declarative
+// scenario (registered name or JSON file, see internal/scenario) runs
+// instead of the suite and is summarised as a report.
 package main
 
 import (
@@ -27,6 +31,7 @@ import (
 
 	"presence/internal/asciiplot"
 	"presence/internal/experiments"
+	"presence/internal/scenario"
 	"presence/internal/simrun"
 )
 
@@ -48,6 +53,8 @@ func run(args []string, out io.Writer) error {
 		list  = fs.Bool("list", false, "list experiment ids and exit")
 		emit  = fs.Bool("json", false, "write benchmark metrics to -jsonpath (or the next free BENCH_<n>.json)")
 		jpath = fs.String("jsonpath", "", "path for the -json snapshot ('' = auto-numbered BENCH_<n>.json)")
+		scen  = fs.String("scenario", "", "run one declarative scenario (name or JSON file) instead of the experiment suite")
+		lscen = fs.Bool("list-scenarios", false, "list registered scenario names and exit")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -55,6 +62,42 @@ func run(args []string, out io.Writer) error {
 	if *list {
 		for _, e := range experiments.All() {
 			fmt.Fprintf(out, "%-18s %s (%s)\n", e.ID, e.Title, e.Artefact)
+		}
+		return nil
+	}
+	if *lscen {
+		for _, s := range scenario.All() {
+			fmt.Fprintf(out, "%-20s %s\n", s.Name, s.Description)
+		}
+		return nil
+	}
+	if *scen != "" {
+		explicit := make(map[string]bool)
+		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+		for _, conflicting := range []string{"scale", "only", "json", "jsonpath"} {
+			if explicit[conflicting] {
+				return fmt.Errorf("-%s applies to the experiment suite, not to -scenario (the scenario defines its own horizon)", conflicting)
+			}
+		}
+		spec, err := scenario.Resolve(*scen)
+		if err != nil {
+			return err
+		}
+		rep, err := experiments.ScenarioReport(spec, *seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out, rep.Format())
+		if *plot && len(rep.Series) > 0 {
+			fmt.Fprintln(out, asciiplot.Render(rep.Series, asciiplot.Options{
+				Title: rep.Title, Width: 100, Height: 24,
+			}))
+		}
+		if *dir != "" {
+			if err := rep.WriteSeries(*dir); err != nil {
+				return err
+			}
+			fmt.Fprintf(out, "series written under %s\n", *dir)
 		}
 		return nil
 	}

@@ -2,11 +2,27 @@ package main
 
 import "testing"
 
+// TestRejectsBadInputs exercises every flag-validation exit path: the
+// CLI must fail fast on malformed input instead of starting a monitor it
+// can never run.
 func TestRejectsBadInputs(t *testing.T) {
-	if err := run([]string{"-protocol", "swim"}); err == nil {
-		t.Error("unknown protocol accepted")
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown protocol", []string{"-protocol", "swim"}},
+		{"negative naive period", []string{"-protocol", "naive", "-period", "-1s"}},
+		{"bad device address", []string{"-device", "not-an-address:xx"}},
+		{"invalid cp id", []string{"-id", "0"}},
+		{"invalid device id", []string{"-device-id", "0"}},
+		{"unparseable duration", []string{"-period", "soon"}},
+		{"unknown flag", []string{"-bogus"}},
 	}
-	if err := run([]string{"-device", "not-an-address:xx"}); err == nil {
-		t.Error("bad device address accepted")
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := run(c.args); err == nil {
+				t.Errorf("args %v accepted, want error", c.args)
+			}
+		})
 	}
 }

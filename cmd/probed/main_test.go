@@ -19,11 +19,24 @@ func TestID64(t *testing.T) {
 	}
 }
 
+// TestRejectsBadInputs exercises every flag-validation exit path.
 func TestRejectsBadInputs(t *testing.T) {
-	if err := run([]string{"-protocol", "swim"}); err == nil {
-		t.Error("unknown protocol accepted")
+	cases := []struct {
+		name string
+		args []string
+	}{
+		{"unknown protocol", []string{"-protocol", "swim"}},
+		{"bad listen address", []string{"-listen", "not-an-address:xx"}},
+		{"negative dcpp min gap", []string{"-protocol", "dcpp", "-min-gap", "-10ms"}},
+		{"negative dcpp cp delay", []string{"-protocol", "dcpp", "-min-cp-delay", "-1ms"}},
+		{"unparseable duration", []string{"-min-gap", "soon"}},
+		{"unknown flag", []string{"-bogus"}},
 	}
-	if err := run([]string{"-listen", "not-an-address:xx"}); err == nil {
-		t.Error("bad listen address accepted")
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if err := run(c.args); err == nil {
+				t.Errorf("args %v accepted, want error", c.args)
+			}
+		})
 	}
 }

@@ -15,9 +15,17 @@
 //     MODEST/MÖBIUS tool chain the authors used;
 //   - a real-network UDP runtime that runs the exact same engine code on
 //     sockets and the wall clock;
+//   - a declarative scenario engine (internal/scenario): a Spec names a
+//     protocol, a population model (static, mass leave, uniform churn,
+//     flash crowd, Markov on/off sessions, heavy-tailed lifetimes,
+//     diurnal arrivals), the network's loss/delay models and a horizon,
+//     compiles to the simulation runtime, and round-trips through JSON
+//     so scenarios live in files (probesim -scenario, probebench
+//     -scenario);
 //   - the full experiment suite regenerating every table and figure of
 //     the paper's evaluation (see internal/experiments, cmd/probebench
-//     and EXPERIMENTS.md).
+//     and EXPERIMENTS.md, which catalogues every experiment and
+//     registered scenario).
 //
 // The root package is a facade over the internal packages; examples and
 // external users need only import "presence".

@@ -34,11 +34,8 @@ func runFig5(opts Options) (*Report, error) {
 	if opts.Scale == ScaleShort {
 		horizon = sec(600)
 	}
-	w, err := simrun.NewWorld(simrun.Config{Protocol: simrun.ProtocolDCPP, Seed: opts.Seed})
+	w, err := namedSpec("fig5-uniform-churn", horizon).World(opts.Seed)
 	if err != nil {
-		return nil, err
-	}
-	if err := w.StartChurn(simrun.DefaultUniformChurn()); err != nil {
 		return nil, err
 	}
 	w.Run(horizon)
@@ -79,11 +76,8 @@ func runTabDCPPSteady(opts Options) (*Report, error) {
 	if opts.Scale == ScaleShort {
 		warmup, chunk, maxHorizon = sec(100), sec(500), sec(5000)
 	}
-	w, err := simrun.NewWorld(simrun.Config{Protocol: simrun.ProtocolDCPP, Seed: opts.Seed})
+	w, err := namedSpec("fig5-uniform-churn", maxHorizon).World(opts.Seed)
 	if err != nil {
-		return nil, err
-	}
-	if err := w.StartChurn(simrun.DefaultUniformChurn()); err != nil {
 		return nil, err
 	}
 	w.Run(warmup)
@@ -149,14 +143,8 @@ func runTabDCPPStatic(opts Options) (*Report, error) {
 	// pool, report in k order.
 	results, err := Replications(len(ks), func(i int) (outcome, error) {
 		k := ks[i]
-		w, err := simrun.NewWorld(simrun.Config{
-			Protocol: simrun.ProtocolDCPP,
-			Seed:     opts.Seed + uint64(k),
-		})
+		w, err := staticSpec(simrun.ProtocolDCPP, k, sec(5), warmup+measure).World(opts.Seed + uint64(k))
 		if err != nil {
-			return outcome{}, err
-		}
-		if err := w.AddCPsStaggered(k, sec(5)); err != nil {
 			return outcome{}, err
 		}
 		w.Run(warmup)

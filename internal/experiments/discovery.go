@@ -3,7 +3,7 @@ package experiments
 import (
 	"time"
 
-	"presence/internal/core/discovery"
+	"presence/internal/scenario"
 	"presence/internal/simrun"
 	"presence/internal/stats"
 )
@@ -32,17 +32,14 @@ func runExtDiscovery(opts Options) (*Report, error) {
 		period = 20 * time.Second
 	)
 	run := func(probe bool) (expiry, probing stats.Welford, err error) {
-		cfg := simrun.Config{Protocol: simrun.ProtocolDCPP, Seed: opts.Seed}
-		cfg.Discovery = simrun.DiscoveryConfig{
-			Enabled:          true,
-			Announce:         discovery.AnnouncerConfig{MaxAge: maxAge, Period: period},
+		spec := staticSpec(simrun.ProtocolDCPP, 10, 0, settle+maxAge+sec(10))
+		spec.Discovery = &scenario.Discovery{
+			MaxAge:           scenario.Dur(maxAge),
+			Period:           scenario.Dur(period),
 			ProbeOnDiscovery: probe,
 		}
-		w, err := simrun.NewWorld(cfg)
+		w, err := spec.World(opts.Seed)
 		if err != nil {
-			return expiry, probing, err
-		}
-		if _, err := w.AddCPs(10); err != nil {
 			return expiry, probing, err
 		}
 		w.Run(settle)

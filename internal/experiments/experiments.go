@@ -1,10 +1,14 @@
 // Package experiments defines one runnable experiment per table and
 // figure of the paper's evaluation, plus extension experiments for the
 // claims the paper makes in passing (loss behaviour, dissemination,
-// adaptive Δ, the naive baseline). Each experiment runs at two scales:
+// adaptive Δ, the naive baseline) and for workloads beyond the paper
+// (the population-model sweep). Each experiment runs at two scales:
 // ScaleShort for CI and ScalePaper for full reproduction; the harness
 // cmd/probebench runs them all and writes the data series the figures
-// plot.
+// plot. EXPERIMENTS.md at the repository root catalogues every
+// experiment (paper artefact, scales, scenario) and the registered
+// scenarios; all experiment worlds are built through internal/scenario
+// Specs.
 package experiments
 
 import (

@@ -6,6 +6,8 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"presence/internal/scenario"
 )
 
 const testSeed = 2005 // DSN 2005
@@ -49,6 +51,7 @@ func TestRegistryComplete(t *testing.T) {
 		"tab-sapp-steady", "tab-dcpp-steady", "tab-dcpp-static",
 		"ext-fairness", "ext-detect", "ext-dcpp-loss", "ext-overlay",
 		"ext-sapp-adelta", "ext-naive-load", "ext-seeds", "ext-discovery",
+		"ext-churn-models",
 	}
 	all := All()
 	if len(all) != len(want) {
@@ -268,6 +271,54 @@ func itoa(k int) string {
 		return "10"
 	}
 	return "80"
+}
+
+func TestExtChurnModelsShort(t *testing.T) {
+	rep := runShort(t, "ext-churn-models")
+	models := []string{"uniform", "flash_crowd", "markov", "heavy_tail", "diurnal"}
+	if len(rep.Series) != len(models) {
+		t.Fatalf("recorded %d load series, want one per model", len(rep.Series))
+	}
+	for _, m := range models {
+		// DCPP's guarantee must hold under every dynamic: the mean load
+		// never exceeds L_nom (plus binning slack).
+		if load := metric(t, rep, "load_mean_"+m); load <= 0 || load > 11 {
+			t.Fatalf("%s: load mean %g outside (0, L_nom]", m, load)
+		}
+		if frac := metric(t, rep, "detect_frac_"+m); frac < 0.5 {
+			t.Fatalf("%s: only %.0f%% of present CPs detected the crash", m, frac*100)
+		}
+		if max := metric(t, rep, "detect_max_"+m); max > 25 {
+			t.Fatalf("%s: max detection latency %g s beyond the observation window", m, max)
+		}
+	}
+	// The static-at-kill baseline: uniform churn keeps tens of CPs, so
+	// the population means must differ across models (the sweep is not
+	// degenerate).
+	if mu, md := metric(t, rep, "mean_cps_uniform"), metric(t, rep, "mean_cps_diurnal"); mu == md {
+		t.Fatalf("uniform and diurnal population means identical (%g); models not distinct", mu)
+	}
+}
+
+func TestScenarioReport(t *testing.T) {
+	spec, ok := scenario.ByName("flash-crowd")
+	if !ok {
+		t.Fatal("flash-crowd scenario not registered")
+	}
+	spec.Horizon = scenario.Dur(sec(120))
+	rep, err := ScenarioReport(spec, testSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.ID != "scenario-flash-crowd" {
+		t.Fatalf("report ID = %q", rep.ID)
+	}
+	if load := metric(t, rep, "load_mean"); load <= 0 {
+		t.Fatalf("load mean %g", load)
+	}
+	if len(rep.Series) != 2 {
+		t.Fatalf("recorded %d series, want load + #CPs", len(rep.Series))
+	}
 }
 
 func TestReportFormatAndSeriesOutput(t *testing.T) {

@@ -6,7 +6,7 @@ import (
 
 	"presence/internal/core"
 	"presence/internal/core/sapp"
-	"presence/internal/simnet"
+	"presence/internal/scenario"
 	"presence/internal/simrun"
 	"presence/internal/stats"
 )
@@ -66,11 +66,8 @@ func runExtFairness(opts Options) (*Report, error) {
 		jain, lo, hi, load float64
 	}
 	results, err := Replications(len(protocols), func(i int) (outcome, error) {
-		w, err := simrun.NewWorld(simrun.Config{Protocol: protocols[i], Seed: opts.Seed})
+		w, err := staticSpec(protocols[i], 20, sec(10), warmup+measure).World(opts.Seed)
 		if err != nil {
-			return outcome{}, err
-		}
-		if err := w.AddCPsStaggered(20, sec(10)); err != nil {
 			return outcome{}, err
 		}
 		w.Run(warmup)
@@ -131,11 +128,8 @@ func runExtDetect(opts Options) (*Report, error) {
 	// sweep on the worker pool and assemble the report in job order.
 	results, err := Replications(len(jobs), func(i int) (outcome, error) {
 		j := jobs[i]
-		w, err := simrun.NewWorld(simrun.Config{Protocol: j.proto, Seed: opts.Seed + uint64(j.k)})
+		w, err := staticSpec(j.proto, j.k, sec(5), settle+sec(25)).World(opts.Seed + uint64(j.k))
 		if err != nil {
-			return outcome{}, err
-		}
-		if err := w.AddCPsStaggered(j.k, sec(5)); err != nil {
 			return outcome{}, err
 		}
 		w.Run(settle)
@@ -197,26 +191,28 @@ func runExtDCPPLoss(opts Options) (*Report, error) {
 		PaperClaim: "in case of packet losses, which will occur in bursts due to the limited capacity of " +
 			"devices, the load caused by new CPs will spread better over time ... the peaks will be a bit wider",
 	}
+	p05 := 0.05
 	scenarios := []struct {
 		name string
-		loss simnet.LossModel
+		loss *scenario.Loss
 	}{
-		{"no_loss", simnet.NoLoss{}},
-		{"bernoulli_5pct", simnet.Bernoulli{P: 0.05}},
-		{"bursty", &simnet.GilbertElliott{GoodToBad: 0.02, BadToGood: 0.2, LossGood: 0.01, LossBad: 0.5}},
+		{"no_loss", nil},
+		{"bernoulli_5pct", &scenario.Loss{Bernoulli: &p05}},
+		{"bursty", &scenario.Loss{GilbertElliott: &scenario.GilbertElliott{
+			GoodToBad: 0.02, BadToGood: 0.2, LossGood: 0.01, LossBad: 0.5,
+		}}},
 	}
 	type outcome struct {
 		mean, p99, peak       float64
 		failures, retransmits uint64
 	}
 	results, err := Replications(len(scenarios), func(i int) (outcome, error) {
-		cfg := simrun.Config{Protocol: simrun.ProtocolDCPP, Seed: opts.Seed}
-		cfg.Net.Loss = scenarios[i].loss
-		w, err := simrun.NewWorld(cfg)
-		if err != nil {
-			return outcome{}, err
+		spec := namedSpec("fig5-uniform-churn", horizon)
+		if scenarios[i].loss != nil {
+			spec.Net = &scenario.Net{Loss: scenarios[i].loss}
 		}
-		if err := w.StartChurn(simrun.DefaultUniformChurn()); err != nil {
+		w, err := spec.World(opts.Seed)
+		if err != nil {
 			return outcome{}, err
 		}
 		w.Run(horizon)
@@ -261,12 +257,10 @@ func runExtOverlay(opts Options) (*Report, error) {
 	if opts.Scale == ScaleShort {
 		settle = sec(120)
 	}
-	cfg := simrun.Config{Protocol: simrun.ProtocolSAPP, Seed: opts.Seed, EnableOverlay: true}
-	w, err := simrun.NewWorld(cfg)
+	spec := staticSpec(simrun.ProtocolSAPP, 20, sec(10), settle+sec(25))
+	spec.Overlay = true
+	w, err := spec.World(opts.Seed)
 	if err != nil {
-		return nil, err
-	}
-	if err := w.AddCPsStaggered(20, sec(10)); err != nil {
 		return nil, err
 	}
 	w.Run(settle)
@@ -328,7 +322,13 @@ func runExtSAPPAdaptiveDelta(opts Options) (*Report, error) {
 	variants := []variant{{"fixed_delta", false, 0}, {"adaptive_delta", true, 0.6}}
 	results, err := Replications(len(variants), func(i int) (float64, error) {
 		v := variants[i]
-		cfg := simrun.Config{Protocol: simrun.ProtocolSAPP, Seed: opts.Seed}
+		// Protocol-specific engine knobs stay outside the declarative
+		// Spec: compile the Spec to a Config, tweak, then populate.
+		spec := staticSpec(simrun.ProtocolSAPP, 20, sec(10), warmup+measure)
+		cfg, err := spec.Config(opts.Seed)
+		if err != nil {
+			return 0, err
+		}
 		dev := sapp.DefaultDeviceConfig()
 		dev.AdaptiveDelta = v.adaptive
 		if v.high > 0 {
@@ -340,7 +340,7 @@ func runExtSAPPAdaptiveDelta(opts Options) (*Report, error) {
 		if err != nil {
 			return 0, err
 		}
-		if err := w.AddCPsStaggered(20, sec(10)); err != nil {
+		if err := spec.Populate(w); err != nil {
 			return 0, err
 		}
 		w.Run(warmup)
@@ -375,15 +375,10 @@ func runExtNaiveLoad(opts Options) (*Report, error) {
 	ks := []int{1, 5, 10, 20, 40, 80}
 	results, err := Replications(len(ks), func(i int) (float64, error) {
 		k := ks[i]
-		w, err := simrun.NewWorld(simrun.Config{
-			Protocol:    simrun.ProtocolNaive,
-			Seed:        opts.Seed + uint64(k),
-			NaivePeriod: period,
-		})
+		spec := staticSpec(simrun.ProtocolNaive, k, sec(3), sec(30)+measure)
+		spec.NaivePeriod = scenario.Dur(period)
+		w, err := spec.World(opts.Seed + uint64(k))
 		if err != nil {
-			return 0, err
-		}
-		if err := w.AddCPsStaggered(k, sec(3)); err != nil {
 			return 0, err
 		}
 		w.Run(sec(30))

@@ -6,11 +6,38 @@ import (
 	"strings"
 	"time"
 
+	"presence/internal/scenario"
 	"presence/internal/simrun"
 )
 
 // sec converts seconds to a duration.
 func sec(s float64) time.Duration { return time.Duration(s * float64(time.Second)) }
+
+// staticSpec returns the Spec for a static-population world — the
+// workhorse of the steady-state experiments. All experiment worlds are
+// built through scenario Specs so every workload the suite measures is
+// expressible in a scenario file.
+func staticSpec(proto simrun.Protocol, cps int, spread, horizon time.Duration) *scenario.Spec {
+	return &scenario.Spec{
+		Name:     fmt.Sprintf("%s-static-%d", proto, cps),
+		Protocol: string(proto),
+		Horizon:  scenario.Dur(horizon),
+		Population: scenario.Population{Static: &scenario.Static{
+			CPs: cps, Spread: scenario.Dur(spread),
+		}},
+	}
+}
+
+// namedSpec fetches a registered scenario, overriding the horizon to the
+// experiment's scale.
+func namedSpec(name string, horizon time.Duration) *scenario.Spec {
+	spec, ok := scenario.ByName(name)
+	if !ok {
+		panic(fmt.Sprintf("experiments: scenario %q not registered", name))
+	}
+	spec.Horizon = scenario.Dur(horizon)
+	return spec
+}
 
 // minMax returns the extremes of a non-empty slice (0, 0 when empty).
 func minMax(xs []float64) (lo, hi float64) {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"time"
 
+	"presence/internal/scenario"
 	"presence/internal/simrun"
 	"presence/internal/stats"
 )
@@ -35,27 +36,14 @@ func init() {
 	})
 }
 
-// sappWorld builds a SAPP world with the paper's parameters.
-func sappWorld(seed uint64, recordSeries bool) (*simrun.World, error) {
-	cfg := simrun.Config{
-		Protocol:       simrun.ProtocolSAPP,
-		Seed:           seed,
-		RecordCPSeries: recordSeries,
-	}
-	return simrun.NewWorld(cfg)
-}
-
 func runTabSAPPSteady(opts Options) (*Report, error) {
 	opts.applyDefaults()
 	warmup, chunk, maxHorizon := sec(2000), sec(1000), sec(60000)
 	if opts.Scale == ScaleShort {
 		warmup, chunk, maxHorizon = sec(300), sec(300), sec(3000)
 	}
-	w, err := sappWorld(opts.Seed, false)
+	w, err := staticSpec(simrun.ProtocolSAPP, 20, sec(10), maxHorizon).World(opts.Seed)
 	if err != nil {
-		return nil, err
-	}
-	if err := w.AddCPsStaggered(20, sec(10)); err != nil {
 		return nil, err
 	}
 	w.Run(warmup)
@@ -134,11 +122,10 @@ func runFig2(opts Options) (*Report, error) {
 	if opts.Scale == ScaleShort {
 		horizon = sec(2000)
 	}
-	w, err := sappWorld(opts.Seed, true)
+	spec := staticSpec(simrun.ProtocolSAPP, 3, sec(10), horizon)
+	spec.Measure = &scenario.Measure{CPSeries: true}
+	w, err := spec.World(opts.Seed)
 	if err != nil {
-		return nil, err
-	}
-	if err := w.AddCPsStaggered(3, sec(10)); err != nil {
 		return nil, err
 	}
 	w.Run(horizon)
@@ -175,17 +162,14 @@ func runFig3(opts Options) (*Report, error) {
 	} else {
 		horizon, winFrom, winTo = sec(12360), sec(12300), sec(12360)
 	}
-	cfg := simrun.Config{
-		Protocol:       simrun.ProtocolSAPP,
-		Seed:           opts.Seed,
-		RecordCPSeries: true,
+	spec := staticSpec(simrun.ProtocolSAPP, 20, sec(10), horizon)
+	spec.Measure = &scenario.Measure{
+		CPSeries:   true,
+		WindowFrom: scenario.Dur(winFrom),
+		WindowTo:   scenario.Dur(winTo),
 	}
-	cfg.SeriesWindow.From, cfg.SeriesWindow.To = winFrom, winTo
-	w, err := simrun.NewWorld(cfg)
+	w, err := spec.World(opts.Seed)
 	if err != nil {
-		return nil, err
-	}
-	if err := w.AddCPsStaggered(20, sec(10)); err != nil {
 		return nil, err
 	}
 	w.Run(horizon)
@@ -229,14 +213,10 @@ func runFig4(opts Options) (*Report, error) {
 	if opts.Scale == ScaleShort {
 		horizon, leaveAt = sec(3000), sec(300)
 	}
-	w, err := sappWorld(opts.Seed, true)
+	spec := namedSpec("fig4-mass-leave", horizon)
+	spec.Population.MassLeave.LeaveAt = scenario.Dur(leaveAt)
+	w, err := spec.World(opts.Seed)
 	if err != nil {
-		return nil, err
-	}
-	if err := w.AddCPsStaggered(20, sec(10)); err != nil {
-		return nil, err
-	}
-	if err := w.ScheduleMassLeave(leaveAt, 2); err != nil {
 		return nil, err
 	}
 	w.Run(horizon)

@@ -3,7 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"presence/internal/simrun"
 	"presence/internal/stats"
 )
 
@@ -42,14 +41,8 @@ func runExtSeeds(opts Options) (*Report, error) {
 	}
 	results, err := Replications(reps, func(i int) (replication, error) {
 		seed := opts.Seed + uint64(1000*i)
-		w, err := simrun.NewWorld(simrun.Config{
-			Protocol: simrun.ProtocolDCPP,
-			Seed:     seed,
-		})
+		w, err := namedSpec("fig5-uniform-churn", horizon).World(seed)
 		if err != nil {
-			return replication{}, err
-		}
-		if err := w.StartChurn(simrun.DefaultUniformChurn()); err != nil {
 			return replication{}, err
 		}
 		w.Run(horizon)

@@ -169,6 +169,25 @@ func (r *Rand) Bool(p float64) bool {
 	return r.Float64() < p
 }
 
+// Pareto returns a Pareto-distributed value with tail index shape and
+// minimum 1: X = (1-U)^(-1/shape). Smaller shapes give heavier tails;
+// shape <= 1 has infinite mean. It panics if shape <= 0.
+func (r *Rand) Pareto(shape float64) float64 {
+	if shape <= 0 {
+		panic(fmt.Sprintf("rng: Pareto with non-positive shape=%g", shape))
+	}
+	return math.Pow(1-r.Float64(), -1/shape)
+}
+
+// LogNormal returns exp(mu + sigma·N) with N standard normal. It panics
+// if sigma < 0.
+func (r *Rand) LogNormal(mu, sigma float64) float64 {
+	if sigma < 0 {
+		panic(fmt.Sprintf("rng: LogNormal with negative sigma=%g", sigma))
+	}
+	return math.Exp(mu + sigma*r.Normal())
+}
+
 // Normal returns a standard normal variate (Marsaglia polar method).
 func (r *Rand) Normal() float64 {
 	for {

@@ -359,3 +359,56 @@ func BenchmarkFork(b *testing.B) {
 		_ = r.Fork("cp")
 	}
 }
+
+func TestParetoTailAndMinimum(t *testing.T) {
+	r := New(7)
+	const n = 200000
+	var sum float64
+	for i := 0; i < n; i++ {
+		x := r.Pareto(3)
+		if x < 1 {
+			t.Fatalf("Pareto draw %g below the minimum 1", x)
+		}
+		sum += x
+	}
+	// E[X] = shape/(shape-1) = 1.5 for shape 3.
+	if mean := sum / n; mean < 1.45 || mean > 1.55 {
+		t.Fatalf("Pareto(3) mean = %g, want ≈1.5", mean)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("Pareto(0) did not panic")
+			}
+		}()
+		r.Pareto(0)
+	}()
+}
+
+func TestLogNormalMedian(t *testing.T) {
+	r := New(8)
+	const n = 100000
+	mu := math.Log(30)
+	var below int
+	for i := 0; i < n; i++ {
+		x := r.LogNormal(mu, 1.5)
+		if x <= 0 {
+			t.Fatalf("LogNormal draw %g not positive", x)
+		}
+		if x < 30 {
+			below++
+		}
+	}
+	// The median of exp(mu + sigma·N) is exp(mu) = 30.
+	if frac := float64(below) / n; frac < 0.48 || frac > 0.52 {
+		t.Fatalf("fraction below the median = %g, want ≈0.5", frac)
+	}
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("LogNormal with negative sigma did not panic")
+			}
+		}()
+		r.LogNormal(0, -1)
+	}()
+}

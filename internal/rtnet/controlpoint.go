@@ -42,6 +42,7 @@ type ControlPoint struct {
 	mu         sync.Mutex
 	env        *envCore
 	prober     *core.Prober
+	policy     core.DelayPolicy
 	onAnnounce func(core.AnnounceMsg)
 	counters   Counters
 	started    bool
@@ -86,8 +87,20 @@ func NewControlPoint(cfg ControlPointConfig) (*ControlPoint, error) {
 		return nil, err
 	}
 	cp.prober = prober
+	cp.policy = cfg.Policy
 	cp.env.onAlarm = prober.OnAlarm
 	return cp, nil
+}
+
+// ReadPolicy runs fn with the control point's mutex held, serialising
+// access to the delay policy against the read loop and the alarm
+// goroutine. The policy engines are not themselves thread-safe, so any
+// inspection of live policy state (e.g. sapp.Policy.LastLoad) must go
+// through here; fn must not call back into the control point.
+func (cp *ControlPoint) ReadPolicy(fn func(core.DelayPolicy)) {
+	cp.mu.Lock()
+	defer cp.mu.Unlock()
+	fn(cp.policy)
 }
 
 // ID returns the control point's node id.

@@ -261,7 +261,11 @@ func TestSAPPOverLoopback(t *testing.T) {
 	if alive < 5 || lost != 0 {
 		t.Fatalf("SAPP over UDP: alive=%d lost=%d", alive, lost)
 	}
-	if policy.LastLoad() == 0 {
+	var lastLoad float64
+	cp.ReadPolicy(func(p core.DelayPolicy) {
+		lastLoad = p.(*sapp.Policy).LastLoad()
+	})
+	if lastLoad == 0 {
 		t.Fatal("SAPP policy never computed an experienced load")
 	}
 }

@@ -1,0 +1,155 @@
+package scenario
+
+import (
+	"fmt"
+	"os"
+	"sort"
+	"time"
+)
+
+// registry maps scenario names to their specs; order holds registration
+// order for stable listings.
+var (
+	registry = make(map[string]*Spec)
+	order    []string
+)
+
+// Register adds a named scenario. It panics on duplicate names or
+// invalid specs — registration happens at init time, where a panic is a
+// programming error surfacing immediately.
+func Register(s *Spec) {
+	if s.Name == "" {
+		panic("scenario: registering unnamed spec")
+	}
+	if _, dup := registry[s.Name]; dup {
+		panic(fmt.Sprintf("scenario: duplicate scenario %q", s.Name))
+	}
+	if err := s.Validate(); err != nil {
+		panic(fmt.Sprintf("scenario: registering %q: %v", s.Name, err))
+	}
+	registry[s.Name] = s
+	order = append(order, s.Name)
+}
+
+// ByName returns a deep copy of the named scenario, so callers may
+// override horizons or models without disturbing the registry.
+func ByName(name string) (*Spec, bool) {
+	s, ok := registry[name]
+	if !ok {
+		return nil, false
+	}
+	return s.Clone(), true
+}
+
+// Names returns the registered scenario names in registration order.
+func Names() []string {
+	out := make([]string, len(order))
+	copy(out, order)
+	return out
+}
+
+// All returns deep copies of every registered scenario in registration
+// order.
+func All() []*Spec {
+	out := make([]*Spec, 0, len(order))
+	for _, name := range order {
+		out = append(out, registry[name].Clone())
+	}
+	return out
+}
+
+// Resolve returns the scenario for a CLI argument: a registered name
+// first, else a path to a JSON file.
+func Resolve(nameOrPath string) (*Spec, error) {
+	if s, ok := ByName(nameOrPath); ok {
+		return s, nil
+	}
+	if _, err := os.Stat(nameOrPath); err != nil {
+		known := Names()
+		sort.Strings(known)
+		return nil, fmt.Errorf("scenario: %q is neither a registered scenario (%v) nor a readable file",
+			nameOrPath, known)
+	}
+	return Load(nameOrPath)
+}
+
+func sec(s float64) Duration { return Duration(s * float64(time.Second)) }
+
+func init() {
+	// The paper's two dynamics.
+	Register(&Spec{
+		Name:        "fig4-mass-leave",
+		Description: "Fig. 4: SAPP, 20 CPs join staggered, 18 leave at once at t=1000s",
+		Protocol:    "sapp",
+		Horizon:     sec(20000),
+		Population: Population{MassLeave: &MassLeave{
+			CPs: 20, Spread: sec(10), LeaveAt: sec(1000), Remaining: 2,
+		}},
+		Measure: &Measure{CPSeries: true},
+	})
+	Register(&Spec{
+		Name:        "fig5-uniform-churn",
+		Description: "Fig. 5: DCPP under worst-case churn, population ~ U{1..60} redrawn at rate 0.05",
+		Protocol:    "dcpp",
+		Horizon:     sec(1800),
+		Population: Population{UniformChurn: &UniformChurn{
+			Min: 1, Max: 60, Rate: 0.05,
+		}},
+	})
+
+	// The extension workloads the related monitoring literature evaluates
+	// under (bursty, session-based and time-varying membership).
+	Register(&Spec{
+		Name:        "flash-crowd",
+		Description: "DCPP under correlated join/leave bursts: cohorts of 15-30 CPs arrive together and leave together",
+		Protocol:    "dcpp",
+		Horizon:     sec(1800),
+		Population: Population{FlashCrowd: &FlashCrowdSpec{
+			Base: 5, BaseSpread: sec(10),
+			BurstRate: 1.0 / 120, BurstMin: 15, BurstMax: 30,
+			DwellMin: sec(60), DwellMax: sec(180),
+		}},
+	})
+	Register(&Spec{
+		Name:        "markov-sessions",
+		Description: "DCPP with 40 members alternating exponential on/off sessions (mean on 300s, off 600s)",
+		Protocol:    "dcpp",
+		Horizon:     sec(1800),
+		Population: Population{Markov: &MarkovSessionsSpec{
+			Members: 40, MeanOn: sec(300), MeanOff: sec(600), StartOn: 0.3,
+		}},
+	})
+	Register(&Spec{
+		Name:        "heavy-tail",
+		Description: "DCPP with Poisson arrivals and Pareto(1.5) session lengths (min 30s, capped at 1h)",
+		Protocol:    "dcpp",
+		Horizon:     sec(1800),
+		Population: Population{HeavyTail: &HeavyTailSpec{
+			ArrivalRate: 0.1, Initial: 10,
+			Distribution: "pareto", Shape: 1.5,
+			MinLifetime: sec(30), MaxLifetime: sec(3600),
+		}},
+	})
+	Register(&Spec{
+		Name:        "diurnal",
+		Description: "DCPP with sinusoid-modulated arrivals (10-minute day, amplitude 0.9) and 5-minute sessions",
+		Protocol:    "dcpp",
+		Horizon:     sec(1800),
+		Population: Population{Diurnal: &DiurnalArrivalsSpec{
+			BaseRate: 0.05, Amplitude: 0.9, Period: sec(600),
+			MeanLifetime: sec(300), Initial: 5,
+		}},
+	})
+	Register(&Spec{
+		Name:        "bursty-loss",
+		Description: "Fig. 5 churn over a Gilbert-Elliott burst-loss channel (Section 5's loss prediction)",
+		Protocol:    "dcpp",
+		Horizon:     sec(1800),
+		Population: Population{UniformChurn: &UniformChurn{
+			Min: 1, Max: 60, Rate: 0.05,
+		}},
+		Net: &Net{Loss: &Loss{GilbertElliott: &GilbertElliott{
+			GoodToBad: 0.02, BadToGood: 0.2, LossGood: 0.01, LossBad: 0.5,
+		}}},
+	})
+}

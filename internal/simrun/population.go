@@ -1,0 +1,476 @@
+package simrun
+
+import (
+	"fmt"
+	"math"
+	"time"
+)
+
+// PopulationModel drives the control-point membership of a world over
+// simulated time. A model is installed once, before the simulation runs;
+// it schedules joins and leaves on the world's event kernel and derives
+// every random draw from forks of the world's churn RNG, so installing a
+// model never perturbs the draws seen by other components and two worlds
+// with the same (Config, Seed, model) replay the same event stream.
+//
+// The paper's two dynamics (the Fig. 4 mass leave and the Fig. 5 uniform
+// churn) are models like any other; internal/scenario compiles
+// declarative specs into these values.
+type PopulationModel interface {
+	// Install schedules the model's joins and leaves on the world.
+	Install(w *World) error
+}
+
+// StartPopulation installs a population model. Call it before Run.
+func (w *World) StartPopulation(m PopulationModel) error {
+	if m == nil {
+		return fmt.Errorf("simrun: nil population model")
+	}
+	return m.Install(w)
+}
+
+// StaticPopulation joins a fixed set of CPs at independent uniform times
+// in [0, Spread) and leaves them in place — the paper's steady-state
+// setting. Spread zero joins all CPs immediately at install time.
+type StaticPopulation struct {
+	// CPs is the population size.
+	CPs int
+	// Spread staggers the joins uniformly over [0, Spread).
+	Spread time.Duration
+}
+
+// Validate checks the model parameters.
+func (p StaticPopulation) Validate() error {
+	if p.CPs < 0 {
+		return fmt.Errorf("simrun: negative CP count %d", p.CPs)
+	}
+	if p.Spread < 0 {
+		return fmt.Errorf("simrun: negative spread %v", p.Spread)
+	}
+	return nil
+}
+
+// Install implements PopulationModel.
+func (p StaticPopulation) Install(w *World) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if p.Spread == 0 {
+		// Immediate joins reproduce the historical AddCPs path exactly
+		// (no stagger events, no stagger draws).
+		_, err := w.AddCPs(p.CPs)
+		return err
+	}
+	return w.AddCPsStaggered(p.CPs, p.Spread)
+}
+
+// MassLeavePopulation is the paper's Fig. 4 dynamic: a static population
+// joins staggered, then at LeaveAt the active population drops to
+// Remaining, the leavers chosen uniformly at random.
+type MassLeavePopulation struct {
+	// CPs and Spread parameterise the initial static join.
+	CPs    int
+	Spread time.Duration
+	// LeaveAt is the mass-leave instant.
+	LeaveAt time.Duration
+	// Remaining is the population left after the exodus.
+	Remaining int
+}
+
+// Validate checks the model parameters.
+func (p MassLeavePopulation) Validate() error {
+	if err := (StaticPopulation{CPs: p.CPs, Spread: p.Spread}).Validate(); err != nil {
+		return err
+	}
+	if p.LeaveAt < 0 {
+		return fmt.Errorf("simrun: negative mass-leave time %v", p.LeaveAt)
+	}
+	if p.Remaining < 0 {
+		return fmt.Errorf("simrun: remaining %d must be non-negative", p.Remaining)
+	}
+	return nil
+}
+
+// Install implements PopulationModel.
+func (p MassLeavePopulation) Install(w *World) error {
+	if err := p.Validate(); err != nil {
+		return err
+	}
+	if err := w.AddCPsStaggered(p.CPs, p.Spread); err != nil {
+		return err
+	}
+	return w.ScheduleMassLeave(p.LeaveAt, p.Remaining)
+}
+
+// UniformChurn is the paper's Fig. 5 worst-case dynamic scenario: "the
+// number of active CPs is uniformly chosen from the set {1, ..., 60}.
+// This choice is repeated every X time-units, where X is exponentially
+// distributed with rate 0.05."
+type UniformChurn struct {
+	// Min and Max bound the uniform population draw (paper: 1 and 60).
+	Min, Max int
+	// Rate is the redraw rate in events per second (paper: 0.05, i.e.
+	// the population changes every 20 s on average).
+	Rate float64
+}
+
+// DefaultUniformChurn returns the paper's churn parameters.
+func DefaultUniformChurn() UniformChurn {
+	return UniformChurn{Min: 1, Max: 60, Rate: 0.05}
+}
+
+// Validate checks the churn parameters.
+func (c UniformChurn) Validate() error {
+	if c.Min < 0 || c.Max < c.Min {
+		return fmt.Errorf("simrun: churn population bounds [%d, %d] invalid", c.Min, c.Max)
+	}
+	if c.Rate <= 0 {
+		return fmt.Errorf("simrun: churn rate %g must be positive", c.Rate)
+	}
+	return nil
+}
+
+// Install implements PopulationModel: it draws an initial population
+// immediately and then redraws it at exponentially distributed intervals,
+// adding fresh CPs or removing random active ones to hit each target.
+func (c UniformChurn) Install(w *World) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	r := w.churnRand.Fork("uniform")
+	var redraw func()
+	redraw = func() {
+		target := r.IntBetween(c.Min, c.Max)
+		if err := w.setPopulation(target, r); err != nil {
+			// Construction can only fail on invalid configuration, which
+			// Validate has already excluded; a failure here is a bug.
+			panic(fmt.Sprintf("simrun: churn population change: %v", err))
+		}
+		w.sim.After(r.ExpDuration(c.Rate), redraw)
+	}
+	w.sim.At(w.sim.Now(), redraw)
+	return nil
+}
+
+// StartChurn installs the Fig. 5 churn model. Kept as a named entry
+// point because it is the paper's headline scenario; equivalent to
+// StartPopulation(c).
+func (w *World) StartChurn(c UniformChurn) error {
+	return w.StartPopulation(c)
+}
+
+// FlashCrowd models correlated join/leave bursts: a base population is
+// always present, and whole cohorts arrive together at exponentially
+// distributed instants, dwell for a uniform time, and leave together —
+// the "everyone tunes in for the event, everyone leaves at the whistle"
+// dynamic of session-based monitoring studies.
+type FlashCrowd struct {
+	// Base CPs join at install time, staggered over BaseSpread.
+	Base       int
+	BaseSpread time.Duration
+	// BurstRate is the cohort arrival rate (bursts per second).
+	BurstRate float64
+	// BurstMin and BurstMax bound the uniform cohort size.
+	BurstMin, BurstMax int
+	// DwellMin and DwellMax bound the uniform cohort dwell time; the
+	// whole cohort leaves together when it elapses.
+	DwellMin, DwellMax time.Duration
+}
+
+// Validate checks the model parameters.
+func (c FlashCrowd) Validate() error {
+	if c.Base < 0 || c.BaseSpread < 0 {
+		return fmt.Errorf("simrun: flash crowd base %d/spread %v invalid", c.Base, c.BaseSpread)
+	}
+	if c.BurstRate <= 0 {
+		return fmt.Errorf("simrun: flash crowd burst rate %g must be positive", c.BurstRate)
+	}
+	if c.BurstMin < 1 || c.BurstMax < c.BurstMin {
+		return fmt.Errorf("simrun: flash crowd burst bounds [%d, %d] invalid", c.BurstMin, c.BurstMax)
+	}
+	if c.DwellMin < 0 || c.DwellMax < c.DwellMin {
+		return fmt.Errorf("simrun: flash crowd dwell bounds [%v, %v] invalid", c.DwellMin, c.DwellMax)
+	}
+	return nil
+}
+
+// Install implements PopulationModel.
+func (c FlashCrowd) Install(w *World) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	r := w.churnRand.Fork("flash")
+	now := w.sim.Now()
+	for i := 0; i < c.Base; i++ {
+		at := now
+		if c.BaseSpread > 0 {
+			at += r.Duration(0, c.BaseSpread)
+		}
+		w.sim.At(at, func() {
+			if _, err := w.AddCP(); err != nil {
+				panic(fmt.Sprintf("simrun: flash crowd base join: %v", err))
+			}
+		})
+	}
+	var burst func()
+	burst = func() {
+		size := r.IntBetween(c.BurstMin, c.BurstMax)
+		cohort, err := w.AddCPs(size)
+		if err != nil {
+			panic(fmt.Sprintf("simrun: flash crowd burst join: %v", err))
+		}
+		dwell := r.Duration(c.DwellMin, c.DwellMax)
+		w.sim.After(dwell, func() {
+			for _, h := range cohort {
+				w.RemoveCP(h.ID)
+			}
+		})
+		w.sim.After(r.ExpDuration(c.BurstRate), burst)
+	}
+	w.sim.After(r.ExpDuration(c.BurstRate), burst)
+	return nil
+}
+
+// MarkovSessions models a fixed set of members that alternate between
+// joined (on) and absent (off) states with exponentially distributed
+// sojourn times — per-CP two-state Markov on/off sessions. A returning
+// member joins as a fresh CP, unaware of any schedule, which is exactly
+// the disturbance the paper studies on every join.
+type MarkovSessions struct {
+	// Members is the number of independent on/off members.
+	Members int
+	// MeanOn is the mean session (joined) duration.
+	MeanOn time.Duration
+	// MeanOff is the mean absence duration.
+	MeanOff time.Duration
+	// StartOn is the probability a member starts joined.
+	StartOn float64
+}
+
+// Validate checks the model parameters.
+func (c MarkovSessions) Validate() error {
+	if c.Members < 0 {
+		return fmt.Errorf("simrun: negative member count %d", c.Members)
+	}
+	if c.MeanOn <= 0 || c.MeanOff <= 0 {
+		return fmt.Errorf("simrun: markov sojourn means [%v, %v] must be positive", c.MeanOn, c.MeanOff)
+	}
+	if c.StartOn < 0 || c.StartOn > 1 {
+		return fmt.Errorf("simrun: markov StartOn %g outside [0,1]", c.StartOn)
+	}
+	return nil
+}
+
+// Install implements PopulationModel.
+func (c MarkovSessions) Install(w *World) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	r := w.churnRand.Fork("markov")
+	onRate := 1 / c.MeanOn.Seconds()
+	offRate := 1 / c.MeanOff.Seconds()
+	for i := 0; i < c.Members; i++ {
+		ri := r.Fork(fmt.Sprintf("m%d", i))
+		var cur *CPHost
+		var flip func()
+		flip = func() {
+			if cur == nil {
+				h, err := w.AddCP()
+				if err != nil {
+					panic(fmt.Sprintf("simrun: markov session join: %v", err))
+				}
+				cur = h
+				w.sim.After(ri.ExpDuration(onRate), flip)
+			} else {
+				w.RemoveCP(cur.ID)
+				cur = nil
+				w.sim.After(ri.ExpDuration(offRate), flip)
+			}
+		}
+		if ri.Bool(c.StartOn) {
+			w.sim.At(w.sim.Now(), flip)
+		} else {
+			w.sim.After(ri.ExpDuration(offRate), flip)
+		}
+	}
+	return nil
+}
+
+// Heavy-tailed lifetime distribution names.
+const (
+	// LifetimePareto draws lifetimes as MinLifetime·X with X ~
+	// Pareto(Shape): most sessions are short, a few are very long.
+	LifetimePareto = "pareto"
+	// LifetimeLogNormal draws lifetimes as exp(Mu + Sigma·N) seconds.
+	LifetimeLogNormal = "lognormal"
+)
+
+// HeavyTailLifetimes models Poisson CP arrivals whose session lengths
+// follow a heavy-tailed (Pareto or lognormal) distribution — the
+// empirical shape of peer session times in self-configuring networks,
+// where a static or exponential population misses the long-tail
+// stragglers entirely.
+type HeavyTailLifetimes struct {
+	// ArrivalRate is the Poisson CP arrival rate per second.
+	ArrivalRate float64
+	// Initial CPs join at install time with lifetimes drawn from the
+	// same distribution.
+	Initial int
+	// Distribution selects LifetimePareto or LifetimeLogNormal.
+	Distribution string
+	// Shape is the Pareto tail index; MinLifetime scales the draw (it is
+	// also the shortest possible session).
+	Shape       float64
+	MinLifetime time.Duration
+	// Mu and Sigma parameterise the lognormal (in log-seconds).
+	Mu, Sigma float64
+	// MaxLifetime caps every draw when positive, bounding the tail.
+	MaxLifetime time.Duration
+}
+
+// Validate checks the model parameters.
+func (c HeavyTailLifetimes) Validate() error {
+	if c.ArrivalRate <= 0 {
+		return fmt.Errorf("simrun: heavy-tail arrival rate %g must be positive", c.ArrivalRate)
+	}
+	if c.Initial < 0 {
+		return fmt.Errorf("simrun: negative initial population %d", c.Initial)
+	}
+	switch c.Distribution {
+	case LifetimePareto:
+		if c.Shape <= 0 {
+			return fmt.Errorf("simrun: Pareto shape %g must be positive", c.Shape)
+		}
+		if c.MinLifetime <= 0 {
+			return fmt.Errorf("simrun: Pareto minimum lifetime %v must be positive", c.MinLifetime)
+		}
+	case LifetimeLogNormal:
+		if c.Sigma < 0 {
+			return fmt.Errorf("simrun: lognormal sigma %g must be non-negative", c.Sigma)
+		}
+	default:
+		return fmt.Errorf("simrun: unknown lifetime distribution %q", c.Distribution)
+	}
+	if c.MaxLifetime < 0 {
+		return fmt.Errorf("simrun: negative lifetime cap %v", c.MaxLifetime)
+	}
+	return nil
+}
+
+// Install implements PopulationModel.
+func (c HeavyTailLifetimes) Install(w *World) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	// lifetimeCeiling bounds extreme tail draws. It is far beyond any
+	// simulation horizon yet small enough that now+lifetime can never
+	// overflow the kernel's time representation (MaxInt64 ≈ 292 years).
+	const lifetimeCeiling = 100 * 365 * 24 * time.Hour
+	r := w.churnRand.Fork("heavytail")
+	lifetime := func() time.Duration {
+		var sec float64
+		switch c.Distribution {
+		case LifetimePareto:
+			sec = c.MinLifetime.Seconds() * r.Pareto(c.Shape)
+		default: // LifetimeLogNormal, by Validate
+			sec = r.LogNormal(c.Mu, c.Sigma)
+		}
+		d := time.Duration(sec * float64(time.Second))
+		if d < 0 || d > lifetimeCeiling { // overflow of an extreme tail draw
+			d = lifetimeCeiling
+		}
+		if c.MaxLifetime > 0 && d > c.MaxLifetime {
+			d = c.MaxLifetime
+		}
+		return d
+	}
+	join := func() {
+		h, err := w.AddCP()
+		if err != nil {
+			panic(fmt.Sprintf("simrun: heavy-tail join: %v", err))
+		}
+		w.sim.After(lifetime(), func() { w.RemoveCP(h.ID) })
+	}
+	for i := 0; i < c.Initial; i++ {
+		join()
+	}
+	var arrive func()
+	arrive = func() {
+		join()
+		w.sim.After(r.ExpDuration(c.ArrivalRate), arrive)
+	}
+	w.sim.After(r.ExpDuration(c.ArrivalRate), arrive)
+	return nil
+}
+
+// DiurnalArrivals models a nonhomogeneous Poisson arrival process whose
+// rate follows a sinusoid over a configurable period (a simulated "day"),
+// with exponentially distributed session lengths. Arrivals are generated
+// by Lewis–Shedler thinning against the peak rate, so the process is
+// exact, not binned.
+type DiurnalArrivals struct {
+	// BaseRate is the mean arrival rate (CPs per second).
+	BaseRate float64
+	// Amplitude in [0, 1] is the relative swing: the instantaneous rate
+	// is BaseRate·(1 + Amplitude·sin(2πt/Period + Phase)).
+	Amplitude float64
+	// Period is the length of one cycle.
+	Period time.Duration
+	// Phase offsets the sinusoid (radians).
+	Phase float64
+	// MeanLifetime is the mean exponential session length.
+	MeanLifetime time.Duration
+	// Initial CPs join at install time.
+	Initial int
+}
+
+// Validate checks the model parameters.
+func (c DiurnalArrivals) Validate() error {
+	if c.BaseRate <= 0 {
+		return fmt.Errorf("simrun: diurnal base rate %g must be positive", c.BaseRate)
+	}
+	if c.Amplitude < 0 || c.Amplitude > 1 {
+		return fmt.Errorf("simrun: diurnal amplitude %g outside [0,1]", c.Amplitude)
+	}
+	if c.Period <= 0 {
+		return fmt.Errorf("simrun: diurnal period %v must be positive", c.Period)
+	}
+	if c.MeanLifetime <= 0 {
+		return fmt.Errorf("simrun: diurnal mean lifetime %v must be positive", c.MeanLifetime)
+	}
+	if c.Initial < 0 {
+		return fmt.Errorf("simrun: negative initial population %d", c.Initial)
+	}
+	return nil
+}
+
+// Install implements PopulationModel.
+func (c DiurnalArrivals) Install(w *World) error {
+	if err := c.Validate(); err != nil {
+		return err
+	}
+	r := w.churnRand.Fork("diurnal")
+	leaveRate := 1 / c.MeanLifetime.Seconds()
+	join := func() {
+		h, err := w.AddCP()
+		if err != nil {
+			panic(fmt.Sprintf("simrun: diurnal join: %v", err))
+		}
+		w.sim.After(r.ExpDuration(leaveRate), func() { w.RemoveCP(h.ID) })
+	}
+	for i := 0; i < c.Initial; i++ {
+		join()
+	}
+	peak := c.BaseRate * (1 + c.Amplitude)
+	var candidate func()
+	candidate = func() {
+		t := w.sim.Now().Seconds()
+		rate := c.BaseRate * (1 + c.Amplitude*math.Sin(2*math.Pi*t/c.Period.Seconds()+c.Phase))
+		if r.Bool(rate / peak) {
+			join()
+		}
+		w.sim.After(r.ExpDuration(peak), candidate)
+	}
+	w.sim.After(r.ExpDuration(peak), candidate)
+	return nil
+}

@@ -7,6 +7,11 @@ import (
 	"presence/internal/rng"
 )
 
+// This file holds the one-shot scenario schedule helpers. Recurring
+// membership dynamics are PopulationModel implementations (see
+// population.go); the helpers here are the primitives those models — and
+// ad-hoc experiment code — compose.
+
 // ScheduleMassLeave arranges for the active CP population to drop to
 // `remaining` at time `at` — the Fig. 4 scenario ("20 CPs, 18 CPs leave,
 // 2 CPs left"). The leavers are chosen uniformly at random from the CPs
@@ -26,56 +31,6 @@ func (w *World) ScheduleMassLeave(at time.Duration, remaining int) error {
 			w.RemoveCP(active[perm[i]].ID)
 		}
 	})
-	return nil
-}
-
-// UniformChurn is the paper's Fig. 5 worst-case dynamic scenario: "the
-// number of active CPs is uniformly chosen from the set {1, ..., 60}.
-// This choice is repeated every X time-units, where X is exponentially
-// distributed with rate 0.05."
-type UniformChurn struct {
-	// Min and Max bound the uniform population draw (paper: 1 and 60).
-	Min, Max int
-	// Rate is the redraw rate in events per second (paper: 0.05, i.e.
-	// the population changes every 20 s on average).
-	Rate float64
-}
-
-// DefaultUniformChurn returns the paper's churn parameters.
-func DefaultUniformChurn() UniformChurn {
-	return UniformChurn{Min: 1, Max: 60, Rate: 0.05}
-}
-
-// Validate checks the churn parameters.
-func (c UniformChurn) Validate() error {
-	if c.Min < 0 || c.Max < c.Min {
-		return fmt.Errorf("simrun: churn population bounds [%d, %d] invalid", c.Min, c.Max)
-	}
-	if c.Rate <= 0 {
-		return fmt.Errorf("simrun: churn rate %g must be positive", c.Rate)
-	}
-	return nil
-}
-
-// StartChurn draws an initial population immediately and then redraws it
-// at exponentially distributed intervals, adding fresh CPs or removing
-// random active ones to hit each target.
-func (w *World) StartChurn(c UniformChurn) error {
-	if err := c.Validate(); err != nil {
-		return err
-	}
-	r := w.churnRand.Fork("uniform")
-	var redraw func()
-	redraw = func() {
-		target := r.IntBetween(c.Min, c.Max)
-		if err := w.setPopulation(target, r); err != nil {
-			// Construction can only fail on invalid configuration, which
-			// Validate has already excluded; a failure here is a bug.
-			panic(fmt.Sprintf("simrun: churn population change: %v", err))
-		}
-		w.sim.After(r.ExpDuration(c.Rate), redraw)
-	}
-	w.sim.At(w.sim.Now(), redraw)
 	return nil
 }
 

@@ -55,6 +55,14 @@ func (s *TimeSeries) Decimate(n int) *TimeSeries {
 // Name returns the series name.
 func (s *TimeSeries) Name() string { return s.name }
 
+// Rename changes the series name (used when one report collects
+// same-named series from several worlds). Returns the series for
+// chaining.
+func (s *TimeSeries) Rename(name string) *TimeSeries {
+	s.name = name
+	return s
+}
+
 // Add records a sample, subject to the window and decimation filters.
 func (s *TimeSeries) Add(t time.Duration, v float64) {
 	if s.bounded && (t < s.from || t >= s.to) {

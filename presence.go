@@ -10,6 +10,7 @@ import (
 	"presence/internal/experiments"
 	"presence/internal/ident"
 	"presence/internal/rtnet"
+	"presence/internal/scenario"
 	"presence/internal/simrun"
 	"presence/internal/stats"
 )
@@ -40,8 +41,6 @@ type (
 	CPHost = simrun.CPHost
 	// DeviceHost is the simulated device.
 	DeviceHost = simrun.DeviceHost
-	// UniformChurn is the paper's Fig. 5 churn scenario.
-	UniformChurn = simrun.UniformChurn
 	// ProcessingConfig models device computation time.
 	ProcessingConfig = simrun.ProcessingConfig
 	// DiscoveryConfig enables the UPnP-style announcement layer.
@@ -49,6 +48,28 @@ type (
 	// AnnouncerConfig parameterises device announcements (max-age,
 	// period).
 	AnnouncerConfig = discovery.AnnouncerConfig
+)
+
+// Population models (see internal/simrun): install one with
+// World.StartPopulation before Run.
+type (
+	// PopulationModel drives CP membership over simulated time.
+	PopulationModel = simrun.PopulationModel
+	// StaticPopulation joins a fixed set of CPs staggered over a spread.
+	StaticPopulation = simrun.StaticPopulation
+	// MassLeavePopulation is the paper's Fig. 4 dynamic.
+	MassLeavePopulation = simrun.MassLeavePopulation
+	// UniformChurn is the paper's Fig. 5 churn scenario.
+	UniformChurn = simrun.UniformChurn
+	// FlashCrowd models correlated join/leave bursts.
+	FlashCrowd = simrun.FlashCrowd
+	// MarkovSessions models per-CP exponential on/off sessions.
+	MarkovSessions = simrun.MarkovSessions
+	// HeavyTailLifetimes models Poisson arrivals with Pareto or
+	// lognormal session lengths.
+	HeavyTailLifetimes = simrun.HeavyTailLifetimes
+	// DiurnalArrivals models sinusoid-modulated Poisson arrivals.
+	DiurnalArrivals = simrun.DiurnalArrivals
 )
 
 // NewSimulation builds a simulated world: one device (of the configured
@@ -60,6 +81,29 @@ func NewSimulation(cfg SimConfig) (*World, error) {
 // DefaultUniformChurn returns the paper's churn parameters
 // (population U{1..60}, redrawn at rate 0.05/s).
 func DefaultUniformChurn() UniformChurn { return simrun.DefaultUniformChurn() }
+
+// Scenario engine (see internal/scenario): declarative specs that
+// compile into simulated worlds and round-trip through JSON.
+type (
+	// Scenario is a declarative scenario spec.
+	Scenario = scenario.Spec
+)
+
+// Scenarios returns every registered scenario (deep copies).
+func Scenarios() []*Scenario { return scenario.All() }
+
+// ScenarioByName returns a deep copy of a registered scenario.
+func ScenarioByName(name string) (*Scenario, bool) { return scenario.ByName(name) }
+
+// LoadScenario reads and validates a scenario JSON file.
+func LoadScenario(path string) (*Scenario, error) { return scenario.Load(path) }
+
+// DecodeScenario parses and validates scenario JSON.
+func DecodeScenario(b []byte) (*Scenario, error) { return scenario.Decode(b) }
+
+// ResolveScenario returns the scenario for a registered name or a JSON
+// file path.
+func ResolveScenario(nameOrPath string) (*Scenario, error) { return scenario.Resolve(nameOrPath) }
 
 // Protocol configuration (paper defaults via the Default* functions).
 type (
