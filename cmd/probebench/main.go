@@ -5,6 +5,7 @@
 // Usage:
 //
 //	probebench [-scale paper|short] [-seed N] [-out DIR] [-only ID[,ID...]] [-plot] [-json [PATH]]
+//	           [-fleet] [-fleet-cps N] [-fleet-devices N] [-fleet-window D]
 //	probebench -scenario NAME|FILE [-seed N] [-out DIR] [-plot]
 //	probebench -list | -list-scenarios
 //
@@ -13,9 +14,12 @@
 // raw throughput (events/sec, allocs/op from the Fig. 5 churn scenario)
 // and of every experiment metric is written to PATH, or to the next free
 // BENCH_<n>.json in the working directory when PATH is empty — the
-// cross-PR performance trajectory. With -scenario, one declarative
-// scenario (registered name or JSON file, see internal/scenario) runs
-// instead of the suite and is summarised as a report.
+// cross-PR performance trajectory. With -fleet, the internal/fleet
+// loopback scale harness also runs (10k control points against loopback
+// DCPP devices by default) and its measurements land in the snapshot's
+// "fleet" section. With -scenario, one declarative scenario (registered
+// name or JSON file, see internal/scenario) runs instead of the suite
+// and is summarised as a report.
 package main
 
 import (
@@ -31,6 +35,7 @@ import (
 
 	"presence/internal/asciiplot"
 	"presence/internal/experiments"
+	"presence/internal/fleet"
 	"presence/internal/scenario"
 	"presence/internal/simrun"
 )
@@ -55,6 +60,11 @@ func run(args []string, out io.Writer) error {
 		jpath = fs.String("jsonpath", "", "path for the -json snapshot ('' = auto-numbered BENCH_<n>.json)")
 		scen  = fs.String("scenario", "", "run one declarative scenario (name or JSON file) instead of the experiment suite")
 		lscen = fs.Bool("list-scenarios", false, "list registered scenario names and exit")
+
+		fleetRun     = fs.Bool("fleet", false, "also run the fleet loopback scale harness (results land in the -json snapshot)")
+		fleetCPs     = fs.Int("fleet-cps", 10_000, "control points for -fleet")
+		fleetDevices = fs.Int("fleet-devices", 8, "loopback devices for -fleet")
+		fleetWindow  = fs.Duration("fleet-window", 5*time.Second, "steady-state measurement window for -fleet")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -74,7 +84,7 @@ func run(args []string, out io.Writer) error {
 	if *scen != "" {
 		explicit := make(map[string]bool)
 		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-		for _, conflicting := range []string{"scale", "only", "json", "jsonpath"} {
+		for _, conflicting := range []string{"scale", "only", "json", "jsonpath", "fleet", "fleet-cps", "fleet-devices", "fleet-window"} {
 			if explicit[conflicting] {
 				return fmt.Errorf("-%s applies to the experiment suite, not to -scenario (the scenario defines its own horizon)", conflicting)
 			}
@@ -152,6 +162,24 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "    (%s)\n\n", time.Since(t0).Round(time.Millisecond))
 	}
 	fmt.Fprintf(out, "all experiments done in %s\n", time.Since(start).Round(time.Millisecond))
+	var fleetRes *fleet.ScaleResult
+	if *fleetRun {
+		fmt.Fprintf(out, "==> fleet loopback scale (%d CPs, %d devices, %v window)\n",
+			*fleetCPs, *fleetDevices, *fleetWindow)
+		res, err := fleet.LoopbackScale(fleet.ScaleOptions{
+			CPs:     *fleetCPs,
+			Devices: *fleetDevices,
+			Window:  *fleetWindow,
+		})
+		if err != nil {
+			return fmt.Errorf("fleet scale: %w", err)
+		}
+		fleetRes = &res
+		fmt.Fprintf(out, "    %d CPs steady on %d shard goroutine(s) after %.2fs; %.1f probes/s (budget %.1f/s); wheel depth %d; %d goroutines total\n",
+			res.SteadyCPs, res.Shards, res.JoinSeconds,
+			res.SteadyProbesPerSec, res.BudgetProbesPerSec,
+			res.WheelDepth, res.Goroutines)
+	}
 	if opts.OutDir != "" {
 		if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
 			return err
@@ -163,7 +191,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "report written to %s\n", path)
 	}
 	if *emit {
-		path, err := writeJSONSnapshot(*jpath, *seed, s, metricsByExperiment)
+		path, err := writeJSONSnapshot(*jpath, *seed, s, metricsByExperiment, fleetRes)
 		if err != nil {
 			return err
 		}
@@ -173,13 +201,15 @@ func run(args []string, out io.Writer) error {
 }
 
 // benchSnapshot is the schema of the BENCH_<n>.json files: one throughput
-// measurement of the raw event loop plus every experiment metric, so PRs
-// can be compared mechanically.
+// measurement of the raw event loop plus every experiment metric (and,
+// with -fleet, the UDP fleet scale measurements), so PRs can be compared
+// mechanically.
 type benchSnapshot struct {
 	Generated  string                        `json:"generated"`
 	Seed       uint64                        `json:"seed"`
 	Scale      string                        `json:"scale"`
 	Throughput throughputStats               `json:"throughput"`
+	Fleet      *fleet.ScaleResult            `json:"fleet,omitempty"`
 	Metrics    map[string]map[string]float64 `json:"metrics"`
 }
 
@@ -243,7 +273,7 @@ func measureThroughput() (throughputStats, error) {
 
 // writeJSONSnapshot measures throughput and writes the snapshot to path,
 // or to the next free BENCH_<n>.json when path is empty.
-func writeJSONSnapshot(path string, seed uint64, scale experiments.Scale, metrics map[string]map[string]float64) (string, error) {
+func writeJSONSnapshot(path string, seed uint64, scale experiments.Scale, metrics map[string]map[string]float64, fleetRes *fleet.ScaleResult) (string, error) {
 	tp, err := measureThroughput()
 	if err != nil {
 		return "", err
@@ -253,6 +283,7 @@ func writeJSONSnapshot(path string, seed uint64, scale experiments.Scale, metric
 		Seed:       seed,
 		Scale:      string(scale),
 		Throughput: tp,
+		Fleet:      fleetRes,
 		Metrics:    metrics,
 	}
 	if path == "" {

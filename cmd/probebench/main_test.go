@@ -94,7 +94,7 @@ func TestJSONAutoNumbering(t *testing.T) {
 	if err := os.WriteFile("BENCH_1.json", []byte("{}"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	path, err := writeJSONSnapshot("", 1, "short", nil)
+	path, err := writeJSONSnapshot("", 1, "short", nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -113,6 +113,40 @@ func TestRejectsBadInputs(t *testing.T) {
 	}
 	if err := run([]string{"-only", "no-such-id"}, &out); err == nil {
 		t.Error("unknown experiment accepted")
+	}
+	if err := run([]string{"-scenario", "fig5-uniform-churn", "-fleet"}, &out); err == nil {
+		t.Error("-scenario with -fleet accepted")
+	}
+}
+
+func TestFleetSnapshotSection(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_fleet.json")
+	var out strings.Builder
+	err := run([]string{
+		"-scale", "short", "-only", "ext-naive-load", "-out", "",
+		"-fleet", "-fleet-cps", "200", "-fleet-devices", "2", "-fleet-window", "500ms",
+		"-json", "-jsonpath", path,
+	}, &out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "CPs steady on") {
+		t.Fatalf("fleet summary missing from output:\n%s", out.String())
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap benchSnapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if snap.Fleet == nil {
+		t.Fatal("snapshot has no fleet section")
+	}
+	if snap.Fleet.SteadyCPs != 200 || snap.Fleet.SteadyProbesPerSec <= 0 {
+		t.Fatalf("fleet section = %+v", snap.Fleet)
 	}
 }
 

@@ -126,15 +126,13 @@ func run(args []string) error {
 	for {
 		select {
 		case <-sig:
-			st := cp.Stats()
-			fmt.Printf("probecp: %d cycles ok, %d failed, %d probes, %d retransmits\n",
-				st.CyclesOK, st.CyclesFailed, st.ProbesSent, st.Retransmits)
-			return nil
+			signal.Stop(sig) // a second Ctrl-C kills us the ordinary way
+			fmt.Println("probecp: shutting down")
+			return finalDump(cp)
 		case <-lst.lost:
 			if !*restart {
-				st := cp.Stats()
-				fmt.Printf("probecp: stopping after loss (%d cycles ok)\n", st.CyclesOK)
-				return nil
+				fmt.Println("probecp: stopping after loss")
+				return finalDump(cp)
 			}
 			fmt.Println("probecp: restarting monitor")
 			time.Sleep(time.Second)
@@ -143,4 +141,17 @@ func run(args []string) error {
 			}
 		}
 	}
+}
+
+// finalDump closes the control point cleanly (stopping the prober and
+// the read loop) and prints the final cycle and wire counters.
+func finalDump(cp *rtnet.ControlPoint) error {
+	err := cp.Close()
+	st := cp.Stats()
+	c := cp.Counters()
+	fmt.Printf("probecp: %d cycles ok, %d failed, %d probes, %d retransmits, %d stale replies\n",
+		st.CyclesOK, st.CyclesFailed, st.ProbesSent, st.Retransmits, st.StaleReplies)
+	fmt.Printf("probecp: %d packets in, %d out; %d decode errors, %d send errors\n",
+		c.PacketsIn, c.PacketsOut, c.DecodeErrors, c.SendErrors)
+	return err
 }

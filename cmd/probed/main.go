@@ -72,14 +72,16 @@ func run(args []string) error {
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	<-sig
+	signal.Stop(sig) // a second Ctrl-C kills us the ordinary way
 	fmt.Println("probed: announcing bye and shutting down")
 	srv.Bye()
 	// Give byes a moment on the wire before the socket closes.
 	time.Sleep(100 * time.Millisecond)
+	err = srv.Close()
 	c := srv.Counters()
-	fmt.Printf("probed: served %d packets in, %d out (%d decode errors)\n",
-		c.PacketsIn, c.PacketsOut, c.DecodeErrors)
-	return srv.Close()
+	fmt.Printf("probed: served %d peers; %d packets in, %d out; %d decode errors, %d send errors\n",
+		srv.Peers(), c.PacketsIn, c.PacketsOut, c.DecodeErrors, c.SendErrors)
+	return err
 }
 
 func id64(v uint) uint32 {

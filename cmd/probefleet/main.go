@@ -1,0 +1,256 @@
+// Command probefleet boots a fleet: a sharded presence server hosting
+// many control points (and, in loopback mode, the devices they monitor)
+// inside one process — the internal/fleet runtime as a daemon. It
+// prints live aggregate stats and, on SIGINT/SIGTERM, a final per-shard
+// counter dump before shutting the fleet down cleanly.
+//
+// Usage:
+//
+//	probefleet [-cps N] [-shards N] [-protocol sapp|dcpp|naive] [-period D]
+//	           [-loopback N | -device ADDR -device-id N]
+//	           [-min-gap D] [-min-cp-delay D]
+//	           [-duration D] [-interval D] [-join-ramp D]
+//
+// By default it runs self-contained: -loopback N hosts N devices of the
+// chosen protocol in a second, devices-only fleet and points the CPs at
+// them round-robin. With -device/-device-id the CPs monitor an external
+// daemon (cmd/probed) instead.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"net/netip"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"presence/internal/core"
+	"presence/internal/core/dcpp"
+	"presence/internal/core/naive"
+	"presence/internal/core/sapp"
+	"presence/internal/fleet"
+	"presence/internal/ident"
+	"presence/internal/rtnet"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout, signalChan()); err != nil {
+		fmt.Fprintln(os.Stderr, "probefleet:", err)
+		os.Exit(1)
+	}
+}
+
+func signalChan() <-chan os.Signal {
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	return sig
+}
+
+type options struct {
+	cps        int
+	shards     int
+	protocol   string
+	period     time.Duration
+	loopback   int
+	device     string
+	deviceID   uint
+	minGap     time.Duration
+	minCPDelay time.Duration
+	duration   time.Duration
+	interval   time.Duration
+	joinRamp   time.Duration
+}
+
+func run(args []string, out io.Writer, sig <-chan os.Signal) error {
+	fs := flag.NewFlagSet("probefleet", flag.ContinueOnError)
+	var o options
+	fs.IntVar(&o.cps, "cps", 1000, "number of hosted control points")
+	fs.IntVar(&o.shards, "shards", 0, "shard count (0 = GOMAXPROCS)")
+	fs.StringVar(&o.protocol, "protocol", "dcpp", "protocol: sapp, dcpp or naive")
+	fs.DurationVar(&o.period, "period", time.Second, "naive probe period")
+	fs.IntVar(&o.loopback, "loopback", 1, "host this many loopback devices in-process (0 with -device)")
+	fs.StringVar(&o.device, "device", "", "external device UDP address (disables loopback)")
+	fs.UintVar(&o.deviceID, "device-id", 1, "external device node id")
+	fs.DurationVar(&o.minGap, "min-gap", dcpp.DefaultMinGap, "DCPP δ_min for loopback devices")
+	fs.DurationVar(&o.minCPDelay, "min-cp-delay", dcpp.DefaultMinCPDelay, "DCPP d_min for loopback devices")
+	fs.DurationVar(&o.duration, "duration", 0, "run time (0 = until SIGINT/SIGTERM)")
+	fs.DurationVar(&o.interval, "interval", time.Second, "live stats interval")
+	fs.DurationVar(&o.joinRamp, "join-ramp", 0, "spread CP joins over this long (0 = 200µs per CP, negative disables)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if o.cps < 1 {
+		return fmt.Errorf("-cps %d must be positive", o.cps)
+	}
+	if o.device == "" && o.loopback < 1 {
+		return fmt.Errorf("need -loopback ≥ 1 or an external -device")
+	}
+	if o.interval <= 0 {
+		return fmt.Errorf("-interval %v must be positive", o.interval)
+	}
+	if o.joinRamp == 0 {
+		o.joinRamp = fleet.DefaultJoinRamp(o.cps)
+	}
+
+	cpFleet, err := fleet.New(fleet.Config{Shards: o.shards})
+	if err != nil {
+		return err
+	}
+	defer cpFleet.Close()
+	if err := cpFleet.Start(); err != nil {
+		return err
+	}
+
+	// The devices the CPs monitor: in-process loopback or external.
+	type target struct {
+		id   ident.NodeID
+		addr netip.AddrPort
+	}
+	var targets []target
+	var ids ident.Allocator
+	if o.device != "" {
+		if o.deviceID == 0 || uint64(o.deviceID) > uint64(^uint32(0)) {
+			return fmt.Errorf("-device-id %d out of range", o.deviceID)
+		}
+		addr, err := rtnet.ResolveUDPAddrPort(o.device)
+		if err != nil {
+			return err
+		}
+		targets = []target{{id: ident.NodeID(uint32(o.deviceID)), addr: addr}}
+	} else {
+		devFleet, err := fleet.New(fleet.Config{Shards: o.loopback})
+		if err != nil {
+			return err
+		}
+		defer devFleet.Close()
+		if err := devFleet.Start(); err != nil {
+			return err
+		}
+		for i := 0; i < o.loopback; i++ {
+			id := ids.Next()
+			build, err := deviceBuilder(o, id)
+			if err != nil {
+				return err
+			}
+			dev, err := devFleet.AddDevice(id, build)
+			if err != nil {
+				return err
+			}
+			targets = append(targets, target{id: id, addr: dev.Addr()})
+		}
+		fmt.Fprintf(out, "probefleet: %d loopback %s device(s) up\n", o.loopback, o.protocol)
+	}
+
+	fmt.Fprintf(out, "probefleet: joining %d %s control points on %d shard(s) over %v\n",
+		o.cps, o.protocol, cpFleet.Shards(), o.joinRamp.Round(time.Millisecond))
+	pacer := fleet.NewJoinPacer(o.cps, o.joinRamp)
+	for i := 0; i < o.cps; i++ {
+		policy, err := cpPolicy(o)
+		if err != nil {
+			return err
+		}
+		tgt := targets[i%len(targets)]
+		if _, err := cpFleet.AddControlPoint(fleet.CPConfig{
+			ID:             ids.Next(),
+			Device:         tgt.id,
+			DeviceAddrPort: tgt.addr,
+			Policy:         policy,
+		}); err != nil {
+			return fmt.Errorf("add cp %d: %w", i, err)
+		}
+		pacer.Tick()
+	}
+	fmt.Fprintf(out, "probefleet: all %d control points joined\n", o.cps)
+
+	ticker := time.NewTicker(o.interval)
+	defer ticker.Stop()
+	var timeout <-chan time.Time
+	if o.duration > 0 {
+		timeout = time.After(o.duration)
+	}
+	prev := cpFleet.Snapshot()
+	for {
+		select {
+		case <-ticker.C:
+			cur := cpFleet.Snapshot()
+			printLive(out, prev, cur)
+			prev = cur
+		case <-sig:
+			fmt.Fprintln(out, "probefleet: signal received, shutting down")
+			return finalDump(out, cpFleet)
+		case <-timeout:
+			return finalDump(out, cpFleet)
+		}
+	}
+}
+
+func deviceBuilder(o options, id ident.NodeID) (fleet.DeviceBuilder, error) {
+	switch o.protocol {
+	case "dcpp":
+		cfg := dcpp.DefaultDeviceConfig()
+		cfg.MinGap, cfg.MinCPDelay = o.minGap, o.minCPDelay
+		return func(env core.Env) (core.Device, error) { return dcpp.NewDevice(id, env, cfg) }, nil
+	case "sapp":
+		return func(env core.Env) (core.Device, error) {
+			return sapp.NewDevice(id, env, sapp.DefaultDeviceConfig())
+		}, nil
+	case "naive":
+		return func(env core.Env) (core.Device, error) { return naive.NewDevice(id, env) }, nil
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", o.protocol)
+	}
+}
+
+func cpPolicy(o options) (core.DelayPolicy, error) {
+	switch o.protocol {
+	case "dcpp":
+		return dcpp.NewPolicy(dcpp.PolicyConfig{})
+	case "sapp":
+		return sapp.NewPolicy(sapp.DefaultCPConfig())
+	case "naive":
+		return naive.NewPolicy(o.period)
+	default:
+		return nil, fmt.Errorf("unknown protocol %q", o.protocol)
+	}
+}
+
+func printLive(out io.Writer, prev, cur fleet.Snapshot) {
+	dt := (cur.At - prev.At).Seconds()
+	if dt <= 0 {
+		return
+	}
+	rate := func(a, b uint64) float64 { return float64(b-a) / dt }
+	fmt.Fprintf(out,
+		"[%7s] cps=%d/%d probes/s=%.1f replies/s=%.1f timers/s=%.1f wheel=%d pending=%d errs dec=%d send=%d drop=%d coll=%d\n",
+		cur.At.Round(time.Second),
+		cur.Total.LiveControlPoints, cur.Total.ControlPoints,
+		rate(prev.Total.ProbesOut, cur.Total.ProbesOut),
+		rate(prev.Total.RepliesIn, cur.Total.RepliesIn),
+		rate(prev.Total.TimersFired, cur.Total.TimersFired),
+		cur.Total.WheelDepth, cur.Total.PendingProbes,
+		cur.Total.DecodeErrors, cur.Total.SendErrors,
+		cur.Total.DemuxDrops, cur.Total.DemuxCollisions)
+}
+
+// finalDump closes the fleet and prints the last counters — aggregate
+// first, then per shard, so the per-shard sums can be eyeballed against
+// the total.
+func finalDump(out io.Writer, f *fleet.Fleet) error {
+	snap := f.Snapshot()
+	err := f.Close()
+	t := snap.Total
+	fmt.Fprintf(out, "probefleet: final after %s — cps=%d/%d in=%d out=%d probes=%d replies=%d timers=%d errs dec=%d send=%d drop=%d coll=%d\n",
+		snap.At.Round(time.Millisecond),
+		t.LiveControlPoints, t.ControlPoints, t.PacketsIn, t.PacketsOut,
+		t.ProbesOut, t.RepliesIn, t.TimersFired,
+		t.DecodeErrors, t.SendErrors, t.DemuxDrops, t.DemuxCollisions)
+	for i, c := range snap.Shards {
+		fmt.Fprintf(out, "  shard %2d: cps=%d/%d in=%d out=%d probes=%d replies=%d wheel=%d\n",
+			i, c.LiveControlPoints, c.ControlPoints, c.PacketsIn, c.PacketsOut,
+			c.ProbesOut, c.RepliesIn, c.WheelDepth)
+	}
+	return err
+}

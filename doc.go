@@ -15,6 +15,9 @@
 //     MODEST/MÖBIUS tool chain the authors used;
 //   - a real-network UDP runtime that runs the exact same engine code on
 //     sockets and the wall clock;
+//   - a fleet runtime (internal/fleet) that hosts tens of thousands of
+//     those engines in one process for production-scale monitoring
+//     aggregation points;
 //   - a declarative scenario engine (internal/scenario): a Spec names a
 //     protocol, a population model (static, mass leave, uniform churn,
 //     flash crowd, Markov on/off sessions, heavy-tailed lifetimes,
@@ -54,6 +57,30 @@
 // internal/experiments pin it. cmd/probebench -json records events/sec
 // and allocs/op snapshots (BENCH_<n>.json) to keep the trajectory
 // machine-readable across changes.
+//
+// # Fleet runtime
+//
+// internal/rtnet spends one UDP socket, one reader goroutine and one
+// time.Timer per node — right for a phone monitoring one device,
+// hopeless for an aggregation point monitoring a building. The fleet
+// runtime (internal/fleet, cmd/probefleet) re-hosts the same engines on
+// a fixed budget:
+//
+//   - N shards (default GOMAXPROCS), each owning one UDP socket and one
+//     event-loop goroutine; control points fan in to shards by NodeID
+//     hash, SO_REUSEPORT style;
+//   - one hierarchical hashed timer wheel per shard replaces per-node
+//     time.Timers (every engine owns exactly one alarm, an intrusive
+//     O(1) list entry);
+//   - replies are demultiplexed on the shared socket by a (device,
+//     cycle) pending-probe table, with per-CP staggered cycle-number
+//     spaces (core.ProberOptions.FirstCycle) keeping keys disjoint;
+//   - per-shard counters roll up through Fleet.Snapshot; the loopback
+//     scale harness (fleet.LoopbackScale, probebench -fleet) measures
+//     CPs/process and probes/s into the BENCH_<n>.json trajectory —
+//     10,000 control points reach steady state on GOMAXPROCS event-loop
+//     goroutines with the aggregate probe rate pinned at DCPP's L_nom
+//     budget.
 //
 // # Quick start (simulation)
 //

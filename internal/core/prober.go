@@ -111,6 +111,13 @@ type ProberOptions struct {
 	// Observer, if non-nil, is invoked whenever a new inter-cycle delay
 	// has been chosen — the hook behind the 1/δ traces of Figs. 2–4.
 	Observer func(now time.Duration, delay time.Duration)
+	// FirstCycle offsets the prober's cycle-number space: the first probe
+	// cycle is numbered FirstCycle+1. The protocol is indifferent to the
+	// starting point (only equality with the echoed cycle matters), but
+	// shared-socket runtimes (internal/fleet) stagger the space per CP so
+	// that (device, cycle) reply-demultiplexing keys from different CPs
+	// on one socket do not collide. Zero keeps the historical numbering.
+	FirstCycle uint32
 }
 
 // Prober is the control-point side of the probe cycle: it sends a probe,
@@ -169,6 +176,7 @@ func NewProber(opts ProberOptions) (*Prober, error) {
 		cfg:      opts.Retransmit,
 		observer: opts.Observer,
 		state:    stateIdle,
+		cycle:    opts.FirstCycle,
 		sentAt:   make([]time.Duration, opts.Retransmit.MaxRetransmits+1),
 	}, nil
 }

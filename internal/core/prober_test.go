@@ -431,6 +431,34 @@ func TestZeroRetransmitsLostAfterFirstTimeout(t *testing.T) {
 	}
 }
 
+func TestFirstCycleOffsetsCycleSpace(t *testing.T) {
+	env := &fakeEnv{}
+	policy := &fixedPolicy{delay: time.Second}
+	p, err := NewProber(ProberOptions{
+		ID: 7, Device: 1, Env: env, Policy: policy, FirstCycle: 0x8000_0000,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	p.Start()
+	if got := env.lastProbe(t).Cycle; got != 0x8000_0001 {
+		t.Fatalf("first cycle = %#x, want FirstCycle+1", got)
+	}
+	// A reply from the un-offset cycle space is stale, not a completion.
+	p.OnReply(ReplyMsg{From: 1, Cycle: 1, Attempt: 0, Payload: EmptyReply{}})
+	if len(policy.results) != 0 {
+		t.Fatal("reply from a foreign cycle space accepted")
+	}
+	p.OnReply(ReplyMsg{From: 1, Cycle: 0x8000_0001, Attempt: 0, Payload: EmptyReply{}})
+	if len(policy.results) != 1 {
+		t.Fatal("reply in the offset cycle space rejected")
+	}
+	env.fireAlarm(t, p.OnAlarm)
+	if got := env.lastProbe(t).Cycle; got != 0x8000_0002 {
+		t.Fatalf("second cycle = %#x, want monotonic from the offset", got)
+	}
+}
+
 func TestProberStateString(t *testing.T) {
 	for s, want := range map[proberState]string{
 		stateIdle: "idle", stateAwaitReply: "await-reply",

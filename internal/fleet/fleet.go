@@ -1,0 +1,534 @@
+// Package fleet is a production-style presence server: it hosts tens of
+// thousands of protocol engines (DCPP/SAPP/naive control points, and
+// optionally device engines for loopback testing) inside one process on
+// a small fixed resource budget.
+//
+// Where internal/rtnet spends one UDP socket, one reader goroutine and
+// one time.Timer per node — right for a phone monitoring one device,
+// hopeless for a monitoring aggregation point — the fleet spends them
+// per *shard*:
+//
+//   - N shards (default GOMAXPROCS), each owning exactly one UDP socket
+//     and one event-loop goroutine that both reads the socket and runs
+//     the timers. Control points fan in to shards by NodeID hash, the
+//     same way SO_REUSEPORT spreads flows across acceptor sockets.
+//   - A hierarchical hashed timer wheel per shard replaces per-node
+//     time.Timers: every engine's single alarm is an intrusive list
+//     entry, so arming is O(1) and 10k sleeping control points cost
+//     zero goroutines and zero timer-heap pressure.
+//   - Read and encode buffers are per-shard and reused; the wire codec
+//     is the same one rtnet uses (wire.AppendEncode), so steady-state
+//     packet handling does not allocate.
+//
+// The single-threaded engine contract holds per shard: every engine
+// call (packet dispatch, alarm expiry, lifecycle) runs under the
+// shard's mutex, so the exact engine code from internal/core runs
+// unchanged.
+//
+// # Reply demultiplexing on a shared socket
+//
+// Protocol frames carry no destination id — on a per-node socket none
+// is needed. A shard therefore routes incoming frames by what they do
+// carry:
+//
+//   - Replies (From = device, Cycle): a pending-probe table keyed by
+//     (device, cycle) maps each in-flight probe cycle back to the
+//     control point that sent it. Cycle-number spaces are staggered per
+//     CP (core.ProberOptions.FirstCycle), so two CPs probing the same
+//     device practically never share a live key; the residual collision
+//     is detected at insert and counted (Counters.DemuxCollisions).
+//   - Byes and announces (From = device): fan out to every hosted CP
+//     watching that device.
+//   - Probes (From = CP): delivered to the shard's hosted device. Since
+//     a probe names only its sender, a shard socket can host at most
+//     one device engine; AddDevice places devices on free shards and
+//     errors when all are taken. Devices are a loopback-testing
+//     convenience — CPs are the scale story.
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"net/netip"
+	"runtime"
+	"sync"
+	"time"
+
+	"presence/internal/core"
+	"presence/internal/ident"
+	"presence/internal/rtnet"
+	"presence/internal/wire"
+)
+
+// Config assembles a Fleet.
+type Config struct {
+	// Shards is the number of shards: sockets, event-loop goroutines and
+	// timer wheels. Zero means GOMAXPROCS.
+	Shards int
+	// ListenAddr is the bind address for every shard socket and must
+	// leave the port to the kernel (":0") when Shards > 1. Default
+	// "127.0.0.1:0".
+	ListenAddr string
+	// TimerTick is the timer-wheel granularity. Zero means 1 ms.
+	TimerTick time.Duration
+	// PendingTTL bounds how long an unanswered (device, cycle) demux
+	// entry survives before the periodic sweep drops it (entries of
+	// completed cycles are removed inline). Zero means 30 s.
+	PendingTTL time.Duration
+	// MaxPeersPerDevice bounds each hosted device's reply-routing table.
+	// Zero means 65536.
+	MaxPeersPerDevice int
+	// SocketBuffer is the requested kernel read/write buffer size per
+	// shard socket, applied best-effort (the OS may clamp it). Zero
+	// means 4 MiB; negative leaves the OS default.
+	SocketBuffer int
+}
+
+func (c *Config) applyDefaults() {
+	if c.Shards == 0 {
+		c.Shards = runtime.GOMAXPROCS(0)
+	}
+	if c.ListenAddr == "" {
+		c.ListenAddr = "127.0.0.1:0"
+	}
+	if c.TimerTick == 0 {
+		c.TimerTick = defaultWheelTick
+	}
+	if c.PendingTTL == 0 {
+		c.PendingTTL = 30 * time.Second
+	}
+	if c.MaxPeersPerDevice == 0 {
+		c.MaxPeersPerDevice = 65536
+	}
+	if c.SocketBuffer == 0 {
+		c.SocketBuffer = 4 << 20
+	}
+}
+
+// Counters tracks one shard's activity. Cumulative fields only ever
+// grow; gauge fields (WheelDepth, ControlPoints, LiveControlPoints,
+// PendingProbes) are point-in-time.
+type Counters struct {
+	PacketsIn    uint64
+	PacketsOut   uint64
+	DecodeErrors uint64
+	SendErrors   uint64
+	// ProbesOut counts probes sent by hosted control points (a subset of
+	// PacketsOut; the rest are device replies/byes/announces).
+	ProbesOut uint64
+	// RepliesIn counts replies demultiplexed to a hosted control point.
+	RepliesIn uint64
+	// DemuxDrops counts frames that matched no hosted node: replies with
+	// no pending probe (duplicates, latecomers), probes on a shard
+	// without a device, byes for unwatched devices.
+	DemuxDrops uint64
+	// DemuxCollisions counts (device, cycle) keys that were claimed by
+	// two different live control points — see the package comment.
+	DemuxCollisions uint64
+	// TimersFired counts timer-wheel expirations delivered to engines.
+	TimersFired uint64
+
+	// WheelDepth is the number of pending timers (gauge).
+	WheelDepth int
+	// ControlPoints is the number of hosted CPs (gauge).
+	ControlPoints int
+	// LiveControlPoints is the number of hosted CPs that have not
+	// stopped (device lost or bye) (gauge).
+	LiveControlPoints int
+	// PendingProbes is the size of the demux table (gauge).
+	PendingProbes int
+	// Devices is 1 when the shard hosts a device engine (gauge).
+	Devices int
+}
+
+func (c *Counters) add(o Counters) {
+	c.PacketsIn += o.PacketsIn
+	c.PacketsOut += o.PacketsOut
+	c.DecodeErrors += o.DecodeErrors
+	c.SendErrors += o.SendErrors
+	c.ProbesOut += o.ProbesOut
+	c.RepliesIn += o.RepliesIn
+	c.DemuxDrops += o.DemuxDrops
+	c.DemuxCollisions += o.DemuxCollisions
+	c.TimersFired += o.TimersFired
+	c.WheelDepth += o.WheelDepth
+	c.ControlPoints += o.ControlPoints
+	c.LiveControlPoints += o.LiveControlPoints
+	c.PendingProbes += o.PendingProbes
+	c.Devices += o.Devices
+}
+
+// Snapshot is a consistent-per-shard view of the fleet's counters.
+type Snapshot struct {
+	// At is the fleet uptime when the snapshot was taken.
+	At time.Duration
+	// Shards holds one Counters per shard.
+	Shards []Counters
+	// Total is the element-wise sum over Shards.
+	Total Counters
+}
+
+// Fleet hosts protocol engines across shards. Construct with New, then
+// Start, then Add nodes; Close tears everything down.
+type Fleet struct {
+	cfg   Config
+	epoch time.Time
+
+	mu      sync.Mutex // lifecycle + device placement
+	started bool
+	closed  bool
+
+	shards []*shard
+	wg     sync.WaitGroup
+}
+
+// pendingProbe is one in-flight probe cycle awaiting its reply.
+type pendingProbe struct {
+	cp *cpNode
+	at time.Duration
+}
+
+// shard is one socket + event loop + timer wheel + the engines hashed
+// onto it.
+type shard struct {
+	fleet *Fleet
+	index int
+	conn  *net.UDPConn
+
+	mu       sync.Mutex
+	wheel    *timerWheel
+	cps      map[ident.NodeID]*cpNode
+	watchers map[ident.NodeID]map[*cpNode]struct{} // device id → watching CPs
+	pending  map[uint64]pendingProbe               // (device, cycle) → awaiting CP
+	device   *deviceNode
+	counters Counters
+	liveCPs  int
+	encBuf   []byte
+	sweeper  wheelTimer
+	closed   bool
+}
+
+// maxPoll bounds how long a shard loop sleeps in a read when no timer
+// is due sooner: cross-goroutine Adds can schedule an earlier alarm
+// while the loop is parked, and this caps how late it can fire.
+const maxPoll = 50 * time.Millisecond
+
+// New binds one socket per shard. The fleet is idle until Start.
+func New(cfg Config) (*Fleet, error) {
+	cfg.applyDefaults()
+	if cfg.Shards < 1 {
+		return nil, fmt.Errorf("fleet: Shards %d must be positive", cfg.Shards)
+	}
+	addr, err := net.ResolveUDPAddr("udp", cfg.ListenAddr)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: resolve %q: %w", cfg.ListenAddr, err)
+	}
+	if addr.Port != 0 && cfg.Shards > 1 {
+		return nil, fmt.Errorf("fleet: ListenAddr %q pins a port; %d shards need \":0\"", cfg.ListenAddr, cfg.Shards)
+	}
+	f := &Fleet{cfg: cfg, epoch: time.Now()}
+	for i := 0; i < cfg.Shards; i++ {
+		conn, err := net.ListenUDP("udp", addr)
+		if err != nil {
+			f.Close()
+			return nil, fmt.Errorf("fleet: shard %d listen: %w", i, err)
+		}
+		if cfg.SocketBuffer > 0 {
+			conn.SetReadBuffer(cfg.SocketBuffer)  //nolint:errcheck // best effort
+			conn.SetWriteBuffer(cfg.SocketBuffer) //nolint:errcheck // best effort
+		}
+		s := &shard{
+			fleet:    f,
+			index:    i,
+			conn:     conn,
+			wheel:    newTimerWheel(cfg.TimerTick),
+			cps:      make(map[ident.NodeID]*cpNode),
+			watchers: make(map[ident.NodeID]map[*cpNode]struct{}),
+			pending:  make(map[uint64]pendingProbe),
+			encBuf:   make([]byte, 0, wire.MaxFrameSize),
+		}
+		s.sweeper.fire = s.sweepPending
+		f.shards = append(f.shards, s)
+	}
+	return f, nil
+}
+
+// Shards returns the shard count.
+func (f *Fleet) Shards() int { return len(f.shards) }
+
+// Addrs returns each shard socket's bound address, indexed by shard.
+func (f *Fleet) Addrs() []netip.AddrPort {
+	addrs := make([]netip.AddrPort, len(f.shards))
+	for i, s := range f.shards {
+		addrs[i] = localAddrPort(s.conn)
+	}
+	return addrs
+}
+
+// Uptime returns the offset of the fleet clock (all engine times are
+// offsets from the fleet epoch).
+func (f *Fleet) Uptime() time.Duration { return time.Since(f.epoch) }
+
+// Start launches the shard event loops. Nodes may be added once the
+// fleet is started.
+func (f *Fleet) Start() error {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return errClosed
+	}
+	if f.started {
+		return errors.New("fleet: already started")
+	}
+	f.started = true
+	for _, s := range f.shards {
+		s.mu.Lock()
+		s.wheel.Schedule(&s.sweeper, f.sinceEpoch()+f.cfg.PendingTTL/2)
+		s.mu.Unlock()
+		f.wg.Add(1)
+		go s.loop()
+	}
+	return nil
+}
+
+// Close stops every shard loop, closes the sockets and waits for the
+// loops to exit. It is idempotent.
+func (f *Fleet) Close() error {
+	f.mu.Lock()
+	if f.closed {
+		f.mu.Unlock()
+		return nil
+	}
+	f.closed = true
+	f.mu.Unlock()
+	var firstErr error
+	for _, s := range f.shards {
+		s.mu.Lock()
+		s.closed = true
+		s.mu.Unlock()
+		if err := s.conn.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	f.wg.Wait()
+	return firstErr
+}
+
+// Snapshot gathers every shard's counters (each shard is internally
+// consistent; shards are gathered one after another) and their sum.
+func (f *Fleet) Snapshot() Snapshot {
+	snap := Snapshot{At: f.sinceEpoch(), Shards: make([]Counters, len(f.shards))}
+	for i, s := range f.shards {
+		s.mu.Lock()
+		c := s.counters
+		c.WheelDepth = s.wheel.Len()
+		c.ControlPoints = len(s.cps)
+		c.LiveControlPoints = s.liveCPs
+		c.PendingProbes = len(s.pending)
+		if s.device != nil {
+			c.Devices = 1
+		}
+		s.mu.Unlock()
+		snap.Shards[i] = c
+		snap.Total.add(c)
+	}
+	return snap
+}
+
+func (f *Fleet) sinceEpoch() time.Duration { return time.Since(f.epoch) }
+
+// shardFor hashes a node id onto a shard — the fan-in rule.
+func (f *Fleet) shardFor(id ident.NodeID) *shard {
+	return f.shards[int(mix64(uint64(id))%uint64(len(f.shards)))]
+}
+
+// errClosed reports use-after-Close mistakes.
+var errClosed = errors.New("fleet: closed")
+
+// mix64 is splitmix64's finalizer: a cheap, well-dispersed hash for
+// shard assignment and cycle-space staggering.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// cycleSeed staggers a CP's 32-bit cycle-number space by its id, so
+// (device, cycle) demux keys from different CPs on one shard socket
+// practically never collide.
+func cycleSeed(id ident.NodeID) uint32 {
+	return uint32(mix64(uint64(id)*0x9e3779b97f4a7c15 + 1))
+}
+
+func pendKey(device ident.NodeID, cycle uint32) uint64 {
+	return uint64(device)<<32 | uint64(cycle)
+}
+
+// loop is the shard's event loop: advance the wheel, fire due alarms,
+// sleep in a deadline-bounded socket read, dispatch, repeat. It is the
+// shard's only goroutine; every engine call it makes runs under the
+// shard mutex.
+func (s *shard) loop() {
+	defer s.fleet.wg.Done()
+	buf := make([]byte, 2048)
+	for {
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		now := s.fleet.sinceEpoch()
+		due := s.wheel.Advance(now)
+		for _, d := range due {
+			if d.t.gen == d.gen {
+				s.counters.TimersFired++
+				d.t.fire()
+			}
+		}
+		wait := maxPoll
+		if next, ok := s.wheel.NextDeadline(); ok {
+			if d := next - s.fleet.sinceEpoch(); d < wait {
+				wait = d
+			}
+		}
+		s.mu.Unlock()
+		if wait <= 0 {
+			// A timer is already due (or comes due within a tick):
+			// advance again without touching the socket.
+			continue
+		}
+		s.conn.SetReadDeadline(time.Now().Add(wait)) //nolint:errcheck // fails only when closed
+		n, from, err := s.conn.ReadFromUDPAddrPort(buf)
+		if err != nil {
+			var nerr net.Error
+			if errors.As(err, &nerr) && nerr.Timeout() {
+				continue // deadline: timers are due
+			}
+			return // socket closed (or unrecoverable): shard is done
+		}
+		msg, derr := wire.Decode(buf[:n])
+		s.mu.Lock()
+		if s.closed {
+			s.mu.Unlock()
+			return
+		}
+		s.counters.PacketsIn++
+		if derr != nil {
+			s.counters.DecodeErrors++
+		} else {
+			s.dispatch(from, msg)
+		}
+		s.mu.Unlock()
+	}
+}
+
+// dispatch routes one decoded frame to a hosted engine. Runs under the
+// shard mutex.
+func (s *shard) dispatch(from netip.AddrPort, msg core.Message) {
+	switch m := msg.(type) {
+	case core.ReplyMsg:
+		key := pendKey(m.From, m.Cycle)
+		pp, ok := s.pending[key]
+		if !ok {
+			s.counters.DemuxDrops++
+			return
+		}
+		delete(s.pending, key)
+		s.counters.RepliesIn++
+		pp.cp.prober.OnReply(m)
+	case core.ProbeMsg:
+		if s.device == nil {
+			s.counters.DemuxDrops++
+			return
+		}
+		s.device.peers.Note(m.From, from)
+		s.device.engine.OnProbe(m.From, m)
+	case core.ByeMsg:
+		ws := s.watchers[m.From]
+		if len(ws) == 0 {
+			s.counters.DemuxDrops++
+			return
+		}
+		for cp := range ws {
+			cp.prober.OnBye(m)
+		}
+	case core.AnnounceMsg:
+		ws := s.watchers[m.From]
+		if len(ws) == 0 {
+			s.counters.DemuxDrops++
+			return
+		}
+		for cp := range ws {
+			if cp.onAnnounce != nil {
+				cp.onAnnounce(m)
+			}
+		}
+	default:
+		s.counters.DemuxDrops++
+	}
+}
+
+// notePending registers a probe cycle in the demux table. Runs under
+// the shard mutex (called from a CP engine's Send).
+func (s *shard) notePending(n *cpNode, cycle uint32) {
+	if n.lastCycle != cycle {
+		// The previous cycle can no longer complete (the prober moved
+		// on); drop its entry if we still own it.
+		oldKey := pendKey(n.device, n.lastCycle)
+		if old, ok := s.pending[oldKey]; ok && old.cp == n {
+			delete(s.pending, oldKey)
+		}
+		n.lastCycle = cycle
+	}
+	key := pendKey(n.device, cycle)
+	if old, ok := s.pending[key]; ok && old.cp != n {
+		s.counters.DemuxCollisions++
+	}
+	s.pending[key] = pendingProbe{cp: n, at: s.fleet.sinceEpoch()}
+}
+
+// sweepPending drops demux entries whose cycle can no longer complete
+// (stopped CPs, lost replies) and re-arms itself. Runs on the shard
+// loop under the mutex.
+func (s *shard) sweepPending() {
+	now := s.fleet.sinceEpoch()
+	ttl := s.fleet.cfg.PendingTTL
+	for key, pp := range s.pending {
+		if now-pp.at > ttl {
+			delete(s.pending, key)
+		}
+	}
+	s.wheel.Schedule(&s.sweeper, now+ttl/2)
+}
+
+// sendTo encodes msg into the shard's scratch buffer and transmits it.
+// Pooled messages are recycled. Runs under the shard mutex.
+func (s *shard) sendTo(addr netip.AddrPort, msg core.Message) {
+	defer core.Recycle(msg)
+	frame, err := wire.AppendEncode(s.encBuf[:0], msg)
+	if err != nil {
+		s.counters.SendErrors++
+		return
+	}
+	s.encBuf = frame[:0]
+	if _, err := s.conn.WriteToUDPAddrPort(frame, addr); err != nil {
+		s.counters.SendErrors++
+		return
+	}
+	s.counters.PacketsOut++
+}
+
+// DeviceBuilder constructs a device engine against the fleet's Env —
+// the same builder signature the single-node runtime uses.
+type DeviceBuilder = rtnet.DeviceBuilder
+
+// localAddrPort returns a socket's bound address, unmapped so it can be
+// dialled from plain IPv4 sockets.
+func localAddrPort(conn *net.UDPConn) netip.AddrPort {
+	ap := conn.LocalAddr().(*net.UDPAddr).AddrPort()
+	return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+}

@@ -1,0 +1,383 @@
+package fleet
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"time"
+
+	"presence/internal/core"
+	"presence/internal/ident"
+	"presence/internal/rtnet"
+)
+
+// CPConfig configures a fleet-hosted control point.
+type CPConfig struct {
+	// ID is this CP's node id; it picks the shard (by hash) and the
+	// cycle-number space (see the package comment).
+	ID ident.NodeID
+	// Device is the monitored device's node id.
+	Device ident.NodeID
+	// DeviceAddr is the device's UDP address, e.g. "127.0.0.1:9300".
+	// Ignored when DeviceAddrPort is set — resolve once when adding
+	// thousands of CPs against the same device.
+	DeviceAddr string
+	// DeviceAddrPort is the pre-resolved device address.
+	DeviceAddrPort netip.AddrPort
+	// Policy chooses the inter-cycle delay (sapp.Policy, dcpp.Policy or
+	// naive.Policy). Required; not shared with any other CP.
+	Policy core.DelayPolicy
+	// Listener observes presence events. Optional. It runs on the shard
+	// event loop under the shard mutex: it must be cheap, must not
+	// block, and must not call back into the fleet.
+	Listener core.Listener
+	// Retransmit parameterises the probe cycle. Zero value = paper
+	// defaults.
+	Retransmit core.RetransmitConfig
+	// OnAnnounce, if non-nil, receives device presence announcements
+	// under the same constraints as Listener.
+	OnAnnounce func(m core.AnnounceMsg)
+}
+
+// cpNode is a hosted control point: the prober engine plus its alarm
+// slot and demux state. It implements core.Env; every method runs under
+// the owning shard's mutex.
+type cpNode struct {
+	shard      *shard
+	id         ident.NodeID
+	device     ident.NodeID
+	deviceAddr netip.AddrPort
+	prober     *core.Prober
+	timer      wheelTimer
+	onAnnounce func(core.AnnounceMsg)
+	lastCycle  uint32 // cycle currently claimed in the demux table
+	stopped    bool
+	removed    bool
+}
+
+var _ core.Env = (*cpNode)(nil)
+
+// Now implements core.Env on the fleet's shared monotonic clock.
+func (n *cpNode) Now() time.Duration { return n.shard.fleet.sinceEpoch() }
+
+// Send transmits to the CP's device, registering outgoing probes in the
+// shard's demux table so the reply finds its way back.
+func (n *cpNode) Send(_ ident.NodeID, msg core.Message) {
+	switch m := msg.(type) {
+	case *core.ProbeMsg:
+		n.shard.notePending(n, m.Cycle)
+		n.shard.counters.ProbesOut++
+	case core.ProbeMsg:
+		n.shard.notePending(n, m.Cycle)
+		n.shard.counters.ProbesOut++
+	}
+	n.shard.sendTo(n.deviceAddr, msg)
+}
+
+// SetAlarm implements core.Env on the shard's timer wheel.
+func (n *cpNode) SetAlarm(at time.Duration) { n.shard.wheel.Schedule(&n.timer, at) }
+
+// StopAlarm implements core.Env.
+func (n *cpNode) StopAlarm() { n.shard.wheel.Cancel(&n.timer) }
+
+// cpListener wraps the user listener to maintain the shard's live-CP
+// gauge. It runs under the shard mutex like any engine callback.
+type cpListener struct {
+	n     *cpNode
+	inner core.Listener
+}
+
+func (l cpListener) DeviceAlive(d ident.NodeID, res core.CycleResult) {
+	l.inner.DeviceAlive(d, res)
+}
+
+func (l cpListener) DeviceLost(d ident.NodeID, at time.Duration) {
+	l.n.markStopped()
+	l.inner.DeviceLost(d, at)
+}
+
+func (l cpListener) DeviceBye(d ident.NodeID, at time.Duration) {
+	l.n.markStopped()
+	l.inner.DeviceBye(d, at)
+}
+
+func (n *cpNode) markStopped() {
+	if !n.stopped {
+		n.stopped = true
+		n.shard.liveCPs--
+	}
+}
+
+// AddControlPoint hosts a new control point and starts it probing
+// immediately. The fleet must be started.
+func (f *Fleet) AddControlPoint(cfg CPConfig) (*ControlPoint, error) {
+	if !cfg.ID.Valid() {
+		return nil, errors.New("fleet: control point needs a valid id")
+	}
+	if !cfg.Device.Valid() {
+		return nil, errors.New("fleet: control point needs a valid device id")
+	}
+	if cfg.Policy == nil {
+		return nil, errors.New("fleet: control point needs a delay policy")
+	}
+	addr := cfg.DeviceAddrPort
+	if !addr.IsValid() {
+		var err error
+		if addr, err = rtnet.ResolveUDPAddrPort(cfg.DeviceAddr); err != nil {
+			return nil, err
+		}
+	}
+	f.mu.Lock()
+	started, closed := f.started, f.closed
+	f.mu.Unlock()
+	if closed {
+		return nil, errClosed
+	}
+	if !started {
+		return nil, errors.New("fleet: Start before adding nodes")
+	}
+	s := f.shardFor(cfg.ID)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return nil, errClosed
+	}
+	if _, dup := s.cps[cfg.ID]; dup {
+		return nil, fmt.Errorf("fleet: control point %v already hosted", cfg.ID)
+	}
+	n := &cpNode{
+		shard:      s,
+		id:         cfg.ID,
+		device:     cfg.Device,
+		deviceAddr: addr,
+		onAnnounce: cfg.OnAnnounce,
+	}
+	seed := cycleSeed(cfg.ID)
+	n.lastCycle = seed
+	inner := cfg.Listener
+	if inner == nil {
+		inner = core.NopListener{}
+	}
+	prober, err := core.NewProber(core.ProberOptions{
+		ID:         cfg.ID,
+		Device:     cfg.Device,
+		Env:        n,
+		Policy:     cfg.Policy,
+		Listener:   cpListener{n: n, inner: inner},
+		Retransmit: cfg.Retransmit,
+		FirstCycle: seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	n.prober = prober
+	n.timer.fire = prober.OnAlarm
+	s.cps[cfg.ID] = n
+	w := s.watchers[cfg.Device]
+	if w == nil {
+		w = make(map[*cpNode]struct{})
+		s.watchers[cfg.Device] = w
+	}
+	w[n] = struct{}{}
+	s.liveCPs++
+	prober.Start()
+	return &ControlPoint{n: n}, nil
+}
+
+// ControlPoint is the handle to a fleet-hosted control point. Its
+// methods serialise against the shard event loop.
+type ControlPoint struct {
+	n *cpNode
+}
+
+// ID returns the control point's node id.
+func (cp *ControlPoint) ID() ident.NodeID { return cp.n.id }
+
+// Device returns the monitored device's node id.
+func (cp *ControlPoint) Device() ident.NodeID { return cp.n.device }
+
+// Shard returns the index of the shard hosting this CP.
+func (cp *ControlPoint) Shard() int { return cp.n.shard.index }
+
+// Stats returns the prober's cycle counters.
+func (cp *ControlPoint) Stats() core.ProberStats {
+	s := cp.n.shard
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return cp.n.prober.Stats()
+}
+
+// Stopped reports whether the prober has stopped (device lost or bye).
+func (cp *ControlPoint) Stopped() bool {
+	s := cp.n.shard
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return cp.n.prober.Stopped()
+}
+
+// Restart resumes probing after the prober stopped.
+func (cp *ControlPoint) Restart() error {
+	s := cp.n.shard
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return errClosed
+	}
+	if cp.n.removed {
+		return errors.New("fleet: control point removed")
+	}
+	if cp.n.stopped {
+		cp.n.stopped = false
+		s.liveCPs++
+	}
+	cp.n.prober.Start()
+	return nil
+}
+
+// Remove stops the control point and unhooks it from the fleet. It is
+// idempotent; the handle is dead afterwards.
+func (cp *ControlPoint) Remove() {
+	n := cp.n
+	s := n.shard
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if n.removed {
+		return
+	}
+	n.removed = true
+	n.prober.Stop() // cancels the wheel alarm via StopAlarm
+	if !n.stopped {
+		n.stopped = true
+		s.liveCPs--
+	}
+	delete(s.cps, n.id)
+	if w := s.watchers[n.device]; w != nil {
+		delete(w, n)
+		if len(w) == 0 {
+			delete(s.watchers, n.device)
+		}
+	}
+	key := pendKey(n.device, n.lastCycle)
+	if old, ok := s.pending[key]; ok && old.cp == n {
+		delete(s.pending, key)
+	}
+}
+
+// deviceNode is a hosted device engine. It implements core.Env; every
+// method runs under the owning shard's mutex.
+type deviceNode struct {
+	shard  *shard
+	id     ident.NodeID
+	engine core.Device
+	peers  *rtnet.PeerTable
+	timer  wheelTimer
+}
+
+var _ core.Env = (*deviceNode)(nil)
+
+// Now implements core.Env.
+func (n *deviceNode) Now() time.Duration { return n.shard.fleet.sinceEpoch() }
+
+// Send routes a message to a peer the device has heard from.
+func (n *deviceNode) Send(to ident.NodeID, msg core.Message) {
+	addr, ok := n.peers.Lookup(to)
+	if !ok {
+		n.shard.counters.SendErrors++
+		core.Recycle(msg)
+		return
+	}
+	n.shard.sendTo(addr, msg)
+}
+
+// SetAlarm implements core.Env on the shard's timer wheel.
+func (n *deviceNode) SetAlarm(at time.Duration) { n.shard.wheel.Schedule(&n.timer, at) }
+
+// StopAlarm implements core.Env.
+func (n *deviceNode) StopAlarm() { n.shard.wheel.Cancel(&n.timer) }
+
+// AddDevice hosts a device engine for loopback testing, on the first
+// shard without one. Probes carry only their sender's id, so one shard
+// socket can demultiplex to at most one device engine: a fleet hosts at
+// most Shards devices. The fleet must be started.
+func (f *Fleet) AddDevice(id ident.NodeID, build DeviceBuilder) (*Device, error) {
+	if !id.Valid() {
+		return nil, errors.New("fleet: device needs a valid id")
+	}
+	if build == nil {
+		return nil, errors.New("fleet: device needs an engine builder")
+	}
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if f.closed {
+		return nil, errClosed
+	}
+	if !f.started {
+		return nil, errors.New("fleet: Start before adding nodes")
+	}
+	for _, s := range f.shards {
+		s.mu.Lock()
+		if s.device != nil || s.closed {
+			s.mu.Unlock()
+			continue
+		}
+		n := &deviceNode{
+			shard: s,
+			id:    id,
+			peers: rtnet.NewPeerTable(f.cfg.MaxPeersPerDevice),
+		}
+		engine, err := build(n)
+		if err != nil {
+			s.mu.Unlock()
+			return nil, err
+		}
+		n.engine = engine
+		n.timer.fire = engine.OnAlarm
+		s.device = n
+		engine.Start()
+		s.mu.Unlock()
+		return &Device{n: n}, nil
+	}
+	return nil, fmt.Errorf("fleet: all %d shard sockets already host a device (frames carry no destination id; grow Shards or run a second fleet)", len(f.shards))
+}
+
+// Device is the handle to a fleet-hosted device engine.
+type Device struct {
+	n *deviceNode
+}
+
+// ID returns the device's node id.
+func (d *Device) ID() ident.NodeID { return d.n.id }
+
+// Addr returns the UDP address control points should probe.
+func (d *Device) Addr() netip.AddrPort {
+	return localAddrPort(d.n.shard.conn)
+}
+
+// Peers returns the number of distinct control points the device has
+// heard from.
+func (d *Device) Peers() int {
+	s := d.n.shard
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return d.n.peers.Len()
+}
+
+// Bye announces a graceful leave to every known peer.
+func (d *Device) Bye() {
+	s := d.n.shard
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d.n.peers.Each(func(_ ident.NodeID, addr netip.AddrPort) {
+		s.sendTo(addr, core.ByeMsg{From: d.n.id})
+	})
+}
+
+// Announce sends a presence announcement to every known peer.
+func (d *Device) Announce(maxAge time.Duration) {
+	s := d.n.shard
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	d.n.peers.Each(func(_ ident.NodeID, addr netip.AddrPort) {
+		s.sendTo(addr, core.AnnounceMsg{From: d.n.id, MaxAge: maxAge})
+	})
+}

@@ -1,0 +1,257 @@
+package fleet
+
+import (
+	"fmt"
+	"net/netip"
+	"runtime"
+	"time"
+
+	"presence/internal/core"
+	"presence/internal/core/dcpp"
+	"presence/internal/ident"
+)
+
+// ScaleOptions parameterises the loopback scale harness: one fleet
+// hosting CPs (the system under test, ≤ GOMAXPROCS shard goroutines,
+// no per-node goroutines or timers) probing DCPP devices hosted by a
+// second, devices-only fleet standing in for the monitored network.
+type ScaleOptions struct {
+	// CPs is the number of hosted control points. Default 10000.
+	CPs int
+	// Shards is the CP fleet's shard count. Default GOMAXPROCS.
+	Shards int
+	// Devices is the number of loopback DCPP devices. Default 8.
+	Devices int
+	// Window is the steady-state measurement window. Default 5 s.
+	Window time.Duration
+	// JoinTimeout bounds the wait for every CP's first completed cycle.
+	// Default 30 s.
+	JoinTimeout time.Duration
+	// JoinRampUp spreads the Adds over this long, so the first probe of
+	// every CP does not land in one synchronized burst that overflows
+	// the (rmem_max-clamped) socket buffers and then re-synchronizes as
+	// a retransmit storm. Default 200 µs per CP (2 s at 10k). Negative
+	// disables the ramp.
+	JoinRampUp time.Duration
+	// DeviceConfig parameterises the DCPP devices. Zero = paper
+	// defaults (L_nom = 10 probes/s per device).
+	DeviceConfig dcpp.DeviceConfig
+	// Retransmit parameterises the CP probe cycles. Zero = paper
+	// defaults.
+	Retransmit core.RetransmitConfig
+}
+
+func (o *ScaleOptions) applyDefaults() {
+	if o.CPs <= 0 {
+		o.CPs = 10_000
+	}
+	if o.Shards <= 0 {
+		o.Shards = runtime.GOMAXPROCS(0)
+	}
+	if o.Devices <= 0 {
+		o.Devices = 8
+	}
+	if o.Window <= 0 {
+		o.Window = 5 * time.Second
+	}
+	if o.JoinTimeout <= 0 {
+		o.JoinTimeout = 30 * time.Second
+	}
+	if o.DeviceConfig == (dcpp.DeviceConfig{}) {
+		o.DeviceConfig = dcpp.DefaultDeviceConfig()
+	}
+}
+
+// DefaultJoinRamp is the default join spread: 200 µs per CP (2 s at
+// 10k), enough to keep first-probe bursts from overflowing
+// rmem_max-clamped socket buffers.
+func DefaultJoinRamp(cps int) time.Duration {
+	return time.Duration(cps) * 200 * time.Microsecond
+}
+
+// JoinPacer spreads a mass join over a ramp, sleeping briefly every few
+// adds so the joining CPs' first probes do not land in one synchronized
+// burst (which overflows socket buffers and then re-synchronizes as a
+// retransmit storm). A zero ramp means DefaultJoinRamp; negative
+// disables pacing.
+type JoinPacer struct {
+	pause time.Duration
+	n     int
+}
+
+// joinBatch is how many adds go between pacing sleeps.
+const joinBatch = 64
+
+// NewJoinPacer builds a pacer for joining cps control points over ramp.
+func NewJoinPacer(cps int, ramp time.Duration) *JoinPacer {
+	if ramp == 0 {
+		ramp = DefaultJoinRamp(cps)
+	}
+	p := &JoinPacer{}
+	if ramp > 0 && cps > 0 {
+		p.pause = ramp * joinBatch / time.Duration(cps)
+	}
+	return p
+}
+
+// Tick is called after each add; it sleeps at batch boundaries.
+func (p *JoinPacer) Tick() {
+	p.n++
+	if p.pause > 0 && p.n%joinBatch == 0 {
+		time.Sleep(p.pause)
+	}
+}
+
+// ScaleResult is what the harness measured.
+type ScaleResult struct {
+	CPs     int `json:"control_points"`
+	Shards  int `json:"cp_shards"`
+	Devices int `json:"devices"`
+	// Goroutines is the process count right after steady state: the CP
+	// fleet's shard loops, the device fleet's, and the harness itself.
+	Goroutines int `json:"goroutines"`
+	// JoinSeconds is how long it took from the first Add until every CP
+	// had completed at least one probe cycle.
+	JoinSeconds float64 `json:"join_seconds"`
+	// JoinRestarts counts CPs that lost the device during the join storm
+	// (dropped probes exhausting a retransmit cycle) and were restarted
+	// by the harness.
+	JoinRestarts int `json:"join_restarts"`
+	// SteadyCPs is the number of CPs alive after the window (all, unless
+	// something went wrong).
+	SteadyCPs int `json:"steady_cps"`
+	// SteadyProbesPerSec is the aggregate CP probe rate over the window.
+	SteadyProbesPerSec float64 `json:"steady_probes_per_sec"`
+	// BudgetProbesPerSec is the protocol's aggregate ceiling:
+	// Devices × L_nom. DCPP's whole point is that the steady rate stays
+	// under this no matter how many CPs monitor each device.
+	BudgetProbesPerSec float64 `json:"budget_probes_per_sec"`
+	WindowSeconds      float64 `json:"window_seconds"`
+	WheelDepth         int     `json:"wheel_depth"`
+	PendingProbes      int     `json:"pending_probes"`
+	DemuxCollisions    uint64  `json:"demux_collisions"`
+	DemuxDrops         uint64  `json:"demux_drops"`
+	DecodeErrors       uint64  `json:"decode_errors"`
+	SendErrors         uint64  `json:"send_errors"`
+	PacketsIn          uint64  `json:"packets_in"`
+	PacketsOut         uint64  `json:"packets_out"`
+}
+
+// LoopbackScale boots the two fleets, joins every CP, waits for all of
+// them to reach steady state (≥ 1 completed cycle), measures the
+// aggregate probe rate over the window, and tears everything down.
+func LoopbackScale(opts ScaleOptions) (ScaleResult, error) {
+	opts.applyDefaults()
+	res := ScaleResult{
+		CPs:                opts.CPs,
+		Shards:             opts.Shards,
+		Devices:            opts.Devices,
+		BudgetProbesPerSec: float64(opts.Devices) * opts.DeviceConfig.NominalLoad(),
+		WindowSeconds:      opts.Window.Seconds(),
+	}
+
+	devFleet, err := New(Config{Shards: opts.Devices})
+	if err != nil {
+		return res, fmt.Errorf("device fleet: %w", err)
+	}
+	defer devFleet.Close()
+	if err := devFleet.Start(); err != nil {
+		return res, err
+	}
+	devAddrs := make([]struct {
+		id   ident.NodeID
+		addr netip.AddrPort
+	}, opts.Devices)
+	var ids ident.Allocator
+	for i := range devAddrs {
+		id := ids.Next()
+		dev, err := devFleet.AddDevice(id, func(env core.Env) (core.Device, error) {
+			return dcpp.NewDevice(id, env, opts.DeviceConfig)
+		})
+		if err != nil {
+			return res, err
+		}
+		devAddrs[i].id = id
+		devAddrs[i].addr = dev.Addr()
+	}
+
+	cpFleet, err := New(Config{Shards: opts.Shards})
+	if err != nil {
+		return res, fmt.Errorf("cp fleet: %w", err)
+	}
+	defer cpFleet.Close()
+	if err := cpFleet.Start(); err != nil {
+		return res, err
+	}
+
+	joinStart := time.Now()
+	pacer := NewJoinPacer(opts.CPs, opts.JoinRampUp)
+	cps := make([]*ControlPoint, opts.CPs)
+	for i := range cps {
+		policy, err := dcpp.NewPolicy(dcpp.PolicyConfig{})
+		if err != nil {
+			return res, err
+		}
+		dev := devAddrs[i%len(devAddrs)]
+		cp, err := cpFleet.AddControlPoint(CPConfig{
+			ID:             ids.Next(),
+			Device:         dev.id,
+			DeviceAddrPort: dev.addr,
+			Policy:         policy,
+			Retransmit:     opts.Retransmit,
+		})
+		if err != nil {
+			return res, fmt.Errorf("add cp %d: %w", i, err)
+		}
+		cps[i] = cp
+		pacer.Tick()
+	}
+
+	// Steady state: every CP has completed at least one probe cycle (the
+	// device answered and handed it a wait). A CP that lost a whole
+	// retransmit cycle to join-storm drops has stopped; restart it, as a
+	// production monitor would.
+	deadline := time.Now().Add(opts.JoinTimeout)
+	next := 0
+	for next < len(cps) {
+		cp := cps[next]
+		if cp.Stats().CyclesOK >= 1 {
+			next++
+			continue
+		}
+		if cp.Stopped() {
+			if err := cp.Restart(); err != nil {
+				return res, err
+			}
+			res.JoinRestarts++
+		}
+		if time.Now().After(deadline) {
+			return res, fmt.Errorf("cp %v never completed a cycle within %v (%d of %d steady)",
+				cp.ID(), opts.JoinTimeout, next, len(cps))
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+	res.JoinSeconds = time.Since(joinStart).Seconds()
+	res.Goroutines = runtime.NumGoroutine()
+
+	before := cpFleet.Snapshot()
+	time.Sleep(opts.Window)
+	after := cpFleet.Snapshot()
+
+	elapsed := (after.At - before.At).Seconds()
+	if elapsed > 0 {
+		res.SteadyProbesPerSec = float64(after.Total.ProbesOut-before.Total.ProbesOut) / elapsed
+		res.WindowSeconds = elapsed
+	}
+	res.SteadyCPs = after.Total.LiveControlPoints
+	res.WheelDepth = after.Total.WheelDepth
+	res.PendingProbes = after.Total.PendingProbes
+	res.DemuxCollisions = after.Total.DemuxCollisions
+	res.DemuxDrops = after.Total.DemuxDrops
+	devSnap := devFleet.Snapshot()
+	res.DecodeErrors = after.Total.DecodeErrors + devSnap.Total.DecodeErrors
+	res.SendErrors = after.Total.SendErrors + devSnap.Total.SendErrors
+	res.PacketsIn = after.Total.PacketsIn
+	res.PacketsOut = after.Total.PacketsOut
+	return res, nil
+}

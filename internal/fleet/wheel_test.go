@@ -1,0 +1,263 @@
+package fleet
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// fireDue drains a due batch the way the shard loop does: respecting
+// generations.
+func fireDue(due []dueEntry) {
+	for _, d := range due {
+		if d.t.gen == d.gen && d.t.fire != nil {
+			d.t.fire()
+		}
+	}
+}
+
+func TestWheelFiresAtExactTick(t *testing.T) {
+	w := newTimerWheel(time.Millisecond)
+	var firedAt []int64
+	mk := func(at time.Duration) *wheelTimer {
+		tm := &wheelTimer{}
+		tm.fire = func() { firedAt = append(firedAt, w.nowTick) }
+		w.Schedule(tm, at)
+		return tm
+	}
+	// One per level: 5 ms, 5 s (level 1), 2 min (level 2), 12 h (level 3).
+	offsets := []time.Duration{5 * time.Millisecond, 5 * time.Second, 2 * time.Minute, 12 * time.Hour}
+	for _, at := range offsets {
+		mk(at)
+	}
+	if w.Len() != 4 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+	// Drive the wheel the way the shard loop does: sleep to the bound
+	// NextDeadline reports, advance there, fire. Every timer must then
+	// fire exactly at its own tick.
+	for {
+		next, ok := w.NextDeadline()
+		if !ok {
+			break
+		}
+		fireDue(w.Advance(next))
+	}
+	if len(firedAt) != 4 {
+		t.Fatalf("fired %d timers, want 4", len(firedAt))
+	}
+	for i, at := range offsets {
+		if want := int64(at / time.Millisecond); firedAt[i] != want {
+			t.Errorf("timer %d fired at tick %d, want %d", i, firedAt[i], want)
+		}
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len after drain = %d", w.Len())
+	}
+}
+
+func TestWheelMonotonicFireOrder(t *testing.T) {
+	w := newTimerWheel(time.Millisecond)
+	rng := rand.New(rand.NewSource(2005))
+	const n = 5000
+	timers := make([]wheelTimer, n)
+	deadlines := make([]int64, n)
+	var fired []int64
+	for i := range timers {
+		at := time.Duration(1+rng.Intn(10_000_000)) * time.Microsecond // up to 10 s
+		idx := i
+		timers[i].fire = func() { fired = append(fired, deadlines[idx]) }
+		w.Schedule(&timers[i], at)
+		deadlines[i] = timers[i].deadline
+	}
+	for now := time.Duration(0); now <= 11*time.Second; now += 3 * time.Millisecond {
+		before := len(fired)
+		fireDue(w.Advance(now))
+		// Every timer collected in this batch must be due by now and
+		// must not have been due before the previous advance.
+		for _, dl := range fired[before:] {
+			if dl > int64(now/w.tick) {
+				t.Fatalf("timer with deadline tick %d fired at %v (early)", dl, now)
+			}
+		}
+	}
+	if len(fired) != n {
+		t.Fatalf("fired %d of %d", len(fired), n)
+	}
+	for i := 1; i < len(fired); i++ {
+		if fired[i] < fired[i-1] {
+			t.Fatalf("fire order not monotonic: tick %d after %d", fired[i], fired[i-1])
+		}
+	}
+	if w.Fired() != n {
+		t.Fatalf("Fired = %d", w.Fired())
+	}
+}
+
+func TestWheelCancelAndReschedule(t *testing.T) {
+	w := newTimerWheel(time.Millisecond)
+	count := 0
+	tm := &wheelTimer{fire: func() { count++ }}
+	w.Schedule(tm, 10*time.Millisecond)
+	w.Cancel(tm)
+	if w.Len() != 0 {
+		t.Fatal("cancel left the timer linked")
+	}
+	fireDue(w.Advance(20 * time.Millisecond))
+	if count != 0 {
+		t.Fatal("cancelled timer fired")
+	}
+	w.Cancel(tm) // cancelling an unarmed timer is a no-op
+
+	// Re-arming replaces the pending deadline (Env.SetAlarm semantics).
+	w.Schedule(tm, 30*time.Millisecond)
+	w.Schedule(tm, 90*time.Millisecond)
+	if w.Len() != 1 {
+		t.Fatalf("Len = %d after reschedule", w.Len())
+	}
+	fireDue(w.Advance(50 * time.Millisecond))
+	if count != 0 {
+		t.Fatal("superseded deadline fired")
+	}
+	fireDue(w.Advance(100 * time.Millisecond))
+	if count != 1 {
+		t.Fatalf("count = %d", count)
+	}
+
+	// A past deadline fires on the next tick.
+	w.Schedule(tm, time.Millisecond)
+	fireDue(w.Advance(101 * time.Millisecond))
+	if count != 2 {
+		t.Fatalf("past-deadline timer did not fire on the next tick (count=%d)", count)
+	}
+}
+
+func TestWheelCancelFromCallbackDefusesBatchmate(t *testing.T) {
+	// Two timers due the same tick; the first callback cancels the
+	// second. The generation check must keep the second from firing.
+	w := newTimerWheel(time.Millisecond)
+	var a, b wheelTimer
+	bFired := false
+	a.fire = func() { w.Cancel(&b) }
+	b.fire = func() { bFired = true }
+	w.Schedule(&a, 5*time.Millisecond)
+	w.Schedule(&b, 5*time.Millisecond)
+	fireDue(w.Advance(10 * time.Millisecond))
+	if bFired {
+		t.Fatal("cancelled batchmate fired anyway")
+	}
+}
+
+func TestWheelRescheduleFromCallback(t *testing.T) {
+	// A callback re-arming its own timer (the prober's steady state:
+	// every OnAlarm sets the next alarm).
+	w := newTimerWheel(time.Millisecond)
+	var tm wheelTimer
+	fires := 0
+	tm.fire = func() {
+		fires++
+		if fires < 5 {
+			w.Schedule(&tm, time.Duration(w.nowTick)*w.tick+7*time.Millisecond)
+		}
+	}
+	w.Schedule(&tm, 7*time.Millisecond)
+	for now := time.Duration(0); now <= 100*time.Millisecond; now += time.Millisecond {
+		fireDue(w.Advance(now))
+	}
+	if fires != 5 {
+		t.Fatalf("fires = %d, want 5", fires)
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d", w.Len())
+	}
+}
+
+func TestWheelNextDeadline(t *testing.T) {
+	w := newTimerWheel(time.Millisecond)
+	if _, ok := w.NextDeadline(); ok {
+		t.Fatal("empty wheel reported a deadline")
+	}
+	var near, far wheelTimer
+	w.Schedule(&far, 10*time.Second) // level 1
+	next, ok := w.NextDeadline()
+	if !ok || next > 10*time.Second {
+		t.Fatalf("NextDeadline = %v ok=%v, want a bound ≤ 10s", next, ok)
+	}
+	// Converges onto the exact deadline by advancing to each bound.
+	for {
+		fireDue(w.Advance(next))
+		var more bool
+		next, more = w.NextDeadline()
+		if !more {
+			break
+		}
+	}
+	if w.nowTick != int64(10*time.Second/w.tick) {
+		t.Fatalf("converged at tick %d, want the far deadline", w.nowTick)
+	}
+
+	w.Schedule(&near, w.Now()+3*time.Millisecond)
+	next, ok = w.NextDeadline()
+	if !ok || next != w.Now()+3*time.Millisecond {
+		t.Fatalf("level-0 NextDeadline = %v, want exact", next)
+	}
+}
+
+// TestWheelStressManyAlarms drives 50k concurrent alarms with random
+// cancels and reschedules; every surviving alarm must fire exactly once
+// at its final deadline.
+func TestWheelStressManyAlarms(t *testing.T) {
+	w := newTimerWheel(time.Millisecond)
+	rng := rand.New(rand.NewSource(7))
+	const n = 50_000
+	timers := make([]wheelTimer, n)
+	fires := make([]int, n)
+	for i := range timers {
+		idx := i
+		timers[i].fire = func() { fires[idx]++ }
+		w.Schedule(&timers[i], time.Duration(1+rng.Intn(60_000))*time.Millisecond)
+	}
+	cancelled := make(map[int]bool)
+	for i := 0; i < n/4; i++ {
+		idx := rng.Intn(n)
+		if rng.Intn(2) == 0 {
+			w.Cancel(&timers[idx])
+			cancelled[idx] = true
+		} else {
+			w.Schedule(&timers[idx], time.Duration(1+rng.Intn(60_000))*time.Millisecond)
+			delete(cancelled, idx)
+		}
+	}
+	for now := time.Duration(0); now <= 61*time.Second; now += 13 * time.Millisecond {
+		fireDue(w.Advance(now))
+	}
+	for i, f := range fires {
+		want := 1
+		if cancelled[i] {
+			want = 0
+		}
+		if f != want {
+			t.Fatalf("timer %d fired %d times, want %d", i, f, want)
+		}
+	}
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d after drain", w.Len())
+	}
+}
+
+// Now is a test helper on the wheel: the current offset.
+func (w *timerWheel) Now() time.Duration { return time.Duration(w.nowTick) * w.tick }
+
+func BenchmarkWheelScheduleCancel(b *testing.B) {
+	w := newTimerWheel(time.Millisecond)
+	timers := make([]wheelTimer, 10_000)
+	for i := range timers {
+		w.Schedule(&timers[i], time.Duration(i+1)*time.Millisecond)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tm := &timers[i%len(timers)]
+		w.Schedule(tm, time.Duration(i%60_000+1)*time.Millisecond)
+	}
+}

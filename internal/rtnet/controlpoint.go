@@ -4,11 +4,11 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
 
 	"presence/internal/core"
 	"presence/internal/ident"
-	"presence/internal/wire"
 )
 
 // ControlPointConfig configures a UDP control point.
@@ -171,7 +171,7 @@ func (cp *ControlPoint) countPacket(decodeErr bool) {
 	}
 }
 
-func (cp *ControlPoint) dispatch(_ *net.UDPAddr, msg core.Message) {
+func (cp *ControlPoint) dispatch(_ netip.AddrPort, msg core.Message) {
 	cp.mu.Lock()
 	defer cp.mu.Unlock()
 	if cp.closed {
@@ -194,10 +194,11 @@ func (cp *ControlPoint) dispatch(_ *net.UDPAddr, msg core.Message) {
 
 // send transmits to the dialled device. Called by the engine with the
 // mutex held; the `to` id is always the device on a CP socket. Pooled
-// messages are recycled once encoded.
+// messages are recycled once encoded; the frame is built in the env's
+// scratch buffer, so steady-state sends allocate nothing.
 func (cp *ControlPoint) send(_ ident.NodeID, msg core.Message) {
 	defer core.Recycle(msg)
-	frame, err := wire.Encode(msg)
+	frame, err := cp.env.appendFrame(msg)
 	if err != nil {
 		cp.counters.SendErrors++
 		return

@@ -4,12 +4,12 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
 	"time"
 
 	"presence/internal/core"
 	"presence/internal/ident"
-	"presence/internal/wire"
 )
 
 // DeviceServerConfig configures a UDP device.
@@ -38,10 +38,7 @@ type DeviceServer struct {
 	mu       sync.Mutex
 	env      *envCore
 	engine   core.Device
-	peers    map[ident.NodeID]*net.UDPAddr
-	peerSeq  map[ident.NodeID]uint64
-	seq      uint64
-	maxPeers int
+	peers    *PeerTable
 	counters Counters
 	started  bool
 	closed   bool
@@ -73,11 +70,9 @@ func NewDeviceServer(cfg DeviceServerConfig, build DeviceBuilder) (*DeviceServer
 		return nil, fmt.Errorf("rtnet: listen %q: %w", cfg.ListenAddr, err)
 	}
 	s := &DeviceServer{
-		id:       cfg.ID,
-		conn:     conn,
-		peers:    make(map[ident.NodeID]*net.UDPAddr),
-		peerSeq:  make(map[ident.NodeID]uint64),
-		maxPeers: cfg.MaxPeers,
+		id:    cfg.ID,
+		conn:  conn,
+		peers: NewPeerTable(cfg.MaxPeers),
 	}
 	s.env = newEnvCore(&s.mu)
 	s.env.sendFn = s.send
@@ -104,6 +99,14 @@ func (s *DeviceServer) Counters() Counters {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return s.counters
+}
+
+// Peers returns the number of distinct control points the device has
+// heard from.
+func (s *DeviceServer) Peers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.peers.Len()
 }
 
 // Start launches the engine and the read loop. It may be called once.
@@ -135,7 +138,7 @@ func (s *DeviceServer) countPacket(decodeErr bool) {
 	}
 }
 
-func (s *DeviceServer) dispatch(from *net.UDPAddr, msg core.Message) {
+func (s *DeviceServer) dispatch(from netip.AddrPort, msg core.Message) {
 	probe, ok := msg.(core.ProbeMsg)
 	if !ok {
 		return // devices only understand probes
@@ -145,44 +148,27 @@ func (s *DeviceServer) dispatch(from *net.UDPAddr, msg core.Message) {
 	if s.closed {
 		return
 	}
-	s.notePeer(probe.From, from)
+	s.peers.Note(probe.From, from)
 	s.engine.OnProbe(probe.From, probe)
 }
 
-// notePeer records the sender's address for reply routing, evicting the
-// least recently seen peer when full.
-func (s *DeviceServer) notePeer(id ident.NodeID, addr *net.UDPAddr) {
-	s.seq++
-	if _, known := s.peers[id]; !known && len(s.peers) >= s.maxPeers {
-		var oldest ident.NodeID
-		oldestSeq := s.seq
-		for p, at := range s.peerSeq {
-			if at < oldestSeq {
-				oldest, oldestSeq = p, at
-			}
-		}
-		delete(s.peers, oldest)
-		delete(s.peerSeq, oldest)
-	}
-	s.peers[id] = addr
-	s.peerSeq[id] = s.seq
-}
-
 // send routes a message to a known peer. Called by the engine with the
-// mutex held. Pooled messages are recycled once encoded.
+// mutex held. Pooled messages are recycled once encoded; the frame is
+// built in the env's scratch buffer, so steady-state sends allocate
+// nothing.
 func (s *DeviceServer) send(to ident.NodeID, msg core.Message) {
 	defer core.Recycle(msg)
-	addr, ok := s.peers[to]
+	addr, ok := s.peers.Lookup(to)
 	if !ok {
 		s.counters.SendErrors++
 		return
 	}
-	frame, err := wire.Encode(msg)
+	frame, err := s.env.appendFrame(msg)
 	if err != nil {
 		s.counters.SendErrors++
 		return
 	}
-	if _, err := s.conn.WriteToUDP(frame, addr); err != nil {
+	if _, err := s.conn.WriteToUDPAddrPort(frame, addr); err != nil {
 		s.counters.SendErrors++
 		return
 	}
@@ -199,9 +185,9 @@ func (s *DeviceServer) Announce(maxAge time.Duration) {
 	if s.closed {
 		return
 	}
-	for id := range s.peers {
+	s.peers.Each(func(id ident.NodeID, _ netip.AddrPort) {
 		s.send(id, core.AnnounceMsg{From: s.id, MaxAge: maxAge})
-	}
+	})
 }
 
 // Bye announces a graceful leave to every known peer. The server keeps
@@ -212,9 +198,9 @@ func (s *DeviceServer) Bye() {
 	if s.closed {
 		return
 	}
-	for id := range s.peers {
+	s.peers.Each(func(id ident.NodeID, _ netip.AddrPort) {
 		s.send(id, core.ByeMsg{From: s.id})
-	}
+	})
 }
 
 // Close stops the engine's timer, closes the socket and waits for the

@@ -1,0 +1,68 @@
+package rtnet
+
+import (
+	"net/netip"
+
+	"presence/internal/ident"
+)
+
+// PeerTable remembers the UDP source address of each peer that has
+// contacted a shared socket, so replies and byes can be routed back.
+// Capacity is bounded; when full, the least recently seen peer is
+// evicted ("implementable on small computing devices" implies bounded
+// state). It is the address-routing piece shared by the single-node
+// runtime (DeviceServer) and the multi-tenant fleet runtime
+// (internal/fleet); like the engines themselves it is not safe for
+// concurrent use — owners serialise access under their node mutex.
+type PeerTable struct {
+	max   int
+	seq   uint64
+	addrs map[ident.NodeID]netip.AddrPort
+	seqs  map[ident.NodeID]uint64
+}
+
+// NewPeerTable returns a table holding at most max peers (max must be
+// positive).
+func NewPeerTable(max int) *PeerTable {
+	return &PeerTable{
+		max:   max,
+		addrs: make(map[ident.NodeID]netip.AddrPort),
+		seqs:  make(map[ident.NodeID]uint64),
+	}
+}
+
+// Note records the sender's address, evicting the least recently seen
+// peer when the table is full.
+func (t *PeerTable) Note(id ident.NodeID, addr netip.AddrPort) {
+	t.seq++
+	if _, known := t.addrs[id]; !known && len(t.addrs) >= t.max {
+		var oldest ident.NodeID
+		oldestSeq := t.seq
+		for p, at := range t.seqs {
+			if at < oldestSeq {
+				oldest, oldestSeq = p, at
+			}
+		}
+		delete(t.addrs, oldest)
+		delete(t.seqs, oldest)
+	}
+	t.addrs[id] = addr
+	t.seqs[id] = t.seq
+}
+
+// Lookup returns the last known address of a peer.
+func (t *PeerTable) Lookup(id ident.NodeID) (netip.AddrPort, bool) {
+	addr, ok := t.addrs[id]
+	return addr, ok
+}
+
+// Len returns the number of remembered peers.
+func (t *PeerTable) Len() int { return len(t.addrs) }
+
+// Each calls fn for every remembered peer (iteration order is
+// unspecified; fn must not mutate the table).
+func (t *PeerTable) Each(fn func(id ident.NodeID, addr netip.AddrPort)) {
+	for id, addr := range t.addrs {
+		fn(id, addr)
+	}
+}

@@ -1,0 +1,45 @@
+package rtnet
+
+import (
+	"net/netip"
+	"testing"
+
+	"presence/internal/ident"
+)
+
+func addrN(n uint16) netip.AddrPort {
+	return netip.AddrPortFrom(netip.MustParseAddr("127.0.0.1"), 9000+n)
+}
+
+func TestPeerTableEvictsLeastRecentlySeen(t *testing.T) {
+	pt := NewPeerTable(3)
+	pt.Note(1, addrN(1))
+	pt.Note(2, addrN(2))
+	pt.Note(3, addrN(3))
+	pt.Note(1, addrN(11)) // refresh 1: now 2 is the least recently seen
+	pt.Note(4, addrN(4))  // evicts 2
+	if _, ok := pt.Lookup(2); ok {
+		t.Fatal("least recently seen peer not evicted")
+	}
+	if got, ok := pt.Lookup(1); !ok || got != addrN(11) {
+		t.Fatalf("refreshed peer = %v ok=%v, want updated address", got, ok)
+	}
+	if pt.Len() != 3 {
+		t.Fatalf("Len = %d, want 3 (bounded)", pt.Len())
+	}
+	seen := map[ident.NodeID]bool{}
+	pt.Each(func(id ident.NodeID, _ netip.AddrPort) { seen[id] = true })
+	if !seen[1] || !seen[3] || !seen[4] || len(seen) != 3 {
+		t.Fatalf("Each visited %v", seen)
+	}
+}
+
+func TestPeerTableRefreshDoesNotEvict(t *testing.T) {
+	pt := NewPeerTable(2)
+	pt.Note(1, addrN(1))
+	pt.Note(2, addrN(2))
+	pt.Note(2, addrN(22)) // refresh at capacity must not evict 1
+	if _, ok := pt.Lookup(1); !ok {
+		t.Fatal("refresh of a known peer evicted another entry")
+	}
+}

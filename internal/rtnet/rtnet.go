@@ -15,6 +15,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
 	"time"
 
@@ -45,6 +46,7 @@ type envCore struct {
 	timer    *time.Timer
 	alarmGen uint64
 	closed   bool
+	encBuf   []byte // per-node wire-encode scratch, reused across sends
 }
 
 func newEnvCore(mu *sync.Mutex) *envCore {
@@ -102,13 +104,25 @@ func (e *envCore) close() {
 	}
 }
 
+// appendFrame encodes msg into the env's reusable scratch buffer and
+// returns the frame. The frame is valid until the next appendFrame;
+// callers hold the owner's mutex, so sends never race on the buffer.
+func (e *envCore) appendFrame(msg core.Message) ([]byte, error) {
+	frame, err := wire.AppendEncode(e.encBuf[:0], msg)
+	if err != nil {
+		return nil, err
+	}
+	e.encBuf = frame[:0]
+	return frame, nil
+}
+
 // readLoop pumps datagrams from conn into dispatch until the connection
 // is closed. It runs on its own goroutine; dispatch is called without
 // the node mutex held (dispatchers lock it themselves).
-func readLoop(conn *net.UDPConn, dispatch func(from *net.UDPAddr, msg core.Message), counters func(decodeErr bool)) {
+func readLoop(conn *net.UDPConn, dispatch func(from netip.AddrPort, msg core.Message), counters func(decodeErr bool)) {
 	buf := make([]byte, 2048)
 	for {
-		n, addr, err := conn.ReadFromUDP(buf)
+		n, addr, err := conn.ReadFromUDPAddrPort(buf)
 		if err != nil {
 			// Closed socket (or an unrecoverable error): stop pumping.
 			return
@@ -133,4 +147,21 @@ func resolveUDP(addr string) (*net.UDPAddr, error) {
 		return nil, fmt.Errorf("rtnet: resolve %q: %w", addr, err)
 	}
 	return ua, nil
+}
+
+// ResolveUDPAddrPort resolves an address like "127.0.0.1:9300" (or a
+// hostname) to a netip.AddrPort, the address form the UDP send paths
+// use. Shared with internal/fleet.
+func ResolveUDPAddrPort(addr string) (netip.AddrPort, error) {
+	ua, err := resolveUDP(addr)
+	if err != nil {
+		return netip.AddrPort{}, err
+	}
+	ap := ua.AddrPort()
+	if !ap.IsValid() {
+		return netip.AddrPort{}, fmt.Errorf("rtnet: %q resolves to no usable UDP address", addr)
+	}
+	// Unmap 4-in-6 forms (::ffff:127.0.0.1): plain IPv4 sockets reject
+	// mapped destinations.
+	return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port()), nil
 }

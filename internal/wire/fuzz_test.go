@@ -1,0 +1,66 @@
+package wire
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"presence/internal/core"
+	"presence/internal/ident"
+)
+
+// FuzzDecode throws arbitrary bytes at the frame decoder. Decode must
+// never panic; and whenever it accepts a frame, the decoded message
+// must re-encode to the exact input bytes (the format has no slack:
+// fixed lengths, no padding, a trailing CRC), making decode∘encode an
+// identity on the accepted set.
+func FuzzDecode(f *testing.F) {
+	seeds := []core.Message{
+		core.ProbeMsg{From: 7, Cycle: 42, Attempt: 1},
+		core.ReplyMsg{From: 1, Cycle: 42, Attempt: 0, Payload: core.SAPPReply{
+			ProbeCount:  900,
+			LastProbers: [2]ident.NodeID{3, 9},
+		}},
+		core.ReplyMsg{From: 1, Cycle: 7, Attempt: 2, Payload: core.DCPPReply{Wait: 1500 * time.Millisecond}},
+		core.ReplyMsg{From: 1, Cycle: 7, Attempt: 3, Payload: core.EmptyReply{}},
+		core.ByeMsg{From: 12},
+		core.AnnounceMsg{From: 4, MaxAge: 30 * time.Second},
+		core.LeaveNotice{Device: 1, Origin: 5, Seq: 77, TTL: 3},
+	}
+	for _, m := range seeds {
+		b, err := Encode(m)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+		// Mutated variants: flipped type byte, truncation, CRC damage.
+		bad := bytes.Clone(b)
+		bad[3] ^= 0xff
+		f.Add(bad)
+		f.Add(b[:len(b)-1])
+	}
+	f.Add([]byte{})
+	f.Add([]byte("definitely not a frame"))
+
+	f.Fuzz(func(t *testing.T, b []byte) {
+		msg, err := Decode(b)
+		if err != nil {
+			return // rejected input: only absence of panics is asserted
+		}
+		re, err := Encode(msg)
+		if err != nil {
+			t.Fatalf("decoded message %#v does not re-encode: %v", msg, err)
+		}
+		if !bytes.Equal(re, b) {
+			t.Fatalf("decode∘encode not identity:\n in  %x\n out %x\n msg %#v", b, re, msg)
+		}
+		again, err := Decode(re)
+		if err != nil {
+			t.Fatalf("re-encoded frame rejected: %v", err)
+		}
+		if !reflect.DeepEqual(core.Flatten(again), core.Flatten(msg)) {
+			t.Fatalf("decode not stable: %#v vs %#v", again, msg)
+		}
+	})
+}

@@ -8,6 +8,7 @@ import (
 	"presence/internal/core/naive"
 	"presence/internal/core/sapp"
 	"presence/internal/experiments"
+	"presence/internal/fleet"
 	"presence/internal/ident"
 	"presence/internal/rtnet"
 	"presence/internal/scenario"
@@ -233,6 +234,78 @@ func NewUDPNaiveDevice(cfg UDPDeviceConfig) (*UDPDevice, error) {
 	return rtnet.NewDeviceServer(cfg, func(env core.Env) (core.Device, error) {
 		return naive.NewDevice(cfg.ID, env)
 	})
+}
+
+// Fleet runtime (see internal/fleet): a sharded shared-socket presence
+// server hosting tens of thousands of control points per process — N
+// shards, each one UDP socket, one event-loop goroutine and one
+// hierarchical timer wheel; no per-node goroutines or timers.
+type (
+	// FleetConfig assembles a Fleet (shards, listen address, timer
+	// tick).
+	FleetConfig = fleet.Config
+	// Fleet hosts protocol engines across shards.
+	Fleet = fleet.Fleet
+	// FleetCPConfig configures a fleet-hosted control point.
+	FleetCPConfig = fleet.CPConfig
+	// FleetControlPoint is the handle to a fleet-hosted control point.
+	FleetControlPoint = fleet.ControlPoint
+	// FleetDevice is the handle to a fleet-hosted (loopback) device.
+	FleetDevice = fleet.Device
+	// FleetCounters tracks one shard's activity.
+	FleetCounters = fleet.Counters
+	// FleetSnapshot aggregates per-shard counters.
+	FleetSnapshot = fleet.Snapshot
+	// FleetScaleOptions parameterises the loopback scale harness.
+	FleetScaleOptions = fleet.ScaleOptions
+	// FleetScaleResult is what the loopback scale harness measured.
+	FleetScaleResult = fleet.ScaleResult
+)
+
+// NewFleet builds a sharded presence server. Call Start, then
+// AddControlPoint/AddDevice; Close tears it down.
+func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
+
+// NewDCPPDeviceBuilder returns a builder for a DCPP device engine,
+// usable with Fleet.AddDevice (and rtnet.NewDeviceServer).
+func NewDCPPDeviceBuilder(id NodeID, dev DCPPDeviceConfig) fleet.DeviceBuilder {
+	return func(env core.Env) (core.Device, error) { return dcpp.NewDevice(id, env, dev) }
+}
+
+// NewSAPPDeviceBuilder returns a builder for a SAPP device engine.
+func NewSAPPDeviceBuilder(id NodeID, dev SAPPDeviceConfig) fleet.DeviceBuilder {
+	return func(env core.Env) (core.Device, error) { return sapp.NewDevice(id, env, dev) }
+}
+
+// NewFleetDCPPControlPoint hosts a DCPP control point in a started
+// fleet. The listener may be nil.
+func NewFleetDCPPControlPoint(f *Fleet, cfg FleetCPConfig, policy DCPPPolicyConfig, lst Listener) (*FleetControlPoint, error) {
+	p, err := dcpp.NewPolicy(policy)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Policy = p
+	cfg.Listener = lst
+	return f.AddControlPoint(cfg)
+}
+
+// NewFleetSAPPControlPoint hosts a SAPP control point in a started
+// fleet. The listener may be nil.
+func NewFleetSAPPControlPoint(f *Fleet, cfg FleetCPConfig, policy SAPPCPConfig, lst Listener) (*FleetControlPoint, error) {
+	p, err := sapp.NewPolicy(policy)
+	if err != nil {
+		return nil, err
+	}
+	cfg.Policy = p
+	cfg.Listener = lst
+	return f.AddControlPoint(cfg)
+}
+
+// FleetLoopbackScale runs the loopback scale harness: a fleet of
+// control points probing in-process DCPP devices, measured at steady
+// state.
+func FleetLoopbackScale(opts FleetScaleOptions) (FleetScaleResult, error) {
+	return fleet.LoopbackScale(opts)
 }
 
 // NewUDPDCPPControlPoint monitors a DCPP device over UDP. The listener

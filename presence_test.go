@@ -135,6 +135,47 @@ func TestUDPSAPPAndNaiveDeviceConstructors(t *testing.T) {
 	defer cp.Close()
 }
 
+func TestFleetFacade(t *testing.T) {
+	f, err := presence.NewFleet(presence.FleetConfig{Shards: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	devCfg := presence.DefaultDCPPDeviceConfig()
+	devCfg.MinGap = 20 * time.Millisecond
+	devCfg.MinCPDelay = 50 * time.Millisecond
+	dev, err := f.AddDevice(1, presence.NewDCPPDeviceBuilder(1, devCfg))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := presence.NewFleetDCPPControlPoint(f, presence.FleetCPConfig{
+		ID: 2, Device: 1, DeviceAddr: dev.Addr().String(),
+		Retransmit: presence.RetransmitConfig{
+			FirstTimeout: 60 * time.Millisecond, RetryTimeout: 40 * time.Millisecond, MaxRetransmits: 3,
+		},
+	}, presence.DCPPPolicyConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) {
+		if cp.Stats().CyclesOK >= 3 {
+			break
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	if cp.Stats().CyclesOK < 3 {
+		t.Fatalf("only %d cycles completed through the fleet facade", cp.Stats().CyclesOK)
+	}
+	snap := f.Snapshot()
+	if snap.Total.ControlPoints != 1 || snap.Total.Devices != 1 {
+		t.Fatalf("fleet snapshot = %+v", snap.Total)
+	}
+}
+
 func TestNodeIDAlias(t *testing.T) {
 	var id presence.NodeID = 7
 	if id != ident.NodeID(7) {
