@@ -6,7 +6,9 @@
 //
 //	probebench [-scale paper|short] [-seed N] [-out DIR] [-only ID[,ID...]] [-plot] [-json [PATH]]
 //	           [-fleet] [-fleet-cps N] [-fleet-devices N] [-fleet-window D]
+//	           [-conformance] [-conformance-seed N] [-conformance-scenario NAME]
 //	probebench -scenario NAME|FILE [-seed N] [-out DIR] [-plot]
+//	probebench -compare OLD.json NEW.json [-compare-max-slowdown F] [-compare-max-alloc-growth F]
 //	probebench -list | -list-scenarios
 //
 // The defaults reproduce EXPERIMENTS.md: paper scale, seed 2005, output
@@ -17,9 +19,14 @@
 // cross-PR performance trajectory. With -fleet, the internal/fleet
 // loopback scale harness also runs (10k control points against loopback
 // DCPP devices by default) and its measurements land in the snapshot's
-// "fleet" section. With -scenario, one declarative scenario (registered
-// name or JSON file, see internal/scenario) runs instead of the suite
-// and is summarised as a report.
+// "fleet" section. With -conformance, the simulator-vs-fleet
+// differential battery (internal/conformance) runs and its results land
+// in the snapshot's "conformance" section; any failing case makes the
+// command exit non-zero. With -scenario, one declarative scenario
+// (registered name or JSON file, see internal/scenario) runs instead of
+// the suite and is summarised as a report. With -compare, two previously
+// written snapshots are diffed and the command exits non-zero on a
+// throughput or allocation regression beyond the configured limits.
 package main
 
 import (
@@ -34,6 +41,7 @@ import (
 	"time"
 
 	"presence/internal/asciiplot"
+	"presence/internal/conformance"
 	"presence/internal/experiments"
 	"presence/internal/fleet"
 	"presence/internal/scenario"
@@ -65,9 +73,24 @@ func run(args []string, out io.Writer) error {
 		fleetCPs     = fs.Int("fleet-cps", 10_000, "control points for -fleet")
 		fleetDevices = fs.Int("fleet-devices", 8, "loopback devices for -fleet")
 		fleetWindow  = fs.Duration("fleet-window", 5*time.Second, "steady-state measurement window for -fleet")
+
+		confRun  = fs.Bool("conformance", false, "also run the simulator-vs-fleet conformance battery (internal/conformance); a failing case exits non-zero")
+		confSeed = fs.Uint64("conformance-seed", 2005, "seed for -conformance")
+		confOnly = fs.String("conformance-scenario", "", "run a single conformance case by scenario name (default: all)")
+
+		compare  = fs.Bool("compare", false, "compare two BENCH_<n>.json snapshots (probebench -compare OLD NEW) and exit non-zero on regression")
+		cmpSlow  = fs.Float64("compare-max-slowdown", 1.0, "-compare: max relative ns/op growth (1.0 = +100%; 0 disables the wall-time gate — it is machine-dependent)")
+		cmpAlloc = fs.Float64("compare-max-alloc-growth", 0.10, "-compare: max relative allocs/op growth (machine-independent; the strict gate)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
+	}
+	if *compare {
+		paths := fs.Args()
+		if len(paths) != 2 {
+			return fmt.Errorf("-compare needs exactly two snapshot paths, got %d", len(paths))
+		}
+		return runCompare(out, paths[0], paths[1], *cmpSlow, *cmpAlloc)
 	}
 	if *list {
 		for _, e := range experiments.All() {
@@ -84,7 +107,7 @@ func run(args []string, out io.Writer) error {
 	if *scen != "" {
 		explicit := make(map[string]bool)
 		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-		for _, conflicting := range []string{"scale", "only", "json", "jsonpath", "fleet", "fleet-cps", "fleet-devices", "fleet-window"} {
+		for _, conflicting := range []string{"scale", "only", "json", "jsonpath", "fleet", "fleet-cps", "fleet-devices", "fleet-window", "conformance", "conformance-seed", "conformance-scenario"} {
 			if explicit[conflicting] {
 				return fmt.Errorf("-%s applies to the experiment suite, not to -scenario (the scenario defines its own horizon)", conflicting)
 			}
@@ -126,6 +149,25 @@ func run(args []string, out io.Writer) error {
 				return fmt.Errorf("unknown experiment %q", id)
 			}
 			selected = append(selected, e)
+		}
+	}
+	// Resolve the conformance battery up front: a typo in
+	// -conformance-scenario must not surface only after the experiment
+	// suite has run for minutes.
+	var confCases []conformance.Case
+	if *confRun {
+		confCases = conformance.DefaultCases()
+		if *confOnly != "" {
+			var picked []conformance.Case
+			for _, c := range confCases {
+				if c.Scenario == *confOnly {
+					picked = append(picked, c)
+				}
+			}
+			if len(picked) == 0 {
+				return fmt.Errorf("unknown conformance scenario %q (battery: %v)", *confOnly, conformanceNames(confCases))
+			}
+			confCases = picked
 		}
 	}
 
@@ -180,6 +222,29 @@ func run(args []string, out io.Writer) error {
 			res.SteadyProbesPerSec, res.BudgetProbesPerSec,
 			res.WheelDepth, res.Goroutines)
 	}
+	var confResults []*conformance.Result
+	if *confRun {
+		failed := 0
+		for _, c := range confCases {
+			fmt.Fprintf(out, "==> conformance %s (seed %d)\n", c.Scenario, *confSeed)
+			t0 := time.Now()
+			res, err := conformance.Run(c, *confSeed)
+			if err != nil {
+				return fmt.Errorf("conformance %s: %w", c.Scenario, err)
+			}
+			confResults = append(confResults, res)
+			fmt.Fprintln(out, res.Format())
+			fmt.Fprintf(out, "    (%s)\n\n", time.Since(t0).Round(time.Millisecond))
+			report.WriteString(res.Format())
+			report.WriteString("\n")
+			if !res.Pass {
+				failed++
+			}
+		}
+		if failed > 0 {
+			return fmt.Errorf("conformance: %d of %d cases failed", failed, len(confCases))
+		}
+	}
 	if opts.OutDir != "" {
 		if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
 			return err
@@ -191,7 +256,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "report written to %s\n", path)
 	}
 	if *emit {
-		path, err := writeJSONSnapshot(*jpath, *seed, s, metricsByExperiment, fleetRes)
+		path, err := writeJSONSnapshot(*jpath, *seed, s, metricsByExperiment, fleetRes, confResults)
 		if err != nil {
 			return err
 		}
@@ -200,17 +265,27 @@ func run(args []string, out io.Writer) error {
 	return nil
 }
 
+// conformanceNames lists the battery's scenario names.
+func conformanceNames(cases []conformance.Case) []string {
+	names := make([]string, len(cases))
+	for i, c := range cases {
+		names[i] = c.Scenario
+	}
+	return names
+}
+
 // benchSnapshot is the schema of the BENCH_<n>.json files: one throughput
 // measurement of the raw event loop plus every experiment metric (and,
 // with -fleet, the UDP fleet scale measurements), so PRs can be compared
 // mechanically.
 type benchSnapshot struct {
-	Generated  string                        `json:"generated"`
-	Seed       uint64                        `json:"seed"`
-	Scale      string                        `json:"scale"`
-	Throughput throughputStats               `json:"throughput"`
-	Fleet      *fleet.ScaleResult            `json:"fleet,omitempty"`
-	Metrics    map[string]map[string]float64 `json:"metrics"`
+	Generated   string                        `json:"generated"`
+	Seed        uint64                        `json:"seed"`
+	Scale       string                        `json:"scale"`
+	Throughput  throughputStats               `json:"throughput"`
+	Fleet       *fleet.ScaleResult            `json:"fleet,omitempty"`
+	Conformance []*conformance.Result         `json:"conformance,omitempty"`
+	Metrics     map[string]map[string]float64 `json:"metrics"`
 }
 
 type throughputStats struct {
@@ -273,18 +348,19 @@ func measureThroughput() (throughputStats, error) {
 
 // writeJSONSnapshot measures throughput and writes the snapshot to path,
 // or to the next free BENCH_<n>.json when path is empty.
-func writeJSONSnapshot(path string, seed uint64, scale experiments.Scale, metrics map[string]map[string]float64, fleetRes *fleet.ScaleResult) (string, error) {
+func writeJSONSnapshot(path string, seed uint64, scale experiments.Scale, metrics map[string]map[string]float64, fleetRes *fleet.ScaleResult, confResults []*conformance.Result) (string, error) {
 	tp, err := measureThroughput()
 	if err != nil {
 		return "", err
 	}
 	snap := benchSnapshot{
-		Generated:  time.Now().UTC().Format(time.RFC3339),
-		Seed:       seed,
-		Scale:      string(scale),
-		Throughput: tp,
-		Fleet:      fleetRes,
-		Metrics:    metrics,
+		Generated:   time.Now().UTC().Format(time.RFC3339),
+		Seed:        seed,
+		Scale:       string(scale),
+		Throughput:  tp,
+		Fleet:       fleetRes,
+		Conformance: confResults,
+		Metrics:     metrics,
 	}
 	if path == "" {
 		for n := 1; ; n++ {
@@ -300,4 +376,88 @@ func writeJSONSnapshot(path string, seed uint64, scale experiments.Scale, metric
 		return "", err
 	}
 	return path, os.WriteFile(path, append(b, '\n'), 0o644)
+}
+
+// loadSnapshot reads one BENCH_<n>.json file.
+func loadSnapshot(path string) (benchSnapshot, error) {
+	var snap benchSnapshot
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return snap, err
+	}
+	if err := json.Unmarshal(b, &snap); err != nil {
+		return snap, fmt.Errorf("%s: %w", path, err)
+	}
+	return snap, nil
+}
+
+// runCompare diffs two benchmark snapshots and fails on regressions.
+// Allocations per op are deterministic and machine-independent — the
+// strict gate. Wall-clock throughput is machine-dependent: comparing a
+// committed reference-box snapshot against a CI box only catches
+// catastrophic slowdowns, hence the loose default (and 0 to disable).
+// Experiment metrics are compared exactly when both snapshots used the
+// same seed and scale — informational, since the determinism tests
+// already pin them.
+func runCompare(out io.Writer, oldPath, newPath string, maxSlow, maxAlloc float64) error {
+	oldSnap, err := loadSnapshot(oldPath)
+	if err != nil {
+		return err
+	}
+	newSnap, err := loadSnapshot(newPath)
+	if err != nil {
+		return err
+	}
+	growth := func(oldV, newV float64) float64 {
+		if oldV <= 0 {
+			return 0
+		}
+		return (newV - oldV) / oldV
+	}
+	allocGrowth := growth(float64(oldSnap.Throughput.AllocsPerOp), float64(newSnap.Throughput.AllocsPerOp))
+	slowdown := growth(float64(oldSnap.Throughput.NsPerOp), float64(newSnap.Throughput.NsPerOp))
+	fmt.Fprintf(out, "comparing %s (seed %d, %s) → %s (seed %d, %s)\n\n",
+		oldPath, oldSnap.Seed, oldSnap.Scale, newPath, newSnap.Seed, newSnap.Scale)
+	fmt.Fprintf(out, "%-16s %14s %14s %9s\n", "throughput", "old", "new", "delta")
+	fmt.Fprintf(out, "%-16s %14d %14d %+8.1f%%\n", "ns/op", oldSnap.Throughput.NsPerOp, newSnap.Throughput.NsPerOp, 100*slowdown)
+	fmt.Fprintf(out, "%-16s %14d %14d %+8.1f%%\n", "allocs/op", oldSnap.Throughput.AllocsPerOp, newSnap.Throughput.AllocsPerOp, 100*allocGrowth)
+	fmt.Fprintf(out, "%-16s %14.0f %14.0f %+8.1f%%\n", "events/op", oldSnap.Throughput.EventsPerOp, newSnap.Throughput.EventsPerOp,
+		100*growth(oldSnap.Throughput.EventsPerOp, newSnap.Throughput.EventsPerOp))
+
+	if oldSnap.Seed == newSnap.Seed && oldSnap.Scale == newSnap.Scale {
+		shared, differing := 0, 0
+		for id, oldMs := range oldSnap.Metrics {
+			newMs, ok := newSnap.Metrics[id]
+			if !ok {
+				continue
+			}
+			for name, oldV := range oldMs {
+				if newV, ok := newMs[name]; ok {
+					shared++
+					if newV != oldV {
+						differing++
+						if differing <= 10 {
+							fmt.Fprintf(out, "metric %s/%s: %g → %g\n", id, name, oldV, newV)
+						}
+					}
+				}
+			}
+		}
+		fmt.Fprintf(out, "\nexperiment metrics: %d shared, %d differing\n", shared, differing)
+	} else {
+		fmt.Fprintf(out, "\nexperiment metrics skipped (seed/scale differ)\n")
+	}
+
+	var fails []string
+	if maxAlloc > 0 && allocGrowth > maxAlloc {
+		fails = append(fails, fmt.Sprintf("allocs/op grew %.1f%% (limit %.1f%%)", 100*allocGrowth, 100*maxAlloc))
+	}
+	if maxSlow > 0 && slowdown > maxSlow {
+		fails = append(fails, fmt.Sprintf("ns/op grew %.1f%% (limit %.1f%%)", 100*slowdown, 100*maxSlow))
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("regression: %s", strings.Join(fails, "; "))
+	}
+	fmt.Fprintln(out, "no regression")
+	return nil
 }

@@ -94,7 +94,7 @@ func TestJSONAutoNumbering(t *testing.T) {
 	if err := os.WriteFile("BENCH_1.json", []byte("{}"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	path, err := writeJSONSnapshot("", 1, "short", nil, nil)
+	path, err := writeJSONSnapshot("", 1, "short", nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -116,6 +116,122 @@ func TestRejectsBadInputs(t *testing.T) {
 	}
 	if err := run([]string{"-scenario", "fig5-uniform-churn", "-fleet"}, &out); err == nil {
 		t.Error("-scenario with -fleet accepted")
+	}
+	if err := run([]string{"-scenario", "fig5-uniform-churn", "-conformance"}, &out); err == nil {
+		t.Error("-scenario with -conformance accepted")
+	}
+	if err := run([]string{"-compare", "only-one.json"}, &out); err == nil {
+		t.Error("-compare with one path accepted")
+	}
+	if err := run([]string{"-scale", "short", "-only", "ext-naive-load", "-out", "", "-conformance", "-conformance-scenario", "nope"}, &out); err == nil {
+		t.Error("unknown conformance scenario accepted")
+	}
+}
+
+// writeSnapshotFile writes a hand-built snapshot for -compare tests.
+func writeSnapshotFile(t *testing.T, path string, snap benchSnapshot) {
+	t.Helper()
+	b, err := json.MarshalIndent(snap, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, b, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareMode(t *testing.T) {
+	dir := t.TempDir()
+	oldPath := filepath.Join(dir, "old.json")
+	newPath := filepath.Join(dir, "new.json")
+	base := benchSnapshot{
+		Seed: 2005, Scale: "short",
+		Throughput: throughputStats{NsPerOp: 1_000_000, AllocsPerOp: 1500, EventsPerOp: 50000},
+		Metrics:    map[string]map[string]float64{"fig5-dcpp-churn": {"load_mean": 9.7}},
+	}
+	writeSnapshotFile(t, oldPath, base)
+
+	// Within limits: slightly fewer allocs, slightly slower.
+	improved := base
+	improved.Throughput = throughputStats{NsPerOp: 1_050_000, AllocsPerOp: 1400, EventsPerOp: 50000}
+	writeSnapshotFile(t, newPath, improved)
+	var out strings.Builder
+	if err := run([]string{"-compare", oldPath, newPath}, &out); err != nil {
+		t.Fatalf("clean compare failed: %v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "no regression") {
+		t.Fatalf("missing verdict:\n%s", out.String())
+	}
+
+	// Alloc regression beyond 10%.
+	leaky := base
+	leaky.Throughput = throughputStats{NsPerOp: 1_000_000, AllocsPerOp: 2000, EventsPerOp: 50000}
+	writeSnapshotFile(t, newPath, leaky)
+	out.Reset()
+	err := run([]string{"-compare", oldPath, newPath}, &out)
+	if err == nil || !strings.Contains(err.Error(), "allocs/op") {
+		t.Fatalf("alloc regression not flagged: %v", err)
+	}
+
+	// Catastrophic slowdown beyond the default 100%.
+	slow := base
+	slow.Throughput = throughputStats{NsPerOp: 2_500_000, AllocsPerOp: 1500, EventsPerOp: 50000}
+	writeSnapshotFile(t, newPath, slow)
+	out.Reset()
+	err = run([]string{"-compare", oldPath, newPath}, &out)
+	if err == nil || !strings.Contains(err.Error(), "ns/op") {
+		t.Fatalf("slowdown not flagged: %v", err)
+	}
+	// ... unless the wall-time gate is disabled (flags precede the
+	// positional snapshot paths, per package flag).
+	out.Reset()
+	if err := run([]string{"-compare", "-compare-max-slowdown", "0", oldPath, newPath}, &out); err != nil {
+		t.Fatalf("disabled time gate still failed: %v", err)
+	}
+
+	// Metric drift is reported (informationally) when seed+scale match.
+	drift := base
+	drift.Metrics = map[string]map[string]float64{"fig5-dcpp-churn": {"load_mean": 9.9}}
+	writeSnapshotFile(t, newPath, drift)
+	out.Reset()
+	if err := run([]string{"-compare", oldPath, newPath}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "1 differing") {
+		t.Fatalf("metric drift not reported:\n%s", out.String())
+	}
+}
+
+// TestConformanceSection runs one conformance case through the CLI and
+// checks the report and the snapshot section.
+func TestConformanceSection(t *testing.T) {
+	if testing.Short() {
+		t.Skip("5s real-time fleet replay")
+	}
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_conf.json")
+	var out strings.Builder
+	err := run([]string{
+		"-scale", "short", "-only", "ext-naive-load", "-out", "",
+		"-conformance", "-conformance-scenario", "conf-churn",
+		"-json", "-jsonpath", path,
+	}, &out)
+	if err != nil {
+		t.Fatalf("%v\n%s", err, out.String())
+	}
+	if !strings.Contains(out.String(), "conformance conf-churn") || !strings.Contains(out.String(), "PASS") {
+		t.Fatalf("conformance section missing:\n%s", out.String())
+	}
+	b, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var snap benchSnapshot
+	if err := json.Unmarshal(b, &snap); err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Conformance) != 1 || !snap.Conformance[0].Pass || snap.Conformance[0].Scenario != "conf-churn" {
+		t.Fatalf("conformance snapshot section = %+v", snap.Conformance)
 	}
 }
 

@@ -80,7 +80,25 @@
 //     CPs/process and probes/s into the BENCH_<n>.json trajectory —
 //     10,000 control points reach steady state on GOMAXPROCS event-loop
 //     goroutines with the aggregate probe rate pinned at DCPP's L_nom
-//     budget.
+//     budget;
+//   - each shard reads and writes through the fleet.PacketConn seam:
+//     kernel UDP sockets in production, or any custom fleet.Transport —
+//     internal/memnet supplies a deterministic in-memory network with
+//     injectable loss (Bernoulli and Gilbert–Elliott), delay,
+//     duplication, reordering and partitions for driving the real shard
+//     loops over hostile links.
+//
+// # Conformance harness
+//
+// internal/conformance proves the two runtimes implement the same
+// protocol: it runs one scenario Spec through the simulator, lifts the
+// realised join/leave schedule out of the run, replays it against a
+// real fleet over memnet with the same loss/delay models, checks
+// protocol invariants online from a wire tap (absent verdicts only
+// after the retransmit budget, cycle monotonicity, bye-before-silence)
+// and diffs detection-latency/load/false-positive metrics within
+// documented tolerances (probebench -conformance; the conf-* scenarios
+// in the registry are the standing battery).
 //
 // # Quick start (simulation)
 //

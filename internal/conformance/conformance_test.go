@@ -1,0 +1,117 @@
+package conformance
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"presence/internal/scenario"
+)
+
+// confSeed pins the battery's seed; CI runs the same one.
+const confSeed = 2005
+
+// TestConformanceSuite is the differential battery: every standing
+// case must pass — schedule counts exact, behavioural metrics within
+// the documented tolerances, zero invariant violations — with the
+// fleet runtime driven over the hostile in-memory network.
+func TestConformanceSuite(t *testing.T) {
+	for _, c := range DefaultCases() {
+		c := c
+		t.Run(c.Scenario, func(t *testing.T) {
+			res, err := Run(c, confSeed)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("\n%s", res.Format())
+			if res.TappedPackets == 0 {
+				t.Fatal("invariant checker tapped no packets")
+			}
+			for _, v := range res.Violations {
+				t.Errorf("invariant violation: %s", v)
+			}
+			for _, d := range res.Diffs {
+				if !d.OK {
+					t.Errorf("metric %s diverged: sim %.4g vs fleet %.4g (tolerance ±%.3g+%.0f%%)",
+						d.Name, d.Sim, d.Fleet, d.Abs, d.Rel*100)
+				}
+			}
+			if !res.Pass {
+				t.Error("case did not pass")
+			}
+			if res.Sim.TotalJoined == 0 {
+				t.Error("scenario joined no CPs — empty differential")
+			}
+			if c.Scenario == "conf-bursty-loss" && res.Net.Lost == 0 {
+				t.Error("Gilbert-Elliott channel lost nothing on the fleet side")
+			}
+			if c.Scenario == "conf-flash-crowd" && res.Fleet.ByeSeen == 0 {
+				t.Error("no fleet CP saw the device bye")
+			}
+		})
+	}
+}
+
+// TestSimSideDeterministic: the simulator half of a case — schedule
+// extraction included — is a pure function of the seed.
+func TestSimSideDeterministic(t *testing.T) {
+	spec, err := scenario.Resolve("conf-bursty-loss")
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1, m1, err := runSim(spec, confSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, m2, err := runSim(spec, confSeed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(s1.joinAt) != len(s2.joinAt) {
+		t.Fatalf("schedules differ in size: %d vs %d", len(s1.joinAt), len(s2.joinAt))
+	}
+	for i := range s1.joinAt {
+		if s1.joinAt[i] != s2.joinAt[i] || s1.leaveAt[i] != s2.leaveAt[i] {
+			t.Fatalf("cp %d schedule differs: (%v,%v) vs (%v,%v)",
+				i, s1.joinAt[i], s1.leaveAt[i], s2.joinAt[i], s2.leaveAt[i])
+		}
+	}
+	if math.Float64bits(m1.DetectMean) != math.Float64bits(m2.DetectMean) ||
+		math.Float64bits(m1.LoadMean) != math.Float64bits(m2.LoadMean) ||
+		m1 != m2 {
+		t.Fatalf("sim metrics not reproducible: %+v vs %+v", m1, m2)
+	}
+}
+
+// TestCaseValidation: specs without exactly one device event (or with
+// layers the fleet cannot host) are rejected up front.
+func TestCaseValidation(t *testing.T) {
+	if _, err := Run(Case{Scenario: "fig5-uniform-churn"}, 1); err == nil {
+		t.Error("scenario without a device event accepted")
+	}
+	if _, err := Run(Case{Scenario: "no-such-scenario"}, 1); err == nil {
+		t.Error("unknown scenario accepted")
+	}
+}
+
+// TestScheduleEventInsideHorizon guards the conf-* registrations: the
+// battery only works when the device event leaves a detection tail.
+func TestScheduleEventInsideHorizon(t *testing.T) {
+	for _, c := range DefaultCases() {
+		spec, err := scenario.Resolve(c.Scenario)
+		if err != nil {
+			t.Fatalf("%s: %v", c.Scenario, err)
+		}
+		var at time.Duration
+		if len(spec.ByeAt) == 1 {
+			at = spec.ByeAt[0].Std()
+		} else if len(spec.CrashAt) == 1 {
+			at = spec.CrashAt[0].Std()
+		} else {
+			t.Fatalf("%s: no single device event", c.Scenario)
+		}
+		if tail := spec.Horizon.Std() - at; tail < time.Second {
+			t.Errorf("%s: only %v between device event and horizon — not enough detection tail", c.Scenario, tail)
+		}
+	}
+}

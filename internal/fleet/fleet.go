@@ -44,6 +44,18 @@
 //     one device engine; AddDevice places devices on free shards and
 //     errors when all are taken. Devices are a loopback-testing
 //     convenience — CPs are the scale story.
+//
+// # Transport seam
+//
+// A shard does not name *net.UDPConn: it reads and writes through the
+// PacketConn interface, opened per shard by a Transport. The default
+// transport is kernel UDP sockets bound to Config.ListenAddr — the
+// production path, byte-for-byte the behaviour before the seam existed.
+// Config.Transport swaps in anything else with the same contract;
+// internal/memnet provides a deterministic in-memory network with
+// injectable loss, delay, duplication, reordering and partitions, which
+// internal/conformance uses to drive these exact shard loops over
+// hostile links and diff the outcome against the simulator.
 package fleet
 
 import (
@@ -83,6 +95,12 @@ type Config struct {
 	// shard socket, applied best-effort (the OS may clamp it). Zero
 	// means 4 MiB; negative leaves the OS default.
 	SocketBuffer int
+	// Transport supplies the per-shard packet conns. Nil means kernel
+	// UDP sockets bound to ListenAddr — the production path. A custom
+	// transport (internal/memnet) lets test harnesses drive the same
+	// shard loops over a deterministic fake network; ListenAddr and
+	// SocketBuffer are ignored when it is set.
+	Transport Transport
 }
 
 func (c *Config) applyDefaults() {
@@ -194,7 +212,7 @@ type pendingProbe struct {
 type shard struct {
 	fleet *Fleet
 	index int
-	conn  *net.UDPConn
+	conn  PacketConn
 
 	mu       sync.Mutex
 	wheel    *timerWheel
@@ -214,29 +232,30 @@ type shard struct {
 // while the loop is parked, and this caps how late it can fire.
 const maxPoll = 50 * time.Millisecond
 
-// New binds one socket per shard. The fleet is idle until Start.
+// New binds one packet conn per shard (kernel UDP sockets unless
+// Config.Transport overrides). The fleet is idle until Start.
 func New(cfg Config) (*Fleet, error) {
 	cfg.applyDefaults()
 	if cfg.Shards < 1 {
 		return nil, fmt.Errorf("fleet: Shards %d must be positive", cfg.Shards)
 	}
-	addr, err := net.ResolveUDPAddr("udp", cfg.ListenAddr)
-	if err != nil {
-		return nil, fmt.Errorf("fleet: resolve %q: %w", cfg.ListenAddr, err)
-	}
-	if addr.Port != 0 && cfg.Shards > 1 {
-		return nil, fmt.Errorf("fleet: ListenAddr %q pins a port; %d shards need \":0\"", cfg.ListenAddr, cfg.Shards)
+	transport := cfg.Transport
+	if transport == nil {
+		addr, err := net.ResolveUDPAddr("udp", cfg.ListenAddr)
+		if err != nil {
+			return nil, fmt.Errorf("fleet: resolve %q: %w", cfg.ListenAddr, err)
+		}
+		if addr.Port != 0 && cfg.Shards > 1 {
+			return nil, fmt.Errorf("fleet: ListenAddr %q pins a port; %d shards need \":0\"", cfg.ListenAddr, cfg.Shards)
+		}
+		transport = udpTransport{addr: addr, sndRcv: cfg.SocketBuffer}
 	}
 	f := &Fleet{cfg: cfg, epoch: time.Now()}
 	for i := 0; i < cfg.Shards; i++ {
-		conn, err := net.ListenUDP("udp", addr)
+		conn, err := transport.Listen(i)
 		if err != nil {
 			f.Close()
-			return nil, fmt.Errorf("fleet: shard %d listen: %w", i, err)
-		}
-		if cfg.SocketBuffer > 0 {
-			conn.SetReadBuffer(cfg.SocketBuffer)  //nolint:errcheck // best effort
-			conn.SetWriteBuffer(cfg.SocketBuffer) //nolint:errcheck // best effort
+			return nil, err
 		}
 		s := &shard{
 			fleet:    f,
@@ -261,7 +280,7 @@ func (f *Fleet) Shards() int { return len(f.shards) }
 func (f *Fleet) Addrs() []netip.AddrPort {
 	addrs := make([]netip.AddrPort, len(f.shards))
 	for i, s := range f.shards {
-		addrs[i] = localAddrPort(s.conn)
+		addrs[i] = s.conn.LocalAddrPort()
 	}
 	return addrs
 }
@@ -525,10 +544,3 @@ func (s *shard) sendTo(addr netip.AddrPort, msg core.Message) {
 // DeviceBuilder constructs a device engine against the fleet's Env —
 // the same builder signature the single-node runtime uses.
 type DeviceBuilder = rtnet.DeviceBuilder
-
-// localAddrPort returns a socket's bound address, unmapped so it can be
-// dialled from plain IPv4 sockets.
-func localAddrPort(conn *net.UDPConn) netip.AddrPort {
-	ap := conn.LocalAddr().(*net.UDPAddr).AddrPort()
-	return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
-}

@@ -348,9 +348,9 @@ type Device struct {
 // ID returns the device's node id.
 func (d *Device) ID() ident.NodeID { return d.n.id }
 
-// Addr returns the UDP address control points should probe.
+// Addr returns the transport address control points should probe.
 func (d *Device) Addr() netip.AddrPort {
-	return localAddrPort(d.n.shard.conn)
+	return d.n.shard.conn.LocalAddrPort()
 }
 
 // Peers returns the number of distinct control points the device has

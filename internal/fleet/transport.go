@@ -1,0 +1,84 @@
+package fleet
+
+import (
+	"fmt"
+	"net"
+	"net/netip"
+	"time"
+)
+
+// PacketConn is the packet transport one shard owns: the subset of
+// *net.UDPConn the shard event loop actually uses, expressed as an
+// interface so the same fleet can run over real sockets (production,
+// the loopback scale harness) or a deterministic in-memory network
+// (internal/memnet, driven by the conformance harness with injected
+// loss, delay, duplication and reordering).
+//
+// The contract mirrors UDP sockets:
+//
+//   - ReadFromUDPAddrPort blocks until a datagram arrives, the read
+//     deadline passes (returning a net.Error with Timeout() true), or
+//     the conn is closed (any other error).
+//   - WriteToUDPAddrPort is best-effort and non-blocking; the network
+//     may drop, reorder or duplicate the datagram.
+//   - The buffer passed to either call is owned by the caller and may
+//     be reused immediately after the call returns; implementations
+//     must copy what they keep.
+type PacketConn interface {
+	ReadFromUDPAddrPort(b []byte) (int, netip.AddrPort, error)
+	WriteToUDPAddrPort(b []byte, addr netip.AddrPort) (int, error)
+	SetReadDeadline(t time.Time) error
+	// LocalAddrPort returns the conn's bound address, in a form other
+	// endpoints of the same transport can send to.
+	LocalAddrPort() netip.AddrPort
+	Close() error
+}
+
+// Transport opens one PacketConn per shard. Implementations must hand
+// out distinct addresses per call (shard sockets demultiplex by
+// address, exactly like SO_REUSEPORT-less UDP).
+type Transport interface {
+	Listen(shard int) (PacketConn, error)
+}
+
+// TransportFunc adapts a function to the Transport interface, e.g.
+//
+//	fleet.TransportFunc(func(int) (fleet.PacketConn, error) { return net.Listen() })
+//
+// for an internal/memnet network.
+type TransportFunc func(shard int) (PacketConn, error)
+
+// Listen implements Transport.
+func (f TransportFunc) Listen(shard int) (PacketConn, error) { return f(shard) }
+
+// udpTransport is the default Transport: one kernel UDP socket per
+// shard, bound to the configured address.
+type udpTransport struct {
+	addr   *net.UDPAddr
+	sndRcv int // socket buffer request; <= 0 leaves the OS default
+}
+
+func (t udpTransport) Listen(shard int) (PacketConn, error) {
+	conn, err := net.ListenUDP("udp", t.addr)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: shard %d listen: %w", shard, err)
+	}
+	if t.sndRcv > 0 {
+		conn.SetReadBuffer(t.sndRcv)  //nolint:errcheck // best effort
+		conn.SetWriteBuffer(t.sndRcv) //nolint:errcheck // best effort
+	}
+	return udpPacketConn{conn}, nil
+}
+
+// udpPacketConn adapts *net.UDPConn to PacketConn (everything matches
+// except LocalAddrPort).
+type udpPacketConn struct {
+	*net.UDPConn
+}
+
+// LocalAddrPort returns the socket's bound address, unmapped so it can
+// be dialled from plain IPv4 sockets.
+func (c udpPacketConn) LocalAddrPort() netip.AddrPort {
+	ap := c.LocalAddr().(*net.UDPAddr).AddrPort()
+	return netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+}

@@ -248,6 +248,82 @@ func TestWheelStressManyAlarms(t *testing.T) {
 // Now is a test helper on the wheel: the current offset.
 func (w *timerWheel) Now() time.Duration { return time.Duration(w.nowTick) * w.tick }
 
+// TestWheelLongHorizonExactFire: alarms armed beyond the level-0 span
+// (256 ticks) — one per overflow level, the deepest past 256³ ticks —
+// must ride the cascade path down and still fire at their exact tick,
+// not a slot-width early or late.
+func TestWheelLongHorizonExactFire(t *testing.T) {
+	// Ticks chosen to sit mid-slot at each level, plus one exactly on a
+	// cascade boundary (a historical off-by-one habitat).
+	for _, deltaTicks := range []int64{300, 70_000, 65_536, 17_000_000, 16_777_216} {
+		w := newTimerWheel(time.Millisecond)
+		fired, firedTick := 0, int64(-1)
+		tm := &wheelTimer{}
+		tm.fire = func() { fired++; firedTick = w.nowTick }
+		deadline := time.Duration(deltaTicks) * time.Millisecond
+		w.Schedule(tm, deadline)
+		fireDue(w.Advance(deadline - time.Millisecond))
+		if fired != 0 {
+			t.Fatalf("delta %d: fired %d times one tick before the deadline", deltaTicks, fired)
+		}
+		fireDue(w.Advance(deadline))
+		if fired != 1 || firedTick != deltaTicks {
+			t.Fatalf("delta %d: fired %d times, at tick %d (want once at %d)", deltaTicks, fired, firedTick, deltaTicks)
+		}
+		if w.Len() != 0 {
+			t.Fatalf("delta %d: Len = %d after fire", deltaTicks, w.Len())
+		}
+	}
+}
+
+// TestWheelCancelAndRearmAcrossCascades: a timer that has already
+// cascaded down a level (or two) must still honour Cancel and
+// Schedule — stale positions may not resurface as ghost firings.
+func TestWheelCancelAndRearmAcrossCascades(t *testing.T) {
+	w := newTimerWheel(time.Millisecond)
+	fired, firedTick := 0, int64(-1)
+	tm := &wheelTimer{}
+	tm.fire = func() { fired++; firedTick = w.nowTick }
+
+	// Arm in level 2 (100 000 ticks), advance far enough that the timer
+	// has cascaded into level 1 territory, then re-arm earlier.
+	w.Schedule(tm, 100_000*time.Millisecond)
+	fireDue(w.Advance(70_000 * time.Millisecond))
+	if fired != 0 {
+		t.Fatal("fired before the deadline")
+	}
+	w.Schedule(tm, 80_000*time.Millisecond)
+	fireDue(w.Advance(80_000 * time.Millisecond))
+	if fired != 1 || firedTick != 80_000 {
+		t.Fatalf("re-armed timer fired %d times at tick %d, want once at 80000", fired, firedTick)
+	}
+	// The original 100 000-tick position must not resurface.
+	fireDue(w.Advance(120_000 * time.Millisecond))
+	if fired != 1 {
+		t.Fatalf("ghost firing after re-arm: %d", fired)
+	}
+
+	// Re-arm far into level 3, cascade partway, cancel, and cross the
+	// old deadline: nothing may fire and the wheel must drain to empty.
+	w.Schedule(tm, 17_000_000*time.Millisecond)
+	fireDue(w.Advance(16_900_000 * time.Millisecond))
+	w.Cancel(tm)
+	if w.Len() != 0 {
+		t.Fatalf("Len = %d after cancel", w.Len())
+	}
+	fireDue(w.Advance(17_100_000 * time.Millisecond))
+	if fired != 1 {
+		t.Fatalf("cancelled timer fired: %d", fired)
+	}
+
+	// And a cancelled timer must accept a fresh arm afterwards.
+	w.Schedule(tm, 17_100_500*time.Millisecond)
+	fireDue(w.Advance(17_100_500 * time.Millisecond))
+	if fired != 2 || firedTick != 17_100_500 {
+		t.Fatalf("re-armed-after-cancel fired %d times at tick %d", fired, firedTick)
+	}
+}
+
 func BenchmarkWheelScheduleCancel(b *testing.B) {
 	w := newTimerWheel(time.Millisecond)
 	timers := make([]wheelTimer, 10_000)

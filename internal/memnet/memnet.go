@@ -1,0 +1,480 @@
+// Package memnet is a deterministic in-memory packet network with
+// injectable faults, shaped like UDP: datagrams between endpoints may
+// be delayed, dropped (Bernoulli or Gilbert–Elliott burst loss),
+// duplicated or reordered, and whole endpoints can be partitioned away
+// ("down") to emulate silent crashes.
+//
+// Its endpoints satisfy internal/fleet's PacketConn contract, so the
+// production shard event loops run over it unchanged — that is the
+// point: the conformance harness (internal/conformance) drives the
+// real fleet runtime over a hostile fake network built from the same
+// simnet loss/delay models a scenario Spec compiles to, and compares
+// the outcome against the discrete-event simulator.
+//
+// # Determinism
+//
+// All fault draws come from per-link sub-streams forked off one seed:
+// the link a→b draws loss, delay, duplication and reordering from
+// rng.Fork("link/<a>/<b>"), and endpoint addresses are assigned in
+// Listen order from a fixed synthetic range. Senders are serialised
+// per link (the fleet serialises sends under its shard mutex), so for
+// a fixed seed the n-th datagram on a link always sees the same fate,
+// independent of goroutine scheduling across links. Delivery *order*
+// across links still depends on wall-clock timing — memnet makes the
+// fault pattern reproducible, not the interleaving; the conformance
+// harness therefore asserts invariants and tolerance-banded metrics,
+// not exact traces.
+//
+// Packets in flight ride real time.AfterFunc timers: a delay model's
+// draw is honoured on the wall clock, which both realises reordering
+// (a slow packet is overtaken by a fast successor) and keeps the
+// engines' real-time timeouts meaningful.
+package memnet
+
+import (
+	"errors"
+	"fmt"
+	"net/netip"
+	"sync"
+	"time"
+
+	"presence/internal/rng"
+	"presence/internal/simnet"
+)
+
+// Faults configures the injected network faults. The zero value is a
+// perfect network: instant, lossless, exactly-once.
+type Faults struct {
+	// Seed derives every fault stream (per-link forks).
+	Seed uint64
+	// Delay draws the one-way transit time per datagram (shared across
+	// links; implementations must be stateless, which all simnet delay
+	// models are). Nil means instant delivery.
+	Delay simnet.DelayModel
+	// NewLoss builds one loss model instance per link. A factory rather
+	// than an instance because Gilbert–Elliott channels carry state and
+	// must not be shared across links (or goroutines). Nil means no
+	// loss.
+	NewLoss func() simnet.LossModel
+	// DuplicateP duplicates each delivered datagram with this
+	// probability; the copy draws its own delay.
+	DuplicateP float64
+	// ReorderP holds a datagram back with this probability by adding
+	// ReorderDelay on top of its drawn delay, letting later traffic on
+	// the link overtake it.
+	ReorderP float64
+	// ReorderDelay is the extra hold applied to reordered datagrams.
+	// Zero means 2 ms (several paper-mode transit times).
+	ReorderDelay time.Duration
+}
+
+// Verdict classifies what happened to one datagram.
+type Verdict uint8
+
+// Verdicts, in the order a datagram meets them.
+const (
+	// Lost: the link's loss model dropped it.
+	Lost Verdict = iota + 1
+	// DroppedDown: the source or destination endpoint was down or gone.
+	DroppedDown
+	// Overflowed: the destination inbox was full at delivery time.
+	Overflowed
+	// Delivered: handed to the destination endpoint.
+	Delivered
+)
+
+// String implements fmt.Stringer.
+func (v Verdict) String() string {
+	switch v {
+	case Lost:
+		return "lost"
+	case DroppedDown:
+		return "dropped-down"
+	case Overflowed:
+		return "overflowed"
+	case Delivered:
+		return "delivered"
+	default:
+		return fmt.Sprintf("Verdict(%d)", uint8(v))
+	}
+}
+
+// PacketEvent is one datagram outcome reported to the observer.
+// Delivered and Overflowed events fire at delivery time, Lost and
+// DroppedDown at send time (or at delivery, if the endpoint went down
+// while the datagram was in flight). Duplicate reports whether the
+// datagram was a duplicated copy.
+type PacketEvent struct {
+	// At is the offset from the network's construction.
+	At time.Duration
+	// From and To are the endpoint addresses.
+	From, To netip.AddrPort
+	// Frame is the datagram payload. The slice is only valid for the
+	// duration of the observer call; copy it to keep it.
+	Frame []byte
+	// Verdict is the datagram's fate.
+	Verdict Verdict
+	// Duplicate marks an injected duplicate copy.
+	Duplicate bool
+}
+
+// Observer receives packet events. It is called synchronously from
+// send and delivery paths (possibly from several goroutines) and must
+// be cheap; the Network serialises calls with its own mutex.
+type Observer func(ev PacketEvent)
+
+// Counters aggregates datagram accounting.
+type Counters struct {
+	Sent       uint64 // accepted from an endpoint
+	Delivered  uint64
+	Lost       uint64
+	Duplicated uint64 // extra copies injected
+	Dropped    uint64 // down/unregistered endpoints
+	Overflowed uint64 // full inboxes
+}
+
+// Network is an in-memory datagram network. All methods are safe for
+// concurrent use.
+type Network struct {
+	faults Faults
+	root   *rng.Rand
+	epoch  time.Time
+
+	mu       sync.Mutex
+	eps      map[netip.AddrPort]*Endpoint
+	links    map[linkKey]*link
+	down     map[netip.AddrPort]bool
+	nextPort uint16
+	counters Counters
+	observer Observer
+	closed   bool
+}
+
+type linkKey struct {
+	from, to netip.AddrPort
+}
+
+// link carries the per-link fault state: its own RNG stream and its
+// own (possibly stateful) loss model.
+type link struct {
+	r    *rng.Rand
+	loss simnet.LossModel
+}
+
+// memnetAddr is the synthetic address space endpoints are allocated
+// from. The range is private (TEST-NET-2) so a stray real socket can
+// never collide with it.
+var memnetAddr = netip.AddrFrom4([4]byte{198, 51, 100, 1})
+
+// New builds a network with the given fault plan.
+func New(f Faults) *Network {
+	if f.ReorderDelay == 0 {
+		f.ReorderDelay = 2 * time.Millisecond
+	}
+	return &Network{
+		faults:   f,
+		root:     rng.New(f.Seed),
+		epoch:    time.Now(),
+		eps:      make(map[netip.AddrPort]*Endpoint),
+		links:    make(map[linkKey]*link),
+		down:     make(map[netip.AddrPort]bool),
+		nextPort: 9000,
+	}
+}
+
+// Observe installs the packet observer (nil removes it). Install it
+// before traffic starts; events already in flight may slip past an
+// observer installed late.
+func (n *Network) Observe(obs Observer) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.observer = obs
+}
+
+// Counters returns a snapshot of the datagram accounting.
+func (n *Network) Counters() Counters {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	return n.counters
+}
+
+// Since returns the offset from the network's construction — the
+// timebase of PacketEvent.At.
+func (n *Network) Since() time.Duration { return time.Since(n.epoch) }
+
+// Listen allocates a new endpoint with the next synthetic address.
+// Addresses are assigned deterministically in call order.
+func (n *Network) Listen() (*Endpoint, error) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, errors.New("memnet: network closed")
+	}
+	if n.nextPort == 0 {
+		return nil, errors.New("memnet: address space exhausted")
+	}
+	addr := netip.AddrPortFrom(memnetAddr, n.nextPort)
+	n.nextPort++
+	e := &Endpoint{
+		n:      n,
+		addr:   addr,
+		inbox:  make(chan datagram, inboxCap),
+		closed: make(chan struct{}),
+	}
+	n.eps[addr] = e
+	return e, nil
+}
+
+// SetDown partitions an endpoint address away (true) or heals it
+// (false): while down, every datagram to or from the address is
+// dropped, including datagrams already in flight — a silent crash, as
+// opposed to Endpoint.Close, which also wakes blocked readers.
+func (n *Network) SetDown(addr netip.AddrPort, down bool) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if down {
+		n.down[addr] = true
+	} else {
+		delete(n.down, addr)
+	}
+}
+
+// Close tears the network down; subsequent sends are dropped silently.
+// Endpoints are not closed (their owners close them).
+func (n *Network) Close() {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.closed = true
+}
+
+// linkFor returns (creating on first use) the fault state of a→b.
+// Caller holds n.mu.
+func (n *Network) linkFor(from, to netip.AddrPort) *link {
+	key := linkKey{from, to}
+	l, ok := n.links[key]
+	if !ok {
+		l = &link{r: n.root.Fork(fmt.Sprintf("link/%s/%s", from, to))}
+		if n.faults.NewLoss != nil {
+			l.loss = n.faults.NewLoss()
+		}
+		n.links[key] = l
+	}
+	return l
+}
+
+// emit reports one packet event. Caller holds n.mu.
+func (n *Network) emit(from, to netip.AddrPort, frame []byte, v Verdict, dup bool) {
+	switch v {
+	case Delivered:
+		n.counters.Delivered++
+	case Lost:
+		n.counters.Lost++
+	case DroppedDown:
+		n.counters.Dropped++
+	case Overflowed:
+		n.counters.Overflowed++
+	}
+	if n.observer != nil {
+		n.observer(PacketEvent{
+			At: time.Since(n.epoch), From: from, To: to,
+			Frame: frame, Verdict: v, Duplicate: dup,
+		})
+	}
+}
+
+// send applies the link's fault plan to one datagram and schedules the
+// surviving copies.
+func (n *Network) send(from, to netip.AddrPort, b []byte) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	n.counters.Sent++
+	if n.down[from] || n.down[to] {
+		n.emit(from, to, b, DroppedDown, false)
+		n.mu.Unlock()
+		return
+	}
+	l := n.linkFor(from, to)
+	if l.loss != nil && l.loss.Lose(l.r) {
+		n.emit(from, to, b, Lost, false)
+		n.mu.Unlock()
+		return
+	}
+	delay := n.drawDelay(l)
+	dup := n.faults.DuplicateP > 0 && l.r.Bool(n.faults.DuplicateP)
+	var dupDelay time.Duration
+	if dup {
+		n.counters.Duplicated++
+		dupDelay = n.drawDelay(l)
+	}
+	n.mu.Unlock()
+
+	frame := make([]byte, len(b))
+	copy(frame, b)
+	n.transmit(datagram{from: from, to: to, frame: frame}, delay)
+	if dup {
+		n.transmit(datagram{from: from, to: to, frame: frame, duplicate: true}, dupDelay)
+	}
+}
+
+// drawDelay draws one transit time, including a possible reorder hold.
+// Caller holds n.mu.
+func (n *Network) drawDelay(l *link) time.Duration {
+	var d time.Duration
+	if n.faults.Delay != nil {
+		d = n.faults.Delay.Delay(l.r)
+		if d < 0 {
+			d = 0
+		}
+	}
+	if n.faults.ReorderP > 0 && l.r.Bool(n.faults.ReorderP) {
+		d += n.faults.ReorderDelay
+	}
+	return d
+}
+
+// transmit puts one copy in flight, delivering inline when there is no
+// delay to wait out.
+func (n *Network) transmit(d datagram, delay time.Duration) {
+	if delay <= 0 {
+		n.deliver(d)
+		return
+	}
+	time.AfterFunc(delay, func() { n.deliver(d) })
+}
+
+// deliver completes one delivery attempt.
+func (n *Network) deliver(d datagram) {
+	n.mu.Lock()
+	if n.closed {
+		n.mu.Unlock()
+		return
+	}
+	if n.down[d.from] || n.down[d.to] {
+		n.emit(d.from, d.to, d.frame, DroppedDown, d.duplicate)
+		n.mu.Unlock()
+		return
+	}
+	e, ok := n.eps[d.to]
+	if !ok {
+		n.emit(d.from, d.to, d.frame, DroppedDown, d.duplicate)
+		n.mu.Unlock()
+		return
+	}
+	select {
+	case e.inbox <- d:
+		n.emit(d.from, d.to, d.frame, Delivered, d.duplicate)
+	default:
+		n.emit(d.from, d.to, d.frame, Overflowed, d.duplicate)
+	}
+	n.mu.Unlock()
+}
+
+// datagram is one in-flight packet copy.
+type datagram struct {
+	from, to  netip.AddrPort
+	frame     []byte
+	duplicate bool
+}
+
+// inboxCap bounds each endpoint's receive queue, standing in for the
+// kernel socket buffer.
+const inboxCap = 4096
+
+// Endpoint is one attachment point: memnet's stand-in for a bound UDP
+// socket. It satisfies internal/fleet's PacketConn contract. Reads are
+// intended for a single goroutine (the shard event loop); writes may
+// come from any goroutine.
+type Endpoint struct {
+	n    *Network
+	addr netip.AddrPort
+
+	inbox chan datagram
+
+	mu       sync.Mutex
+	deadline time.Time
+	closed   chan struct{}
+	once     sync.Once
+}
+
+// LocalAddrPort returns the endpoint's address.
+func (e *Endpoint) LocalAddrPort() netip.AddrPort { return e.addr }
+
+// SetReadDeadline bounds the next ReadFromUDPAddrPort. The zero time
+// means no deadline.
+func (e *Endpoint) SetReadDeadline(t time.Time) error {
+	e.mu.Lock()
+	e.deadline = t
+	e.mu.Unlock()
+	return nil
+}
+
+// errClosed reports reads/writes on a closed endpoint.
+var errClosed = errors.New("memnet: endpoint closed")
+
+// timeoutError satisfies net.Error with Timeout() true, which is what
+// the fleet shard loop checks to distinguish a read deadline from a
+// dead socket.
+type timeoutError struct{}
+
+func (timeoutError) Error() string   { return "memnet: read deadline exceeded" }
+func (timeoutError) Timeout() bool   { return true }
+func (timeoutError) Temporary() bool { return true }
+
+// ReadFromUDPAddrPort blocks for the next datagram, the deadline or
+// Close, whichever comes first.
+func (e *Endpoint) ReadFromUDPAddrPort(b []byte) (int, netip.AddrPort, error) {
+	e.mu.Lock()
+	deadline := e.deadline
+	e.mu.Unlock()
+	var timeout <-chan time.Time
+	if !deadline.IsZero() {
+		wait := time.Until(deadline)
+		if wait <= 0 {
+			// Drain anything already queued before declaring a timeout,
+			// mirroring a kernel socket with data ready.
+			select {
+			case d := <-e.inbox:
+				return copy(b, d.frame), d.from, nil
+			default:
+				return 0, netip.AddrPort{}, timeoutError{}
+			}
+		}
+		t := time.NewTimer(wait)
+		defer t.Stop()
+		timeout = t.C
+	}
+	select {
+	case d := <-e.inbox:
+		return copy(b, d.frame), d.from, nil
+	case <-e.closed:
+		return 0, netip.AddrPort{}, errClosed
+	case <-timeout:
+		return 0, netip.AddrPort{}, timeoutError{}
+	}
+}
+
+// WriteToUDPAddrPort sends one datagram through the network's fault
+// plan. It never blocks and, like UDP, never reports delivery failure.
+func (e *Endpoint) WriteToUDPAddrPort(b []byte, addr netip.AddrPort) (int, error) {
+	select {
+	case <-e.closed:
+		return 0, errClosed
+	default:
+	}
+	e.n.send(e.addr, addr, b)
+	return len(b), nil
+}
+
+// Close detaches the endpoint and wakes any blocked reader.
+func (e *Endpoint) Close() error {
+	e.once.Do(func() {
+		close(e.closed)
+		e.n.mu.Lock()
+		delete(e.n.eps, e.addr)
+		e.n.mu.Unlock()
+	})
+	return nil
+}

@@ -1,0 +1,307 @@
+package memnet_test
+
+import (
+	"errors"
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"presence/internal/core"
+	"presence/internal/core/dcpp"
+	"presence/internal/fleet"
+	"presence/internal/ident"
+	"presence/internal/memnet"
+	"presence/internal/simnet"
+)
+
+// verdictLog records packet fates in arrival order.
+type verdictLog struct {
+	mu  sync.Mutex
+	seq []memnet.Verdict
+}
+
+func (l *verdictLog) observe(ev memnet.PacketEvent) {
+	l.mu.Lock()
+	l.seq = append(l.seq, ev.Verdict)
+	l.mu.Unlock()
+}
+
+func (l *verdictLog) snapshot() []memnet.Verdict {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	out := make([]memnet.Verdict, len(l.seq))
+	copy(out, l.seq)
+	return out
+}
+
+// TestFaultPatternDeterministic: for a fixed seed, the n-th datagram
+// on a link always meets the same fate — the property the conformance
+// harness's reproducibility rests on.
+func TestFaultPatternDeterministic(t *testing.T) {
+	run := func(seed uint64) []memnet.Verdict {
+		n := memnet.New(memnet.Faults{
+			Seed: seed,
+			NewLoss: func() simnet.LossModel {
+				return &simnet.GilbertElliott{GoodToBad: 0.2, BadToGood: 0.3, LossBad: 0.8, LossGood: 0.05}
+			},
+		})
+		defer n.Close()
+		log := &verdictLog{}
+		n.Observe(log.observe)
+		a, err := n.Listen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, err := n.Listen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 200; i++ {
+			if _, err := a.WriteToUDPAddrPort([]byte{byte(i)}, b.LocalAddrPort()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return log.snapshot()
+	}
+	first, second := run(7), run(7)
+	if len(first) != 200 || len(second) != 200 {
+		t.Fatalf("event counts = %d, %d; want 200 each", len(first), len(second))
+	}
+	var lost int
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("datagram %d fate differs across runs: %v vs %v", i, first[i], second[i])
+		}
+		if first[i] == memnet.Lost {
+			lost++
+		}
+	}
+	if lost == 0 || lost == 200 {
+		t.Fatalf("Gilbert-Elliott channel lost %d/200 — loss model not exercised", lost)
+	}
+	other := run(8)
+	same := true
+	for i := range first {
+		if first[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("seed 7 and seed 8 produced identical fault patterns")
+	}
+}
+
+func TestDeliveryAndAddressing(t *testing.T) {
+	n := memnet.New(memnet.Faults{})
+	defer n.Close()
+	a, _ := n.Listen()
+	b, _ := n.Listen()
+	if a.LocalAddrPort() == b.LocalAddrPort() {
+		t.Fatalf("endpoints share address %v", a.LocalAddrPort())
+	}
+	if _, err := a.WriteToUDPAddrPort([]byte("hello"), b.LocalAddrPort()); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	b.SetReadDeadline(time.Now().Add(time.Second))
+	got, from, err := b.ReadFromUDPAddrPort(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:got]) != "hello" || from != a.LocalAddrPort() {
+		t.Fatalf("read %q from %v", buf[:got], from)
+	}
+	c := n.Counters()
+	if c.Sent != 1 || c.Delivered != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+}
+
+func TestReadDeadlineIsNetTimeout(t *testing.T) {
+	n := memnet.New(memnet.Faults{})
+	defer n.Close()
+	e, _ := n.Listen()
+	e.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+	_, _, err := e.ReadFromUDPAddrPort(make([]byte, 16))
+	var nerr net.Error
+	if !errorsAs(err, &nerr) || !nerr.Timeout() {
+		t.Fatalf("deadline error = %v, want net.Error with Timeout()", err)
+	}
+	// A queued datagram beats an already-expired deadline, like a kernel
+	// socket with data ready.
+	f, _ := n.Listen()
+	f.WriteToUDPAddrPort([]byte("x"), e.LocalAddrPort())
+	waitFor(t, time.Second, "queued datagram", func() bool { return n.Counters().Delivered == 1 })
+	e.SetReadDeadline(time.Now().Add(-time.Second))
+	if _, _, err := e.ReadFromUDPAddrPort(make([]byte, 16)); err != nil {
+		t.Fatalf("read with queued data = %v", err)
+	}
+}
+
+func TestCloseWakesReader(t *testing.T) {
+	n := memnet.New(memnet.Faults{})
+	defer n.Close()
+	e, _ := n.Listen()
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := e.ReadFromUDPAddrPort(make([]byte, 16))
+		done <- err
+	}()
+	time.Sleep(20 * time.Millisecond)
+	e.Close()
+	select {
+	case err := <-done:
+		var nerr net.Error
+		if err == nil || (errorsAs(err, &nerr) && nerr.Timeout()) {
+			t.Fatalf("close error = %v, want non-timeout error", err)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("reader not woken by Close")
+	}
+}
+
+func TestSetDownPartitions(t *testing.T) {
+	n := memnet.New(memnet.Faults{})
+	defer n.Close()
+	a, _ := n.Listen()
+	b, _ := n.Listen()
+	n.SetDown(b.LocalAddrPort(), true)
+	a.WriteToUDPAddrPort([]byte("x"), b.LocalAddrPort())
+	if c := n.Counters(); c.Dropped != 1 || c.Delivered != 0 {
+		t.Fatalf("counters with dst down = %+v", c)
+	}
+	n.SetDown(b.LocalAddrPort(), false)
+	a.WriteToUDPAddrPort([]byte("y"), b.LocalAddrPort())
+	waitFor(t, time.Second, "healed delivery", func() bool { return n.Counters().Delivered == 1 })
+}
+
+func TestDuplicationAndReordering(t *testing.T) {
+	n := memnet.New(memnet.Faults{Seed: 3, DuplicateP: 1})
+	defer n.Close()
+	a, _ := n.Listen()
+	b, _ := n.Listen()
+	a.WriteToUDPAddrPort([]byte("x"), b.LocalAddrPort())
+	waitFor(t, time.Second, "duplicate copies", func() bool { return n.Counters().Delivered == 2 })
+
+	// Reordering: held-back datagrams are overtaken by later traffic.
+	n2 := memnet.New(memnet.Faults{Seed: 5, ReorderP: 0.5, ReorderDelay: 5 * time.Millisecond})
+	defer n2.Close()
+	var mu sync.Mutex
+	var order []byte
+	n2.Observe(func(ev memnet.PacketEvent) {
+		if ev.Verdict == memnet.Delivered {
+			mu.Lock()
+			order = append(order, ev.Frame[0])
+			mu.Unlock()
+		}
+	})
+	c, _ := n2.Listen()
+	d, _ := n2.Listen()
+	const msgs = 100
+	for i := 0; i < msgs; i++ {
+		c.WriteToUDPAddrPort([]byte{byte(i)}, d.LocalAddrPort())
+	}
+	waitFor(t, 2*time.Second, "all deliveries", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(order) == msgs
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	inOrder := true
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inOrder = false
+			break
+		}
+	}
+	if inOrder {
+		t.Fatal("no reordering observed across 100 datagrams with ReorderP=0.5")
+	}
+}
+
+// TestFleetOverMemnet runs the real fleet runtime — shard loops, timer
+// wheels, demux — over the in-memory transport: a DCPP device fleet
+// and a CP fleet complete probe cycles over a paper-modes network.
+func TestFleetOverMemnet(t *testing.T) {
+	n := memnet.New(memnet.Faults{Seed: 1, Delay: simnet.PaperModes()})
+	defer n.Close()
+	transport := fleet.TransportFunc(func(int) (fleet.PacketConn, error) { return n.Listen() })
+
+	devFleet, err := fleet.New(fleet.Config{Shards: 1, Transport: transport})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devFleet.Close()
+	if err := devFleet.Start(); err != nil {
+		t.Fatal(err)
+	}
+	devCfg := dcpp.DeviceConfig{MinGap: 5 * time.Millisecond, MinCPDelay: 20 * time.Millisecond}
+	dev, err := devFleet.AddDevice(1, func(env core.Env) (core.Device, error) {
+		return dcpp.NewDevice(1, env, devCfg)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cpFleet, err := fleet.New(fleet.Config{Shards: 2, Transport: transport})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cpFleet.Close()
+	if err := cpFleet.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cps := make([]*fleet.ControlPoint, 4)
+	for i := range cps {
+		policy, err := dcpp.NewPolicy(dcpp.PolicyConfig{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cps[i], err = cpFleet.AddControlPoint(fleet.CPConfig{
+			ID: ident.NodeID(100 + i), Device: 1,
+			DeviceAddrPort: dev.Addr(), Policy: policy,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 5*time.Second, "cycles over memnet", func() bool {
+		for _, cp := range cps {
+			if cp.Stats().CyclesOK < 3 {
+				return false
+			}
+		}
+		return true
+	})
+
+	// A partition of the device is a silent crash: every CP detects the
+	// absence within the retransmit budget.
+	n.SetDown(dev.Addr(), true)
+	waitFor(t, 5*time.Second, "absence detection", func() bool {
+		for _, cp := range cps {
+			if !cp.Stopped() {
+				return false
+			}
+		}
+		return true
+	})
+}
+
+func waitFor(t *testing.T, timeout time.Duration, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(timeout)
+	for time.Now().Before(deadline) {
+		if cond() {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("timed out waiting for %s", what)
+}
+
+func errorsAs(err error, target *net.Error) bool {
+	return errors.As(err, target)
+}

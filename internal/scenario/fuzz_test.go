@@ -1,0 +1,46 @@
+package scenario
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzSpecRoundTrip: for arbitrary input bytes, Decode either rejects
+// them or yields a Spec whose encoding is a JSON fixed point —
+// decode→encode→decode must converge after one hop, the guarantee that
+// lets scenarios live in files (and registries) without drifting.
+func FuzzSpecRoundTrip(f *testing.F) {
+	for _, s := range All() {
+		b, err := s.Encode()
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(b)
+	}
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"name":"x","protocol":"dcpp","horizon":"60s","population":{"static":{"cps":1}}}`))
+	f.Add([]byte(`{"name":"x","protocol":"sapp","horizon":"1h","population":{"markov_sessions":` +
+		`{"members":3,"mean_on":"5m","mean_off":"10m","start_on":0.5}},"net":{"loss":{"bernoulli":0.25},` +
+		`"delay":{"modes":["1ms","2ms"]},"duplicate_p":0.01},"crash_at":["30m"]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		spec, err := Decode(data)
+		if err != nil {
+			return // invalid inputs must be rejected, not round-tripped
+		}
+		enc1, err := spec.Encode()
+		if err != nil {
+			t.Fatalf("decoded spec does not encode: %v\ninput: %q", err, data)
+		}
+		again, err := Decode(enc1)
+		if err != nil {
+			t.Fatalf("encoded spec does not decode: %v\nencoded: %s", err, enc1)
+		}
+		enc2, err := again.Encode()
+		if err != nil {
+			t.Fatalf("re-decoded spec does not encode: %v", err)
+		}
+		if !bytes.Equal(enc1, enc2) {
+			t.Fatalf("encode→decode→encode is not a fixed point:\n--- first\n%s\n--- second\n%s", enc1, enc2)
+		}
+	})
+}

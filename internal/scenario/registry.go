@@ -152,4 +152,51 @@ func init() {
 			GoodToBad: 0.02, BadToGood: 0.2, LossGood: 0.01, LossBad: 0.5,
 		}}},
 	})
+
+	// Conformance-sized scenarios: the same dynamics compressed so a
+	// real-time fleet replay finishes in seconds. internal/conformance
+	// runs each through both the simulator and the fleet runtime (over
+	// internal/memnet) and diffs the outcomes; they are registered so
+	// the battery is reproducible from the CLI like any other scenario.
+	// Device processing delay is disabled because the fleet's hosted
+	// device engines answer synchronously — both runtimes then share
+	// one timing model.
+	Register(&Spec{
+		Name:        "conf-churn",
+		Description: "conformance: DCPP under fast uniform churn (pop U{4..12}, redraw ~1.25s), device crash at t=3s",
+		Protocol:    "dcpp",
+		Horizon:     sec(5),
+		Population: Population{UniformChurn: &UniformChurn{
+			Min: 4, Max: 12, Rate: 0.8,
+		}},
+		Processing: &Processing{Disabled: true},
+		CrashAt:    []Duration{sec(3)},
+	})
+	Register(&Spec{
+		Name:        "conf-bursty-loss",
+		Description: "conformance: fast uniform churn over a Gilbert-Elliott burst-loss channel, device crash at t=3s",
+		Protocol:    "dcpp",
+		Horizon:     sec(5),
+		Population: Population{UniformChurn: &UniformChurn{
+			Min: 4, Max: 12, Rate: 0.8,
+		}},
+		Net: &Net{Loss: &Loss{GilbertElliott: &GilbertElliott{
+			GoodToBad: 0.05, BadToGood: 0.3, LossGood: 0.01, LossBad: 0.5,
+		}}},
+		Processing: &Processing{Disabled: true},
+		CrashAt:    []Duration{sec(3)},
+	})
+	Register(&Spec{
+		Name:        "conf-flash-crowd",
+		Description: "conformance: correlated join/leave bursts (cohorts of 3-6, ~2s apart), graceful device bye at t=3.5s",
+		Protocol:    "dcpp",
+		Horizon:     sec(5),
+		Population: Population{FlashCrowd: &FlashCrowdSpec{
+			Base: 4, BaseSpread: sec(0.5),
+			BurstRate: 0.5, BurstMin: 3, BurstMax: 6,
+			DwellMin: sec(1), DwellMax: sec(2),
+		}},
+		Processing: &Processing{Disabled: true},
+		ByeAt:      []Duration{sec(3.5)},
+	})
 }

@@ -172,6 +172,16 @@ func (c *Config) applyDefaults() {
 	c.Processing.applyDefaults()
 }
 
+// WithDefaults returns a copy with zero-value fields replaced by the
+// paper defaults — the same normalisation NewWorld applies internally,
+// exposed for runtimes that must mirror the simulator's effective
+// configuration (internal/conformance builds the fleet replay's
+// engines from it).
+func (c Config) WithDefaults() Config {
+	c.applyDefaults()
+	return c
+}
+
 // Validate checks the assembled configuration.
 func (c Config) Validate() error {
 	if !c.Protocol.Valid() {

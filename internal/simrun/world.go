@@ -244,6 +244,14 @@ type World struct {
 	// OnCPLost, if set, is invoked whenever a CP locally detects a
 	// device's absence.
 	OnCPLost func(h *CPHost, at time.Duration)
+	// OnCPJoin and OnCPLeave, if set, observe membership changes — the
+	// hook internal/conformance uses to lift a scenario's join/leave
+	// schedule out of a simulation run and replay it against the fleet
+	// runtime. Set them before installing a population model: models
+	// may join CPs at install time. The hooks must not mutate the
+	// world.
+	OnCPJoin  func(h *CPHost)
+	OnCPLeave func(h *CPHost, at time.Duration)
 }
 
 // NewWorld builds a world with Config.Devices devices attached (default
@@ -462,6 +470,9 @@ func (w *World) AddCP() (*CPHost, error) {
 		host.Registry.Start()
 	}
 	w.tracer.Event("join", "%s (%v)", host.Name, host.ID)
+	if w.OnCPJoin != nil {
+		w.OnCPJoin(host)
+	}
 	for _, p := range host.proberList {
 		p.Start()
 	}
@@ -585,6 +596,9 @@ func (w *World) RemoveCP(id ident.NodeID) {
 	h.active = false
 	w.tracer.Event("leave", "%s (%v)", h.Name, id)
 	w.noteCPCount(-1)
+	if w.OnCPLeave != nil {
+		w.OnCPLeave(h, w.sim.Now())
+	}
 }
 
 // ActiveCPs returns the currently attached CPs in join order.

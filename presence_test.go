@@ -176,6 +176,136 @@ func TestFleetFacade(t *testing.T) {
 	}
 }
 
+// TestFacadeConstructorErrorPaths: every facade constructor must turn
+// an invalid configuration into an error — never a panic, never a
+// half-built node. Table-driven over the fleet, UDP and scenario entry
+// points.
+func TestFacadeConstructorErrorPaths(t *testing.T) {
+	// A started fleet for the NewFleet*ControlPoint rows.
+	f, err := presence.NewFleet(presence.FleetConfig{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// A stopped (never started) fleet.
+	idle, err := presence.NewFleet(presence.FleetConfig{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer idle.Close()
+
+	validCP := presence.FleetCPConfig{ID: 2, Device: 1, DeviceAddr: "127.0.0.1:9"}
+
+	cases := []struct {
+		name string
+		call func() error
+	}{
+		{"fleet-dcpp-cp/negative-max-wait", func() error {
+			_, err := presence.NewFleetDCPPControlPoint(f, validCP,
+				presence.DCPPPolicyConfig{MaxWait: -time.Second}, nil)
+			return err
+		}},
+		{"fleet-dcpp-cp/zero-id", func() error {
+			_, err := presence.NewFleetDCPPControlPoint(f, presence.FleetCPConfig{
+				Device: 1, DeviceAddr: "127.0.0.1:9",
+			}, presence.DCPPPolicyConfig{}, nil)
+			return err
+		}},
+		{"fleet-dcpp-cp/bad-device-addr", func() error {
+			_, err := presence.NewFleetDCPPControlPoint(f, presence.FleetCPConfig{
+				ID: 2, Device: 1, DeviceAddr: "not-an-address:xx",
+			}, presence.DCPPPolicyConfig{}, nil)
+			return err
+		}},
+		{"fleet-dcpp-cp/not-started", func() error {
+			_, err := presence.NewFleetDCPPControlPoint(idle, validCP, presence.DCPPPolicyConfig{}, nil)
+			return err
+		}},
+		{"fleet-sapp-cp/negative-min-delay", func() error {
+			cfg := presence.DefaultSAPPCPConfig()
+			cfg.MinDelay = -time.Second
+			_, err := presence.NewFleetSAPPControlPoint(f, validCP, cfg, nil)
+			return err
+		}},
+		{"fleet-sapp-cp/inverted-delay-bounds", func() error {
+			cfg := presence.DefaultSAPPCPConfig()
+			cfg.MinDelay, cfg.MaxDelay = time.Second, time.Millisecond
+			_, err := presence.NewFleetSAPPControlPoint(f, validCP, cfg, nil)
+			return err
+		}},
+		{"fleet/negative-shards", func() error {
+			_, err := presence.NewFleet(presence.FleetConfig{Shards: -3})
+			return err
+		}},
+		{"udp-dcpp-device/bad-listen-addr", func() error {
+			_, err := presence.NewUDPDCPPDevice(presence.UDPDeviceConfig{
+				ID: 1, ListenAddr: "no-such-host-xyz:badport",
+			}, presence.DefaultDCPPDeviceConfig())
+			return err
+		}},
+		{"udp-dcpp-device/negative-min-gap", func() error {
+			_, err := presence.NewUDPDCPPDevice(presence.UDPDeviceConfig{
+				ID: 1, ListenAddr: "127.0.0.1:0",
+			}, presence.DCPPDeviceConfig{MinGap: -time.Second, MinCPDelay: time.Second})
+			return err
+		}},
+		{"udp-sapp-device/zero-nominal-load", func() error {
+			cfg := presence.DefaultSAPPDeviceConfig()
+			cfg.NominalLoad = -1
+			_, err := presence.NewUDPSAPPDevice(presence.UDPDeviceConfig{
+				ID: 1, ListenAddr: "127.0.0.1:0",
+			}, cfg)
+			return err
+		}},
+		{"udp-naive-device/zero-id", func() error {
+			_, err := presence.NewUDPNaiveDevice(presence.UDPDeviceConfig{ListenAddr: "127.0.0.1:0"})
+			return err
+		}},
+		{"udp-dcpp-cp/bad-device-addr", func() error {
+			_, err := presence.NewUDPDCPPControlPoint(presence.UDPControlPointConfig{
+				ID: 2, Device: 1, DeviceAddr: "not-an-address:xx",
+			}, presence.DCPPPolicyConfig{}, nil)
+			return err
+		}},
+		{"udp-sapp-cp/negative-max-wait-analogue", func() error {
+			cfg := presence.DefaultSAPPCPConfig()
+			cfg.Beta = 0
+			_, err := presence.NewUDPSAPPControlPoint(presence.UDPControlPointConfig{
+				ID: 2, Device: 1, DeviceAddr: "127.0.0.1:9",
+			}, cfg, nil)
+			return err
+		}},
+		{"resolve-scenario/unknown", func() error {
+			_, err := presence.ResolveScenario("no-such-scenario-or-file")
+			return err
+		}},
+		{"decode-scenario/garbage", func() error {
+			_, err := presence.DecodeScenario([]byte(`{"protocol":"swim"}`))
+			return err
+		}},
+		{"simulation/bad-protocol", func() error {
+			_, err := presence.NewSimulation(presence.SimConfig{Protocol: "swim"})
+			return err
+		}},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if r := recover(); r != nil {
+					t.Fatalf("constructor panicked: %v", r)
+				}
+			}()
+			if err := tc.call(); err == nil {
+				t.Fatal("invalid configuration accepted")
+			}
+		})
+	}
+}
+
 func TestNodeIDAlias(t *testing.T) {
 	var id presence.NodeID = 7
 	if id != ident.NodeID(7) {
