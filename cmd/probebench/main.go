@@ -5,7 +5,8 @@
 // Usage:
 //
 //	probebench [-scale paper|short] [-seed N] [-out DIR] [-only ID[,ID...]] [-plot] [-json [PATH]]
-//	           [-fleet] [-fleet-cps N] [-fleet-devices N] [-fleet-window D]
+//	           [-fleet] [-fleet-cps N] [-fleet-shards N] [-fleet-devices N] [-fleet-window D]
+//	           [-fleet-rate F] [-fleet-single] [-fleet-sweep SHARDSxCPSxRATE[s][m],...]
 //	           [-conformance] [-conformance-seed N] [-conformance-scenario NAME]
 //	probebench -scenario NAME|FILE [-seed N] [-out DIR] [-plot]
 //	probebench -compare OLD.json NEW.json [-compare-max-slowdown F] [-compare-max-alloc-growth F]
@@ -16,10 +17,15 @@
 // raw throughput (events/sec, allocs/op from the Fig. 5 churn scenario)
 // and of every experiment metric is written to PATH, or to the next free
 // BENCH_<n>.json in the working directory when PATH is empty — the
-// cross-PR performance trajectory. With -fleet, the internal/fleet
-// loopback scale harness also runs (10k control points against loopback
-// DCPP devices by default) and its measurements land in the snapshot's
-// "fleet" section. With -conformance, the simulator-vs-fleet
+// cross-PR performance trajectory (every -json snapshot also carries a
+// "shard_hot_path" section: BenchmarkShardHotPath's ns and allocs per
+// op for the batch and single-datagram paths, gated by -compare). With
+// -fleet, the internal/fleet loopback scale harness also runs (10k
+// control points against loopback DCPP devices by default; -fleet-rate
+// switches to the high-rate naive mode) and its measurements land in
+// the snapshot's "fleet.scale" section; -fleet-sweep appends high-rate
+// entries ("s" = single-datagram path, "m" = memnet transport) to
+// "fleet.sweep". With -conformance, the simulator-vs-fleet
 // differential battery (internal/conformance) runs and its results land
 // in the snapshot's "conformance" section; any failing case makes the
 // command exit non-zero. With -scenario, one declarative scenario
@@ -44,6 +50,7 @@ import (
 	"presence/internal/conformance"
 	"presence/internal/experiments"
 	"presence/internal/fleet"
+	"presence/internal/memnet"
 	"presence/internal/scenario"
 	"presence/internal/simrun"
 )
@@ -71,8 +78,12 @@ func run(args []string, out io.Writer) error {
 
 		fleetRun     = fs.Bool("fleet", false, "also run the fleet loopback scale harness (results land in the -json snapshot)")
 		fleetCPs     = fs.Int("fleet-cps", 10_000, "control points for -fleet")
+		fleetShards  = fs.Int("fleet-shards", 0, "CP-fleet shard count for -fleet (0 = GOMAXPROCS)")
 		fleetDevices = fs.Int("fleet-devices", 8, "loopback devices for -fleet")
 		fleetWindow  = fs.Duration("fleet-window", 5*time.Second, "steady-state measurement window for -fleet")
+		fleetRate    = fs.Float64("fleet-rate", 0, "per-CP probe budget (probes/s) for -fleet: high-rate naive mode instead of DCPP (0 = DCPP)")
+		fleetSingle  = fs.Bool("fleet-single", false, "run -fleet on the one-datagram-per-syscall fallback path")
+		fleetSweep   = fs.String("fleet-sweep", "", "comma-separated high-rate entries SHARDSxCPSxRATE[s][m] (s = single-datagram path, m = memnet transport), run after -fleet and recorded in the snapshot's fleet sweep")
 
 		confRun  = fs.Bool("conformance", false, "also run the simulator-vs-fleet conformance battery (internal/conformance); a failing case exits non-zero")
 		confSeed = fs.Uint64("conformance-seed", 2005, "seed for -conformance")
@@ -107,7 +118,7 @@ func run(args []string, out io.Writer) error {
 	if *scen != "" {
 		explicit := make(map[string]bool)
 		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-		for _, conflicting := range []string{"scale", "only", "json", "jsonpath", "fleet", "fleet-cps", "fleet-devices", "fleet-window", "conformance", "conformance-seed", "conformance-scenario"} {
+		for _, conflicting := range []string{"scale", "only", "json", "jsonpath", "fleet", "fleet-cps", "fleet-shards", "fleet-devices", "fleet-window", "fleet-rate", "fleet-single", "fleet-sweep", "conformance", "conformance-seed", "conformance-scenario"} {
 			if explicit[conflicting] {
 				return fmt.Errorf("-%s applies to the experiment suite, not to -scenario (the scenario defines its own horizon)", conflicting)
 			}
@@ -204,23 +215,56 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "    (%s)\n\n", time.Since(t0).Round(time.Millisecond))
 	}
 	fmt.Fprintf(out, "all experiments done in %s\n", time.Since(start).Round(time.Millisecond))
-	var fleetRes *fleet.ScaleResult
+	var fleetSec *fleetSection
 	if *fleetRun {
-		fmt.Fprintf(out, "==> fleet loopback scale (%d CPs, %d devices, %v window)\n",
-			*fleetCPs, *fleetDevices, *fleetWindow)
+		fmt.Fprintf(out, "==> fleet loopback scale (%d CPs, %d shard(s), %d devices, %v window)\n",
+			*fleetCPs, *fleetShards, *fleetDevices, *fleetWindow)
 		res, err := fleet.LoopbackScale(fleet.ScaleOptions{
-			CPs:     *fleetCPs,
-			Devices: *fleetDevices,
-			Window:  *fleetWindow,
+			CPs:                 *fleetCPs,
+			Shards:              *fleetShards,
+			Devices:             *fleetDevices,
+			Window:              *fleetWindow,
+			ProbeHz:             *fleetRate,
+			ForceSingleDatagram: *fleetSingle,
 		})
 		if err != nil {
 			return fmt.Errorf("fleet scale: %w", err)
 		}
-		fleetRes = &res
-		fmt.Fprintf(out, "    %d CPs steady on %d shard goroutine(s) after %.2fs; %.1f probes/s (budget %.1f/s); wheel depth %d; %d goroutines total\n",
+		fleetSec = &fleetSection{Scale: &res}
+		fmt.Fprintf(out, "    %d CPs steady on %d shard goroutine(s) after %.2fs; %.1f probes/s (budget %.1f/s); %.0f packets/s; batch fill %.1f in / %.1f out; wheel depth %d; %d goroutines total\n",
 			res.SteadyCPs, res.Shards, res.JoinSeconds,
-			res.SteadyProbesPerSec, res.BudgetProbesPerSec,
+			res.SteadyProbesPerSec, res.BudgetProbesPerSec, res.SteadyPacketsPerSec,
+			res.BatchFillMeanIn, res.BatchFillMeanOut,
 			res.WheelDepth, res.Goroutines)
+	}
+	if *fleetSweep != "" {
+		entries, err := parseFleetSweep(*fleetSweep)
+		if err != nil {
+			return err
+		}
+		if fleetSec == nil {
+			fleetSec = &fleetSection{}
+		}
+		for _, opts := range entries {
+			transport := "udp"
+			if opts.memnet {
+				transport = "memnet"
+				net := memnet.New(memnet.Faults{})
+				opts.opts.Transport = fleet.TransportFunc(func(int) (fleet.PacketConn, error) { return net.Listen() })
+			}
+			opts.opts.Window = *fleetWindow
+			fmt.Fprintf(out, "==> fleet sweep %dx%dx%g %s single=%v\n",
+				opts.opts.Shards, opts.opts.CPs, opts.opts.ProbeHz, transport, opts.opts.ForceSingleDatagram)
+			res, err := fleet.LoopbackScale(opts.opts)
+			if err != nil {
+				return fmt.Errorf("fleet sweep: %w", err)
+			}
+			res.Transport = transport
+			fleetSec.Sweep = append(fleetSec.Sweep, res)
+			fmt.Fprintf(out, "    %d CPs steady; %.0f probes/s of %.0f offered; %.0f packets/s; batch fill %.1f in / %.1f out; syscalls %d in / %d out\n",
+				res.SteadyCPs, res.SteadyProbesPerSec, res.BudgetProbesPerSec, res.SteadyPacketsPerSec,
+				res.BatchFillMeanIn, res.BatchFillMeanOut, res.SyscallsIn, res.SyscallsOut)
+		}
 	}
 	var confResults []*conformance.Result
 	if *confRun {
@@ -256,7 +300,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "report written to %s\n", path)
 	}
 	if *emit {
-		path, err := writeJSONSnapshot(*jpath, *seed, s, metricsByExperiment, fleetRes, confResults)
+		path, err := writeJSONSnapshot(*jpath, *seed, s, metricsByExperiment, fleetSec, confResults)
 		if err != nil {
 			return err
 		}
@@ -274,18 +318,83 @@ func conformanceNames(cases []conformance.Case) []string {
 	return names
 }
 
+// sweepEntry is one parsed -fleet-sweep element.
+type sweepEntry struct {
+	opts   fleet.ScaleOptions
+	memnet bool
+}
+
+// parseFleetSweep parses "SHARDSxCPSxRATE[s][m],..." — e.g.
+// "1x20000x10,1x20000x10s,1x20000x10m,1x20000x10sm": 1 shard, 20k CPs,
+// 10 probes/s per CP, on the batch and single paths over kernel UDP
+// and memnet.
+func parseFleetSweep(spec string) ([]sweepEntry, error) {
+	var out []sweepEntry
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		e := sweepEntry{}
+		for {
+			if strings.HasSuffix(part, "s") {
+				e.opts.ForceSingleDatagram = true
+				part = strings.TrimSuffix(part, "s")
+				continue
+			}
+			if strings.HasSuffix(part, "m") {
+				e.memnet = true
+				part = strings.TrimSuffix(part, "m")
+				continue
+			}
+			break
+		}
+		var rate float64
+		var shards, cps int
+		if _, err := fmt.Sscanf(part, "%dx%dx%g", &shards, &cps, &rate); err != nil {
+			return nil, fmt.Errorf("-fleet-sweep entry %q: want SHARDSxCPSxRATE[s][m]: %v", part, err)
+		}
+		e.opts.Shards, e.opts.CPs, e.opts.ProbeHz = shards, cps, rate
+		out = append(out, e)
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-fleet-sweep %q holds no entries", spec)
+	}
+	return out, nil
+}
+
 // benchSnapshot is the schema of the BENCH_<n>.json files: one throughput
 // measurement of the raw event loop plus every experiment metric (and,
 // with -fleet, the UDP fleet scale measurements), so PRs can be compared
 // mechanically.
 type benchSnapshot struct {
-	Generated   string                        `json:"generated"`
-	Seed        uint64                        `json:"seed"`
-	Scale       string                        `json:"scale"`
-	Throughput  throughputStats               `json:"throughput"`
-	Fleet       *fleet.ScaleResult            `json:"fleet,omitempty"`
+	Generated  string          `json:"generated"`
+	Seed       uint64          `json:"seed"`
+	Scale      string          `json:"scale"`
+	Throughput throughputStats `json:"throughput"`
+	// HotPath pins the shard packet path (BenchmarkShardHotPath, batch
+	// and single-datagram variants); -compare gates its allocs/op like
+	// the simulator's.
+	HotPath     *hotPathSection               `json:"shard_hot_path,omitempty"`
+	Fleet       *fleetSection                 `json:"fleet,omitempty"`
 	Conformance []*conformance.Result         `json:"conformance,omitempty"`
 	Metrics     map[string]map[string]float64 `json:"metrics"`
+}
+
+// fleetSection is the snapshot's fleet block: the protocol-budget
+// scale run plus any high-rate sweep entries. (Snapshots before PR 5
+// stored a bare ScaleResult here; -compare does not inspect the block,
+// so old files still load.)
+type fleetSection struct {
+	Scale *fleet.ScaleResult  `json:"scale,omitempty"`
+	Sweep []fleet.ScaleResult `json:"sweep,omitempty"`
+}
+
+// hotPathSection holds the shard hot-path measurements for both I/O
+// paths.
+type hotPathSection struct {
+	Batch  fleet.HotPathStats `json:"batch"`
+	Single fleet.HotPathStats `json:"single"`
 }
 
 type throughputStats struct {
@@ -346,10 +455,66 @@ func measureThroughput() (throughputStats, error) {
 	return st, nil
 }
 
+// measureHotPath runs the shard hot-path harness under
+// testing.Benchmark for both I/O paths — the same numbers as `go test
+// -bench BenchmarkShardHotPath`.
+func measureHotPath() (*hotPathSection, error) {
+	one := func(single bool) (fleet.HotPathStats, error) {
+		var (
+			setupErr   error
+			cps, perOp int
+		)
+		res := testing.Benchmark(func(b *testing.B) {
+			h, err := fleet.NewHotPathBench(fleet.HotPathOptions{ForceSingleDatagram: single})
+			if err != nil {
+				setupErr = err
+				return
+			}
+			defer h.Close()
+			cps, perOp = h.CPs(), h.PacketsPerStep()
+			for i := 0; i < 10; i++ {
+				h.Step() // warm-up, as in TestShardHotPathZeroAlloc
+			}
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				h.Step()
+			}
+		})
+		if setupErr != nil {
+			return fleet.HotPathStats{}, setupErr
+		}
+		st := fleet.HotPathStats{
+			CPs:          cps,
+			NsPerOp:      res.NsPerOp(),
+			AllocsPerOp:  res.AllocsPerOp(),
+			BytesPerOp:   res.AllocedBytesPerOp(),
+			PacketsPerOp: perOp,
+		}
+		if ns := res.NsPerOp(); ns > 0 {
+			st.PacketsPerSec = float64(perOp) / (float64(ns) / 1e9)
+		}
+		return st, nil
+	}
+	batch, err := one(false)
+	if err != nil {
+		return nil, err
+	}
+	single, err := one(true)
+	if err != nil {
+		return nil, err
+	}
+	return &hotPathSection{Batch: batch, Single: single}, nil
+}
+
 // writeJSONSnapshot measures throughput and writes the snapshot to path,
 // or to the next free BENCH_<n>.json when path is empty.
-func writeJSONSnapshot(path string, seed uint64, scale experiments.Scale, metrics map[string]map[string]float64, fleetRes *fleet.ScaleResult, confResults []*conformance.Result) (string, error) {
+func writeJSONSnapshot(path string, seed uint64, scale experiments.Scale, metrics map[string]map[string]float64, fleetSec *fleetSection, confResults []*conformance.Result) (string, error) {
 	tp, err := measureThroughput()
+	if err != nil {
+		return "", err
+	}
+	hp, err := measureHotPath()
 	if err != nil {
 		return "", err
 	}
@@ -358,7 +523,8 @@ func writeJSONSnapshot(path string, seed uint64, scale experiments.Scale, metric
 		Seed:        seed,
 		Scale:       string(scale),
 		Throughput:  tp,
-		Fleet:       fleetRes,
+		HotPath:     hp,
+		Fleet:       fleetSec,
 		Conformance: confResults,
 		Metrics:     metrics,
 	}
@@ -454,6 +620,16 @@ func runCompare(out io.Writer, oldPath, newPath string, maxSlow, maxAlloc float6
 	}
 	if maxSlow > 0 && slowdown > maxSlow {
 		fails = append(fails, fmt.Sprintf("ns/op grew %.1f%% (limit %.1f%%)", 100*slowdown, 100*maxSlow))
+	}
+	// The shard hot path is pinned at 0 allocs/op: with a zero old
+	// value a relative-growth gate cannot bite, so any regression at
+	// all fails (old snapshots without the section are skipped).
+	if oldSnap.HotPath != nil && newSnap.HotPath != nil {
+		oldA, newA := oldSnap.HotPath.Batch.AllocsPerOp, newSnap.HotPath.Batch.AllocsPerOp
+		fmt.Fprintf(out, "%-16s %14d %14d\n", "hotpath allocs", oldA, newA)
+		if maxAlloc > 0 && newA > oldA && float64(newA-oldA) > maxAlloc*float64(max(oldA, 1)) {
+			fails = append(fails, fmt.Sprintf("shard hot path allocs/op grew %d → %d", oldA, newA))
+		}
 	}
 	if len(fails) > 0 {
 		return fmt.Errorf("regression: %s", strings.Join(fails, "; "))

@@ -258,11 +258,43 @@ func TestFleetSnapshotSection(t *testing.T) {
 	if err := json.Unmarshal(b, &snap); err != nil {
 		t.Fatal(err)
 	}
-	if snap.Fleet == nil {
-		t.Fatal("snapshot has no fleet section")
+	if snap.Fleet == nil || snap.Fleet.Scale == nil {
+		t.Fatal("snapshot has no fleet scale section")
 	}
-	if snap.Fleet.SteadyCPs != 200 || snap.Fleet.SteadyProbesPerSec <= 0 {
-		t.Fatalf("fleet section = %+v", snap.Fleet)
+	if snap.Fleet.Scale.SteadyCPs != 200 || snap.Fleet.Scale.SteadyProbesPerSec <= 0 {
+		t.Fatalf("fleet scale section = %+v", snap.Fleet.Scale)
+	}
+	if snap.Fleet.Scale.SyscallsIn == 0 || snap.Fleet.Scale.BatchFillMeanIn <= 0 {
+		t.Fatalf("fleet scale section missing syscall accounting: %+v", snap.Fleet.Scale)
+	}
+	if snap.HotPath == nil || snap.HotPath.Batch.PacketsPerSec <= 0 || snap.HotPath.Single.PacketsPerSec <= 0 {
+		t.Fatalf("snapshot hot-path section = %+v", snap.HotPath)
+	}
+	if snap.HotPath.Batch.AllocsPerOp != 0 {
+		t.Fatalf("shard hot path allocates: %+v", snap.HotPath.Batch)
+	}
+}
+
+func TestParseFleetSweep(t *testing.T) {
+	entries, err := parseFleetSweep("1x200x10,2x300x2.5s,1x100x1m,1x100x1sm")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 4 {
+		t.Fatalf("got %d entries", len(entries))
+	}
+	e := entries[1]
+	if e.opts.Shards != 2 || e.opts.CPs != 300 || e.opts.ProbeHz != 2.5 || !e.opts.ForceSingleDatagram || e.memnet {
+		t.Fatalf("entry 1 = %+v", e)
+	}
+	if !entries[2].memnet || entries[2].opts.ForceSingleDatagram {
+		t.Fatalf("entry 2 = %+v", entries[2])
+	}
+	if !entries[3].memnet || !entries[3].opts.ForceSingleDatagram {
+		t.Fatalf("entry 3 = %+v", entries[3])
+	}
+	if _, err := parseFleetSweep("bogus"); err == nil {
+		t.Fatal("want error for malformed sweep")
 	}
 }
 

@@ -6,21 +6,31 @@
 //
 // Usage:
 //
-//	probefleet [-cps N] [-shards N] [-protocol sapp|dcpp|naive] [-period D]
+//	probefleet [-cps N] [-shards N] [-protocol sapp|dcpp|naive] [-period D] [-rate F]
 //	           [-loopback N | -device ADDR -device-id N]
 //	           [-min-gap D] [-min-cp-delay D]
 //	           [-duration D] [-interval D] [-join-ramp D]
+//	           [-batch N] [-single] [-pprof ADDR]
 //
 // By default it runs self-contained: -loopback N hosts N devices of the
 // chosen protocol in a second, devices-only fleet and points the CPs at
 // them round-robin. With -device/-device-id the CPs monitor an external
 // daemon (cmd/probed) instead.
+//
+// -rate F is the per-CP probe budget in probes/s: shorthand for
+// -protocol naive -period 1/F, the configuration that stresses the
+// batched transport path instead of exercising DCPP's frugality.
+// -single forces the one-datagram-per-syscall fallback (the baseline
+// the batching win is measured against) and -pprof serves
+// net/http/pprof on ADDR for live profiling of long runs.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
+	_ "net/http/pprof" // -pprof registers its handlers on DefaultServeMux
 	"net/netip"
 	"os"
 	"os/signal"
@@ -54,6 +64,7 @@ type options struct {
 	shards     int
 	protocol   string
 	period     time.Duration
+	rate       float64
 	loopback   int
 	device     string
 	deviceID   uint
@@ -62,6 +73,9 @@ type options struct {
 	duration   time.Duration
 	interval   time.Duration
 	joinRamp   time.Duration
+	batch      int
+	single     bool
+	pprofAddr  string
 }
 
 func run(args []string, out io.Writer, sig <-chan os.Signal) error {
@@ -79,6 +93,10 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 	fs.DurationVar(&o.duration, "duration", 0, "run time (0 = until SIGINT/SIGTERM)")
 	fs.DurationVar(&o.interval, "interval", time.Second, "live stats interval")
 	fs.DurationVar(&o.joinRamp, "join-ramp", 0, "spread CP joins over this long (0 = 200µs per CP, negative disables)")
+	fs.Float64Var(&o.rate, "rate", 0, "per-CP probe budget in probes/s (shorthand for -protocol naive -period 1/F)")
+	fs.IntVar(&o.batch, "batch", 0, "transport batch: datagrams per recvmmsg/sendmmsg call (0 = fleet default)")
+	fs.BoolVar(&o.single, "single", false, "force the one-datagram-per-syscall fallback path")
+	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -91,11 +109,26 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 	if o.interval <= 0 {
 		return fmt.Errorf("-interval %v must be positive", o.interval)
 	}
+	if o.rate < 0 {
+		return fmt.Errorf("-rate %g must be non-negative", o.rate)
+	}
+	if o.rate > 0 {
+		o.protocol = "naive"
+		o.period = time.Duration(float64(time.Second) / o.rate)
+	}
 	if o.joinRamp == 0 {
 		o.joinRamp = fleet.DefaultJoinRamp(o.cps)
 	}
+	if o.pprofAddr != "" {
+		go func() {
+			if err := http.ListenAndServe(o.pprofAddr, nil); err != nil {
+				fmt.Fprintf(os.Stderr, "probefleet: pprof: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(out, "probefleet: pprof on http://%s/debug/pprof/\n", o.pprofAddr)
+	}
 
-	cpFleet, err := fleet.New(fleet.Config{Shards: o.shards})
+	cpFleet, err := fleet.New(fleet.Config{Shards: o.shards, Batch: o.batch, ForceSingleDatagram: o.single})
 	if err != nil {
 		return err
 	}
@@ -121,7 +154,7 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 		}
 		targets = []target{{id: ident.NodeID(uint32(o.deviceID)), addr: addr}}
 	} else {
-		devFleet, err := fleet.New(fleet.Config{Shards: o.loopback})
+		devFleet, err := fleet.New(fleet.Config{Shards: o.loopback, Batch: o.batch, ForceSingleDatagram: o.single})
 		if err != nil {
 			return err
 		}
@@ -223,13 +256,21 @@ func printLive(out io.Writer, prev, cur fleet.Snapshot) {
 		return
 	}
 	rate := func(a, b uint64) float64 { return float64(b-a) / dt }
+	fill := func(pkts0, pkts1, calls0, calls1 uint64) float64 {
+		if calls1 == calls0 {
+			return 0
+		}
+		return float64(pkts1-pkts0) / float64(calls1-calls0)
+	}
 	fmt.Fprintf(out,
-		"[%7s] cps=%d/%d probes/s=%.1f replies/s=%.1f timers/s=%.1f wheel=%d pending=%d errs dec=%d send=%d drop=%d coll=%d\n",
+		"[%7s] cps=%d/%d probes/s=%.1f replies/s=%.1f timers/s=%.1f fill=%.1f/%.1f wheel=%d pending=%d errs dec=%d send=%d drop=%d coll=%d\n",
 		cur.At.Round(time.Second),
 		cur.Total.LiveControlPoints, cur.Total.ControlPoints,
 		rate(prev.Total.ProbesOut, cur.Total.ProbesOut),
 		rate(prev.Total.RepliesIn, cur.Total.RepliesIn),
 		rate(prev.Total.TimersFired, cur.Total.TimersFired),
+		fill(prev.Total.PacketsIn, cur.Total.PacketsIn, prev.Total.SyscallsIn, cur.Total.SyscallsIn),
+		fill(prev.Total.PacketsOut, cur.Total.PacketsOut, prev.Total.SyscallsOut, cur.Total.SyscallsOut),
 		cur.Total.WheelDepth, cur.Total.PendingProbes,
 		cur.Total.DecodeErrors, cur.Total.SendErrors,
 		cur.Total.DemuxDrops, cur.Total.DemuxCollisions)
@@ -242,9 +283,10 @@ func finalDump(out io.Writer, f *fleet.Fleet) error {
 	snap := f.Snapshot()
 	err := f.Close()
 	t := snap.Total
-	fmt.Fprintf(out, "probefleet: final after %s — cps=%d/%d in=%d out=%d probes=%d replies=%d timers=%d errs dec=%d send=%d drop=%d coll=%d\n",
+	fmt.Fprintf(out, "probefleet: final after %s — cps=%d/%d in=%d out=%d syscalls=%d/%d probes=%d replies=%d timers=%d errs dec=%d send=%d drop=%d coll=%d\n",
 		snap.At.Round(time.Millisecond),
 		t.LiveControlPoints, t.ControlPoints, t.PacketsIn, t.PacketsOut,
+		t.SyscallsIn, t.SyscallsOut,
 		t.ProbesOut, t.RepliesIn, t.TimersFired,
 		t.DecodeErrors, t.SendErrors, t.DemuxDrops, t.DemuxCollisions)
 	for i, c := range snap.Shards {

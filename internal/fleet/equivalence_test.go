@@ -1,0 +1,206 @@
+package fleet_test
+
+// Batch/single-path equivalence: the same memnet scenario driven once
+// through the native BatchPacketConn path and once through the
+// forced single-datagram fallback must put byte-identical traffic on
+// every link and leave identical fleet counters behind. Batching is an
+// I/O-shape optimisation; if it ever changes WHAT is sent — an extra
+// retransmit, a reordered encode, a dropped reply — this test fails.
+//
+// The scenario is made exactly reproducible by construction: a perfect
+// memnet network (no loss, no delay) and a per-CP policy that runs
+// precisely cycleCount probe cycles and then goes quiet, so both runs
+// send the same frames no matter how wall-clock scheduling interleaves
+// them. Interleaving across CPs on a shared link is NOT part of the
+// contract (it is timing), so each link's traffic is compared as a
+// sorted multiset.
+
+import (
+	"bytes"
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"presence/internal/core"
+	"presence/internal/core/naive"
+	"presence/internal/fleet"
+	"presence/internal/ident"
+	"presence/internal/memnet"
+)
+
+const (
+	eqCPs        = 24
+	eqCycles     = 5
+	eqDeviceID   = ident.NodeID(7)
+	eqCPBaseID   = ident.NodeID(100)
+	eqCycleDelay = 2 * time.Millisecond
+)
+
+// nCyclesPolicy probes with a short fixed delay for a set number of
+// cycles, then parks the CP for an hour — bounding the scenario's
+// traffic exactly.
+type nCyclesPolicy struct{ left int }
+
+func (p *nCyclesPolicy) NextDelay(core.CycleResult) time.Duration {
+	p.left--
+	if p.left <= 0 {
+		return time.Hour
+	}
+	return eqCycleDelay
+}
+
+// linkTraffic records every delivered frame per (from, to) link.
+type linkTraffic struct {
+	mu     sync.Mutex
+	frames map[string][][]byte
+}
+
+func (lt *linkTraffic) observe(ev memnet.PacketEvent) {
+	if ev.Verdict != memnet.Delivered {
+		return
+	}
+	key := fmt.Sprintf("%s->%s", ev.From, ev.To)
+	frame := append([]byte(nil), ev.Frame...)
+	lt.mu.Lock()
+	lt.frames[key] = append(lt.frames[key], frame)
+	lt.mu.Unlock()
+}
+
+func (lt *linkTraffic) sorted() map[string][][]byte {
+	lt.mu.Lock()
+	defer lt.mu.Unlock()
+	for _, frames := range lt.frames {
+		sort.Slice(frames, func(i, j int) bool { return bytes.Compare(frames[i], frames[j]) < 0 })
+	}
+	return lt.frames
+}
+
+// eqOutcome is everything one run produced that the other must match.
+type eqOutcome struct {
+	traffic map[string][][]byte
+	cp      fleet.Counters // CP fleet totals, gauges cleared
+	dev     fleet.Counters // device fleet totals, gauges cleared
+	net     memnet.Counters
+}
+
+// clearVolatile zeroes the fields the two paths legitimately differ
+// in: syscall counts (the whole point of batching) and point-in-time
+// gauges sampled at an arbitrary instant.
+func clearVolatile(c *fleet.Counters) {
+	c.SyscallsIn, c.SyscallsOut = 0, 0
+	c.WheelDepth, c.PendingProbes = 0, 0
+}
+
+func runEquivalenceScenario(t *testing.T, forceSingle bool) eqOutcome {
+	t.Helper()
+	net := memnet.New(memnet.Faults{})
+	defer net.Close()
+	tap := &linkTraffic{frames: make(map[string][][]byte)}
+	net.Observe(tap.observe)
+	transport := fleet.TransportFunc(func(int) (fleet.PacketConn, error) { return net.Listen() })
+
+	devFleet, err := fleet.New(fleet.Config{Shards: 1, Transport: transport, ForceSingleDatagram: forceSingle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devFleet.Close()
+	if err := devFleet.Start(); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := devFleet.AddDevice(eqDeviceID, func(env core.Env) (core.Device, error) {
+		return naive.NewDevice(eqDeviceID, env)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cpFleet, err := fleet.New(fleet.Config{Shards: 2, Transport: transport, ForceSingleDatagram: forceSingle})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cpFleet.Close()
+	if err := cpFleet.Start(); err != nil {
+		t.Fatal(err)
+	}
+	cps := make([]*fleet.ControlPoint, eqCPs)
+	for i := range cps {
+		cp, err := cpFleet.AddControlPoint(fleet.CPConfig{
+			ID:             eqCPBaseID + ident.NodeID(i),
+			Device:         eqDeviceID,
+			DeviceAddrPort: dev.Addr(),
+			Policy:         &nCyclesPolicy{left: eqCycles},
+			// Instant in-memory delivery: a retransmit would mean a
+			// stall of seconds, so generous timeouts keep loaded CI
+			// boxes from injecting extra traffic into the comparison.
+			Retransmit: core.RetransmitConfig{
+				FirstTimeout: 30 * time.Second,
+				RetryTimeout: 30 * time.Second,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cps[i] = cp
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for _, cp := range cps {
+		for cp.Stats().CyclesOK < eqCycles {
+			if time.Now().After(deadline) {
+				t.Fatalf("cp %v stuck at %d cycles (single=%v)", cp.ID(), cp.Stats().CyclesOK, forceSingle)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	out := eqOutcome{
+		cp:  cpFleet.Snapshot().Total,
+		dev: devFleet.Snapshot().Total,
+		net: net.Counters(),
+	}
+	clearVolatile(&out.cp)
+	clearVolatile(&out.dev)
+	out.traffic = tap.sorted()
+	return out
+}
+
+func TestBatchSingleEquivalence(t *testing.T) {
+	batch := runEquivalenceScenario(t, false)
+	single := runEquivalenceScenario(t, true)
+
+	if batch.cp != single.cp {
+		t.Errorf("CP fleet counters differ:\n batch:  %+v\n single: %+v", batch.cp, single.cp)
+	}
+	if batch.dev != single.dev {
+		t.Errorf("device fleet counters differ:\n batch:  %+v\n single: %+v", batch.dev, single.dev)
+	}
+	if batch.net != single.net {
+		t.Errorf("memnet counters differ:\n batch:  %+v\n single: %+v", batch.net, single.net)
+	}
+	if want := uint64(eqCPs * eqCycles); batch.cp.ProbesOut != want {
+		t.Errorf("ProbesOut = %d, want exactly %d (scenario is traffic-bounded)", batch.cp.ProbesOut, want)
+	}
+
+	if len(batch.traffic) != len(single.traffic) {
+		t.Fatalf("link sets differ: %d vs %d links", len(batch.traffic), len(single.traffic))
+	}
+	for link, bf := range batch.traffic {
+		sf, ok := single.traffic[link]
+		if !ok {
+			t.Errorf("link %s only in batch run", link)
+			continue
+		}
+		if len(bf) != len(sf) {
+			t.Errorf("link %s: %d frames (batch) vs %d (single)", link, len(bf), len(sf))
+			continue
+		}
+		for i := range bf {
+			if !bytes.Equal(bf[i], sf[i]) {
+				t.Errorf("link %s frame %d differs: %x vs %x", link, i, bf[i], sf[i])
+				break
+			}
+		}
+	}
+}

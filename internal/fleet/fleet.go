@@ -14,11 +14,32 @@
 //     same way SO_REUSEPORT spreads flows across acceptor sockets.
 //   - A hierarchical hashed timer wheel per shard replaces per-node
 //     time.Timers: every engine's single alarm is an intrusive list
-//     entry, so arming is O(1) and 10k sleeping control points cost
+//     entry, so arming is O(1) and 100k sleeping control points cost
 //     zero goroutines and zero timer-heap pressure.
-//   - Read and encode buffers are per-shard and reused; the wire codec
-//     is the same one rtnet uses (wire.AppendEncode), so steady-state
-//     packet handling does not allocate.
+//   - Shard I/O is batched end to end: a pooled receive-buffer ring is
+//     filled by BatchPacketConn.ReadBatch (one recvmmsg syscall per
+//     readable burst on Linux) and engine sends coalesce in a send
+//     queue that one WriteBatch (sendmmsg) flushes per timer cascade or
+//     dispatched burst. Under load a shard pays a small fraction of a
+//     syscall per packet instead of one each way.
+//   - The hot path does not allocate: frames decode into a flat
+//     wire.Frame (no interface boxing), inbound reply payloads reuse
+//     shard-owned scratch, encodes append into the send queue's
+//     reusable slots, and the engines' messages are pooled.
+//     BenchmarkShardHotPath pins 0 allocs/op.
+//
+// # Batch transport and the portable fallback
+//
+// The recvmmsg/sendmmsg binding exists on 64-bit Linux
+// (transport_linux.go, the production target); every other platform —
+// and any Transport whose conns implement only PacketConn — runs the
+// same loops through a loop-over-single-datagram adapter
+// (transport.go), one packet per call, byte-for-byte the same traffic.
+// Config.ForceSingleDatagram selects the adapter explicitly: it is the
+// measured baseline for the batching win and the second leg of the
+// batch/single equivalence test. Config.Batch sizes the ring and the
+// queue; Counters.SyscallsIn/Out expose the realised calls-per-packet
+// ratio.
 //
 // The single-threaded engine contract holds per shard: every engine
 // call (packet dispatch, alarm expiry, lifecycle) runs under the
@@ -101,6 +122,15 @@ type Config struct {
 	// shard loops over a deterministic fake network; ListenAddr and
 	// SocketBuffer are ignored when it is set.
 	Transport Transport
+	// Batch is the most datagrams one transport call moves: the size of
+	// each shard's pooled receive ring and coalescing send queue. Zero
+	// or negative means 64.
+	Batch int
+	// ForceSingleDatagram makes every shard use the portable
+	// one-datagram-per-call path even when the transport implements
+	// BatchPacketConn — the baseline the batching win is measured
+	// against, and the fallback leg of batch/single equivalence tests.
+	ForceSingleDatagram bool
 }
 
 func (c *Config) applyDefaults() {
@@ -122,7 +152,15 @@ func (c *Config) applyDefaults() {
 	if c.SocketBuffer == 0 {
 		c.SocketBuffer = 4 << 20
 	}
+	if c.Batch <= 0 {
+		c.Batch = defaultBatch
+	}
 }
+
+// defaultBatch is the default transport batch: large enough that a
+// loaded shard amortises a syscall over a big burst, small enough that
+// the per-shard rings stay a few hundred KiB.
+const defaultBatch = 64
 
 // Counters tracks one shard's activity. Cumulative fields only ever
 // grow; gauge fields (WheelDepth, ControlPoints, LiveControlPoints,
@@ -146,6 +184,14 @@ type Counters struct {
 	DemuxCollisions uint64
 	// TimersFired counts timer-wheel expirations delivered to engines.
 	TimersFired uint64
+	// SyscallsIn and SyscallsOut count transport read and write calls.
+	// On the batch path one call moves a whole burst (one
+	// recvmmsg/sendmmsg syscall on kernel sockets), so
+	// PacketsIn/SyscallsIn is the mean receive batch fill; on the
+	// single-datagram fallback every packet is its own call and the
+	// ratios pin at 1.
+	SyscallsIn  uint64
+	SyscallsOut uint64
 
 	// WheelDepth is the number of pending timers (gauge).
 	WheelDepth int
@@ -170,6 +216,8 @@ func (c *Counters) add(o Counters) {
 	c.DemuxDrops += o.DemuxDrops
 	c.DemuxCollisions += o.DemuxCollisions
 	c.TimersFired += o.TimersFired
+	c.SyscallsIn += o.SyscallsIn
+	c.SyscallsOut += o.SyscallsOut
 	c.WheelDepth += o.WheelDepth
 	c.ControlPoints += o.ControlPoints
 	c.LiveControlPoints += o.LiveControlPoints
@@ -210,9 +258,17 @@ type pendingProbe struct {
 // shard is one socket + event loop + timer wheel + the engines hashed
 // onto it.
 type shard struct {
-	fleet *Fleet
-	index int
-	conn  PacketConn
+	fleet  *Fleet
+	index  int
+	conn   PacketConn
+	bconn  BatchPacketConn // batch view of conn (native or fallback adapter)
+	single bool            // fallback adapter in use: per-packet syscall accounting
+
+	// recvRing and recvBufs are the pooled receive ring: recvBufs keeps
+	// the full-capacity backing slices, recvRing is re-pointed at them
+	// before every ReadBatch. Only the loop goroutine touches them.
+	recvRing []Datagram
+	recvBufs [][]byte
 
 	mu       sync.Mutex
 	wheel    *timerWheel
@@ -222,9 +278,20 @@ type shard struct {
 	device   *deviceNode
 	counters Counters
 	liveCPs  int
-	encBuf   []byte
-	sweeper  wheelTimer
-	closed   bool
+	// sendQ is the coalescing send queue: engine sends encode into
+	// reusable slots and one WriteBatch flushes them per timer cascade /
+	// receive burst (inBatch true) or before an external caller returns
+	// (inBatch false). Guarded by mu, like everything the engines touch.
+	sendQ   []Datagram
+	inBatch bool
+	// scratchSAPP and scratchDCPP are reply-payload scratch: inbound
+	// replies hand engines a pointer into the shard instead of boxing a
+	// fresh payload per packet. Receivers may read it only until their
+	// handler returns — the standard pooled-message contract.
+	scratchSAPP core.SAPPReply
+	scratchDCPP core.DCPPReply
+	sweeper     wheelTimer
+	closed      bool
 }
 
 // maxPoll bounds how long a shard loop sleeps in a read when no timer
@@ -265,7 +332,13 @@ func New(cfg Config) (*Fleet, error) {
 			cps:      make(map[ident.NodeID]*cpNode),
 			watchers: make(map[ident.NodeID]map[*cpNode]struct{}),
 			pending:  make(map[uint64]pendingProbe),
-			encBuf:   make([]byte, 0, wire.MaxFrameSize),
+			recvRing: make([]Datagram, cfg.Batch),
+			recvBufs: make([][]byte, cfg.Batch),
+			sendQ:    make([]Datagram, 0, cfg.Batch),
+		}
+		s.bconn, s.single = batchConn(conn, cfg.ForceSingleDatagram)
+		for j := range s.recvBufs {
+			s.recvBufs[j] = make([]byte, recvBufSize)
 		}
 		s.sweeper.fire = s.sweepPending
 		f.shards = append(f.shards, s)
@@ -387,13 +460,18 @@ func pendKey(device ident.NodeID, cycle uint32) uint64 {
 	return uint64(device)<<32 | uint64(cycle)
 }
 
+// recvBufSize comfortably holds any protocol frame (max 31 bytes) with
+// room for oversized junk to be received whole and rejected by the
+// decoder rather than truncated into a different decode error.
+const recvBufSize = 2048
+
 // loop is the shard's event loop: advance the wheel, fire due alarms,
-// sleep in a deadline-bounded socket read, dispatch, repeat. It is the
-// shard's only goroutine; every engine call it makes runs under the
-// shard mutex.
+// flush the sends they coalesced, sleep in a deadline-bounded batch
+// read, dispatch the burst, flush again, repeat. It is the shard's
+// only goroutine; every engine call it makes runs under the shard
+// mutex.
 func (s *shard) loop() {
 	defer s.fleet.wg.Done()
-	buf := make([]byte, 2048)
 	for {
 		s.mu.Lock()
 		if s.closed {
@@ -401,6 +479,7 @@ func (s *shard) loop() {
 			return
 		}
 		now := s.fleet.sinceEpoch()
+		s.inBatch = true
 		due := s.wheel.Advance(now)
 		for _, d := range due {
 			if d.t.gen == d.gen {
@@ -408,6 +487,8 @@ func (s *shard) loop() {
 				d.t.fire()
 			}
 		}
+		s.inBatch = false
+		s.flushSends()
 		wait := maxPoll
 		if next, ok := s.wheel.NextDeadline(); ok {
 			if d := next - s.fleet.sinceEpoch(); d < wait {
@@ -415,42 +496,86 @@ func (s *shard) loop() {
 			}
 		}
 		s.mu.Unlock()
-		if wait <= 0 {
-			// A timer is already due (or comes due within a tick):
-			// advance again without touching the socket.
-			continue
+		if wait < 0 {
+			// A timer is already due. Do NOT skip the socket: under
+			// sustained timer load (tens of thousands of armed CPs fire
+			// alarms on almost every tick) skipping would starve reads
+			// and overflow the receive buffer. An already-expired
+			// deadline turns the batch read into a non-blocking drain of
+			// whatever burst is queued, and the next iteration advances
+			// the wheel again.
+			wait = 0
 		}
 		s.conn.SetReadDeadline(time.Now().Add(wait)) //nolint:errcheck // fails only when closed
-		n, from, err := s.conn.ReadFromUDPAddrPort(buf)
-		if err != nil {
-			var nerr net.Error
-			if errors.As(err, &nerr) && nerr.Timeout() {
-				continue // deadline: timers are due
+		for round := 0; ; round++ {
+			for i := range s.recvRing {
+				s.recvRing[i].Buf = s.recvBufs[i]
 			}
-			return // socket closed (or unrecoverable): shard is done
-		}
-		msg, derr := wire.Decode(buf[:n])
-		s.mu.Lock()
-		if s.closed {
+			n, err := s.bconn.ReadBatch(s.recvRing)
+			if err != nil {
+				var nerr net.Error
+				if errors.As(err, &nerr) && nerr.Timeout() {
+					break // deadline: timers are due
+				}
+				return // socket closed (or unrecoverable): shard is done
+			}
+			s.mu.Lock()
+			if s.closed {
+				s.mu.Unlock()
+				return
+			}
+			s.counters.SyscallsIn++
+			s.dispatchBatch(s.recvRing[:n])
 			s.mu.Unlock()
-			return
+			// A full ring means more is probably queued: drain it now
+			// (bounded, so timer work cannot rot) rather than after the
+			// next timer cascade — one cascade can send hundreds of
+			// probes whose replies would otherwise outpace one batch of
+			// reads per iteration and overflow the receive buffer. The
+			// drain rounds poll with an expired deadline: never blocking,
+			// one EAGAIN at most.
+			if n < len(s.recvRing) || round >= maxDrainRounds {
+				break
+			}
+			s.conn.SetReadDeadline(pastDeadline) //nolint:errcheck // fails only when closed
 		}
-		s.counters.PacketsIn++
-		if derr != nil {
-			s.counters.DecodeErrors++
-		} else {
-			s.dispatch(from, msg)
-		}
-		s.mu.Unlock()
 	}
 }
 
-// dispatch routes one decoded frame to a hosted engine. Runs under the
-// shard mutex.
-func (s *shard) dispatch(from netip.AddrPort, msg core.Message) {
-	switch m := msg.(type) {
-	case core.ReplyMsg:
-		key := pendKey(m.From, m.Cycle)
+// maxDrainRounds bounds how many extra full batches one loop iteration
+// drains before returning to timer work.
+const maxDrainRounds = 8
+
+// pastDeadline is an already-expired read deadline: it turns a batch
+// read into a non-blocking poll (the net package uses the same trick
+// internally for "aLongTimeAgo").
+var pastDeadline = time.Unix(1, 0)
+
+// dispatchBatch decodes and routes one received burst, then flushes
+// every send the handlers coalesced. Runs under the shard mutex.
+func (s *shard) dispatchBatch(dgs []Datagram) {
+	s.counters.PacketsIn += uint64(len(dgs))
+	s.inBatch = true
+	var f wire.Frame
+	for i := range dgs {
+		if wire.DecodeFrame(dgs[i].Buf, &f) != nil {
+			s.counters.DecodeErrors++
+			continue
+		}
+		s.dispatchFrame(dgs[i].Addr, &f)
+	}
+	s.inBatch = false
+	s.flushSends()
+}
+
+// dispatchFrame routes one decoded frame to a hosted engine. Inbound
+// replies hand engines shard-owned scratch payloads (valid only for
+// the handler call, per the pooled-message contract), so steady-state
+// dispatch allocates nothing. Runs under the shard mutex.
+func (s *shard) dispatchFrame(from netip.AddrPort, f *wire.Frame) {
+	switch f.Kind {
+	case wire.KindReplySAPP, wire.KindReplyDCPP, wire.KindReplyEmpty:
+		key := pendKey(f.From, f.Cycle)
 		pp, ok := s.pending[key]
 		if !ok {
 			s.counters.DemuxDrops++
@@ -458,32 +583,43 @@ func (s *shard) dispatch(from netip.AddrPort, msg core.Message) {
 		}
 		delete(s.pending, key)
 		s.counters.RepliesIn++
+		m := core.ReplyMsg{From: f.From, Cycle: f.Cycle, Attempt: f.Attempt}
+		switch f.Kind {
+		case wire.KindReplySAPP:
+			s.scratchSAPP = core.SAPPReply{ProbeCount: f.ProbeCount, LastProbers: f.LastProbers}
+			m.Payload = &s.scratchSAPP
+		case wire.KindReplyDCPP:
+			s.scratchDCPP = core.DCPPReply{Wait: f.Wait}
+			m.Payload = &s.scratchDCPP
+		default:
+			m.Payload = core.EmptyReply{}
+		}
 		pp.cp.prober.OnReply(m)
-	case core.ProbeMsg:
+	case wire.KindProbe:
 		if s.device == nil {
 			s.counters.DemuxDrops++
 			return
 		}
-		s.device.peers.Note(m.From, from)
-		s.device.engine.OnProbe(m.From, m)
-	case core.ByeMsg:
-		ws := s.watchers[m.From]
+		s.device.peers.Note(f.From, from)
+		s.device.engine.OnProbe(f.From, core.ProbeMsg{From: f.From, Cycle: f.Cycle, Attempt: f.Attempt})
+	case wire.KindBye:
+		ws := s.watchers[f.From]
 		if len(ws) == 0 {
 			s.counters.DemuxDrops++
 			return
 		}
 		for cp := range ws {
-			cp.prober.OnBye(m)
+			cp.prober.OnBye(core.ByeMsg{From: f.From})
 		}
-	case core.AnnounceMsg:
-		ws := s.watchers[m.From]
+	case wire.KindAnnounce:
+		ws := s.watchers[f.From]
 		if len(ws) == 0 {
 			s.counters.DemuxDrops++
 			return
 		}
 		for cp := range ws {
 			if cp.onAnnounce != nil {
-				cp.onAnnounce(m)
+				cp.onAnnounce(core.AnnounceMsg{From: f.From, MaxAge: f.MaxAge})
 			}
 		}
 	default:
@@ -524,21 +660,63 @@ func (s *shard) sweepPending() {
 	s.wheel.Schedule(&s.sweeper, now+ttl/2)
 }
 
-// sendTo encodes msg into the shard's scratch buffer and transmits it.
-// Pooled messages are recycled. Runs under the shard mutex.
+// sendTo encodes msg into the next reusable slot of the shard's
+// coalescing send queue. Pooled messages are recycled. Inside a loop
+// batch (timer cascade, receive burst, Bye/Announce fan-out) the queue
+// flushes once at the end of the batch; on any other path it flushes
+// before the caller returns, so external sends are never parked behind
+// a sleeping event loop. Runs under the shard mutex.
 func (s *shard) sendTo(addr netip.AddrPort, msg core.Message) {
 	defer core.Recycle(msg)
-	frame, err := wire.AppendEncode(s.encBuf[:0], msg)
+	if len(s.sendQ) == cap(s.sendQ) {
+		s.flushSends()
+	}
+	i := len(s.sendQ)
+	s.sendQ = s.sendQ[:i+1]
+	d := &s.sendQ[i]
+	if d.Buf == nil {
+		d.Buf = make([]byte, 0, wire.MaxFrameSize)
+	}
+	frame, err := wire.AppendEncode(d.Buf[:0], msg)
 	if err != nil {
+		s.sendQ = s.sendQ[:i]
 		s.counters.SendErrors++
 		return
 	}
-	s.encBuf = frame[:0]
-	if _, err := s.conn.WriteToUDPAddrPort(frame, addr); err != nil {
-		s.counters.SendErrors++
-		return
+	d.Buf = frame
+	d.Addr = addr
+	if !s.inBatch {
+		s.flushSends()
 	}
-	s.counters.PacketsOut++
+}
+
+// flushSends transmits the queued datagrams in order: one WriteBatch
+// call (one sendmmsg) moves the whole queue on the batch path, while
+// the single-datagram fallback pays one write per packet. A datagram
+// the transport rejects is counted and skipped. Runs under the shard
+// mutex.
+func (s *shard) flushSends() {
+	q := s.sendQ
+	for off := 0; off < len(q); {
+		n, err := s.bconn.WriteBatch(q[off:])
+		if s.single {
+			s.counters.SyscallsOut += uint64(n)
+			if err != nil {
+				s.counters.SyscallsOut++ // the failed write was a call too
+			}
+		} else {
+			s.counters.SyscallsOut++
+		}
+		s.counters.PacketsOut += uint64(n)
+		off += n
+		if err != nil {
+			s.counters.SendErrors++
+			off++ // skip the datagram the error refers to
+		} else if n == 0 {
+			break // defensive: a conforming impl never returns (0, nil)
+		}
+	}
+	s.sendQ = s.sendQ[:0]
 }
 
 // DeviceBuilder constructs a device engine against the fleet's Env —

@@ -362,22 +362,30 @@ func (d *Device) Peers() int {
 	return d.n.peers.Len()
 }
 
-// Bye announces a graceful leave to every known peer.
+// Bye announces a graceful leave to every known peer, coalescing the
+// fan-out into batched transport writes.
 func (d *Device) Bye() {
 	s := d.n.shard
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.inBatch = true
 	d.n.peers.Each(func(_ ident.NodeID, addr netip.AddrPort) {
 		s.sendTo(addr, core.ByeMsg{From: d.n.id})
 	})
+	s.inBatch = false
+	s.flushSends()
 }
 
-// Announce sends a presence announcement to every known peer.
+// Announce sends a presence announcement to every known peer,
+// coalescing the fan-out into batched transport writes.
 func (d *Device) Announce(maxAge time.Duration) {
 	s := d.n.shard
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.inBatch = true
 	d.n.peers.Each(func(_ ident.NodeID, addr netip.AddrPort) {
 		s.sendTo(addr, core.AnnounceMsg{From: d.n.id, MaxAge: maxAge})
 	})
+	s.inBatch = false
+	s.flushSends()
 }

@@ -8,6 +8,7 @@ import (
 
 	"presence/internal/core"
 	"presence/internal/core/dcpp"
+	"presence/internal/core/naive"
 	"presence/internal/ident"
 )
 
@@ -37,8 +38,32 @@ type ScaleOptions struct {
 	// defaults (L_nom = 10 probes/s per device).
 	DeviceConfig dcpp.DeviceConfig
 	// Retransmit parameterises the CP probe cycles. Zero = paper
-	// defaults.
+	// defaults (or, in high-rate mode, generous timeouts that survive
+	// deliberate overload — see ProbeHz).
 	Retransmit core.RetransmitConfig
+	// ProbeHz switches the harness to high-rate mode: every CP runs the
+	// naive protocol at this fixed per-CP probe budget (probes/s)
+	// against naive devices, instead of DCPP under its aggregate L_nom
+	// ceiling. DCPP proves the protocol stays frugal no matter the
+	// population; high-rate mode deliberately removes that frugality so
+	// the transport, not the protocol, is the bottleneck — the
+	// configuration the batched syscall path is measured in. Zero keeps
+	// DCPP.
+	ProbeHz float64
+	// ForceSingleDatagram runs both fleets on the one-packet-per-
+	// syscall fallback path: the baseline the batching win is measured
+	// against.
+	ForceSingleDatagram bool
+	// Batch is the per-shard transport batch (Config.Batch). Zero =
+	// the fleet default.
+	Batch int
+	// Transport, when non-nil, carries both fleets instead of kernel
+	// UDP loopback: every shard of the device fleet and then the CP
+	// fleet calls Listen on it in turn. probebench uses an
+	// internal/memnet network here to measure the event loop's own
+	// per-packet overhead with the kernel's per-datagram loopback cost
+	// out of the picture.
+	Transport Transport
 }
 
 func (o *ScaleOptions) applyDefaults() {
@@ -55,10 +80,41 @@ func (o *ScaleOptions) applyDefaults() {
 		o.Window = 5 * time.Second
 	}
 	if o.JoinTimeout <= 0 {
-		o.JoinTimeout = 30 * time.Second
+		// The ramp (the caller's, if they stretched it) takes this long
+		// by itself; leave the same again (at least 30 s) for every CP
+		// to finish its first cycle.
+		ramp := DefaultJoinRamp(o.CPs)
+		if o.JoinRampUp > ramp {
+			ramp = o.JoinRampUp
+		}
+		o.JoinTimeout = 30*time.Second + 2*ramp
 	}
 	if o.DeviceConfig == (dcpp.DeviceConfig{}) {
 		o.DeviceConfig = dcpp.DefaultDeviceConfig()
+	}
+	if o.Retransmit == (core.RetransmitConfig{}) {
+		switch {
+		case o.ProbeHz > 0:
+			// High-rate mode deliberately overloads the transport;
+			// generous timeouts keep queueing delay from reading as
+			// device death.
+			o.Retransmit = core.RetransmitConfig{
+				FirstTimeout:   2 * time.Second,
+				RetryTimeout:   time.Second,
+				MaxRetransmits: 3,
+			}
+		case o.CPs >= 50_000:
+			// A ≥50k join storm on one box queues far past the paper's
+			// 85 ms cycle budget; a 500/250 ms cycle keeps transient
+			// queueing from being misread as absence. Steady-state
+			// probe load is DCPP's and does not depend on these
+			// timeouts.
+			o.Retransmit = core.RetransmitConfig{
+				FirstTimeout:   500 * time.Millisecond,
+				RetryTimeout:   250 * time.Millisecond,
+				MaxRetransmits: 3,
+			}
+		}
 	}
 }
 
@@ -107,6 +163,16 @@ type ScaleResult struct {
 	CPs     int `json:"control_points"`
 	Shards  int `json:"cp_shards"`
 	Devices int `json:"devices"`
+	// Protocol names the CP protocol: "dcpp" (budget mode) or
+	// "naive@<Hz>" (high-rate mode).
+	Protocol string `json:"protocol"`
+	// ProbeHz is the per-CP probe budget of high-rate mode (0 = DCPP).
+	ProbeHz float64 `json:"probe_hz,omitempty"`
+	// SingleDatagram marks a run on the one-packet-per-syscall fallback.
+	SingleDatagram bool `json:"single_datagram,omitempty"`
+	// Transport labels the run's transport for reports ("udp" kernel
+	// loopback, "memnet" in-memory). Informational; set by the caller.
+	Transport string `json:"transport,omitempty"`
 	// Goroutines is the process count right after steady state: the CP
 	// fleet's shard loops, the device fleet's, and the harness itself.
 	Goroutines int `json:"goroutines"`
@@ -126,31 +192,70 @@ type ScaleResult struct {
 	// Devices × L_nom. DCPP's whole point is that the steady rate stays
 	// under this no matter how many CPs monitor each device.
 	BudgetProbesPerSec float64 `json:"budget_probes_per_sec"`
-	WindowSeconds      float64 `json:"window_seconds"`
-	WheelDepth         int     `json:"wheel_depth"`
-	PendingProbes      int     `json:"pending_probes"`
-	DemuxCollisions    uint64  `json:"demux_collisions"`
-	DemuxDrops         uint64  `json:"demux_drops"`
-	DecodeErrors       uint64  `json:"decode_errors"`
-	SendErrors         uint64  `json:"send_errors"`
-	PacketsIn          uint64  `json:"packets_in"`
-	PacketsOut         uint64  `json:"packets_out"`
+	// SteadyPacketsPerSec is the CP fleet's aggregate transport rate
+	// (packets in + out) over the window — the number the batched I/O
+	// path is judged on.
+	SteadyPacketsPerSec float64 `json:"steady_packets_per_sec"`
+	WindowSeconds       float64 `json:"window_seconds"`
+	WheelDepth          int     `json:"wheel_depth"`
+	PendingProbes       int     `json:"pending_probes"`
+	DemuxCollisions     uint64  `json:"demux_collisions"`
+	DemuxDrops          uint64  `json:"demux_drops"`
+	DecodeErrors        uint64  `json:"decode_errors"`
+	SendErrors          uint64  `json:"send_errors"`
+	PacketsIn           uint64  `json:"packets_in"`
+	PacketsOut          uint64  `json:"packets_out"`
+	// SyscallsIn/Out count the CP fleet's transport calls over the
+	// whole run; BatchFillMeanIn/Out are packets per call over the
+	// measurement window (1.0 on the single-datagram path; > 1 when
+	// batching is doing work).
+	SyscallsIn       uint64  `json:"syscalls_in"`
+	SyscallsOut      uint64  `json:"syscalls_out"`
+	BatchFillMeanIn  float64 `json:"batch_fill_mean_in"`
+	BatchFillMeanOut float64 `json:"batch_fill_mean_out"`
 }
 
 // LoopbackScale boots the two fleets, joins every CP, waits for all of
 // them to reach steady state (≥ 1 completed cycle), measures the
-// aggregate probe rate over the window, and tears everything down.
+// aggregate probe and packet rates over the window, and tears
+// everything down.
 func LoopbackScale(opts ScaleOptions) (ScaleResult, error) {
 	opts.applyDefaults()
 	res := ScaleResult{
-		CPs:                opts.CPs,
-		Shards:             opts.Shards,
-		Devices:            opts.Devices,
-		BudgetProbesPerSec: float64(opts.Devices) * opts.DeviceConfig.NominalLoad(),
-		WindowSeconds:      opts.Window.Seconds(),
+		CPs:            opts.CPs,
+		Shards:         opts.Shards,
+		Devices:        opts.Devices,
+		Protocol:       "dcpp",
+		ProbeHz:        opts.ProbeHz,
+		SingleDatagram: opts.ForceSingleDatagram,
+		WindowSeconds:  opts.Window.Seconds(),
+	}
+	highRate := opts.ProbeHz > 0
+	if highRate {
+		res.Protocol = fmt.Sprintf("naive@%g", opts.ProbeHz)
+		// In high-rate mode the offered load is the budget: every CP
+		// probes at its fixed rate regardless of population.
+		res.BudgetProbesPerSec = float64(opts.CPs) * opts.ProbeHz
+	} else {
+		res.BudgetProbesPerSec = float64(opts.Devices) * opts.DeviceConfig.NominalLoad()
 	}
 
-	devFleet, err := New(Config{Shards: opts.Devices})
+	newPolicy := func() (core.DelayPolicy, error) {
+		if highRate {
+			return naive.NewPolicy(time.Duration(float64(time.Second) / opts.ProbeHz))
+		}
+		return dcpp.NewPolicy(dcpp.PolicyConfig{})
+	}
+	newDevice := func(id ident.NodeID) DeviceBuilder {
+		return func(env core.Env) (core.Device, error) {
+			if highRate {
+				return naive.NewDevice(id, env)
+			}
+			return dcpp.NewDevice(id, env, opts.DeviceConfig)
+		}
+	}
+
+	devFleet, err := New(Config{Shards: opts.Devices, Batch: opts.Batch, ForceSingleDatagram: opts.ForceSingleDatagram, Transport: opts.Transport})
 	if err != nil {
 		return res, fmt.Errorf("device fleet: %w", err)
 	}
@@ -165,9 +270,7 @@ func LoopbackScale(opts ScaleOptions) (ScaleResult, error) {
 	var ids ident.Allocator
 	for i := range devAddrs {
 		id := ids.Next()
-		dev, err := devFleet.AddDevice(id, func(env core.Env) (core.Device, error) {
-			return dcpp.NewDevice(id, env, opts.DeviceConfig)
-		})
+		dev, err := devFleet.AddDevice(id, newDevice(id))
 		if err != nil {
 			return res, err
 		}
@@ -175,7 +278,7 @@ func LoopbackScale(opts ScaleOptions) (ScaleResult, error) {
 		devAddrs[i].addr = dev.Addr()
 	}
 
-	cpFleet, err := New(Config{Shards: opts.Shards})
+	cpFleet, err := New(Config{Shards: opts.Shards, Batch: opts.Batch, ForceSingleDatagram: opts.ForceSingleDatagram, Transport: opts.Transport})
 	if err != nil {
 		return res, fmt.Errorf("cp fleet: %w", err)
 	}
@@ -188,7 +291,7 @@ func LoopbackScale(opts ScaleOptions) (ScaleResult, error) {
 	pacer := NewJoinPacer(opts.CPs, opts.JoinRampUp)
 	cps := make([]*ControlPoint, opts.CPs)
 	for i := range cps {
-		policy, err := dcpp.NewPolicy(dcpp.PolicyConfig{})
+		policy, err := newPolicy()
 		if err != nil {
 			return res, err
 		}
@@ -241,7 +344,15 @@ func LoopbackScale(opts ScaleOptions) (ScaleResult, error) {
 	elapsed := (after.At - before.At).Seconds()
 	if elapsed > 0 {
 		res.SteadyProbesPerSec = float64(after.Total.ProbesOut-before.Total.ProbesOut) / elapsed
+		res.SteadyPacketsPerSec = float64(after.Total.PacketsIn-before.Total.PacketsIn+
+			after.Total.PacketsOut-before.Total.PacketsOut) / elapsed
 		res.WindowSeconds = elapsed
+	}
+	if calls := after.Total.SyscallsIn - before.Total.SyscallsIn; calls > 0 {
+		res.BatchFillMeanIn = float64(after.Total.PacketsIn-before.Total.PacketsIn) / float64(calls)
+	}
+	if calls := after.Total.SyscallsOut - before.Total.SyscallsOut; calls > 0 {
+		res.BatchFillMeanOut = float64(after.Total.PacketsOut-before.Total.PacketsOut) / float64(calls)
 	}
 	res.SteadyCPs = after.Total.LiveControlPoints
 	res.WheelDepth = after.Total.WheelDepth
@@ -253,5 +364,7 @@ func LoopbackScale(opts ScaleOptions) (ScaleResult, error) {
 	res.SendErrors = after.Total.SendErrors + devSnap.Total.SendErrors
 	res.PacketsIn = after.Total.PacketsIn
 	res.PacketsOut = after.Total.PacketsOut
+	res.SyscallsIn = after.Total.SyscallsIn
+	res.SyscallsOut = after.Total.SyscallsOut
 	return res, nil
 }

@@ -34,11 +34,92 @@ type PacketConn interface {
 	Close() error
 }
 
+// Datagram is one packet of a batch I/O call.
+type Datagram struct {
+	// Buf is the packet payload. Callers of ReadBatch pass it with the
+	// receivable capacity as its length; implementations re-slice it to
+	// the received size on return. WriteBatch sends Buf as is.
+	Buf []byte
+	// Addr is the packet's source (after ReadBatch) or destination
+	// (for WriteBatch).
+	Addr netip.AddrPort
+}
+
+// BatchPacketConn is the batched extension of PacketConn: many
+// datagrams move per call, so a shard event loop under load pays one
+// transport call (on Linux, one recvmmsg/sendmmsg syscall) per burst
+// instead of one per packet. A PacketConn that also implements this
+// interface is used in batch mode automatically; any other PacketConn
+// is adapted by a loop-over-single-datagram fallback
+// (Config.ForceSingleDatagram forces that fallback, for measuring the
+// batching win and for batch/single equivalence tests).
+//
+// The contract extends the PacketConn one:
+//
+//   - ReadBatch blocks like ReadFromUDPAddrPort (first datagram,
+//     read deadline, or close) and then fills as many further slots as
+//     are readable without blocking. It returns the number of
+//     datagrams filled; each filled slot's Buf is re-sliced to the
+//     packet size and its Addr set to the source.
+//   - WriteBatch transmits dgs[i].Buf to dgs[i].Addr in order,
+//     best-effort like WriteToUDPAddrPort. It returns the number of
+//     datagrams accepted; when it stops short, the error refers to
+//     dgs[n] (the caller may skip it and retry from n+1).
+//   - Buffers are caller-owned either way, exactly as for PacketConn.
+type BatchPacketConn interface {
+	PacketConn
+	ReadBatch(dgs []Datagram) (int, error)
+	WriteBatch(dgs []Datagram) (int, error)
+}
+
 // Transport opens one PacketConn per shard. Implementations must hand
 // out distinct addresses per call (shard sockets demultiplex by
 // address, exactly like SO_REUSEPORT-less UDP).
 type Transport interface {
 	Listen(shard int) (PacketConn, error)
+}
+
+// singleConn adapts any plain PacketConn to BatchPacketConn by looping
+// over single-datagram calls: the portable fallback (and, forced, the
+// baseline the batching win is measured against). ReadBatch moves
+// exactly one datagram per call; WriteBatch pays one write call per
+// datagram.
+type singleConn struct {
+	PacketConn
+}
+
+func (c singleConn) ReadBatch(dgs []Datagram) (int, error) {
+	if len(dgs) == 0 {
+		return 0, nil
+	}
+	n, from, err := c.ReadFromUDPAddrPort(dgs[0].Buf)
+	if err != nil {
+		return 0, err
+	}
+	dgs[0].Buf = dgs[0].Buf[:n]
+	dgs[0].Addr = from
+	return 1, nil
+}
+
+func (c singleConn) WriteBatch(dgs []Datagram) (int, error) {
+	for i := range dgs {
+		if _, err := c.WriteToUDPAddrPort(dgs[i].Buf, dgs[i].Addr); err != nil {
+			return i, err
+		}
+	}
+	return len(dgs), nil
+}
+
+// batchConn returns the batch view of conn: conn itself when it
+// implements the batch interface (and single mode is not forced), the
+// fallback adapter otherwise. The second result reports whether the
+// single-datagram fallback is in use, which switches the shard's
+// syscall accounting to per-packet.
+func batchConn(conn PacketConn, forceSingle bool) (BatchPacketConn, bool) {
+	if bc, ok := conn.(BatchPacketConn); ok && !forceSingle {
+		return bc, false
+	}
+	return singleConn{conn}, true
 }
 
 // TransportFunc adapts a function to the Transport interface, e.g.
@@ -67,7 +148,11 @@ func (t udpTransport) Listen(shard int) (PacketConn, error) {
 		conn.SetReadBuffer(t.sndRcv)  //nolint:errcheck // best effort
 		conn.SetWriteBuffer(t.sndRcv) //nolint:errcheck // best effort
 	}
-	return udpPacketConn{conn}, nil
+	// newUDPBatchConn is platform-specific: recvmmsg/sendmmsg on Linux
+	// (transport_linux.go), the plain conn elsewhere
+	// (transport_fallback.go) — the shard then adapts it with the
+	// single-datagram loop.
+	return newUDPBatchConn(udpPacketConn{conn}), nil
 }
 
 // udpPacketConn adapts *net.UDPConn to PacketConn (everything matches

@@ -1,0 +1,8 @@
+//go:build !linux || (!amd64 && !arm64)
+
+package fleet
+
+// newUDPBatchConn on platforms without a recvmmsg/sendmmsg binding
+// (everything but 64-bit Linux) returns the plain conn; the shard then
+// adapts it with the portable loop-over-single-datagram fallback.
+func newUDPBatchConn(c udpPacketConn) PacketConn { return c }

@@ -1,0 +1,10 @@
+//go:build linux && amd64
+
+package fleet
+
+// The frozen syscall package predates sendmmsg; the numbers are part
+// of the kernel ABI and can never change.
+const (
+	sysRecvmmsg = 299
+	sysSendmmsg = 307
+)

@@ -1,0 +1,10 @@
+//go:build linux && arm64
+
+package fleet
+
+// The frozen syscall package predates sendmmsg; the numbers are part
+// of the kernel ABI and can never change.
+const (
+	sysRecvmmsg = 243
+	sysSendmmsg = 269
+)

@@ -4,9 +4,10 @@
 // duplicated or reordered, and whole endpoints can be partitioned away
 // ("down") to emulate silent crashes.
 //
-// Its endpoints satisfy internal/fleet's PacketConn contract, so the
-// production shard event loops run over it unchanged — that is the
-// point: the conformance harness (internal/conformance) drives the
+// Its endpoints satisfy internal/fleet's PacketConn contract — and its
+// batched extension, fleet.BatchPacketConn — so the production shard
+// event loops run over it unchanged, batch code path included. That is
+// the point: the conformance harness (internal/conformance) drives the
 // real fleet runtime over a hostile fake network built from the same
 // simnet loss/delay models a scenario Spec compiles to, and compares
 // the outcome against the discrete-event simulator.
@@ -38,6 +39,7 @@ import (
 	"sync"
 	"time"
 
+	"presence/internal/fleet"
 	"presence/internal/rng"
 	"presence/internal/simnet"
 )
@@ -247,6 +249,33 @@ func (n *Network) Close() {
 	n.closed = true
 }
 
+// framePool recycles datagram payload copies: a frame buffer is
+// acquired at send, carried through the inbox (or an in-flight timer)
+// and released once the receiver has copied it out or the datagram
+// died. Without it every datagram costs an allocation, which at
+// hundreds of thousands of packets per second turns the fake network
+// into a GC benchmark. The pool holds *[]byte so neither Get nor Put
+// boxes a slice header.
+var framePool = sync.Pool{New: func() any {
+	b := make([]byte, 0, frameCap)
+	return &b
+}}
+
+// frameCap comfortably exceeds every protocol frame; an oversized
+// payload grows its pooled buffer once and the buffer stays grown.
+const frameCap = 2048
+
+func acquireFrame(b []byte) *[]byte {
+	p := framePool.Get().(*[]byte)
+	if cap(*p) < len(b) {
+		*p = make([]byte, 0, len(b))
+	}
+	*p = append((*p)[:0], b...)
+	return p
+}
+
+func releaseFrame(p *[]byte) { framePool.Put(p) }
+
 // linkFor returns (creating on first use) the fault state of a→b.
 // Caller holds n.mu.
 func (n *Network) linkFor(from, to netip.AddrPort) *link {
@@ -286,36 +315,33 @@ func (n *Network) emit(from, to netip.AddrPort, frame []byte, v Verdict, dup boo
 // surviving copies.
 func (n *Network) send(from, to netip.AddrPort, b []byte) {
 	n.mu.Lock()
+	n.sendLocked(from, to, b)
+	n.mu.Unlock()
+}
+
+// sendLocked is send under an already-held network mutex, so a batched
+// write pays one lock acquisition for the whole burst. Instant
+// deliveries complete inline; delayed copies ride time.AfterFunc.
+func (n *Network) sendLocked(from, to netip.AddrPort, b []byte) {
 	if n.closed {
-		n.mu.Unlock()
 		return
 	}
 	n.counters.Sent++
 	if n.down[from] || n.down[to] {
 		n.emit(from, to, b, DroppedDown, false)
-		n.mu.Unlock()
 		return
 	}
 	l := n.linkFor(from, to)
 	if l.loss != nil && l.loss.Lose(l.r) {
 		n.emit(from, to, b, Lost, false)
-		n.mu.Unlock()
 		return
 	}
 	delay := n.drawDelay(l)
 	dup := n.faults.DuplicateP > 0 && l.r.Bool(n.faults.DuplicateP)
-	var dupDelay time.Duration
+	n.transmitLocked(datagram{from: from, to: to, frame: acquireFrame(b)}, delay)
 	if dup {
 		n.counters.Duplicated++
-		dupDelay = n.drawDelay(l)
-	}
-	n.mu.Unlock()
-
-	frame := make([]byte, len(b))
-	copy(frame, b)
-	n.transmit(datagram{from: from, to: to, frame: frame}, delay)
-	if dup {
-		n.transmit(datagram{from: from, to: to, frame: frame, duplicate: true}, dupDelay)
+		n.transmitLocked(datagram{from: from, to: to, frame: acquireFrame(b), duplicate: true}, n.drawDelay(l))
 	}
 }
 
@@ -335,47 +361,53 @@ func (n *Network) drawDelay(l *link) time.Duration {
 	return d
 }
 
-// transmit puts one copy in flight, delivering inline when there is no
-// delay to wait out.
-func (n *Network) transmit(d datagram, delay time.Duration) {
+// transmitLocked puts one copy in flight, delivering inline when there
+// is no delay to wait out. Caller holds n.mu.
+func (n *Network) transmitLocked(d datagram, delay time.Duration) {
 	if delay <= 0 {
-		n.deliver(d)
+		n.deliverLocked(d)
 		return
 	}
-	time.AfterFunc(delay, func() { n.deliver(d) })
+	time.AfterFunc(delay, func() {
+		n.mu.Lock()
+		n.deliverLocked(d)
+		n.mu.Unlock()
+	})
 }
 
-// deliver completes one delivery attempt.
-func (n *Network) deliver(d datagram) {
-	n.mu.Lock()
+// deliverLocked completes one delivery attempt; the frame buffer is
+// recycled unless it made it into an inbox (the reader releases it).
+// Caller holds n.mu.
+func (n *Network) deliverLocked(d datagram) {
 	if n.closed {
-		n.mu.Unlock()
+		releaseFrame(d.frame)
 		return
 	}
 	if n.down[d.from] || n.down[d.to] {
-		n.emit(d.from, d.to, d.frame, DroppedDown, d.duplicate)
-		n.mu.Unlock()
+		n.emit(d.from, d.to, *d.frame, DroppedDown, d.duplicate)
+		releaseFrame(d.frame)
 		return
 	}
 	e, ok := n.eps[d.to]
 	if !ok {
-		n.emit(d.from, d.to, d.frame, DroppedDown, d.duplicate)
-		n.mu.Unlock()
+		n.emit(d.from, d.to, *d.frame, DroppedDown, d.duplicate)
+		releaseFrame(d.frame)
 		return
 	}
 	select {
 	case e.inbox <- d:
-		n.emit(d.from, d.to, d.frame, Delivered, d.duplicate)
+		n.emit(d.from, d.to, *d.frame, Delivered, d.duplicate)
 	default:
-		n.emit(d.from, d.to, d.frame, Overflowed, d.duplicate)
+		n.emit(d.from, d.to, *d.frame, Overflowed, d.duplicate)
+		releaseFrame(d.frame)
 	}
-	n.mu.Unlock()
 }
 
-// datagram is one in-flight packet copy.
+// datagram is one in-flight packet copy. frame points at a pooled
+// buffer owned by the datagram until the receiver copies it out.
 type datagram struct {
 	from, to  netip.AddrPort
-	frame     []byte
+	frame     *[]byte
 	duplicate bool
 }
 
@@ -398,6 +430,8 @@ type Endpoint struct {
 	closed   chan struct{}
 	once     sync.Once
 }
+
+var _ fleet.BatchPacketConn = (*Endpoint)(nil)
 
 // LocalAddrPort returns the endpoint's address.
 func (e *Endpoint) LocalAddrPort() netip.AddrPort { return e.addr }
@@ -437,7 +471,7 @@ func (e *Endpoint) ReadFromUDPAddrPort(b []byte) (int, netip.AddrPort, error) {
 			// mirroring a kernel socket with data ready.
 			select {
 			case d := <-e.inbox:
-				return copy(b, d.frame), d.from, nil
+				return d.read(b)
 			default:
 				return 0, netip.AddrPort{}, timeoutError{}
 			}
@@ -448,12 +482,19 @@ func (e *Endpoint) ReadFromUDPAddrPort(b []byte) (int, netip.AddrPort, error) {
 	}
 	select {
 	case d := <-e.inbox:
-		return copy(b, d.frame), d.from, nil
+		return d.read(b)
 	case <-e.closed:
 		return 0, netip.AddrPort{}, errClosed
 	case <-timeout:
 		return 0, netip.AddrPort{}, timeoutError{}
 	}
+}
+
+// read copies the datagram out to the caller and recycles its buffer.
+func (d datagram) read(b []byte) (int, netip.AddrPort, error) {
+	k := copy(b, *d.frame)
+	releaseFrame(d.frame)
+	return k, d.from, nil
 }
 
 // WriteToUDPAddrPort sends one datagram through the network's fault
@@ -466,6 +507,56 @@ func (e *Endpoint) WriteToUDPAddrPort(b []byte, addr netip.AddrPort) (int, error
 	}
 	e.n.send(e.addr, addr, b)
 	return len(b), nil
+}
+
+// ReadBatch implements internal/fleet's BatchPacketConn: it blocks for
+// the first datagram exactly like ReadFromUDPAddrPort, then drains
+// whatever else is already queued, up to len(dgs). Batched reads see
+// the same per-link datagram sequences as single reads — the fault
+// plan runs at send time — so the conformance harness drives the
+// fleet's batch code path with the same determinism guarantees.
+func (e *Endpoint) ReadBatch(dgs []fleet.Datagram) (int, error) {
+	if len(dgs) == 0 {
+		return 0, nil
+	}
+	n, from, err := e.ReadFromUDPAddrPort(dgs[0].Buf)
+	if err != nil {
+		return 0, err
+	}
+	dgs[0].Buf = dgs[0].Buf[:n]
+	dgs[0].Addr = from
+	filled := 1
+	for filled < len(dgs) {
+		select {
+		case d := <-e.inbox:
+			k, from, _ := d.read(dgs[filled].Buf)
+			dgs[filled].Buf = dgs[filled].Buf[:k]
+			dgs[filled].Addr = from
+			filled++
+		default:
+			return filled, nil
+		}
+	}
+	return filled, nil
+}
+
+// WriteBatch implements internal/fleet's BatchPacketConn: the whole
+// burst moves under one network-lock acquisition — memnet's analogue
+// of one sendmmsg — with each datagram drawing from its link's fault
+// stream in order, so a batched sender sees the same per-link fates as
+// a single-datagram one.
+func (e *Endpoint) WriteBatch(dgs []fleet.Datagram) (int, error) {
+	select {
+	case <-e.closed:
+		return 0, errClosed
+	default:
+	}
+	e.n.mu.Lock()
+	for i := range dgs {
+		e.n.sendLocked(e.addr, dgs[i].Addr, dgs[i].Buf)
+	}
+	e.n.mu.Unlock()
+	return len(dgs), nil
 }
 
 // Close detaches the endpoint and wakes any blocked reader.

@@ -74,143 +74,249 @@ func Encode(msg core.Message) ([]byte, error) {
 // AppendEncode serialises msg, appending to dst (which may be nil), and
 // returns the extended buffer. It fails on unknown message or payload
 // types. Pooled pointer forms encode identically to their value forms
-// (the caller keeps ownership; flattening copies the fields out).
+// and without boxing them back into values, so encoding a pooled
+// message into a reused buffer allocates nothing — the property the
+// fleet's per-packet send path is built on (the caller keeps ownership
+// either way).
 func AppendEncode(dst []byte, msg core.Message) ([]byte, error) {
-	msg = core.Flatten(msg)
-	var (
-		typ           uint8
-		from          ident.NodeID
-		cycle         uint32
-		attempt       uint8
-		encodePayload func(b []byte) []byte
-	)
+	var f Frame
 	switch m := msg.(type) {
 	case core.ProbeMsg:
-		typ, from, cycle, attempt = typeProbe, m.From, m.Cycle, m.Attempt
+		f = Frame{Kind: KindProbe, From: m.From, Cycle: m.Cycle, Attempt: m.Attempt}
+	case *core.ProbeMsg:
+		f = Frame{Kind: KindProbe, From: m.From, Cycle: m.Cycle, Attempt: m.Attempt}
 	case core.ReplyMsg:
-		from, cycle, attempt = m.From, m.Cycle, m.Attempt
-		switch p := m.Payload.(type) {
-		case core.SAPPReply:
-			typ = typeReplySAPP
-			encodePayload = func(b []byte) []byte {
-				b = binary.BigEndian.AppendUint64(b, p.ProbeCount)
-				b = binary.BigEndian.AppendUint32(b, uint32(p.LastProbers[0]))
-				return binary.BigEndian.AppendUint32(b, uint32(p.LastProbers[1]))
-			}
-		case core.DCPPReply:
-			typ = typeReplyDCPP
-			encodePayload = func(b []byte) []byte {
-				return binary.BigEndian.AppendUint64(b, uint64(p.Wait.Nanoseconds()))
-			}
-		case core.EmptyReply:
-			typ = typeReplyEmpty
-		default:
-			return nil, fmt.Errorf("wire: unsupported reply payload %T", m.Payload)
+		f = Frame{From: m.From, Cycle: m.Cycle, Attempt: m.Attempt}
+		if err := replyFrame(&f, m.Payload); err != nil {
+			return nil, err
+		}
+	case *core.ReplyMsg:
+		f = Frame{From: m.From, Cycle: m.Cycle, Attempt: m.Attempt}
+		if err := replyFrame(&f, m.Payload); err != nil {
+			return nil, err
 		}
 	case core.ByeMsg:
-		typ, from = typeBye, m.From
+		f = Frame{Kind: KindBye, From: m.From}
 	case core.AnnounceMsg:
-		typ, from = typeAnnounce, m.From
-		maxAge := m.MaxAge
-		encodePayload = func(b []byte) []byte {
-			return binary.BigEndian.AppendUint64(b, uint64(maxAge.Nanoseconds()))
-		}
+		f = Frame{Kind: KindAnnounce, From: m.From, MaxAge: m.MaxAge}
 	case core.LeaveNotice:
-		typ, from = typeLeave, m.Origin
-		p := m
-		encodePayload = func(b []byte) []byte {
-			b = binary.BigEndian.AppendUint32(b, uint32(p.Device))
-			b = binary.BigEndian.AppendUint32(b, uint32(p.Origin))
-			b = binary.BigEndian.AppendUint32(b, p.Seq)
-			return append(b, p.TTL)
-		}
+		f = Frame{Kind: KindLeave, From: m.Origin, Device: m.Device, Origin: m.Origin, Seq: m.Seq, TTL: m.TTL}
 	default:
 		return nil, fmt.Errorf("wire: unsupported message type %T", msg)
+	}
+	return AppendEncodeFrame(dst, &f)
+}
+
+// replyFrame fills the payload union from either payload form.
+func replyFrame(f *Frame, pl core.Payload) error {
+	switch p := pl.(type) {
+	case core.SAPPReply:
+		f.Kind, f.ProbeCount, f.LastProbers = KindReplySAPP, p.ProbeCount, p.LastProbers
+	case *core.SAPPReply:
+		f.Kind, f.ProbeCount, f.LastProbers = KindReplySAPP, p.ProbeCount, p.LastProbers
+	case core.DCPPReply:
+		f.Kind, f.Wait = KindReplyDCPP, p.Wait
+	case *core.DCPPReply:
+		f.Kind, f.Wait = KindReplyDCPP, p.Wait
+	case core.EmptyReply:
+		f.Kind = KindReplyEmpty
+	default:
+		return fmt.Errorf("wire: unsupported reply payload %T", pl)
+	}
+	return nil
+}
+
+// AppendEncodeFrame serialises one flat Frame — DecodeFrame's inverse.
+func AppendEncodeFrame(dst []byte, f *Frame) ([]byte, error) {
+	var typ uint8
+	switch f.Kind {
+	case KindProbe:
+		typ = typeProbe
+	case KindReplySAPP:
+		typ = typeReplySAPP
+	case KindReplyDCPP:
+		typ = typeReplyDCPP
+	case KindReplyEmpty:
+		typ = typeReplyEmpty
+	case KindBye:
+		typ = typeBye
+	case KindAnnounce:
+		typ = typeAnnounce
+	case KindLeave:
+		typ = typeLeave
+	default:
+		return nil, fmt.Errorf("wire: unsupported frame kind %d", f.Kind)
 	}
 	start := len(dst)
 	dst = binary.BigEndian.AppendUint16(dst, Magic)
 	dst = append(dst, Version, typ)
-	dst = binary.BigEndian.AppendUint32(dst, uint32(from))
-	dst = binary.BigEndian.AppendUint32(dst, cycle)
-	dst = append(dst, attempt)
-	if encodePayload != nil {
-		dst = encodePayload(dst)
+	dst = binary.BigEndian.AppendUint32(dst, uint32(f.From))
+	dst = binary.BigEndian.AppendUint32(dst, f.Cycle)
+	dst = append(dst, f.Attempt)
+	switch f.Kind {
+	case KindReplySAPP:
+		dst = binary.BigEndian.AppendUint64(dst, f.ProbeCount)
+		dst = binary.BigEndian.AppendUint32(dst, uint32(f.LastProbers[0]))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(f.LastProbers[1]))
+	case KindReplyDCPP:
+		dst = binary.BigEndian.AppendUint64(dst, uint64(f.Wait.Nanoseconds()))
+	case KindAnnounce:
+		dst = binary.BigEndian.AppendUint64(dst, uint64(f.MaxAge.Nanoseconds()))
+	case KindLeave:
+		dst = binary.BigEndian.AppendUint32(dst, uint32(f.Device))
+		dst = binary.BigEndian.AppendUint32(dst, uint32(f.Origin))
+		dst = binary.BigEndian.AppendUint32(dst, f.Seq)
+		dst = append(dst, f.TTL)
 	}
 	crc := crc32.ChecksumIEEE(dst[start:])
 	return binary.BigEndian.AppendUint32(dst, crc), nil
 }
 
-// Decode parses one frame. It validates magic, version, checksum and the
-// exact frame length for the message type.
-func Decode(b []byte) (core.Message, error) {
+// Kind tags a decoded Frame with its message type.
+type Kind uint8
+
+// Frame kinds, one per wire message type.
+const (
+	KindInvalid Kind = iota
+	KindProbe
+	KindReplySAPP
+	KindReplyDCPP
+	KindReplyEmpty
+	KindBye
+	KindAnnounce
+	KindLeave
+)
+
+// Frame is one decoded wire frame as a flat struct: a tagged union of
+// every message type's fields, with no interface boxing. DecodeFrame
+// fills one without allocating, which is what packet-per-microsecond
+// receive loops (internal/fleet's shard loops) dispatch on; Decode
+// wraps it for callers that want the core.Message form and can afford
+// the box.
+//
+// Valid fields by Kind: From always; Cycle and Attempt for probes and
+// replies; ProbeCount and LastProbers for SAPP replies; Wait for DCPP
+// replies; MaxAge for announces; Device, Origin, Seq and TTL for leave
+// notices.
+type Frame struct {
+	Kind    Kind
+	From    ident.NodeID
+	Cycle   uint32
+	Attempt uint8
+
+	ProbeCount  uint64
+	LastProbers [2]ident.NodeID
+	Wait        time.Duration
+	MaxAge      time.Duration
+
+	Device ident.NodeID
+	Origin ident.NodeID
+	Seq    uint32
+	TTL    uint8
+}
+
+// DecodeFrame parses one frame into f without allocating. It validates
+// magic, version, checksum and the exact frame length for the message
+// type; on error f.Kind is KindInvalid.
+func DecodeFrame(b []byte, f *Frame) error {
+	f.Kind = KindInvalid
 	if len(b) < headerSize+crcSize {
-		return nil, ErrTooShort
+		return ErrTooShort
 	}
 	if binary.BigEndian.Uint16(b) != Magic {
-		return nil, ErrBadMagic
+		return ErrBadMagic
 	}
 	if b[2] != Version {
-		return nil, fmt.Errorf("%w: %d", ErrBadVersion, b[2])
+		return fmt.Errorf("%w: %d", ErrBadVersion, b[2])
 	}
 	body, crcBytes := b[:len(b)-crcSize], b[len(b)-crcSize:]
 	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(crcBytes) {
-		return nil, ErrBadChecksum
+		return ErrBadChecksum
 	}
 	typ := b[3]
-	from := ident.NodeID(binary.BigEndian.Uint32(b[4:]))
-	cycle := binary.BigEndian.Uint32(b[8:])
-	attempt := b[12]
+	f.From = ident.NodeID(binary.BigEndian.Uint32(b[4:]))
+	f.Cycle = binary.BigEndian.Uint32(b[8:])
+	f.Attempt = b[12]
 	payload := body[headerSize:]
 	switch typ {
 	case typeProbe:
 		if len(payload) != 0 {
-			return nil, ErrBadLength
+			return ErrBadLength
 		}
-		return core.ProbeMsg{From: from, Cycle: cycle, Attempt: attempt}, nil
+		f.Kind = KindProbe
 	case typeReplySAPP:
 		if len(payload) != 16 {
-			return nil, ErrBadLength
+			return ErrBadLength
 		}
-		return core.ReplyMsg{From: from, Cycle: cycle, Attempt: attempt, Payload: core.SAPPReply{
-			ProbeCount: binary.BigEndian.Uint64(payload),
-			LastProbers: [2]ident.NodeID{
-				ident.NodeID(binary.BigEndian.Uint32(payload[8:])),
-				ident.NodeID(binary.BigEndian.Uint32(payload[12:])),
-			},
-		}}, nil
+		f.Kind = KindReplySAPP
+		f.ProbeCount = binary.BigEndian.Uint64(payload)
+		f.LastProbers = [2]ident.NodeID{
+			ident.NodeID(binary.BigEndian.Uint32(payload[8:])),
+			ident.NodeID(binary.BigEndian.Uint32(payload[12:])),
+		}
 	case typeReplyDCPP:
 		if len(payload) != 8 {
-			return nil, ErrBadLength
+			return ErrBadLength
 		}
-		wait := time.Duration(int64(binary.BigEndian.Uint64(payload)))
-		return core.ReplyMsg{From: from, Cycle: cycle, Attempt: attempt, Payload: core.DCPPReply{Wait: wait}}, nil
+		f.Kind = KindReplyDCPP
+		f.Wait = time.Duration(int64(binary.BigEndian.Uint64(payload)))
 	case typeReplyEmpty:
 		if len(payload) != 0 {
-			return nil, ErrBadLength
+			return ErrBadLength
 		}
-		return core.ReplyMsg{From: from, Cycle: cycle, Attempt: attempt, Payload: core.EmptyReply{}}, nil
+		f.Kind = KindReplyEmpty
 	case typeBye:
 		if len(payload) != 0 {
-			return nil, ErrBadLength
+			return ErrBadLength
 		}
-		return core.ByeMsg{From: from}, nil
+		f.Kind = KindBye
 	case typeAnnounce:
 		if len(payload) != 8 {
-			return nil, ErrBadLength
+			return ErrBadLength
 		}
-		maxAge := time.Duration(int64(binary.BigEndian.Uint64(payload)))
-		return core.AnnounceMsg{From: from, MaxAge: maxAge}, nil
+		f.Kind = KindAnnounce
+		f.MaxAge = time.Duration(int64(binary.BigEndian.Uint64(payload)))
 	case typeLeave:
 		if len(payload) != 13 {
-			return nil, ErrBadLength
+			return ErrBadLength
 		}
-		return core.LeaveNotice{
-			Device: ident.NodeID(binary.BigEndian.Uint32(payload)),
-			Origin: ident.NodeID(binary.BigEndian.Uint32(payload[4:])),
-			Seq:    binary.BigEndian.Uint32(payload[8:]),
-			TTL:    payload[12],
-		}, nil
+		f.Kind = KindLeave
+		f.Device = ident.NodeID(binary.BigEndian.Uint32(payload))
+		f.Origin = ident.NodeID(binary.BigEndian.Uint32(payload[4:]))
+		f.Seq = binary.BigEndian.Uint32(payload[8:])
+		f.TTL = payload[12]
 	default:
-		return nil, fmt.Errorf("%w: %d", ErrUnknownType, typ)
+		return fmt.Errorf("%w: %d", ErrUnknownType, typ)
+	}
+	return nil
+}
+
+// Decode parses one frame. It validates magic, version, checksum and the
+// exact frame length for the message type.
+func Decode(b []byte) (core.Message, error) {
+	var f Frame
+	if err := DecodeFrame(b, &f); err != nil {
+		return nil, err
+	}
+	switch f.Kind {
+	case KindProbe:
+		return core.ProbeMsg{From: f.From, Cycle: f.Cycle, Attempt: f.Attempt}, nil
+	case KindReplySAPP:
+		return core.ReplyMsg{From: f.From, Cycle: f.Cycle, Attempt: f.Attempt, Payload: core.SAPPReply{
+			ProbeCount:  f.ProbeCount,
+			LastProbers: f.LastProbers,
+		}}, nil
+	case KindReplyDCPP:
+		return core.ReplyMsg{From: f.From, Cycle: f.Cycle, Attempt: f.Attempt, Payload: core.DCPPReply{Wait: f.Wait}}, nil
+	case KindReplyEmpty:
+		return core.ReplyMsg{From: f.From, Cycle: f.Cycle, Attempt: f.Attempt, Payload: core.EmptyReply{}}, nil
+	case KindBye:
+		return core.ByeMsg{From: f.From}, nil
+	case KindAnnounce:
+		return core.AnnounceMsg{From: f.From, MaxAge: f.MaxAge}, nil
+	case KindLeave:
+		return core.LeaveNotice{Device: f.Device, Origin: f.Origin, Seq: f.Seq, TTL: f.TTL}, nil
+	default:
+		return nil, fmt.Errorf("%w: %d", ErrUnknownType, b[3])
 	}
 }

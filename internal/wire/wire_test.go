@@ -279,3 +279,62 @@ func TestRoundTripAnnounce(t *testing.T) {
 		t.Fatalf("got %+v, want %+v", got, in)
 	}
 }
+
+// TestDecodeFrameMatchesDecode pins the flat DecodeFrame path against
+// the boxed Decode path for every message type: same acceptance, same
+// fields, and Frame round-trips through AppendEncodeFrame to the same
+// bytes.
+func TestDecodeFrameMatchesDecode(t *testing.T) {
+	msgs := []core.Message{
+		core.ProbeMsg{From: 7, Cycle: 0xCAFEBABE, Attempt: 3},
+		core.ReplyMsg{From: 9, Cycle: 12, Attempt: 1, Payload: core.SAPPReply{ProbeCount: 1 << 40, LastProbers: [2]ident.NodeID{4, 5}}},
+		core.ReplyMsg{From: 9, Cycle: 12, Attempt: 0, Payload: core.DCPPReply{Wait: 1500 * time.Millisecond}},
+		core.ReplyMsg{From: 2, Cycle: 1, Attempt: 2, Payload: core.EmptyReply{}},
+		core.ByeMsg{From: 11},
+		core.AnnounceMsg{From: 13, MaxAge: time.Minute},
+		core.LeaveNotice{Device: 1, Origin: 2, Seq: 77, TTL: 4},
+	}
+	for _, msg := range msgs {
+		b, err := Encode(msg)
+		if err != nil {
+			t.Fatalf("encode %T: %v", msg, err)
+		}
+		var f Frame
+		if err := DecodeFrame(b, &f); err != nil {
+			t.Fatalf("DecodeFrame(%T): %v", msg, err)
+		}
+		boxed, err := Decode(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Re-encoding the flat frame must reproduce the wire bytes.
+		b2, err := AppendEncodeFrame(nil, &f)
+		if err != nil {
+			t.Fatalf("AppendEncodeFrame(%T): %v", msg, err)
+		}
+		if string(b2) != string(b) {
+			t.Fatalf("%T: frame re-encode differs: %x vs %x", msg, b2, b)
+		}
+		// And the boxed decode of those bytes must equal the original.
+		if boxed != msg {
+			t.Fatalf("%T: boxed decode = %#v, want %#v", msg, boxed, msg)
+		}
+	}
+}
+
+// TestDecodeFrameZeroAlloc pins the property the fleet's receive path
+// depends on: decoding into a caller-owned Frame allocates nothing.
+func TestDecodeFrameZeroAlloc(t *testing.T) {
+	b, err := Encode(core.ReplyMsg{From: 9, Cycle: 12, Payload: core.DCPPReply{Wait: time.Second}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var f Frame
+	if allocs := testing.AllocsPerRun(200, func() {
+		if err := DecodeFrame(b, &f); err != nil {
+			t.Error(err)
+		}
+	}); allocs != 0 {
+		t.Fatalf("DecodeFrame allocates %.1f times per call, want 0", allocs)
+	}
+}

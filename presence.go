@@ -237,12 +237,16 @@ func NewUDPNaiveDevice(cfg UDPDeviceConfig) (*UDPDevice, error) {
 }
 
 // Fleet runtime (see internal/fleet): a sharded shared-socket presence
-// server hosting tens of thousands of control points per process — N
-// shards, each one UDP socket, one event-loop goroutine and one
-// hierarchical timer wheel; no per-node goroutines or timers.
+// server hosting hundreds of thousands of control points per process —
+// N shards, each one UDP socket, one event-loop goroutine and one
+// hierarchical timer wheel; no per-node goroutines or timers. Shard
+// I/O is batched and allocation-free: on Linux whole bursts move per
+// recvmmsg/sendmmsg syscall, elsewhere (and with
+// FleetConfig.ForceSingleDatagram) a portable one-datagram-per-call
+// fallback carries the same traffic byte for byte.
 type (
 	// FleetConfig assembles a Fleet (shards, listen address, timer
-	// tick).
+	// tick, transport batch).
 	FleetConfig = fleet.Config
 	// Fleet hosts protocol engines across shards.
 	Fleet = fleet.Fleet
@@ -260,6 +264,16 @@ type (
 	FleetScaleOptions = fleet.ScaleOptions
 	// FleetScaleResult is what the loopback scale harness measured.
 	FleetScaleResult = fleet.ScaleResult
+	// FleetTransport opens one packet conn per shard (custom networks).
+	FleetTransport = fleet.Transport
+	// FleetPacketConn is the single-datagram transport contract.
+	FleetPacketConn = fleet.PacketConn
+	// FleetBatchPacketConn is the batched transport contract: a
+	// PacketConn that moves []FleetDatagram per call; the fleet uses it
+	// automatically when a transport provides it.
+	FleetBatchPacketConn = fleet.BatchPacketConn
+	// FleetDatagram is one packet of a batched transport call.
+	FleetDatagram = fleet.Datagram
 )
 
 // NewFleet builds a sharded presence server. Call Start, then

@@ -174,6 +174,45 @@ func TestFleetFacade(t *testing.T) {
 	if snap.Total.ControlPoints != 1 || snap.Total.Devices != 1 {
 		t.Fatalf("fleet snapshot = %+v", snap.Total)
 	}
+	if snap.Total.SyscallsIn == 0 || snap.Total.SyscallsOut == 0 {
+		t.Fatalf("fleet snapshot carries no transport-call accounting: %+v", snap.Total)
+	}
+}
+
+// TestFleetFacadeSingleDatagram pins the facade's knob for the
+// portable one-datagram-per-call path: traffic flows and every packet
+// costs exactly one transport call.
+func TestFleetFacadeSingleDatagram(t *testing.T) {
+	f, err := presence.NewFleet(presence.FleetConfig{Shards: 1, ForceSingleDatagram: true, Batch: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := f.AddDevice(1, presence.NewDCPPDeviceBuilder(1, presence.DefaultDCPPDeviceConfig()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cp, err := presence.NewFleetDCPPControlPoint(f, presence.FleetCPConfig{
+		ID: 2, Device: 1, DeviceAddr: dev.Addr().String(),
+	}, presence.DCPPPolicyConfig{}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(3 * time.Second)
+	for time.Now().Before(deadline) && cp.Stats().CyclesOK < 1 {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if cp.Stats().CyclesOK < 1 {
+		t.Fatal("no cycle completed on the single-datagram path")
+	}
+	snap := f.Snapshot()
+	if snap.Total.SyscallsOut != snap.Total.PacketsOut {
+		t.Fatalf("single-datagram path: %d packets out over %d calls, want 1:1",
+			snap.Total.PacketsOut, snap.Total.SyscallsOut)
+	}
 }
 
 // TestFacadeConstructorErrorPaths: every facade constructor must turn
