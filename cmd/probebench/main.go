@@ -8,6 +8,7 @@
 //	           [-fleet] [-fleet-cps N] [-fleet-shards N] [-fleet-devices N] [-fleet-window D]
 //	           [-fleet-rate F] [-fleet-single] [-fleet-sweep SHARDSxCPSxRATE[s][m],...]
 //	           [-conformance] [-conformance-seed N] [-conformance-scenario NAME]
+//	           [-adversarial] [-adversarial-seed N]
 //	probebench -scenario NAME|FILE [-seed N] [-out DIR] [-plot]
 //	probebench -compare OLD.json NEW.json [-compare-max-slowdown F] [-compare-max-alloc-growth F]
 //	probebench -list | -list-scenarios
@@ -28,7 +29,12 @@
 // "fleet.sweep". With -conformance, the simulator-vs-fleet
 // differential battery (internal/conformance) runs and its results land
 // in the snapshot's "conformance" section; any failing case makes the
-// command exit non-zero. With -scenario, one declarative scenario
+// command exit non-zero. With -adversarial, the adversarial battery
+// (internal/conformance's adv-* scenarios) runs twice — hardened and
+// unhardened — and both sides land in the snapshot's "adversarial"
+// section; a hardened case with any false verdict exits non-zero, and
+// -compare re-gates the section when diffing snapshots. With -scenario,
+// one declarative scenario
 // (registered name or JSON file, see internal/scenario) runs instead of
 // the suite and is summarised as a report. With -compare, two previously
 // written snapshots are diffed and the command exits non-zero on a
@@ -89,6 +95,9 @@ func run(args []string, out io.Writer) error {
 		confSeed = fs.Uint64("conformance-seed", 2005, "seed for -conformance")
 		confOnly = fs.String("conformance-scenario", "", "run a single conformance case by scenario name (default: all)")
 
+		advRun  = fs.Bool("adversarial", false, "also run the adversarial battery hardened and unhardened; a hardened false verdict exits non-zero")
+		advSeed = fs.Uint64("adversarial-seed", 2005, "seed for -adversarial")
+
 		compare  = fs.Bool("compare", false, "compare two BENCH_<n>.json snapshots (probebench -compare OLD NEW) and exit non-zero on regression")
 		cmpSlow  = fs.Float64("compare-max-slowdown", 1.0, "-compare: max relative ns/op growth (1.0 = +100%; 0 disables the wall-time gate — it is machine-dependent)")
 		cmpAlloc = fs.Float64("compare-max-alloc-growth", 0.10, "-compare: max relative allocs/op growth (machine-independent; the strict gate)")
@@ -118,7 +127,7 @@ func run(args []string, out io.Writer) error {
 	if *scen != "" {
 		explicit := make(map[string]bool)
 		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-		for _, conflicting := range []string{"scale", "only", "json", "jsonpath", "fleet", "fleet-cps", "fleet-shards", "fleet-devices", "fleet-window", "fleet-rate", "fleet-single", "fleet-sweep", "conformance", "conformance-seed", "conformance-scenario"} {
+		for _, conflicting := range []string{"scale", "only", "json", "jsonpath", "fleet", "fleet-cps", "fleet-shards", "fleet-devices", "fleet-window", "fleet-rate", "fleet-single", "fleet-sweep", "conformance", "conformance-seed", "conformance-scenario", "adversarial", "adversarial-seed"} {
 			if explicit[conflicting] {
 				return fmt.Errorf("-%s applies to the experiment suite, not to -scenario (the scenario defines its own horizon)", conflicting)
 			}
@@ -289,6 +298,36 @@ func run(args []string, out io.Writer) error {
 			return fmt.Errorf("conformance: %d of %d cases failed", failed, len(confCases))
 		}
 	}
+	var advSec *adversarialSection
+	if *advRun {
+		advSec = &adversarialSection{}
+		for _, harden := range []bool{true, false} {
+			mode := "hardened"
+			if !harden {
+				mode = "unhardened"
+			}
+			fmt.Fprintf(out, "==> adversarial battery, %s (seed %d)\n", mode, *advSeed)
+			t0 := time.Now()
+			results, err := conformance.RunAdversarialSuite(*advSeed, harden)
+			if err != nil {
+				return fmt.Errorf("adversarial (%s): %w", mode, err)
+			}
+			for _, res := range results {
+				fmt.Fprintln(out, res.Format())
+				report.WriteString(res.Format())
+				report.WriteString("\n")
+			}
+			fmt.Fprintf(out, "    (%s)\n\n", time.Since(t0).Round(time.Millisecond))
+			if harden {
+				advSec.Hardened = results
+			} else {
+				advSec.Unhardened = results
+			}
+		}
+		if fails := gateAdversarial(advSec.Hardened); len(fails) > 0 {
+			return fmt.Errorf("adversarial: %s", strings.Join(fails, "; "))
+		}
+	}
 	if opts.OutDir != "" {
 		if err := os.MkdirAll(opts.OutDir, 0o755); err != nil {
 			return err
@@ -300,7 +339,7 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "report written to %s\n", path)
 	}
 	if *emit {
-		path, err := writeJSONSnapshot(*jpath, *seed, s, metricsByExperiment, fleetSec, confResults)
+		path, err := writeJSONSnapshot(*jpath, *seed, s, metricsByExperiment, fleetSec, confResults, advSec)
 		if err != nil {
 			return err
 		}
@@ -378,7 +417,31 @@ type benchSnapshot struct {
 	HotPath     *hotPathSection               `json:"shard_hot_path,omitempty"`
 	Fleet       *fleetSection                 `json:"fleet,omitempty"`
 	Conformance []*conformance.Result         `json:"conformance,omitempty"`
+	Adversarial *adversarialSection           `json:"adversarial,omitempty"`
 	Metrics     map[string]map[string]float64 `json:"metrics"`
+}
+
+// adversarialSection is the snapshot's robustness block: the adv-*
+// battery run with the fleet defenses on and off. The hardened side is
+// a gate (zero false verdicts, re-checked by -compare); the unhardened
+// side documents what the attacks do to an undefended runtime.
+type adversarialSection struct {
+	Hardened   []*conformance.AdvResult `json:"hardened,omitempty"`
+	Unhardened []*conformance.AdvResult `json:"unhardened,omitempty"`
+}
+
+// gateAdversarial re-derives the hardened pass condition from a
+// snapshot section, so -compare gates committed snapshots the same way
+// the live run was gated.
+func gateAdversarial(hardened []*conformance.AdvResult) []string {
+	var fails []string
+	for _, r := range hardened {
+		if r.Adv.FalseAbsent != 0 || r.Adv.FalsePresent != 0 || len(r.Violations) != 0 || !r.Pass {
+			fails = append(fails, fmt.Sprintf("hardened %s: %d false-ABSENT, %d false-PRESENT, %d violations",
+				r.Scenario, r.Adv.FalseAbsent, r.Adv.FalsePresent, len(r.Violations)))
+		}
+	}
+	return fails
 }
 
 // fleetSection is the snapshot's fleet block: the protocol-budget
@@ -509,7 +572,7 @@ func measureHotPath() (*hotPathSection, error) {
 
 // writeJSONSnapshot measures throughput and writes the snapshot to path,
 // or to the next free BENCH_<n>.json when path is empty.
-func writeJSONSnapshot(path string, seed uint64, scale experiments.Scale, metrics map[string]map[string]float64, fleetSec *fleetSection, confResults []*conformance.Result) (string, error) {
+func writeJSONSnapshot(path string, seed uint64, scale experiments.Scale, metrics map[string]map[string]float64, fleetSec *fleetSection, confResults []*conformance.Result, advSec *adversarialSection) (string, error) {
 	tp, err := measureThroughput()
 	if err != nil {
 		return "", err
@@ -526,6 +589,7 @@ func writeJSONSnapshot(path string, seed uint64, scale experiments.Scale, metric
 		HotPath:     hp,
 		Fleet:       fleetSec,
 		Conformance: confResults,
+		Adversarial: advSec,
 		Metrics:     metrics,
 	}
 	if path == "" {
@@ -630,6 +694,22 @@ func runCompare(out io.Writer, oldPath, newPath string, maxSlow, maxAlloc float6
 		if maxAlloc > 0 && newA > oldA && float64(newA-oldA) > maxAlloc*float64(max(oldA, 1)) {
 			fails = append(fails, fmt.Sprintf("shard hot path allocs/op grew %d → %d", oldA, newA))
 		}
+	}
+	// The adversarial section is an absolute gate, not a diff: the new
+	// snapshot's hardened battery must show zero false verdicts
+	// regardless of what (or whether) the old snapshot recorded —
+	// snapshots before the robustness PR simply lack the section.
+	if adv := newSnap.Adversarial; adv != nil {
+		fmt.Fprintf(out, "\n%-18s %6s %14s %14s %10s\n", "adversarial", "mode", "false-absent", "false-present", "shed-rate")
+		rows := func(mode string, results []*conformance.AdvResult) {
+			for _, r := range results {
+				fmt.Fprintf(out, "%-18s %6s %14d %14d %10.2f\n",
+					r.Scenario, mode, r.Adv.FalseAbsent, r.Adv.FalsePresent, r.Adv.ShedRate)
+			}
+		}
+		rows("hard", adv.Hardened)
+		rows("none", adv.Unhardened)
+		fails = append(fails, gateAdversarial(adv.Hardened)...)
 	}
 	if len(fails) > 0 {
 		return fmt.Errorf("regression: %s", strings.Join(fails, "; "))

@@ -94,7 +94,7 @@ func TestJSONAutoNumbering(t *testing.T) {
 	if err := os.WriteFile("BENCH_1.json", []byte("{}"), 0o644); err != nil {
 		t.Fatal(err)
 	}
-	path, err := writeJSONSnapshot("", 1, "short", nil, nil, nil)
+	path, err := writeJSONSnapshot("", 1, "short", nil, nil, nil, nil)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,7 +10,7 @@
 //	           [-loopback N | -device ADDR -device-id N]
 //	           [-min-gap D] [-min-cp-delay D]
 //	           [-duration D] [-interval D] [-join-ramp D]
-//	           [-batch N] [-single] [-pprof ADDR]
+//	           [-batch N] [-single] [-harden] [-pprof ADDR]
 //
 // By default it runs self-contained: -loopback N hosts N devices of the
 // chosen protocol in a second, devices-only fleet and points the CPs at
@@ -21,8 +21,10 @@
 // -protocol naive -period 1/F, the configuration that stresses the
 // batched transport path instead of exercising DCPP's frugality.
 // -single forces the one-datagram-per-syscall fallback (the baseline
-// the batching win is measured against) and -pprof serves
-// net/http/pprof on ADDR for live profiling of long runs.
+// the batching win is measured against), -harden switches on the
+// adversarial defenses (fleet Config.Harden) and reports their
+// counters in the final dump, and -pprof serves net/http/pprof on ADDR
+// for live profiling of long runs.
 package main
 
 import (
@@ -75,6 +77,7 @@ type options struct {
 	joinRamp   time.Duration
 	batch      int
 	single     bool
+	harden     bool
 	pprofAddr  string
 }
 
@@ -96,6 +99,7 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 	fs.Float64Var(&o.rate, "rate", 0, "per-CP probe budget in probes/s (shorthand for -protocol naive -period 1/F)")
 	fs.IntVar(&o.batch, "batch", 0, "transport batch: datagrams per recvmmsg/sendmmsg call (0 = fleet default)")
 	fs.BoolVar(&o.single, "single", false, "force the one-datagram-per-syscall fallback path")
+	fs.BoolVar(&o.harden, "harden", false, "enable the adversarial defenses (BYE verification, source pinning, replay window, per-source shedding) on both fleets")
 	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -128,7 +132,7 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 		fmt.Fprintf(out, "probefleet: pprof on http://%s/debug/pprof/\n", o.pprofAddr)
 	}
 
-	cpFleet, err := fleet.New(fleet.Config{Shards: o.shards, Batch: o.batch, ForceSingleDatagram: o.single})
+	cpFleet, err := fleet.New(fleet.Config{Shards: o.shards, Batch: o.batch, ForceSingleDatagram: o.single, Harden: o.harden})
 	if err != nil {
 		return err
 	}
@@ -144,6 +148,7 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 	}
 	var targets []target
 	var ids ident.Allocator
+	var devFleet *fleet.Fleet
 	if o.device != "" {
 		if o.deviceID == 0 || uint64(o.deviceID) > uint64(^uint32(0)) {
 			return fmt.Errorf("-device-id %d out of range", o.deviceID)
@@ -154,7 +159,8 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 		}
 		targets = []target{{id: ident.NodeID(uint32(o.deviceID)), addr: addr}}
 	} else {
-		devFleet, err := fleet.New(fleet.Config{Shards: o.loopback, Batch: o.batch, ForceSingleDatagram: o.single})
+		var err error
+		devFleet, err = fleet.New(fleet.Config{Shards: o.loopback, Batch: o.batch, ForceSingleDatagram: o.single, Harden: o.harden})
 		if err != nil {
 			return err
 		}
@@ -213,9 +219,9 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 			prev = cur
 		case <-sig:
 			fmt.Fprintln(out, "probefleet: signal received, shutting down")
-			return finalDump(out, cpFleet)
+			return finalDump(out, cpFleet, devFleet)
 		case <-timeout:
-			return finalDump(out, cpFleet)
+			return finalDump(out, cpFleet, devFleet)
 		}
 	}
 }
@@ -278,17 +284,31 @@ func printLive(out io.Writer, prev, cur fleet.Snapshot) {
 
 // finalDump closes the fleet and prints the last counters — aggregate
 // first, then per shard, so the per-shard sums can be eyeballed against
-// the total.
-func finalDump(out io.Writer, f *fleet.Fleet) error {
+// the total. devFleet is the loopback device fleet when one exists (nil
+// with -device); its counters carry the device-side hardening activity
+// (probe shedding, forged byes) that never shows on the CP fleet.
+func finalDump(out io.Writer, f, devFleet *fleet.Fleet) error {
 	snap := f.Snapshot()
 	err := f.Close()
 	t := snap.Total
+	if devFleet != nil {
+		d := devFleet.Snapshot().Total
+		t.AttemptMismatches += d.AttemptMismatches
+		t.RepliesForged += d.RepliesForged
+		t.ByesForged += d.ByesForged
+		t.RepliesReplayed += d.RepliesReplayed
+		t.ProbesShed += d.ProbesShed
+	}
 	fmt.Fprintf(out, "probefleet: final after %s — cps=%d/%d in=%d out=%d syscalls=%d/%d probes=%d replies=%d timers=%d errs dec=%d send=%d drop=%d coll=%d\n",
 		snap.At.Round(time.Millisecond),
 		t.LiveControlPoints, t.ControlPoints, t.PacketsIn, t.PacketsOut,
 		t.SyscallsIn, t.SyscallsOut,
 		t.ProbesOut, t.RepliesIn, t.TimersFired,
 		t.DecodeErrors, t.SendErrors, t.DemuxDrops, t.DemuxCollisions)
+	if h := t.AttemptMismatches + t.RepliesForged + t.ByesForged + t.RepliesReplayed + t.ProbesShed; h > 0 {
+		fmt.Fprintf(out, "probefleet: hardening — attempt-mismatch=%d forged replies=%d byes=%d replayed=%d shed=%d\n",
+			t.AttemptMismatches, t.RepliesForged, t.ByesForged, t.RepliesReplayed, t.ProbesShed)
+	}
 	for i, c := range snap.Shards {
 		fmt.Fprintf(out, "  shard %2d: cps=%d/%d in=%d out=%d probes=%d replies=%d wheel=%d\n",
 			i, c.LiveControlPoints, c.ControlPoints, c.PacketsIn, c.PacketsOut,

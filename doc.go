@@ -100,6 +100,21 @@
 // documented tolerances (probebench -conformance; the conf-* scenarios
 // in the registry are the standing battery).
 //
+// # Adversarial hardening
+//
+// The same machinery doubles as an attack range: memnet middleboxes
+// (internal/memnet's Middlebox/Injector API) observe, drop and forge
+// datagrams in transit, and the adv-* scenarios in the registry mount
+// spoofed-BYE, replay, Byzantine-responder and reflection/amplification
+// attacks against a live fleet. fleet.Config.Harden switches on the
+// defenses — source-pinned reply acceptance, a replay window, BYE
+// verification (core.ProberOptions.VerifyBye: a BYE triggers a probe
+// cycle instead of an immediate verdict) and per-source admission — and
+// internal/conformance diffs the attacked run against the attack-free
+// simulation to score false verdicts (probebench -adversarial;
+// hardened-vs-unhardened results in EXPERIMENTS.md "Adversarial
+// workloads").
+//
 // # Quick start (simulation)
 //
 //	w, err := presence.NewSimulation(presence.SimConfig{

@@ -1,0 +1,140 @@
+package conformance
+
+import (
+	"fmt"
+	"testing"
+)
+
+// advSeeds is the acceptance matrix: every adv-* scenario must produce
+// zero false verdicts under Harden at every one of these seeds.
+var advSeeds = []uint64{1, 7, 42, 2005}
+
+// TestAdversarialHardened is the robustness gate: a hardened fleet
+// survives every registered attack at every acceptance seed with zero
+// false-ABSENT verdicts, zero false-PRESENT verdicts and zero
+// invariant violations.
+func TestAdversarialHardened(t *testing.T) {
+	for _, c := range DefaultAdvCases(true) {
+		for _, seed := range advSeeds {
+			c, seed := c, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", c.Scenario, seed), func(t *testing.T) {
+				t.Parallel()
+				res, err := RunAdversarial(c, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("\n%s", res.Format())
+				if res.Adv.InjectedFrames == 0 {
+					t.Fatal("adversary injected nothing — the attack never ran")
+				}
+				if res.Adv.FalseAbsent != 0 {
+					t.Errorf("hardened run issued %d false-ABSENT verdicts", res.Adv.FalseAbsent)
+				}
+				if res.Adv.FalsePresent != 0 {
+					t.Errorf("hardened run holds %d false-PRESENT beliefs at the horizon", res.Adv.FalsePresent)
+				}
+				for _, v := range res.Violations {
+					t.Errorf("invariant violation under attack: %s", v)
+				}
+				if !res.Pass {
+					t.Error("hardened case did not pass")
+				}
+			})
+		}
+	}
+}
+
+// TestAdversarialUnhardenedFails demonstrates that the attacks are
+// real: without Config.Harden, the spoofed-BYE attack removes live
+// devices (false ABSENT) and the Byzantine responder keeps dead ones
+// alive (false PRESENT). If these stop failing, the adversary layer
+// has rotted and the hardened gate above proves nothing.
+func TestAdversarialUnhardenedFails(t *testing.T) {
+	t.Run("spoofed-bye/false-absent", func(t *testing.T) {
+		t.Parallel()
+		res, err := RunAdversarial(AdvCase{Scenario: "adv-spoofed-bye"}, advSeeds[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("\n%s", res.Format())
+		if res.Adv.FalseAbsent == 0 {
+			t.Error("unhardened fleet survived spoofed BYEs — attack ineffective")
+		}
+	})
+	t.Run("byzantine/false-present", func(t *testing.T) {
+		t.Parallel()
+		res, err := RunAdversarial(AdvCase{Scenario: "adv-byzantine"}, advSeeds[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("\n%s", res.Format())
+		if res.Adv.FalsePresent == 0 {
+			t.Error("unhardened fleet detected the crash despite the Byzantine responder — attack ineffective")
+		}
+	})
+	t.Run("amplify/reflection", func(t *testing.T) {
+		t.Parallel()
+		res, err := RunAdversarial(AdvCase{Scenario: "adv-amplify"}, advSeeds[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("\n%s", res.Format())
+		if res.Adv.AmplificationFactor < 0.5 {
+			t.Errorf("unhardened reflection factor %.2f — the device did not amplify", res.Adv.AmplificationFactor)
+		}
+		if res.Adv.ProbesShed != 0 {
+			t.Errorf("unhardened run shed %d probes — shedding must be Harden-only", res.Adv.ProbesShed)
+		}
+	})
+}
+
+// TestAdversarialDefenseAccounting spot-checks that each defense's
+// counters move under its attack — the observability half of the
+// hardening.
+func TestAdversarialDefenseAccounting(t *testing.T) {
+	seed := advSeeds[2]
+	t.Run("spoofed-bye/verifications", func(t *testing.T) {
+		t.Parallel()
+		res, err := RunAdversarial(AdvCase{Scenario: "adv-spoofed-bye", Harden: true}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Adv.ByeVerifications == 0 || res.Adv.SpoofedByes == 0 {
+			t.Errorf("spoofed BYEs triggered %d verifications, %d refutations — grace path never ran",
+				res.Adv.ByeVerifications, res.Adv.SpoofedByes)
+		}
+	})
+	t.Run("replay/window", func(t *testing.T) {
+		t.Parallel()
+		res, err := RunAdversarial(AdvCase{Scenario: "adv-replay", Harden: true}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Adv.RepliesReplayed == 0 {
+			t.Error("replayed replies were not classified by the replay window")
+		}
+	})
+	t.Run("byzantine/forged-replies", func(t *testing.T) {
+		t.Parallel()
+		res, err := RunAdversarial(AdvCase{Scenario: "adv-byzantine", Harden: true}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Adv.RepliesForged == 0 {
+			t.Error("forged replies were not rejected by source pinning")
+		}
+	})
+	t.Run("amplify/shedding", func(t *testing.T) {
+		t.Parallel()
+		res, err := RunAdversarial(AdvCase{Scenario: "adv-amplify", Harden: true}, seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Adv.ProbesShed == 0 || res.Adv.ShedRate == 0 {
+			t.Error("the amplification flood was not shed")
+		}
+		if res.Adv.AmplificationFactor >= 0.5 {
+			t.Errorf("hardened reflection factor %.2f — shedding did not collapse the attack", res.Adv.AmplificationFactor)
+		}
+	})
+}

@@ -118,6 +118,9 @@ type Case struct {
 	// in-flight bye frames deliver (the simulator's device detaches
 	// instantly but its in-flight sends still deliver). 0 = 25 ms.
 	ByeGrace time.Duration
+	// Harden enables the fleet's adversarial defenses (fleet
+	// Config.Harden) on both the CP and device fleets.
+	Harden bool
 	// Tol bands the metric diffs (zero value = DefaultTolerances).
 	Tol Tolerances
 }
@@ -558,6 +561,16 @@ type fleetOutcome struct {
 	violations []string
 	tapped     uint64
 	net        memnet.Counters
+	// Robustness accounting (meaningful when the spec has an adversary;
+	// all zero otherwise): falseAbsent counts absent-type verdicts (lost
+	// or bye) issued while the device was demonstrably up, falsePresent
+	// counts present CPs that never reported the crash by the horizon.
+	falseAbsent  int
+	falsePresent int
+	cpCounters   fleet.Counters
+	devCounters  fleet.Counters
+	proberStats  core.ProberStats
+	adv          *advTaps
 }
 
 // runFleet replays the schedule against a real fleet over memnet.
@@ -579,9 +592,8 @@ func runFleet(spec *scenario.Spec, sched *schedule, c Case, seed uint64) (fleetO
 	transport := fleet.TransportFunc(func(int) (fleet.PacketConn, error) { return net.Listen() })
 
 	checker := NewChecker(cfg.Retransmit)
-	net.Observe(checker.OnPacket)
 
-	devFleet, err := fleet.New(fleet.Config{Shards: 1, Transport: transport})
+	devFleet, err := fleet.New(fleet.Config{Shards: 1, Transport: transport, Harden: c.Harden})
 	if err != nil {
 		return out, err
 	}
@@ -595,7 +607,27 @@ func runFleet(spec *scenario.Spec, sched *schedule, c Case, seed uint64) (fleetO
 	}
 	checker.SetDevice(dev.Addr())
 
-	cpFleet, err := fleet.New(fleet.Config{Shards: c.Shards, Transport: transport})
+	// Attach the scenario's attackers (no-op for benign specs), then
+	// install the tap — composed so reflected traffic at the amplifier's
+	// victim is counted — before any CP can send.
+	adv, err := installAdversaries(net, spec, dev.Addr())
+	if err != nil {
+		return out, err
+	}
+	out.adv = adv
+	observe := checker.OnPacket
+	if adv != nil && adv.victimAddr.IsValid() {
+		victim := adv.victimAddr
+		observe = func(ev memnet.PacketEvent) {
+			if ev.Verdict == memnet.Delivered && !ev.Injected && ev.To == victim {
+				adv.victimReplies.Add(1)
+			}
+			checker.OnPacket(ev)
+		}
+	}
+	net.Observe(observe)
+
+	cpFleet, err := fleet.New(fleet.Config{Shards: c.Shards, Transport: transport, Harden: c.Harden})
 	if err != nil {
 		return out, err
 	}
@@ -696,6 +728,17 @@ func runFleet(spec *scenario.Spec, sched *schedule, c Case, seed uint64) (fleetO
 	var lat []float64
 	for i := range col.recs {
 		rec := col.recs[i]
+		// Robustness bookkeeping: any absent-type verdict before the
+		// device event is false (the device was up), and under a crash a
+		// present CP with no verdict at all by the horizon holds a false
+		// PRESENT belief.
+		if (!rec.lostAt.IsZero() && !rec.lostAt.After(eventWall)) ||
+			(!rec.byeAt.IsZero() && !rec.byeAt.After(eventWall)) {
+			out.falseAbsent++
+		}
+		if !sched.bye && sched.present(i) && rec.lostAt.IsZero() && rec.byeAt.IsZero() {
+			out.falsePresent++
+		}
 		if !rec.lostAt.IsZero() && !rec.lostAt.After(eventWall) {
 			m.FalseLost++
 			continue
@@ -716,6 +759,16 @@ func runFleet(spec *scenario.Spec, sched *schedule, c Case, seed uint64) (fleetO
 	out.violations = checker.Violations()
 	out.tapped = checker.Packets()
 	out.net = net.Counters()
+	out.cpCounters = cpFleet.Snapshot().Total
+	out.devCounters = devFleet.Snapshot().Total
+	for _, cp := range cps {
+		if cp == nil {
+			continue
+		}
+		st := cp.Stats()
+		out.proberStats.ByeVerifications += st.ByeVerifications
+		out.proberStats.SpoofedByes += st.SpoofedByes
+	}
 	return out, nil
 }
 

@@ -178,8 +178,10 @@ func (c *Checker) OnPacket(ev memnet.PacketEvent) {
 	}
 	switch m := msg.(type) {
 	case core.ProbeMsg:
-		if ev.Duplicate {
-			return // an injected copy, not a runtime send
+		if ev.Duplicate || ev.Injected {
+			// An injected copy or attack traffic, not a runtime send: the
+			// send-side invariants judge only what the runtime did.
+			return
 		}
 		if c.deviceAddr.IsValid() && ev.To != c.deviceAddr {
 			c.violate("probe from %v addressed to %s, not the device %s", m.From, ev.To, c.deviceAddr)
@@ -190,14 +192,23 @@ func (c *Checker) OnPacket(ev memnet.PacketEvent) {
 			return
 		}
 		if c.deviceAddr.IsValid() && ev.From != c.deviceAddr {
-			c.violate("reply for cycle %d from non-device address %s", m.Cycle, ev.From)
+			if !ev.Injected {
+				// Misdirected runtime traffic is a harness bug; a forged
+				// reply from an attacker is the workload under test.
+				c.violate("reply for cycle %d from non-device address %s", m.Cycle, ev.From)
+			}
 			return // a forged reply must not satisfy the cycle-advance invariant
+		}
+		if ev.Injected {
+			return // replayed (device-sourced) copy: no state effect either
 		}
 		if st := c.cycleOwner[m.Cycle]; st != nil && st.started && st.curCycle == m.Cycle {
 			st.replyIn = true
 		}
 	case core.ByeMsg:
-		if ev.Verdict != memnet.Delivered {
+		if ev.Verdict != memnet.Delivered || ev.Injected {
+			// A spoofed bye must not satisfy bye-before-silence even when
+			// its source address mimics the device's.
 			return
 		}
 		if c.deviceAddr.IsValid() && ev.From != c.deviceAddr {

@@ -66,6 +66,11 @@ type ProberStats struct {
 	CyclesFailed uint64
 	Retransmits  uint64
 	StaleReplies uint64
+	// ByeVerifications counts BYEs that triggered a verification cycle
+	// instead of instant removal (ProberOptions.VerifyBye); SpoofedByes
+	// counts verifications the device survived — the BYE was forged.
+	ByeVerifications uint64
+	SpoofedByes      uint64
 }
 
 // proberState enumerates the cycle state machine of Fig. 1.
@@ -118,6 +123,16 @@ type ProberOptions struct {
 	// that (device, cycle) reply-demultiplexing keys from different CPs
 	// on one socket do not collide. Zero keeps the historical numbering.
 	FirstCycle uint32
+	// VerifyBye hardens the BYE path against spoofing: a BYE arriving
+	// while the device looks healthy (a cycle in flight or just
+	// completed) triggers one verification probe cycle instead of
+	// instant removal. A reply refutes the BYE (the device is still
+	// there — counted ProberStats.SpoofedByes) and monitoring carries
+	// on; an unanswered verification cycle confirms it and the prober
+	// stops with DeviceBye within the worst-case cycle budget
+	// (RetransmitConfig.WorstCaseDetection). Off, a single BYE frame
+	// removes the device immediately — the paper's behaviour.
+	VerifyBye bool
 }
 
 // Prober is the control-point side of the probe cycle: it sends a probe,
@@ -136,11 +151,13 @@ type Prober struct {
 	cfg      RetransmitConfig
 	observer func(time.Duration, time.Duration)
 
-	state   proberState
-	cycle   uint32
-	attempt int
-	sentAt  []time.Duration // send time per attempt of the current cycle
-	stats   ProberStats
+	state     proberState
+	cycle     uint32
+	attempt   int
+	sentAt    []time.Duration // send time per attempt of the current cycle
+	verifyBye bool
+	verifying bool // current cycle is a bye-verification cycle
+	stats     ProberStats
 }
 
 // NewProber validates the options and returns a ready (but not started)
@@ -168,16 +185,17 @@ func NewProber(opts ProberOptions) (*Prober, error) {
 		opts.Listener = NopListener{}
 	}
 	return &Prober{
-		id:       opts.ID,
-		device:   opts.Device,
-		env:      opts.Env,
-		policy:   opts.Policy,
-		listener: opts.Listener,
-		cfg:      opts.Retransmit,
-		observer: opts.Observer,
-		state:    stateIdle,
-		cycle:    opts.FirstCycle,
-		sentAt:   make([]time.Duration, opts.Retransmit.MaxRetransmits+1),
+		id:        opts.ID,
+		device:    opts.Device,
+		env:       opts.Env,
+		policy:    opts.Policy,
+		listener:  opts.Listener,
+		cfg:       opts.Retransmit,
+		observer:  opts.Observer,
+		state:     stateIdle,
+		cycle:     opts.FirstCycle,
+		verifyBye: opts.VerifyBye,
+		sentAt:    make([]time.Duration, opts.Retransmit.MaxRetransmits+1),
 	}, nil
 }
 
@@ -202,6 +220,7 @@ func (p *Prober) Start() {
 		return
 	}
 	p.state = stateIdle
+	p.verifying = false
 	p.beginCycle()
 }
 
@@ -210,6 +229,7 @@ func (p *Prober) Start() {
 func (p *Prober) Stop() {
 	p.env.StopAlarm()
 	p.state = stateStopped
+	p.verifying = false
 }
 
 func (p *Prober) beginCycle() {
@@ -235,6 +255,12 @@ func (p *Prober) OnAlarm() {
 			// All probes of the cycle unanswered: the device has left.
 			p.stats.CyclesFailed++
 			p.state = stateStopped
+			if p.verifying {
+				// The unanswered cycle confirms the pending BYE.
+				p.verifying = false
+				p.listener.DeviceBye(p.device, p.env.Now())
+				return
+			}
 			p.listener.DeviceLost(p.device, p.env.Now())
 			return
 		}
@@ -263,6 +289,11 @@ func (p *Prober) OnReply(m ReplyMsg) {
 		RepliedAt: p.env.Now(),
 		Attempts:  p.attempt + 1,
 	}
+	if p.verifying {
+		// The device answered the verification cycle: the BYE was forged.
+		p.verifying = false
+		p.stats.SpoofedByes++
+	}
 	p.stats.CyclesOK++
 	p.listener.DeviceAlive(p.device, res)
 	delay := p.policy.NextDelay(res)
@@ -279,6 +310,19 @@ func (p *Prober) OnReply(m ReplyMsg) {
 // OnBye handles a graceful-leave announcement from the device.
 func (p *Prober) OnBye(m ByeMsg) {
 	if m.From != p.device || p.state == stateStopped {
+		return
+	}
+	if p.verifyBye && (p.state == stateAwaitReply || p.state == stateWaiting) {
+		p.stats.ByeVerifications++
+		if p.verifying {
+			return
+		}
+		p.verifying = true
+		if p.state == stateWaiting {
+			p.env.StopAlarm()
+			p.beginCycle() // immediate verification probe
+		}
+		// stateAwaitReply: the in-flight cycle doubles as verification.
 		return
 	}
 	p.env.StopAlarm()

@@ -1,0 +1,160 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"presence/internal/ident"
+)
+
+func newVerifyingProber(t *testing.T, env *fakeEnv, lst Listener) *Prober {
+	t.Helper()
+	p, err := NewProber(ProberOptions{
+		ID:        7,
+		Device:    1,
+		Env:       env,
+		Policy:    &fixedPolicy{delay: time.Second},
+		Listener:  lst,
+		VerifyBye: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return p
+}
+
+// TestVerifyByeRefutedByReply: a BYE arriving while a probe is in
+// flight turns the in-flight cycle into a verification; the device's
+// reply refutes the BYE and monitoring continues uninterrupted.
+func TestVerifyByeRefutedByReply(t *testing.T) {
+	env := &fakeEnv{}
+	lst := &recListener{}
+	p := newVerifyingProber(t, env, lst)
+	p.Start()
+	env.now = 5 * time.Millisecond
+	p.OnBye(ByeMsg{From: 1})
+	if p.Stopped() {
+		t.Fatal("verifying prober stopped on the BYE alone")
+	}
+	if len(lst.byes) != 0 {
+		t.Fatalf("bye events before verification = %v", lst.byes)
+	}
+	if st := p.Stats(); st.ByeVerifications != 1 {
+		t.Fatalf("stats after BYE = %+v", st)
+	}
+	// No extra probe: the in-flight cycle doubles as the verification.
+	if len(env.sent) != 1 {
+		t.Fatalf("sent %d messages, want only the original probe", len(env.sent))
+	}
+	env.now = 10 * time.Millisecond
+	p.OnReply(ReplyMsg{From: 1, Cycle: 1, Attempt: 0, Payload: EmptyReply{}})
+	if st := p.Stats(); st.SpoofedByes != 1 || st.CyclesOK != 1 {
+		t.Fatalf("stats after refutation = %+v", st)
+	}
+	if len(lst.alive) != 1 || len(lst.byes) != 0 || len(lst.lost) != 0 {
+		t.Fatalf("events = alive:%d lost:%d byes:%d", len(lst.alive), len(lst.lost), len(lst.byes))
+	}
+	if !env.alarmSet {
+		t.Fatal("no next-cycle alarm after a refuted BYE")
+	}
+}
+
+// TestVerifyByeWhileWaiting: a BYE arriving between cycles triggers an
+// immediate verification probe instead of waiting out the policy delay.
+func TestVerifyByeWhileWaiting(t *testing.T) {
+	env := &fakeEnv{}
+	lst := &recListener{}
+	p := newVerifyingProber(t, env, lst)
+	p.Start()
+	env.now = 10 * time.Millisecond
+	p.OnReply(ReplyMsg{From: 1, Cycle: 1, Attempt: 0, Payload: EmptyReply{}})
+	env.now = 20 * time.Millisecond
+	p.OnBye(ByeMsg{From: 1})
+	probe := env.lastProbe(t)
+	if probe.Cycle != 2 || probe.Attempt != 0 {
+		t.Fatalf("verification probe = %+v, want an immediate cycle 2", probe)
+	}
+	if !env.alarmSet || env.alarmAt != 20*time.Millisecond+DefaultFirstTimeout {
+		t.Fatalf("verification alarm at %v (set=%v), want TOF from the BYE", env.alarmAt, env.alarmSet)
+	}
+	// A second BYE during verification is absorbed: counted, no new probe.
+	p.OnBye(ByeMsg{From: 1})
+	if len(env.sent) != 2 {
+		t.Fatalf("sent %d messages, want 2 — duplicate BYE must not re-probe", len(env.sent))
+	}
+	if st := p.Stats(); st.ByeVerifications != 2 {
+		t.Fatalf("stats = %+v", st)
+	}
+	env.now = 25 * time.Millisecond
+	p.OnReply(ReplyMsg{From: 1, Cycle: 2, Attempt: 0, Payload: EmptyReply{}})
+	if st := p.Stats(); st.SpoofedByes != 1 || st.CyclesOK != 2 {
+		t.Fatalf("stats after refutation = %+v", st)
+	}
+	if len(lst.byes) != 0 || p.Stopped() {
+		t.Fatal("refuted BYE stopped the prober")
+	}
+}
+
+// TestVerifyByeConfirmedBySilence: when the verification cycle runs out
+// of retransmits, the verdict is DeviceBye — the BYE was genuine — and
+// never DeviceLost.
+func TestVerifyByeConfirmedBySilence(t *testing.T) {
+	env := &fakeEnv{}
+	lst := &recListener{}
+	p := newVerifyingProber(t, env, lst)
+	p.Start()
+	env.now = 5 * time.Millisecond
+	p.OnBye(ByeMsg{From: 1})
+	for i := 0; i < 4; i++ { // TOF + 3 retransmission timeouts
+		env.fireAlarm(t, p.OnAlarm)
+	}
+	if len(lst.byes) != 1 || len(lst.lost) != 0 {
+		t.Fatalf("events = lost:%v byes:%v, want the bye verdict", lst.lost, lst.byes)
+	}
+	if !p.Stopped() || env.alarmSet {
+		t.Fatal("prober must stop cleanly after a confirmed BYE")
+	}
+	if st := p.Stats(); st.ByeVerifications != 1 || st.SpoofedByes != 0 || st.CyclesFailed != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+// TestVerifyByeStateResetOnRestart: Stop during a verification clears
+// the verifying flag, so a later run never misclassifies its first
+// reply as a spoofed-BYE refutation.
+func TestVerifyByeStateResetOnRestart(t *testing.T) {
+	env := &fakeEnv{}
+	lst := &recListener{}
+	p := newVerifyingProber(t, env, lst)
+	p.Start()
+	p.OnBye(ByeMsg{From: 1})
+	p.Stop()
+	if !p.Stopped() {
+		t.Fatal("Stop during verification did not stop the prober")
+	}
+	p.Start()
+	probe := env.lastProbe(t)
+	env.now = 5 * time.Millisecond
+	p.OnReply(ReplyMsg{From: 1, Cycle: probe.Cycle, Attempt: 0, Payload: EmptyReply{}})
+	if st := p.Stats(); st.SpoofedByes != 0 {
+		t.Fatalf("reply after restart counted as refutation: %+v", st)
+	}
+	if len(lst.alive) != 1 {
+		t.Fatalf("alive events = %d, want 1", len(lst.alive))
+	}
+}
+
+// TestVerifyByeIgnoresOtherDevices: with verification on, a BYE naming
+// a different device still does nothing.
+func TestVerifyByeIgnoresOtherDevices(t *testing.T) {
+	env := &fakeEnv{}
+	p := newVerifyingProber(t, env, nil)
+	p.Start()
+	p.OnBye(ByeMsg{From: ident.NodeID(99)})
+	if st := p.Stats(); st.ByeVerifications != 0 {
+		t.Fatalf("unrelated BYE counted: %+v", st)
+	}
+	if p.Stopped() {
+		t.Fatal("unrelated BYE stopped the prober")
+	}
+}

@@ -131,6 +131,44 @@ type Config struct {
 	// BatchPacketConn — the baseline the batching win is measured
 	// against, and the fallback leg of batch/single equivalence tests.
 	ForceSingleDatagram bool
+	// Harden enables the adversarial defenses. The protocol frames are
+	// unauthenticated, so an on-path attacker can answer for the dead,
+	// say goodbye for the living, or reflect probes off a device; Harden
+	// buys back correctness with receiver-local state only — no wire
+	// change:
+	//
+	//   - Reply source pinning: a reply is accepted only from the probed
+	//     device's address (Counters.RepliesForged otherwise, pending
+	//     entry kept so the genuine reply can still land).
+	//   - Replay window: accepted (device, cycle) keys are remembered for
+	//     ReplayWindow, telling replayed copies (Counters.RepliesReplayed)
+	//     apart from ordinary latecomers (DemuxDrops).
+	//   - BYE source pinning + verification grace: a BYE from an address
+	//     other than the device's is dropped (Counters.ByesForged), and
+	//     even a well-sourced BYE for a healthy device triggers one
+	//     verification probe cycle (core.ProberOptions.VerifyBye) instead
+	//     of instant removal.
+	//   - Per-source probe admission: hosted devices answer each source
+	//     at most PerSourceProbeHz with PerSourceBurst slack; the excess
+	//     of an amplification flood is shed (Counters.ProbesShed).
+	//
+	// Off (the default), the runtime behaves exactly as the paper's
+	// protocols do — one spoofed frame can flip a verdict.
+	Harden bool
+	// ReplayWindow bounds how long an accepted (device, cycle) demux key
+	// is remembered to classify replayed replies. Zero means 5 s. Only
+	// used when Harden is set.
+	ReplayWindow time.Duration
+	// PerSourceProbeHz and PerSourceBurst parameterise the per-source
+	// probe admission token bucket of hosted devices (refill rate in
+	// probes/s and bucket depth). Zero means 15 Hz and 20 — above the
+	// paper's nominal 10 probes/s total DCPP device load even when one
+	// source address carries all of it, so no honest DCPP/SAPP workload
+	// is shed; raise both for protocols without device-controlled load
+	// pinning (the naive baseline grows linearly with population). Only
+	// used when Harden is set.
+	PerSourceProbeHz float64
+	PerSourceBurst   int
 }
 
 func (c *Config) applyDefaults() {
@@ -154,6 +192,15 @@ func (c *Config) applyDefaults() {
 	}
 	if c.Batch <= 0 {
 		c.Batch = defaultBatch
+	}
+	if c.ReplayWindow == 0 {
+		c.ReplayWindow = 5 * time.Second
+	}
+	if c.PerSourceProbeHz == 0 {
+		c.PerSourceProbeHz = 15
+	}
+	if c.PerSourceBurst == 0 {
+		c.PerSourceBurst = 20
 	}
 }
 
@@ -184,6 +231,23 @@ type Counters struct {
 	DemuxCollisions uint64
 	// TimersFired counts timer-wheel expirations delivered to engines.
 	TimersFired uint64
+	// AttemptMismatches counts replies whose (device, cycle) was pending
+	// but whose Attempt named no probe actually sent in that cycle — a
+	// forged or corrupted echo. The pending entry is kept. Always on.
+	AttemptMismatches uint64
+	// RepliesForged counts replies rejected because they arrived from an
+	// address other than the probed device's (Harden only).
+	RepliesForged uint64
+	// ByesForged counts BYE deliveries suppressed because the frame
+	// arrived from an address other than the device's (Harden only).
+	ByesForged uint64
+	// RepliesReplayed counts replies for a (device, cycle) accepted
+	// within the last Config.ReplayWindow — replayed copies, as opposed
+	// to the never-pending latecomers in DemuxDrops (Harden only).
+	RepliesReplayed uint64
+	// ProbesShed counts probes to a hosted device dropped by per-source
+	// admission (Harden only).
+	ProbesShed uint64
 	// SyscallsIn and SyscallsOut count transport read and write calls.
 	// On the batch path one call moves a whole burst (one
 	// recvmmsg/sendmmsg syscall on kernel sockets), so
@@ -215,6 +279,11 @@ func (c *Counters) add(o Counters) {
 	c.RepliesIn += o.RepliesIn
 	c.DemuxDrops += o.DemuxDrops
 	c.DemuxCollisions += o.DemuxCollisions
+	c.AttemptMismatches += o.AttemptMismatches
+	c.RepliesForged += o.RepliesForged
+	c.ByesForged += o.ByesForged
+	c.RepliesReplayed += o.RepliesReplayed
+	c.ProbesShed += o.ProbesShed
 	c.TimersFired += o.TimersFired
 	c.SyscallsIn += o.SyscallsIn
 	c.SyscallsOut += o.SyscallsOut
@@ -253,6 +322,27 @@ type Fleet struct {
 type pendingProbe struct {
 	cp *cpNode
 	at time.Duration
+	// attempts is a bitmask of the attempt numbers actually sent in this
+	// cycle: a reply must echo one of them or it is a forgery
+	// (Counters.AttemptMismatches).
+	attempts uint32
+}
+
+// attemptBit maps an attempt number into the pendingProbe bitmask.
+// Attempts ≥ 32 never occur (MaxRetransmits is validated far below
+// that); returning 0 makes any echo of such a number a mismatch.
+func attemptBit(a uint8) uint32 {
+	if a >= 32 {
+		return 0
+	}
+	return 1 << a
+}
+
+// srcBucket is one source address's probe-admission token bucket
+// (Harden only).
+type srcBucket struct {
+	tokens float64
+	last   time.Duration
 }
 
 // shard is one socket + event loop + timer wheel + the engines hashed
@@ -275,9 +365,14 @@ type shard struct {
 	cps      map[ident.NodeID]*cpNode
 	watchers map[ident.NodeID]map[*cpNode]struct{} // device id → watching CPs
 	pending  map[uint64]pendingProbe               // (device, cycle) → awaiting CP
-	device   *deviceNode
-	counters Counters
-	liveCPs  int
+	// completed and sources are Harden-only state (nil otherwise, so the
+	// unhardened hot path stays allocation-free): the replay window of
+	// accepted demux keys, and the per-source probe-admission buckets.
+	completed map[uint64]time.Duration
+	sources   map[netip.AddrPort]*srcBucket
+	device    *deviceNode
+	counters  Counters
+	liveCPs   int
 	// sendQ is the coalescing send queue: engine sends encode into
 	// reusable slots and one WriteBatch flushes them per timer cascade /
 	// receive burst (inBatch true) or before an external caller returns
@@ -335,6 +430,10 @@ func New(cfg Config) (*Fleet, error) {
 			recvRing: make([]Datagram, cfg.Batch),
 			recvBufs: make([][]byte, cfg.Batch),
 			sendQ:    make([]Datagram, 0, cfg.Batch),
+		}
+		if cfg.Harden {
+			s.completed = make(map[uint64]time.Duration)
+			s.sources = make(map[netip.AddrPort]*srcBucket)
 		}
 		s.bconn, s.single = batchConn(conn, cfg.ForceSingleDatagram)
 		for j := range s.recvBufs {
@@ -575,13 +674,35 @@ func (s *shard) dispatchBatch(dgs []Datagram) {
 func (s *shard) dispatchFrame(from netip.AddrPort, f *wire.Frame) {
 	switch f.Kind {
 	case wire.KindReplySAPP, wire.KindReplyDCPP, wire.KindReplyEmpty:
-		key := pendKey(f.From, f.Cycle)
+		key := f.ReplayKey()
 		pp, ok := s.pending[key]
 		if !ok {
-			s.counters.DemuxDrops++
+			if _, replayed := s.completed[key]; replayed {
+				// The key was accepted within the replay window: a
+				// replayed copy, not an ordinary latecomer.
+				s.counters.RepliesReplayed++
+			} else {
+				s.counters.DemuxDrops++
+			}
+			return
+		}
+		if pp.attempts&attemptBit(f.Attempt) == 0 {
+			// (device, cycle) is pending but this attempt number was
+			// never sent: a forged echo. Keep the entry — the genuine
+			// reply may still be on the wire.
+			s.counters.AttemptMismatches++
+			return
+		}
+		if s.fleet.cfg.Harden && from != pp.cp.deviceAddr {
+			// Right key, wrong source: someone answering for the device.
+			// Keep the entry for the genuine reply.
+			s.counters.RepliesForged++
 			return
 		}
 		delete(s.pending, key)
+		if s.completed != nil {
+			s.completed[key] = s.fleet.sinceEpoch()
+		}
 		s.counters.RepliesIn++
 		m := core.ReplyMsg{From: f.From, Cycle: f.Cycle, Attempt: f.Attempt}
 		switch f.Kind {
@@ -600,6 +721,10 @@ func (s *shard) dispatchFrame(from netip.AddrPort, f *wire.Frame) {
 			s.counters.DemuxDrops++
 			return
 		}
+		if s.sources != nil && !s.admitProbe(from) {
+			s.counters.ProbesShed++
+			return
+		}
 		s.device.peers.Note(f.From, from)
 		s.device.engine.OnProbe(f.From, core.ProbeMsg{From: f.From, Cycle: f.Cycle, Attempt: f.Attempt})
 	case wire.KindBye:
@@ -608,7 +733,13 @@ func (s *shard) dispatchFrame(from netip.AddrPort, f *wire.Frame) {
 			s.counters.DemuxDrops++
 			return
 		}
+		harden := s.fleet.cfg.Harden
 		for cp := range ws {
+			if harden && from != cp.deviceAddr {
+				// A BYE claiming the device but sent from elsewhere.
+				s.counters.ByesForged++
+				continue
+			}
 			cp.prober.OnBye(core.ByeMsg{From: f.From})
 		}
 	case wire.KindAnnounce:
@@ -627,9 +758,12 @@ func (s *shard) dispatchFrame(from netip.AddrPort, f *wire.Frame) {
 	}
 }
 
-// notePending registers a probe cycle in the demux table. Runs under
-// the shard mutex (called from a CP engine's Send).
-func (s *shard) notePending(n *cpNode, cycle uint32) {
+// notePending registers a probe attempt in the demux table: the first
+// attempt of a cycle claims the (device, cycle) key, retransmits widen
+// the entry's acceptable-attempt bitmask. Runs under the shard mutex
+// (called from a CP engine's Send).
+func (s *shard) notePending(n *cpNode, cycle uint32, attempt uint8) {
+	key := pendKey(n.device, cycle)
 	if n.lastCycle != cycle {
 		// The previous cycle can no longer complete (the prober moved
 		// on); drop its entry if we still own it.
@@ -638,23 +772,70 @@ func (s *shard) notePending(n *cpNode, cycle uint32) {
 			delete(s.pending, oldKey)
 		}
 		n.lastCycle = cycle
+	} else if pp, ok := s.pending[key]; ok && pp.cp == n {
+		// Retransmit of the in-flight cycle: widen the attempt set, keep
+		// the original registration time.
+		pp.attempts |= attemptBit(attempt)
+		s.pending[key] = pp
+		return
 	}
-	key := pendKey(n.device, cycle)
 	if old, ok := s.pending[key]; ok && old.cp != n {
 		s.counters.DemuxCollisions++
 	}
-	s.pending[key] = pendingProbe{cp: n, at: s.fleet.sinceEpoch()}
+	s.pending[key] = pendingProbe{cp: n, at: s.fleet.sinceEpoch(), attempts: attemptBit(attempt)}
+}
+
+// admitProbe charges one probe from the source's token bucket,
+// creating the bucket on first contact. Runs under the shard mutex;
+// Harden only (s.sources is non-nil).
+func (s *shard) admitProbe(from netip.AddrPort) bool {
+	now := s.fleet.sinceEpoch()
+	cfg := &s.fleet.cfg
+	b := s.sources[from]
+	if b == nil {
+		b = &srcBucket{tokens: float64(cfg.PerSourceBurst), last: now}
+		s.sources[from] = b
+	}
+	b.tokens += (now - b.last).Seconds() * cfg.PerSourceProbeHz
+	if max := float64(cfg.PerSourceBurst); b.tokens > max {
+		b.tokens = max
+	}
+	b.last = now
+	if b.tokens < 1 {
+		return false
+	}
+	b.tokens--
+	return true
 }
 
 // sweepPending drops demux entries whose cycle can no longer complete
-// (stopped CPs, lost replies) and re-arms itself. Runs on the shard
-// loop under the mutex.
+// (stopped CPs, lost replies), expires the replay window and idle
+// admission buckets, and re-arms itself. Runs on the shard loop under
+// the mutex.
 func (s *shard) sweepPending() {
 	now := s.fleet.sinceEpoch()
 	ttl := s.fleet.cfg.PendingTTL
 	for key, pp := range s.pending {
 		if now-pp.at > ttl {
 			delete(s.pending, key)
+		}
+	}
+	if s.completed != nil {
+		window := s.fleet.cfg.ReplayWindow
+		for key, at := range s.completed {
+			if now-at > window {
+				delete(s.completed, key)
+			}
+		}
+	}
+	if s.sources != nil {
+		// A bucket untouched for long enough to be full again carries no
+		// information; drop it so the table tracks active sources only.
+		idle := time.Duration(float64(s.fleet.cfg.PerSourceBurst)/s.fleet.cfg.PerSourceProbeHz*float64(time.Second)) + ttl
+		for addr, b := range s.sources {
+			if now-b.last > idle {
+				delete(s.sources, addr)
+			}
 		}
 	}
 	s.wheel.Schedule(&s.sweeper, now+ttl/2)

@@ -65,10 +65,10 @@ func (n *cpNode) Now() time.Duration { return n.shard.fleet.sinceEpoch() }
 func (n *cpNode) Send(_ ident.NodeID, msg core.Message) {
 	switch m := msg.(type) {
 	case *core.ProbeMsg:
-		n.shard.notePending(n, m.Cycle)
+		n.shard.notePending(n, m.Cycle, m.Attempt)
 		n.shard.counters.ProbesOut++
 	case core.ProbeMsg:
-		n.shard.notePending(n, m.Cycle)
+		n.shard.notePending(n, m.Cycle, m.Attempt)
 		n.shard.counters.ProbesOut++
 	}
 	n.shard.sendTo(n.deviceAddr, msg)
@@ -166,6 +166,7 @@ func (f *Fleet) AddControlPoint(cfg CPConfig) (*ControlPoint, error) {
 		Listener:   cpListener{n: n, inner: inner},
 		Retransmit: cfg.Retransmit,
 		FirstCycle: seed,
+		VerifyBye:  f.cfg.Harden,
 	})
 	if err != nil {
 		return nil, err

@@ -37,6 +37,7 @@ import (
 	"fmt"
 	"net/netip"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"presence/internal/fleet"
@@ -83,6 +84,9 @@ const (
 	Overflowed
 	// Delivered: handed to the destination endpoint.
 	Delivered
+	// Filtered: an installed middlebox dropped it before the link fault
+	// plan ran.
+	Filtered
 )
 
 // String implements fmt.Stringer.
@@ -96,6 +100,8 @@ func (v Verdict) String() string {
 		return "overflowed"
 	case Delivered:
 		return "delivered"
+	case Filtered:
+		return "filtered"
 	default:
 		return fmt.Sprintf("Verdict(%d)", uint8(v))
 	}
@@ -118,6 +124,10 @@ type PacketEvent struct {
 	Verdict Verdict
 	// Duplicate marks an injected duplicate copy.
 	Duplicate bool
+	// Injected marks a datagram originated by a middlebox rather than
+	// accepted from an endpoint — attack traffic, from the harness's
+	// point of view.
+	Injected bool
 }
 
 // Observer receives packet events. It is called synchronously from
@@ -130,9 +140,11 @@ type Counters struct {
 	Sent       uint64 // accepted from an endpoint
 	Delivered  uint64
 	Lost       uint64
-	Duplicated uint64 // extra copies injected
+	Duplicated uint64 // extra copies injected by the fault plan
 	Dropped    uint64 // down/unregistered endpoints
 	Overflowed uint64 // full inboxes
+	Injected   uint64 // datagrams originated by middleboxes
+	Filtered   uint64 // datagrams dropped by middleboxes
 }
 
 // Network is an in-memory datagram network. All methods are safe for
@@ -142,10 +154,16 @@ type Network struct {
 	root   *rng.Rand
 	epoch  time.Time
 
+	// downCount mirrors len(down); the endpoint read paths check it
+	// atomically so the benign hot path pays no lock while nothing is
+	// partitioned.
+	downCount atomic.Int32
+
 	mu       sync.Mutex
 	eps      map[netip.AddrPort]*Endpoint
 	links    map[linkKey]*link
 	down     map[netip.AddrPort]bool
+	middle   []Middlebox
 	nextPort uint16
 	counters Counters
 	observer Observer
@@ -229,17 +247,38 @@ func (n *Network) Listen() (*Endpoint, error) {
 
 // SetDown partitions an endpoint address away (true) or heals it
 // (false): while down, every datagram to or from the address is
-// dropped, including datagrams already in flight — a silent crash, as
-// opposed to Endpoint.Close, which also wakes blocked readers.
+// dropped, including datagrams already in flight and datagrams already
+// queued in an inbox but not yet read — a silent crash, as opposed to
+// Endpoint.Close, which also wakes blocked readers.
 func (n *Network) SetDown(addr netip.AddrPort, down bool) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	if down {
-		n.down[addr] = true
-	} else {
+		if !n.down[addr] {
+			n.down[addr] = true
+			n.downCount.Add(1)
+		}
+	} else if n.down[addr] {
 		delete(n.down, addr)
+		n.downCount.Add(-1)
 	}
 }
+
+// AddMiddlebox installs a middlebox at the tail of the chain. Installed
+// mid-run it sees traffic from the next send onward; frames already in
+// flight pass it by. Middleboxes cannot be removed — tear the network
+// down instead.
+func (n *Network) AddMiddlebox(m Middlebox) {
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	n.middle = append(n.middle, m)
+}
+
+// ForkRNG returns a deterministic sub-stream of the network's seed for
+// auxiliary actors (middlebox adversaries), independent of every
+// per-link fault stream: links fork under "link/", so any other label
+// prefix is safe.
+func (n *Network) ForkRNG(label string) *rng.Rand { return n.root.Fork(label) }
 
 // Close tears the network down; subsequent sends are dropped silently.
 // Endpoints are not closed (their owners close them).
@@ -292,7 +331,7 @@ func (n *Network) linkFor(from, to netip.AddrPort) *link {
 }
 
 // emit reports one packet event. Caller holds n.mu.
-func (n *Network) emit(from, to netip.AddrPort, frame []byte, v Verdict, dup bool) {
+func (n *Network) emit(from, to netip.AddrPort, frame []byte, v Verdict, dup, injected bool) {
 	switch v {
 	case Delivered:
 		n.counters.Delivered++
@@ -302,11 +341,13 @@ func (n *Network) emit(from, to netip.AddrPort, frame []byte, v Verdict, dup boo
 		n.counters.Dropped++
 	case Overflowed:
 		n.counters.Overflowed++
+	case Filtered:
+		n.counters.Filtered++
 	}
 	if n.observer != nil {
 		n.observer(PacketEvent{
 			At: time.Since(n.epoch), From: from, To: to,
-			Frame: frame, Verdict: v, Duplicate: dup,
+			Frame: frame, Verdict: v, Duplicate: dup, Injected: injected,
 		})
 	}
 }
@@ -320,28 +361,44 @@ func (n *Network) send(from, to netip.AddrPort, b []byte) {
 }
 
 // sendLocked is send under an already-held network mutex, so a batched
-// write pays one lock acquisition for the whole burst. Instant
-// deliveries complete inline; delayed copies ride time.AfterFunc.
+// write pays one lock acquisition for the whole burst. The middlebox
+// chain runs first — at the sender's first hop, before the down check,
+// so an on-path adversary observes even traffic addressed to a crashed
+// endpoint — then the link fault plan. Instant deliveries complete
+// inline; delayed copies ride time.AfterFunc.
 func (n *Network) sendLocked(from, to netip.AddrPort, b []byte) {
 	if n.closed {
 		return
 	}
 	n.counters.Sent++
+	for _, mb := range n.middle {
+		if mb.Process(time.Since(n.epoch), from, to, b, Injector{n}) == Drop {
+			n.emit(from, to, b, Filtered, false, false)
+			return
+		}
+	}
+	n.forwardLocked(from, to, b, false)
+}
+
+// forwardLocked applies the down check and the link fault plan to one
+// datagram — the tail of sendLocked, shared with middlebox injection.
+// Caller holds n.mu.
+func (n *Network) forwardLocked(from, to netip.AddrPort, b []byte, injected bool) {
 	if n.down[from] || n.down[to] {
-		n.emit(from, to, b, DroppedDown, false)
+		n.emit(from, to, b, DroppedDown, false, injected)
 		return
 	}
 	l := n.linkFor(from, to)
 	if l.loss != nil && l.loss.Lose(l.r) {
-		n.emit(from, to, b, Lost, false)
+		n.emit(from, to, b, Lost, false, injected)
 		return
 	}
 	delay := n.drawDelay(l)
 	dup := n.faults.DuplicateP > 0 && l.r.Bool(n.faults.DuplicateP)
-	n.transmitLocked(datagram{from: from, to: to, frame: acquireFrame(b)}, delay)
+	n.transmitLocked(datagram{from: from, to: to, frame: acquireFrame(b), injected: injected}, delay)
 	if dup {
 		n.counters.Duplicated++
-		n.transmitLocked(datagram{from: from, to: to, frame: acquireFrame(b), duplicate: true}, n.drawDelay(l))
+		n.transmitLocked(datagram{from: from, to: to, frame: acquireFrame(b), duplicate: true, injected: injected}, n.drawDelay(l))
 	}
 }
 
@@ -384,21 +441,21 @@ func (n *Network) deliverLocked(d datagram) {
 		return
 	}
 	if n.down[d.from] || n.down[d.to] {
-		n.emit(d.from, d.to, *d.frame, DroppedDown, d.duplicate)
+		n.emit(d.from, d.to, *d.frame, DroppedDown, d.duplicate, d.injected)
 		releaseFrame(d.frame)
 		return
 	}
 	e, ok := n.eps[d.to]
 	if !ok {
-		n.emit(d.from, d.to, *d.frame, DroppedDown, d.duplicate)
+		n.emit(d.from, d.to, *d.frame, DroppedDown, d.duplicate, d.injected)
 		releaseFrame(d.frame)
 		return
 	}
 	select {
 	case e.inbox <- d:
-		n.emit(d.from, d.to, *d.frame, Delivered, d.duplicate)
+		n.emit(d.from, d.to, *d.frame, Delivered, d.duplicate, d.injected)
 	default:
-		n.emit(d.from, d.to, *d.frame, Overflowed, d.duplicate)
+		n.emit(d.from, d.to, *d.frame, Overflowed, d.duplicate, d.injected)
 		releaseFrame(d.frame)
 	}
 }
@@ -409,6 +466,7 @@ type datagram struct {
 	from, to  netip.AddrPort
 	frame     *[]byte
 	duplicate bool
+	injected  bool
 }
 
 // inboxCap bounds each endpoint's receive queue, standing in for the
@@ -469,25 +527,58 @@ func (e *Endpoint) ReadFromUDPAddrPort(b []byte) (int, netip.AddrPort, error) {
 		if wait <= 0 {
 			// Drain anything already queued before declaring a timeout,
 			// mirroring a kernel socket with data ready.
-			select {
-			case d := <-e.inbox:
-				return d.read(b)
-			default:
-				return 0, netip.AddrPort{}, timeoutError{}
+			for {
+				select {
+				case d := <-e.inbox:
+					if e.dropQueued(d) {
+						continue
+					}
+					return d.read(b)
+				default:
+					return 0, netip.AddrPort{}, timeoutError{}
+				}
 			}
 		}
 		t := time.NewTimer(wait)
 		defer t.Stop()
 		timeout = t.C
 	}
-	select {
-	case d := <-e.inbox:
-		return d.read(b)
-	case <-e.closed:
-		return 0, netip.AddrPort{}, errClosed
-	case <-timeout:
-		return 0, netip.AddrPort{}, timeoutError{}
+	for {
+		select {
+		case d := <-e.inbox:
+			if e.dropQueued(d) {
+				continue
+			}
+			return d.read(b)
+		case <-e.closed:
+			return 0, netip.AddrPort{}, errClosed
+		case <-timeout:
+			return 0, netip.AddrPort{}, timeoutError{}
+		}
 	}
+}
+
+// dropQueued reports whether a queued datagram must be discarded at
+// read time: SetDown partitions an address away *including* datagrams
+// that already made it into an inbox before the partition — without
+// this check a delivery scheduled (or enqueued) just before SetDown
+// would still reach a downed endpoint's reader. The fast path is one
+// atomic load while nothing is partitioned.
+func (e *Endpoint) dropQueued(d datagram) bool {
+	n := e.n
+	if n.downCount.Load() == 0 {
+		return false
+	}
+	n.mu.Lock()
+	down := n.down[d.from] || n.down[d.to]
+	if down {
+		n.counters.Dropped++
+	}
+	n.mu.Unlock()
+	if down {
+		releaseFrame(d.frame)
+	}
+	return down
 }
 
 // read copies the datagram out to the caller and recycles its buffer.
@@ -529,6 +620,9 @@ func (e *Endpoint) ReadBatch(dgs []fleet.Datagram) (int, error) {
 	for filled < len(dgs) {
 		select {
 		case d := <-e.inbox:
+			if e.dropQueued(d) {
+				continue
+			}
 			k, from, _ := d.read(dgs[filled].Buf)
 			dgs[filled].Buf = dgs[filled].Buf[:k]
 			dgs[filled].Addr = from

@@ -1,0 +1,145 @@
+package memnet_test
+
+import (
+	"net/netip"
+	"sync"
+	"testing"
+	"time"
+
+	"presence/internal/memnet"
+)
+
+// dropAndForge is a test middlebox: it drops every frame addressed to
+// its target and injects one forged frame per observed drop, spoofing
+// the source address.
+type dropAndForge struct {
+	target netip.AddrPort
+	spoof  netip.AddrPort
+	seen   int // frames that traversed the chain (mutex-serialized by the network)
+}
+
+func (m *dropAndForge) Process(_ time.Duration, _, to netip.AddrPort, _ []byte, inj memnet.Injector) memnet.Action {
+	m.seen++
+	if to != m.target {
+		return memnet.Pass
+	}
+	inj.Inject(m.spoof, m.target, []byte("forged"))
+	return memnet.Drop
+}
+
+// TestMiddleboxInjectFilterObserve: a middlebox can drop traffic
+// (counted Filtered) and originate spoofed traffic (counted Injected,
+// flagged on the observer tap); injected frames skip the middlebox
+// chain, so forging never feeds back into the attacker.
+func TestMiddleboxInjectFilterObserve(t *testing.T) {
+	n := memnet.New(memnet.Faults{})
+	defer n.Close()
+	var mu sync.Mutex
+	var events []memnet.PacketEvent
+	n.Observe(func(ev memnet.PacketEvent) {
+		mu.Lock()
+		events = append(events, ev)
+		mu.Unlock()
+	})
+	a, _ := n.Listen()
+	b, _ := n.Listen()
+	spoofed, _ := n.Listen()
+	mb := &dropAndForge{target: b.LocalAddrPort(), spoof: spoofed.LocalAddrPort()}
+	n.AddMiddlebox(mb)
+
+	if _, err := a.WriteToUDPAddrPort([]byte("honest"), b.LocalAddrPort()); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 64)
+	b.SetReadDeadline(time.Now().Add(time.Second))
+	got, from, err := b.ReadFromUDPAddrPort(buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(buf[:got]) != "forged" || from != spoofed.LocalAddrPort() {
+		t.Fatalf("received %q from %v, want the forged frame with the spoofed source", buf[:got], from)
+	}
+	if mb.seen != 1 {
+		t.Fatalf("middlebox processed %d frames, want 1 — injected frames must skip the chain", mb.seen)
+	}
+	c := n.Counters()
+	if c.Sent != 1 || c.Filtered != 1 || c.Injected != 1 || c.Delivered != 1 {
+		t.Fatalf("counters = %+v", c)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	var sawFiltered, sawInjected bool
+	for _, ev := range events {
+		switch ev.Verdict {
+		case memnet.Filtered:
+			sawFiltered = true
+			if ev.Injected {
+				t.Error("dropped honest frame flagged as injected")
+			}
+		case memnet.Delivered:
+			sawInjected = ev.Injected
+		}
+	}
+	if !sawFiltered || !sawInjected {
+		t.Fatalf("tap missed verdicts: filtered=%v injected-delivery=%v (%d events)", sawFiltered, sawInjected, len(events))
+	}
+}
+
+// TestSetDownDropsQueuedDeliveries pins the SetDown contract for
+// datagrams already in flight when the partition hits: a copy sitting
+// in the destination inbox is discarded at read time, and a copy on a
+// delayed link is discarded at delivery time. Neither reaches the
+// downed endpoint's reader.
+func TestSetDownDropsQueuedDeliveries(t *testing.T) {
+	// Inbox case: instant delivery enqueues the datagram before SetDown.
+	n := memnet.New(memnet.Faults{})
+	defer n.Close()
+	a, _ := n.Listen()
+	b, _ := n.Listen()
+	a.WriteToUDPAddrPort([]byte("queued"), b.LocalAddrPort())
+	waitFor(t, time.Second, "enqueue", func() bool { return n.Counters().Delivered == 1 })
+	n.SetDown(b.LocalAddrPort(), true)
+	b.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+	if _, _, err := b.ReadFromUDPAddrPort(make([]byte, 16)); err == nil {
+		t.Fatal("downed endpoint read a datagram enqueued before SetDown")
+	}
+	if c := n.Counters(); c.Dropped != 1 {
+		t.Fatalf("counters after queued drop = %+v", c)
+	}
+	// Healing does not resurrect the discarded datagram, and fresh
+	// traffic flows again.
+	n.SetDown(b.LocalAddrPort(), false)
+	a.WriteToUDPAddrPort([]byte("fresh"), b.LocalAddrPort())
+	buf := make([]byte, 16)
+	b.SetReadDeadline(time.Now().Add(time.Second))
+	got, _, err := b.ReadFromUDPAddrPort(buf)
+	if err != nil || string(buf[:got]) != "fresh" {
+		t.Fatalf("read after heal = %q, %v", buf[:got], err)
+	}
+
+	// In-flight case: a delayed copy crosses SetDown mid-transit and is
+	// dropped at delivery time.
+	n2 := memnet.New(memnet.Faults{ReorderP: 1, ReorderDelay: 30 * time.Millisecond})
+	defer n2.Close()
+	var mu sync.Mutex
+	var verdicts []memnet.Verdict
+	n2.Observe(func(ev memnet.PacketEvent) {
+		mu.Lock()
+		verdicts = append(verdicts, ev.Verdict)
+		mu.Unlock()
+	})
+	c2, _ := n2.Listen()
+	d2, _ := n2.Listen()
+	c2.WriteToUDPAddrPort([]byte("late"), d2.LocalAddrPort())
+	n2.SetDown(d2.LocalAddrPort(), true)
+	waitFor(t, time.Second, "delayed copy resolved", func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		return len(verdicts) == 1
+	})
+	mu.Lock()
+	defer mu.Unlock()
+	if verdicts[0] != memnet.DroppedDown {
+		t.Fatalf("delayed delivery across SetDown = %v, want DroppedDown", verdicts[0])
+	}
+}

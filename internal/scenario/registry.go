@@ -199,4 +199,66 @@ func init() {
 		Processing: &Processing{Disabled: true},
 		ByeAt:      []Duration{sec(3.5)},
 	})
+
+	// Adversarial workloads: conformance-sized benign baselines with an
+	// on-path attacker attached. The simulator run stays attack-free (it
+	// ignores the adversary section) and serves as the ground truth that
+	// internal/conformance diffs the attacked fleet run against for the
+	// false-ABSENT / false-PRESENT robustness metrics. Populations are
+	// static so the set of CPs whose verdicts are compared is identical
+	// across the benign and attacked runs.
+	Register(&Spec{
+		Name:        "adv-spoofed-bye",
+		Description: "adversarial: spoofed BYEs for a live device (p=0.35 per observed probe, window 1.2-2.8s), crash at t=3s",
+		Protocol:    "dcpp",
+		Horizon:     sec(5),
+		Population:  Population{Static: &Static{CPs: 8, Spread: sec(0.8)}},
+		Processing:  &Processing{Disabled: true},
+		CrashAt:     []Duration{sec(3)},
+		Adversary: &Adversary{SpoofBye: &SpoofByeSpec{
+			AttackWindow: AttackWindow{From: sec(1.2), Until: sec(2.8)}, P: 0.35,
+		}},
+	})
+	Register(&Spec{
+		Name:        "adv-replay",
+		Description: "adversarial: captured replies replayed into later cycles (p=0.5, window 1-2.8s), crash at t=3s",
+		Protocol:    "dcpp",
+		Horizon:     sec(5),
+		Population:  Population{Static: &Static{CPs: 8, Spread: sec(0.8)}},
+		Processing:  &Processing{Disabled: true},
+		CrashAt:     []Duration{sec(3)},
+		Adversary: &Adversary{Replay: &ReplaySpec{
+			AttackWindow: AttackWindow{From: sec(1), Until: sec(2.8)}, P: 0.5,
+		}},
+	})
+	Register(&Spec{
+		Name:        "adv-byzantine",
+		Description: "adversarial: Byzantine responder answers for the device from the crash at t=3s onward",
+		Protocol:    "dcpp",
+		Horizon:     sec(5),
+		Population:  Population{Static: &Static{CPs: 8, Spread: sec(0.8)}},
+		Processing:  &Processing{Disabled: true},
+		CrashAt:     []Duration{sec(3)},
+		Adversary: &Adversary{Byzantine: &ByzantineSpec{
+			AttackWindow: AttackWindow{From: sec(3)},
+		}},
+	})
+	// The amplifier doubles as a DCPP queue-poisoning attack: every
+	// forged probe the device answers claims a 0.1s probe slot, pushing
+	// every honest CP's dictated wait past the horizon. The longer
+	// horizon gives a hardened run (which sheds the flood down to the
+	// admission rate) room to detect the crash on schedule, while the
+	// unhardened queue stays poisoned for minutes.
+	Register(&Spec{
+		Name:        "adv-amplify",
+		Description: "adversarial: device reflects 30 forged probes per honest probe at a bystander victim (window 1-3s), crash at t=3s",
+		Protocol:    "dcpp",
+		Horizon:     sec(10),
+		Population:  Population{Static: &Static{CPs: 6, Spread: sec(0.8)}},
+		Processing:  &Processing{Disabled: true},
+		CrashAt:     []Duration{sec(3)},
+		Adversary: &Adversary{Amplify: &AmplifySpec{
+			AttackWindow: AttackWindow{From: sec(1), Until: sec(3)}, Factor: 30,
+		}},
+	})
 }

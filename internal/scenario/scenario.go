@@ -83,6 +83,116 @@ type Spec struct {
 	CrashAt []Duration `json:"crash_at,omitempty"`
 	// ByeAt makes the primary device leave gracefully at these times.
 	ByeAt []Duration `json:"bye_at,omitempty"`
+	// Adversary attaches deterministic on-path attackers (nil = benign).
+	Adversary *Adversary `json:"adversary,omitempty"`
+}
+
+// Adversary describes the on-path attackers of an adv-* scenario. The
+// simulator ignores this section — the simulated run of a Spec is by
+// definition the attack-free baseline that the robustness metrics diff
+// against; internal/conformance compiles it into internal/memnet
+// middleboxes when it drives the real shard runtime over the in-memory
+// network. Any combination of members may be active; each draws its
+// randomness from a stream forked off the run seed, so for a fixed
+// seed the attack is replayed bit for bit.
+type Adversary struct {
+	// SpoofBye injects BYE frames for the live primary device,
+	// source-spoofed as the device.
+	SpoofBye *SpoofByeSpec `json:"spoof_bye,omitempty"`
+	// Replay captures the device's replies and replays them verbatim
+	// into later probe cycles.
+	Replay *ReplaySpec `json:"replay,omitempty"`
+	// Byzantine answers probes on behalf of the (crashed) device with
+	// well-formed forged replies from the attacker's own address.
+	Byzantine *ByzantineSpec `json:"byzantine,omitempty"`
+	// Amplify reflects forged probes off the device toward a bystander
+	// victim address.
+	Amplify *AmplifySpec `json:"amplify,omitempty"`
+}
+
+// AttackWindow bounds when an attacker acts: [From, Until), with
+// Until = 0 meaning until the horizon.
+type AttackWindow struct {
+	From  Duration `json:"from,omitempty"`
+	Until Duration `json:"until,omitempty"`
+}
+
+func (w AttackWindow) validate(kind string) error {
+	if w.From < 0 {
+		return fmt.Errorf("scenario: %s window start %v negative", kind, w.From.Std())
+	}
+	if w.Until != 0 && w.Until <= w.From {
+		return fmt.Errorf("scenario: %s window [%v, %v) empty", kind, w.From.Std(), w.Until.Std())
+	}
+	return nil
+}
+
+// SpoofByeSpec parameterises the BYE spoofer: P is the per-observed-
+// probe injection probability.
+type SpoofByeSpec struct {
+	AttackWindow
+	P float64 `json:"p"`
+}
+
+// ReplaySpec parameterises the reply replayer: P is the per-observed-
+// probe replay probability.
+type ReplaySpec struct {
+	AttackWindow
+	P float64 `json:"p"`
+}
+
+// ByzantineSpec parameterises the answering-for-the-dead attacker;
+// open the window at the device's crash instant.
+type ByzantineSpec struct {
+	AttackWindow
+}
+
+// AmplifySpec parameterises the reflection attacker: Factor forged
+// probes per observed honest probe (0 = 8).
+type AmplifySpec struct {
+	AttackWindow
+	Factor int `json:"factor,omitempty"`
+}
+
+func (a *Adversary) validate() error {
+	none := true
+	if s := a.SpoofBye; s != nil {
+		none = false
+		if err := s.validate("spoof_bye"); err != nil {
+			return err
+		}
+		if s.P <= 0 || s.P > 1 {
+			return fmt.Errorf("scenario: spoof_bye p %g outside (0,1]", s.P)
+		}
+	}
+	if r := a.Replay; r != nil {
+		none = false
+		if err := r.validate("replay"); err != nil {
+			return err
+		}
+		if r.P <= 0 || r.P > 1 {
+			return fmt.Errorf("scenario: replay p %g outside (0,1]", r.P)
+		}
+	}
+	if b := a.Byzantine; b != nil {
+		none = false
+		if err := b.validate("byzantine"); err != nil {
+			return err
+		}
+	}
+	if m := a.Amplify; m != nil {
+		none = false
+		if err := m.validate("amplify"); err != nil {
+			return err
+		}
+		if m.Factor < 0 {
+			return fmt.Errorf("scenario: amplify factor %d negative", m.Factor)
+		}
+	}
+	if none {
+		return fmt.Errorf("scenario: adversary selects no attacker")
+	}
+	return nil
 }
 
 // Population is a tagged union: exactly one member must be set.
@@ -392,6 +502,11 @@ func (s *Spec) Validate() error {
 	for _, at := range s.ByeAt {
 		if at < 0 {
 			return fmt.Errorf("scenario: negative bye time %v", at.Std())
+		}
+	}
+	if s.Adversary != nil {
+		if err := s.Adversary.validate(); err != nil {
+			return err
 		}
 	}
 	return nil

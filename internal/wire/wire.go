@@ -215,6 +215,16 @@ type Frame struct {
 	TTL    uint8
 }
 
+// ReplayKey is a reply frame's replay-detection identity: the
+// (From, Cycle) pair packed the way reply demultiplexers key their
+// pending tables. Replay protection is receiver-local state over
+// fields every reply already carries — the wire format needs no nonce
+// or timestamp, so hardened and unhardened nodes stay codec-compatible
+// frame for frame.
+func (f *Frame) ReplayKey() uint64 {
+	return uint64(f.From)<<32 | uint64(f.Cycle)
+}
+
 // DecodeFrame parses one frame into f without allocating. It validates
 // magic, version, checksum and the exact frame length for the message
 // type; on error f.Kind is KindInvalid.
