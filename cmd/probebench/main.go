@@ -6,7 +6,8 @@
 //
 //	probebench [-scale paper|short] [-seed N] [-out DIR] [-only ID[,ID...]] [-plot] [-json [PATH]]
 //	           [-fleet] [-fleet-cps N] [-fleet-shards N] [-fleet-devices N] [-fleet-window D]
-//	           [-fleet-rate F] [-fleet-single] [-fleet-sweep SHARDSxCPSxRATE[s][m],...]
+//	           [-fleet-rate F] [-fleet-single] [-fleet-reuseport] [-fleet-sweep SHARDSxCPSxRATE[s][m][r],...]
+//	           [-fleet-scaling SHARDS[-SHARDS...]xCPSxRATE[s][m][r][@P],...] [-fleet-profile DIR]
 //	           [-conformance] [-conformance-seed N] [-conformance-scenario NAME]
 //	           [-adversarial] [-adversarial-seed N]
 //	probebench -scenario NAME|FILE [-seed N] [-out DIR] [-plot]
@@ -25,8 +26,16 @@
 // control points against loopback DCPP devices by default; -fleet-rate
 // switches to the high-rate naive mode) and its measurements land in
 // the snapshot's "fleet.scale" section; -fleet-sweep appends high-rate
-// entries ("s" = single-datagram path, "m" = memnet transport) to
-// "fleet.sweep". With -conformance, the simulator-vs-fleet
+// entries ("s" = single-datagram path, "m" = memnet transport, "r" =
+// SO_REUSEPORT shared-port layout) to "fleet.sweep". -fleet-scaling runs
+// the multi-core scaling study: each spec names a list of shard counts
+// ("1-2-4"), CPs and per-CP rate, with the same suffix letters plus
+// "@P" to pin GOMAXPROCS, and every shard count runs once; the runs and
+// the derived shards→packets/s speedup curve land in the snapshot's
+// "fleet.scaling" section, which -compare re-gates (every run must keep
+// all its CPs alive with zero decode errors). -fleet-profile writes
+// mutex and block profiles covering the fleet runs to DIR, for auditing
+// shard-loop contention. With -conformance, the simulator-vs-fleet
 // differential battery (internal/conformance) runs and its results land
 // in the snapshot's "conformance" section; any failing case makes the
 // command exit non-zero. With -adversarial, the adversarial battery
@@ -48,6 +57,9 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"strconv"
 	"strings"
 	"testing"
 	"time"
@@ -89,7 +101,10 @@ func run(args []string, out io.Writer) error {
 		fleetWindow  = fs.Duration("fleet-window", 5*time.Second, "steady-state measurement window for -fleet")
 		fleetRate    = fs.Float64("fleet-rate", 0, "per-CP probe budget (probes/s) for -fleet: high-rate naive mode instead of DCPP (0 = DCPP)")
 		fleetSingle  = fs.Bool("fleet-single", false, "run -fleet on the one-datagram-per-syscall fallback path")
-		fleetSweep   = fs.String("fleet-sweep", "", "comma-separated high-rate entries SHARDSxCPSxRATE[s][m] (s = single-datagram path, m = memnet transport), run after -fleet and recorded in the snapshot's fleet sweep")
+		fleetReuse   = fs.Bool("fleet-reuseport", false, "run -fleet on the SO_REUSEPORT shared-port layout (kernel flow-hash demux across shard sockets)")
+		fleetSweep   = fs.String("fleet-sweep", "", "comma-separated high-rate entries SHARDSxCPSxRATE[s][m][r] (s = single-datagram path, m = memnet transport, r = SO_REUSEPORT), run after -fleet and recorded in the snapshot's fleet sweep")
+		fleetScaling = fs.String("fleet-scaling", "", "comma-separated scaling specs SHARDS[-SHARDS...]xCPSxRATE[s][m][r][@P] (@P pins GOMAXPROCS); each shard count runs once and the shards→packets/s curve lands in the snapshot's fleet scaling section")
+		fleetProfile = fs.String("fleet-profile", "", "directory for mutex/block profiles covering the fleet runs ('' disables)")
 
 		confRun  = fs.Bool("conformance", false, "also run the simulator-vs-fleet conformance battery (internal/conformance); a failing case exits non-zero")
 		confSeed = fs.Uint64("conformance-seed", 2005, "seed for -conformance")
@@ -127,7 +142,7 @@ func run(args []string, out io.Writer) error {
 	if *scen != "" {
 		explicit := make(map[string]bool)
 		fs.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
-		for _, conflicting := range []string{"scale", "only", "json", "jsonpath", "fleet", "fleet-cps", "fleet-shards", "fleet-devices", "fleet-window", "fleet-rate", "fleet-single", "fleet-sweep", "conformance", "conformance-seed", "conformance-scenario", "adversarial", "adversarial-seed"} {
+		for _, conflicting := range []string{"scale", "only", "json", "jsonpath", "fleet", "fleet-cps", "fleet-shards", "fleet-devices", "fleet-window", "fleet-rate", "fleet-single", "fleet-reuseport", "fleet-sweep", "fleet-scaling", "fleet-profile", "conformance", "conformance-seed", "conformance-scenario", "adversarial", "adversarial-seed"} {
 			if explicit[conflicting] {
 				return fmt.Errorf("-%s applies to the experiment suite, not to -scenario (the scenario defines its own horizon)", conflicting)
 			}
@@ -224,6 +239,16 @@ func run(args []string, out io.Writer) error {
 		fmt.Fprintf(out, "    (%s)\n\n", time.Since(t0).Round(time.Millisecond))
 	}
 	fmt.Fprintf(out, "all experiments done in %s\n", time.Since(start).Round(time.Millisecond))
+	if *fleetProfile != "" {
+		// Profile only the fleet runs: contention in the shard loops is
+		// what the audit is after, not the single-threaded simulator's.
+		runtime.SetMutexProfileFraction(5)
+		runtime.SetBlockProfileRate(int(100 * time.Microsecond))
+		defer func() {
+			runtime.SetMutexProfileFraction(0)
+			runtime.SetBlockProfileRate(0)
+		}()
+	}
 	var fleetSec *fleetSection
 	if *fleetRun {
 		fmt.Fprintf(out, "==> fleet loopback scale (%d CPs, %d shard(s), %d devices, %v window)\n",
@@ -235,6 +260,7 @@ func run(args []string, out io.Writer) error {
 			Window:              *fleetWindow,
 			ProbeHz:             *fleetRate,
 			ForceSingleDatagram: *fleetSingle,
+			ReusePort:           *fleetReuse,
 		})
 		if err != nil {
 			return fmt.Errorf("fleet scale: %w", err)
@@ -255,25 +281,41 @@ func run(args []string, out io.Writer) error {
 			fleetSec = &fleetSection{}
 		}
 		for _, opts := range entries {
-			transport := "udp"
-			if opts.memnet {
-				transport = "memnet"
-				net := memnet.New(memnet.Faults{})
-				opts.opts.Transport = fleet.TransportFunc(func(int) (fleet.PacketConn, error) { return net.Listen() })
-			}
-			opts.opts.Window = *fleetWindow
-			fmt.Fprintf(out, "==> fleet sweep %dx%dx%g %s single=%v\n",
-				opts.opts.Shards, opts.opts.CPs, opts.opts.ProbeHz, transport, opts.opts.ForceSingleDatagram)
-			res, err := fleet.LoopbackScale(opts.opts)
+			res, err := runSweepEntry(out, "fleet sweep", opts, *fleetWindow)
 			if err != nil {
 				return fmt.Errorf("fleet sweep: %w", err)
 			}
-			res.Transport = transport
 			fleetSec.Sweep = append(fleetSec.Sweep, res)
-			fmt.Fprintf(out, "    %d CPs steady; %.0f probes/s of %.0f offered; %.0f packets/s; batch fill %.1f in / %.1f out; syscalls %d in / %d out\n",
-				res.SteadyCPs, res.SteadyProbesPerSec, res.BudgetProbesPerSec, res.SteadyPacketsPerSec,
-				res.BatchFillMeanIn, res.BatchFillMeanOut, res.SyscallsIn, res.SyscallsOut)
 		}
+	}
+	if *fleetScaling != "" {
+		specs, err := parseFleetScaling(*fleetScaling)
+		if err != nil {
+			return err
+		}
+		if fleetSec == nil {
+			fleetSec = &fleetSection{}
+		}
+		scaling := &scalingSection{}
+		for _, e := range specs {
+			res, err := runSweepEntry(out, "fleet scaling", e, *fleetWindow)
+			if err != nil {
+				return fmt.Errorf("fleet scaling: %w", err)
+			}
+			scaling.Runs = append(scaling.Runs, res)
+		}
+		scaling.Curve = scalingCurve(scaling.Runs)
+		for _, p := range scaling.Curve {
+			fmt.Fprintf(out, "    scaling: %d shard(s) @ GOMAXPROCS %d: %.0f packets/s (%.2fx vs %d shard(s)), imbalance %.2f, %.2f syscalls/packet\n",
+				p.Shards, p.GoMaxProcs, p.PacketsPerSec, p.Speedup, p.BaseShards, p.ShardImbalance, p.SyscallsPerPacket)
+		}
+		fleetSec.Scaling = scaling
+	}
+	if *fleetProfile != "" && fleetSec != nil {
+		if err := writeFleetProfiles(*fleetProfile); err != nil {
+			return err
+		}
+		fmt.Fprintf(out, "mutex/block profiles written under %s\n", *fleetProfile)
 	}
 	var confResults []*conformance.Result
 	if *confRun {
@@ -357,16 +399,39 @@ func conformanceNames(cases []conformance.Case) []string {
 	return names
 }
 
-// sweepEntry is one parsed -fleet-sweep element.
+// sweepEntry is one parsed -fleet-sweep or -fleet-scaling element.
 type sweepEntry struct {
 	opts   fleet.ScaleOptions
 	memnet bool
 }
 
-// parseFleetSweep parses "SHARDSxCPSxRATE[s][m],..." — e.g.
-// "1x20000x10,1x20000x10s,1x20000x10m,1x20000x10sm": 1 shard, 20k CPs,
-// 10 probes/s per CP, on the batch and single paths over kernel UDP
-// and memnet.
+// trimSweepSuffixes strips the trailing option letters shared by the
+// sweep and scaling grammars: "s" single-datagram, "m" memnet
+// transport, "r" SO_REUSEPORT layout (with memnet: shard-aware routing
+// over distinct in-memory addresses — the flow-hash demux itself is
+// kernel behaviour, emulated and pinned by the equivalence tests).
+func trimSweepSuffixes(part string, e *sweepEntry) string {
+	for {
+		switch {
+		case strings.HasSuffix(part, "s"):
+			e.opts.ForceSingleDatagram = true
+			part = strings.TrimSuffix(part, "s")
+		case strings.HasSuffix(part, "m"):
+			e.memnet = true
+			part = strings.TrimSuffix(part, "m")
+		case strings.HasSuffix(part, "r"):
+			e.opts.ReusePort = true
+			part = strings.TrimSuffix(part, "r")
+		default:
+			return part
+		}
+	}
+}
+
+// parseFleetSweep parses "SHARDSxCPSxRATE[s][m][r],..." — e.g.
+// "1x20000x10,1x20000x10s,1x20000x10m,2x20000x10r": shards, CPs,
+// probes/s per CP, on the batch or single path over kernel UDP or
+// memnet, optionally on the SO_REUSEPORT shared-port layout.
 func parseFleetSweep(spec string) ([]sweepEntry, error) {
 	var out []sweepEntry
 	for _, part := range strings.Split(spec, ",") {
@@ -375,23 +440,11 @@ func parseFleetSweep(spec string) ([]sweepEntry, error) {
 			continue
 		}
 		e := sweepEntry{}
-		for {
-			if strings.HasSuffix(part, "s") {
-				e.opts.ForceSingleDatagram = true
-				part = strings.TrimSuffix(part, "s")
-				continue
-			}
-			if strings.HasSuffix(part, "m") {
-				e.memnet = true
-				part = strings.TrimSuffix(part, "m")
-				continue
-			}
-			break
-		}
+		part = trimSweepSuffixes(part, &e)
 		var rate float64
 		var shards, cps int
 		if _, err := fmt.Sscanf(part, "%dx%dx%g", &shards, &cps, &rate); err != nil {
-			return nil, fmt.Errorf("-fleet-sweep entry %q: want SHARDSxCPSxRATE[s][m]: %v", part, err)
+			return nil, fmt.Errorf("-fleet-sweep entry %q: want SHARDSxCPSxRATE[s][m][r]: %v", part, err)
 		}
 		e.opts.Shards, e.opts.CPs, e.opts.ProbeHz = shards, cps, rate
 		out = append(out, e)
@@ -400,6 +453,104 @@ func parseFleetSweep(spec string) ([]sweepEntry, error) {
 		return nil, fmt.Errorf("-fleet-sweep %q holds no entries", spec)
 	}
 	return out, nil
+}
+
+// parseFleetScaling parses "SHARDS[-SHARDS...]xCPSxRATE[s][m][r][@P],..."
+// — e.g. "1-2-4x20000x25r@4": run 1, 2 and 4 shards of 20k CPs at 25
+// probes/s each on the SO_REUSEPORT layout with GOMAXPROCS pinned to 4.
+// Each shard count becomes one scaling run.
+func parseFleetScaling(spec string) ([]sweepEntry, error) {
+	var out []sweepEntry
+	for _, part := range strings.Split(spec, ",") {
+		part = strings.TrimSpace(part)
+		if part == "" {
+			continue
+		}
+		proto := sweepEntry{}
+		if at := strings.LastIndexByte(part, '@'); at >= 0 {
+			procs, err := strconv.Atoi(part[at+1:])
+			if err != nil || procs < 1 {
+				return nil, fmt.Errorf("-fleet-scaling entry %q: @P needs a positive GOMAXPROCS", part)
+			}
+			proto.opts.GoMaxProcs = procs
+			part = part[:at]
+		}
+		part = trimSweepSuffixes(part, &proto)
+		fields := strings.SplitN(part, "x", 3)
+		if len(fields) != 3 {
+			return nil, fmt.Errorf("-fleet-scaling entry %q: want SHARDS[-SHARDS...]xCPSxRATE[s][m][r][@P]", part)
+		}
+		cps, err := strconv.Atoi(fields[1])
+		if err != nil || cps < 1 {
+			return nil, fmt.Errorf("-fleet-scaling entry %q: bad CP count %q", part, fields[1])
+		}
+		rate, err := strconv.ParseFloat(fields[2], 64)
+		if err != nil || rate <= 0 {
+			return nil, fmt.Errorf("-fleet-scaling entry %q: bad rate %q", part, fields[2])
+		}
+		for _, s := range strings.Split(fields[0], "-") {
+			shards, err := strconv.Atoi(s)
+			if err != nil || shards < 1 {
+				return nil, fmt.Errorf("-fleet-scaling entry %q: bad shard count %q", part, s)
+			}
+			e := proto
+			e.opts.Shards, e.opts.CPs, e.opts.ProbeHz = shards, cps, rate
+			out = append(out, e)
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("-fleet-scaling %q holds no entries", spec)
+	}
+	return out, nil
+}
+
+// runSweepEntry runs one high-rate LoopbackScale entry and narrates it.
+func runSweepEntry(out io.Writer, what string, e sweepEntry, window time.Duration) (fleet.ScaleResult, error) {
+	transport := "udp"
+	if e.memnet {
+		transport = "memnet"
+		net := memnet.New(memnet.Faults{})
+		e.opts.Transport = fleet.TransportFunc(func(int) (fleet.PacketConn, error) { return net.Listen() })
+	}
+	e.opts.Window = window
+	fmt.Fprintf(out, "==> %s %dx%dx%g %s single=%v reuseport=%v gomaxprocs=%d\n",
+		what, e.opts.Shards, e.opts.CPs, e.opts.ProbeHz, transport, e.opts.ForceSingleDatagram, e.opts.ReusePort, e.opts.GoMaxProcs)
+	res, err := fleet.LoopbackScale(e.opts)
+	if err != nil {
+		return res, err
+	}
+	res.Transport = transport
+	fmt.Fprintf(out, "    %d CPs steady; %.0f probes/s of %.0f offered; %.0f packets/s; batch fill %.1f in / %.1f out; syscalls %d in / %d out; imbalance %.2f; handoffs %d in / %d out\n",
+		res.SteadyCPs, res.SteadyProbesPerSec, res.BudgetProbesPerSec, res.SteadyPacketsPerSec,
+		res.BatchFillMeanIn, res.BatchFillMeanOut, res.SyscallsIn, res.SyscallsOut,
+		res.ShardImbalance, res.HandoffsIn, res.HandoffsOut)
+	return res, nil
+}
+
+// writeFleetProfiles dumps the accumulated mutex and block profiles,
+// which at this point cover every fleet scale/sweep/scaling run.
+func writeFleetProfiles(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, name := range []string{"mutex", "block"} {
+		p := pprof.Lookup(name)
+		if p == nil {
+			continue
+		}
+		f, err := os.Create(filepath.Join(dir, name+".pb.gz"))
+		if err != nil {
+			return err
+		}
+		err = p.WriteTo(f, 0)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return fmt.Errorf("write %s profile: %w", name, err)
+		}
+	}
+	return nil
 }
 
 // benchSnapshot is the schema of the BENCH_<n>.json files: one throughput
@@ -445,12 +596,84 @@ func gateAdversarial(hardened []*conformance.AdvResult) []string {
 }
 
 // fleetSection is the snapshot's fleet block: the protocol-budget
-// scale run plus any high-rate sweep entries. (Snapshots before PR 5
-// stored a bare ScaleResult here; -compare does not inspect the block,
-// so old files still load.)
+// scale run, any high-rate sweep entries, and the multi-core scaling
+// study. (Snapshots before PR 5 stored a bare ScaleResult here; old
+// files still load — -compare only gates the sections present.)
 type fleetSection struct {
-	Scale *fleet.ScaleResult  `json:"scale,omitempty"`
-	Sweep []fleet.ScaleResult `json:"sweep,omitempty"`
+	Scale   *fleet.ScaleResult  `json:"scale,omitempty"`
+	Sweep   []fleet.ScaleResult `json:"sweep,omitempty"`
+	Scaling *scalingSection     `json:"scaling,omitempty"`
+}
+
+// scalingSection is the multi-core scaling study: the raw runs plus the
+// derived shards→packets/s curve. Speedups are relative to the
+// lowest-shard-count run of the same (CPs, rate, path, transport,
+// GOMAXPROCS pin) family, so one section can carry several families.
+type scalingSection struct {
+	Runs  []fleet.ScaleResult `json:"runs"`
+	Curve []scalingPoint      `json:"curve"`
+}
+
+// scalingPoint is one point of the derived curve.
+type scalingPoint struct {
+	Shards            int     `json:"shards"`
+	GoMaxProcs        int     `json:"gomaxprocs"`
+	PacketsPerSec     float64 `json:"packets_per_sec"`
+	BaseShards        int     `json:"base_shards"`
+	Speedup           float64 `json:"speedup"`
+	ShardImbalance    float64 `json:"shard_imbalance"`
+	SyscallsPerPacket float64 `json:"syscalls_per_packet"`
+}
+
+// scalingCurve derives speedups from the raw runs, grouping runs into
+// families that differ only in shard count.
+func scalingCurve(runs []fleet.ScaleResult) []scalingPoint {
+	type base struct {
+		shards int
+		pps    float64
+	}
+	family := func(r fleet.ScaleResult) string {
+		return fmt.Sprintf("%dx%g|%v|%v|%s|%d", r.CPs, r.ProbeHz, r.SingleDatagram, r.ReusePort, r.Transport, r.GoMaxProcs)
+	}
+	bases := make(map[string]base)
+	for _, r := range runs {
+		k := family(r)
+		if b, ok := bases[k]; !ok || r.Shards < b.shards {
+			bases[k] = base{r.Shards, r.SteadyPacketsPerSec}
+		}
+	}
+	pts := make([]scalingPoint, len(runs))
+	for i, r := range runs {
+		b := bases[family(r)]
+		p := scalingPoint{
+			Shards:            r.Shards,
+			GoMaxProcs:        r.GoMaxProcs,
+			PacketsPerSec:     r.SteadyPacketsPerSec,
+			BaseShards:        b.shards,
+			ShardImbalance:    r.ShardImbalance,
+			SyscallsPerPacket: r.SyscallsPerPacket,
+		}
+		if b.pps > 0 {
+			p.Speedup = r.SteadyPacketsPerSec / b.pps
+		}
+		pts[i] = p
+	}
+	return pts
+}
+
+// gateScaling re-derives the scaling study's health condition from a
+// snapshot section: every run kept all its CPs alive and decoded every
+// frame it accepted. Throughput itself is machine-dependent and not
+// gated, like the wall-clock side of the simulator comparison.
+func gateScaling(sec *scalingSection) []string {
+	var fails []string
+	for _, r := range sec.Runs {
+		if r.SteadyCPs != r.CPs || r.DecodeErrors != 0 {
+			fails = append(fails, fmt.Sprintf("scaling %dx%dx%g (%s): %d of %d CPs steady, %d decode errors",
+				r.Shards, r.CPs, r.ProbeHz, r.Transport, r.SteadyCPs, r.CPs, r.DecodeErrors))
+		}
+	}
+	return fails
 }
 
 // hotPathSection holds the shard hot-path measurements for both I/O
@@ -694,6 +917,16 @@ func runCompare(out io.Writer, oldPath, newPath string, maxSlow, maxAlloc float6
 		if maxAlloc > 0 && newA > oldA && float64(newA-oldA) > maxAlloc*float64(max(oldA, 1)) {
 			fails = append(fails, fmt.Sprintf("shard hot path allocs/op grew %d → %d", oldA, newA))
 		}
+	}
+	// The scaling study is likewise an absolute health gate on the new
+	// snapshot (all CPs alive, zero decode errors); the curve itself is
+	// printed for the reader, not gated — it is machine-dependent.
+	if f := newSnap.Fleet; f != nil && f.Scaling != nil {
+		fmt.Fprintf(out, "\n%-10s %10s %14s %8s %10s\n", "scaling", "gomaxprocs", "packets/s", "speedup", "imbalance")
+		for _, p := range f.Scaling.Curve {
+			fmt.Fprintf(out, "%-10d %10d %14.0f %7.2fx %10.2f\n", p.Shards, p.GoMaxProcs, p.PacketsPerSec, p.Speedup, p.ShardImbalance)
+		}
+		fails = append(fails, gateScaling(f.Scaling)...)
 	}
 	// The adversarial section is an absolute gate, not a diff: the new
 	// snapshot's hardened battery must show zero false verdicts

@@ -10,7 +10,7 @@
 //	           [-loopback N | -device ADDR -device-id N]
 //	           [-min-gap D] [-min-cp-delay D]
 //	           [-duration D] [-interval D] [-join-ramp D]
-//	           [-batch N] [-single] [-harden] [-pprof ADDR]
+//	           [-batch N] [-single] [-reuseport] [-harden] [-pprof ADDR]
 //
 // By default it runs self-contained: -loopback N hosts N devices of the
 // chosen protocol in a second, devices-only fleet and points the CPs at
@@ -25,6 +25,20 @@
 // adversarial defenses (fleet Config.Harden) and reports their
 // counters in the final dump, and -pprof serves net/http/pprof on ADDR
 // for live profiling of long runs.
+//
+// -reuseport binds every CP-fleet shard socket to one shared UDP port
+// with SO_REUSEPORT (fleet Config.ReusePort): the kernel demultiplexes
+// inbound load across shard sockets by flow hash, and frames it lands
+// on the wrong shard ride the in-process handoff path (reported live
+// and in the final dump). On platforms without the option the fleet
+// falls back to one port per shard with routing still on. Live stats
+// then also show the per-shard packet spread (max/mean over the
+// interval — 1.00 is a perfectly even demux).
+//
+// Core count: each shard runs one event-loop goroutine, so shards
+// beyond GOMAXPROCS time-share cores. For a scaling run pin both, e.g.
+// GOMAXPROCS=4 probefleet -shards 4 -reuseport; with -shards 0 the
+// fleet already sizes itself to GOMAXPROCS.
 package main
 
 import (
@@ -77,6 +91,7 @@ type options struct {
 	joinRamp   time.Duration
 	batch      int
 	single     bool
+	reuseport  bool
 	harden     bool
 	pprofAddr  string
 }
@@ -99,6 +114,7 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 	fs.Float64Var(&o.rate, "rate", 0, "per-CP probe budget in probes/s (shorthand for -protocol naive -period 1/F)")
 	fs.IntVar(&o.batch, "batch", 0, "transport batch: datagrams per recvmmsg/sendmmsg call (0 = fleet default)")
 	fs.BoolVar(&o.single, "single", false, "force the one-datagram-per-syscall fallback path")
+	fs.BoolVar(&o.reuseport, "reuseport", false, "share one UDP port across CP-fleet shards via SO_REUSEPORT (kernel flow-hash demux; falls back to distinct ports where unsupported)")
 	fs.BoolVar(&o.harden, "harden", false, "enable the adversarial defenses (BYE verification, source pinning, replay window, per-source shedding) on both fleets")
 	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
 	if err := fs.Parse(args); err != nil {
@@ -132,13 +148,21 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 		fmt.Fprintf(out, "probefleet: pprof on http://%s/debug/pprof/\n", o.pprofAddr)
 	}
 
-	cpFleet, err := fleet.New(fleet.Config{Shards: o.shards, Batch: o.batch, ForceSingleDatagram: o.single, Harden: o.harden})
+	cpFleet, err := fleet.New(fleet.Config{Shards: o.shards, Batch: o.batch, ForceSingleDatagram: o.single, ReusePort: o.reuseport, Harden: o.harden})
 	if err != nil {
 		return err
 	}
 	defer cpFleet.Close()
 	if err := cpFleet.Start(); err != nil {
 		return err
+	}
+	if o.reuseport {
+		if cpFleet.ReusePortActive() {
+			fmt.Fprintf(out, "probefleet: SO_REUSEPORT active — %d shard socket(s) share port %d\n",
+				cpFleet.Shards(), cpFleet.Addrs()[0].Port())
+		} else {
+			fmt.Fprintln(out, "probefleet: SO_REUSEPORT unavailable here — distinct ports per shard, routing still on")
+		}
 	}
 
 	// The devices the CPs monitor: in-process loopback or external.
@@ -269,7 +293,7 @@ func printLive(out io.Writer, prev, cur fleet.Snapshot) {
 		return float64(pkts1-pkts0) / float64(calls1-calls0)
 	}
 	fmt.Fprintf(out,
-		"[%7s] cps=%d/%d probes/s=%.1f replies/s=%.1f timers/s=%.1f fill=%.1f/%.1f wheel=%d pending=%d errs dec=%d send=%d drop=%d coll=%d\n",
+		"[%7s] cps=%d/%d probes/s=%.1f replies/s=%.1f timers/s=%.1f fill=%.1f/%.1f wheel=%d pending=%d errs dec=%d send=%d drop=%d coll=%d",
 		cur.At.Round(time.Second),
 		cur.Total.LiveControlPoints, cur.Total.ControlPoints,
 		rate(prev.Total.ProbesOut, cur.Total.ProbesOut),
@@ -280,6 +304,35 @@ func printLive(out io.Writer, prev, cur fleet.Snapshot) {
 		cur.Total.WheelDepth, cur.Total.PendingProbes,
 		cur.Total.DecodeErrors, cur.Total.SendErrors,
 		cur.Total.DemuxDrops, cur.Total.DemuxCollisions)
+	if cur.Total.HandoffsOut > 0 || cur.Total.HandoffsIn > 0 {
+		fmt.Fprintf(out, " handoffs/s=%.1f spread=%.2f",
+			rate(prev.Total.HandoffsIn, cur.Total.HandoffsIn),
+			shardSpread(prev, cur))
+	}
+	fmt.Fprintln(out)
+}
+
+// shardSpread is max/mean packets (in+out) per shard over the interval:
+// 1.00 when the kernel's flow-hash demux (or the NodeID hash) spreads
+// load perfectly evenly, larger when one shard carries more than its
+// share. 0 means no packets moved.
+func shardSpread(prev, cur fleet.Snapshot) float64 {
+	if len(cur.Shards) != len(prev.Shards) || len(cur.Shards) == 0 {
+		return 0
+	}
+	var sum, peak uint64
+	for i := range cur.Shards {
+		p := cur.Shards[i].PacketsIn - prev.Shards[i].PacketsIn +
+			cur.Shards[i].PacketsOut - prev.Shards[i].PacketsOut
+		sum += p
+		if p > peak {
+			peak = p
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return float64(peak) * float64(len(cur.Shards)) / float64(sum)
 }
 
 // finalDump closes the fleet and prints the last counters — aggregate
@@ -305,14 +358,18 @@ func finalDump(out io.Writer, f, devFleet *fleet.Fleet) error {
 		t.SyscallsIn, t.SyscallsOut,
 		t.ProbesOut, t.RepliesIn, t.TimersFired,
 		t.DecodeErrors, t.SendErrors, t.DemuxDrops, t.DemuxCollisions)
+	if t.HandoffsOut > 0 || t.HandoffsIn > 0 {
+		fmt.Fprintf(out, "probefleet: handoffs — out=%d in=%d (frames the demux landed on a non-owning shard)\n",
+			t.HandoffsOut, t.HandoffsIn)
+	}
 	if h := t.AttemptMismatches + t.RepliesForged + t.ByesForged + t.RepliesReplayed + t.ProbesShed; h > 0 {
 		fmt.Fprintf(out, "probefleet: hardening — attempt-mismatch=%d forged replies=%d byes=%d replayed=%d shed=%d\n",
 			t.AttemptMismatches, t.RepliesForged, t.ByesForged, t.RepliesReplayed, t.ProbesShed)
 	}
 	for i, c := range snap.Shards {
-		fmt.Fprintf(out, "  shard %2d: cps=%d/%d in=%d out=%d probes=%d replies=%d wheel=%d\n",
+		fmt.Fprintf(out, "  shard %2d: cps=%d/%d in=%d out=%d probes=%d replies=%d wheel=%d handoffs=%d/%d\n",
 			i, c.LiveControlPoints, c.ControlPoints, c.PacketsIn, c.PacketsOut,
-			c.ProbesOut, c.RepliesIn, c.WheelDepth)
+			c.ProbesOut, c.RepliesIn, c.WheelDepth, c.HandoffsOut, c.HandoffsIn)
 	}
 	return err
 }

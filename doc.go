@@ -68,7 +68,10 @@
 //
 //   - N shards (default GOMAXPROCS), each owning one UDP socket and one
 //     event-loop goroutine; control points fan in to shards by NodeID
-//     hash, SO_REUSEPORT style;
+//     hash, and with fleet.Config.ReusePort the shard sockets share one
+//     UDP port via SO_REUSEPORT so the kernel demultiplexes inbound
+//     load across cores, strays riding an in-process cross-shard
+//     handoff (cycle numbers embed the owning shard);
 //   - one hierarchical hashed timer wheel per shard replaces per-node
 //     time.Timers (every engine owns exactly one alarm, an intrusive
 //     O(1) list entry);

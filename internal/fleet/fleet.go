@@ -66,6 +66,37 @@
 //     errors when all are taken. Devices are a loopback-testing
 //     convenience — CPs are the scale story.
 //
+// # Multi-core receive scaling: SO_REUSEPORT and cross-shard handoff
+//
+// By default every shard binds its own port, and senders address the
+// shard that owns their control point — inbound demux is the address.
+// Config.ReusePort switches to the multi-core layout: every shard
+// socket binds the *same* port with SO_REUSEPORT (Linux), so the
+// kernel spreads inbound datagrams across shard sockets by flow hash
+// and receive processing fans out across cores with no shared socket
+// lock or buffer. The kernel hashes flows, not the fleet's NodeID
+// hash, so a frame can land on a shard that does not own its control
+// point. Routing closes the gap at O(1) per frame: each control
+// point's cycle numbers embed its shard index (the top routeShardBits
+// bits of the cycle space, hence Shards <= MaxRoutedShards), a reply's
+// owner is read straight out of its echoed cycle number, and a frame
+// on the wrong shard is handed off in-process — the decoded frame is
+// queued on the owning shard's handoff inbox and its loop is woken by
+// a read-deadline poke (Counters.HandoffsOut/HandoffsIn; byes and
+// announces fan out by a per-device shard bitmask instead). The
+// equivalence test pins that a single socket, distinct ports and a
+// shared-address group produce identical protocol outcomes.
+//
+// # Lock-free stats scraping
+//
+// Fleet.Snapshot never blocks a shard event loop: every mutating
+// critical section republishes its counters into a cache-line-padded
+// atomic mirror before unlocking, so a scraper either wins an
+// uncontended TryLock (exact values, idle shards park in the socket
+// read without holding the mutex) or reads the mirror (at most one
+// critical section stale). Monitoring a hot fleet costs the hot path
+// nothing.
+//
 // # Transport seam
 //
 // A shard does not name *net.UDPConn: it reads and writes through the
@@ -76,7 +107,9 @@
 // internal/memnet provides a deterministic in-memory network with
 // injectable loss, delay, duplication, reordering and partitions, which
 // internal/conformance uses to drive these exact shard loops over
-// hostile links and diff the outcome against the simulator.
+// hostile links and diff the outcome against the simulator
+// (memnet.ListenGroup emulates the kernel's flow-hash spread
+// deterministically for the shared-address layout).
 package fleet
 
 import (
@@ -86,6 +119,7 @@ import (
 	"net/netip"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"presence/internal/core"
@@ -131,6 +165,22 @@ type Config struct {
 	// BatchPacketConn — the baseline the batching win is measured
 	// against, and the fallback leg of batch/single equivalence tests.
 	ForceSingleDatagram bool
+	// ReusePort binds every shard socket to the *same* port with
+	// SO_REUSEPORT (Linux; other platforms and unsupported kernels fall
+	// back to the classic one-port-per-shard layout), so inbound load is
+	// demultiplexed by the kernel across shard sockets instead of
+	// funneling through one. The kernel spreads by flow hash, not by the
+	// fleet's NodeID hash, so a reply can land on a shard that does not
+	// host its control point; ReusePort therefore also switches the fleet
+	// to shard-aware routing: each control point's cycle numbers embed
+	// its shard index (top routeShardBits bits of the 32-bit cycle
+	// space), and a frame landing on the wrong shard is handed off
+	// in-process (Counters.HandoffsOut/HandoffsIn) rather than dropped.
+	// Requires Shards <= MaxRoutedShards. When a custom Transport is set,
+	// ReusePort still enables shard-aware routing — internal/memnet's
+	// ListenGroup emulates the kernel's flow-hash spread deterministically
+	// — but socket options are the transport's business.
+	ReusePort bool
 	// Harden enables the adversarial defenses. The protocol frames are
 	// unauthenticated, so an on-path attacker can answer for the dead,
 	// say goodbye for the living, or reflect probes off a device; Harden
@@ -248,6 +298,14 @@ type Counters struct {
 	// ProbesShed counts probes to a hosted device dropped by per-source
 	// admission (Harden only).
 	ProbesShed uint64
+	// HandoffsOut counts frames this shard received but forwarded to the
+	// owning shard, and HandoffsIn counts frames received that way. Both
+	// are zero unless Config.ReusePort is set: with every shard socket
+	// sharing one port the kernel demultiplexes by flow hash, not by the
+	// fleet's NodeID hash, so a reply can land on any shard and is handed
+	// off in-process to the shard that owns the control point.
+	HandoffsOut uint64
+	HandoffsIn  uint64
 	// SyscallsIn and SyscallsOut count transport read and write calls.
 	// On the batch path one call moves a whole burst (one
 	// recvmmsg/sendmmsg syscall on kernel sockets), so
@@ -284,6 +342,8 @@ func (c *Counters) add(o Counters) {
 	c.ByesForged += o.ByesForged
 	c.RepliesReplayed += o.RepliesReplayed
 	c.ProbesShed += o.ProbesShed
+	c.HandoffsOut += o.HandoffsOut
+	c.HandoffsIn += o.HandoffsIn
 	c.TimersFired += o.TimersFired
 	c.SyscallsIn += o.SyscallsIn
 	c.SyscallsOut += o.SyscallsOut
@@ -309,6 +369,25 @@ type Snapshot struct {
 type Fleet struct {
 	cfg   Config
 	epoch time.Time
+
+	// route is Config.ReusePort: shard-aware routing is on, cycle numbers
+	// embed shard indices, and stray frames ride the handoff path.
+	route bool
+	// reusePortActive reports whether the kernel SO_REUSEPORT layout is
+	// actually in use (Linux default transport only; false under the
+	// distinct-port fallback or a custom Transport).
+	reusePortActive bool
+	// deviceShard is the index of the shard hosting a device engine, -1
+	// while none does. Routed fleets use it to hand stray probes to the
+	// device's shard; since a routed fleet's shards share one address, it
+	// hosts at most one device.
+	deviceShard atomic.Int32
+
+	// watchMu guards watchMask: device id → bitmask of shards hosting at
+	// least one watcher, maintained only when route is set, read on the
+	// bye/announce fan-out path to hand frames to every watching shard.
+	watchMu   sync.Mutex
+	watchMask map[ident.NodeID]*shardMask
 
 	mu      sync.Mutex // lifecycle + device placement
 	started bool
@@ -387,6 +466,15 @@ type shard struct {
 	scratchDCPP core.DCPPReply
 	sweeper     wheelTimer
 	closed      bool
+
+	// ho is the cross-shard handoff inbox (ReusePort routing): frames the
+	// kernel's flow hash landed on the wrong shard, queued here by the
+	// receiving shard and drained by this shard's loop. See handoff.go.
+	ho handoffQueue
+
+	// pub is the published counter mirror Fleet.Snapshot reads without
+	// taking mu — padded to keep scrapers off the loop's cache lines.
+	pub pubCounters
 }
 
 // maxPoll bounds how long a shard loop sleeps in a read when no timer
@@ -401,18 +489,33 @@ func New(cfg Config) (*Fleet, error) {
 	if cfg.Shards < 1 {
 		return nil, fmt.Errorf("fleet: Shards %d must be positive", cfg.Shards)
 	}
+	if cfg.ReusePort && cfg.Shards > MaxRoutedShards {
+		return nil, fmt.Errorf("fleet: ReusePort routing supports at most %d shards, got %d", MaxRoutedShards, cfg.Shards)
+	}
+	reuseActive := false
 	transport := cfg.Transport
 	if transport == nil {
 		addr, err := net.ResolveUDPAddr("udp", cfg.ListenAddr)
 		if err != nil {
 			return nil, fmt.Errorf("fleet: resolve %q: %w", cfg.ListenAddr, err)
 		}
-		if addr.Port != 0 && cfg.Shards > 1 {
-			return nil, fmt.Errorf("fleet: ListenAddr %q pins a port; %d shards need \":0\"", cfg.ListenAddr, cfg.Shards)
+		if cfg.ReusePort && reusePortSupported {
+			// One port, Shards sockets: the kernel demultiplexes. A pinned
+			// port is fine here — sharing it is the point.
+			transport = &reusePortTransport{addr: addr, sndRcv: cfg.SocketBuffer}
+			reuseActive = true
+		} else {
+			if addr.Port != 0 && cfg.Shards > 1 {
+				return nil, fmt.Errorf("fleet: ListenAddr %q pins a port; %d shards need \":0\" (or Config.ReusePort on Linux)", cfg.ListenAddr, cfg.Shards)
+			}
+			transport = udpTransport{addr: addr, sndRcv: cfg.SocketBuffer}
 		}
-		transport = udpTransport{addr: addr, sndRcv: cfg.SocketBuffer}
 	}
-	f := &Fleet{cfg: cfg, epoch: time.Now()}
+	f := &Fleet{cfg: cfg, epoch: time.Now(), route: cfg.ReusePort, reusePortActive: reuseActive}
+	f.deviceShard.Store(-1)
+	if f.route {
+		f.watchMask = make(map[ident.NodeID]*shardMask)
+	}
 	for i := 0; i < cfg.Shards; i++ {
 		conn, err := transport.Listen(i)
 		if err != nil {
@@ -447,6 +550,16 @@ func New(cfg Config) (*Fleet, error) {
 
 // Shards returns the shard count.
 func (f *Fleet) Shards() int { return len(f.shards) }
+
+// ReusePortActive reports whether the shard sockets actually share one
+// port via kernel SO_REUSEPORT. False when Config.ReusePort was not
+// set, on platforms without the option (the fleet fell back to distinct
+// ports), and under a custom Transport (socket layout is its business).
+func (f *Fleet) ReusePortActive() bool { return f.reusePortActive }
+
+// Routed reports whether shard-aware routing (cycle-embedded shard
+// indices + cross-shard handoff) is on — true iff Config.ReusePort.
+func (f *Fleet) Routed() bool { return f.route }
 
 // Addrs returns each shard socket's bound address, indexed by shard.
 func (f *Fleet) Addrs() []netip.AddrPort {
@@ -508,19 +621,24 @@ func (f *Fleet) Close() error {
 
 // Snapshot gathers every shard's counters (each shard is internally
 // consistent; shards are gathered one after another) and their sum.
+//
+// It never blocks on a shard event loop: an idle shard's mutex is free
+// (the loop parks in the socket read without holding it), so the exact
+// live counters are read and republished; a shard busy dispatching is
+// left alone and its published atomic mirror — refreshed every loop
+// iteration — is read instead. Stats scraping therefore costs a hot
+// shard nothing, and a quiescent fleet always sees exact values.
 func (f *Fleet) Snapshot() Snapshot {
 	snap := Snapshot{At: f.sinceEpoch(), Shards: make([]Counters, len(f.shards))}
 	for i, s := range f.shards {
-		s.mu.Lock()
-		c := s.counters
-		c.WheelDepth = s.wheel.Len()
-		c.ControlPoints = len(s.cps)
-		c.LiveControlPoints = s.liveCPs
-		c.PendingProbes = len(s.pending)
-		if s.device != nil {
-			c.Devices = 1
+		var c Counters
+		if s.mu.TryLock() {
+			s.publishLocked()
+			c = s.loadPub()
+			s.mu.Unlock()
+		} else {
+			c = s.loadPub()
 		}
-		s.mu.Unlock()
 		snap.Shards[i] = c
 		snap.Total.add(c)
 	}
@@ -579,6 +697,9 @@ func (s *shard) loop() {
 		}
 		now := s.fleet.sinceEpoch()
 		s.inBatch = true
+		if s.ho.pending.Load() {
+			s.drainHandoffs()
+		}
 		due := s.wheel.Advance(now)
 		for _, d := range due {
 			if d.t.gen == d.gen {
@@ -594,6 +715,7 @@ func (s *shard) loop() {
 				wait = d
 			}
 		}
+		s.publishLocked()
 		s.mu.Unlock()
 		if wait < 0 {
 			// A timer is already due. Do NOT skip the socket: under
@@ -606,6 +728,13 @@ func (s *shard) loop() {
 			wait = 0
 		}
 		s.conn.SetReadDeadline(time.Now().Add(wait)) //nolint:errcheck // fails only when closed
+		if s.ho.pending.Load() {
+			// A handoff arrived between the drain above and the deadline we
+			// just set, and its wake-up poke (an already-expired deadline
+			// written by the sending shard) may have been overwritten by
+			// that store. Re-expire so the read below returns immediately.
+			s.conn.SetReadDeadline(pastDeadline) //nolint:errcheck // fails only when closed
+		}
 		for round := 0; ; round++ {
 			for i := range s.recvRing {
 				s.recvRing[i].Buf = s.recvBufs[i]
@@ -625,6 +754,7 @@ func (s *shard) loop() {
 			}
 			s.counters.SyscallsIn++
 			s.dispatchBatch(s.recvRing[:n])
+			s.publishLocked()
 			s.mu.Unlock()
 			// A full ring means more is probably queued: drain it now
 			// (bounded, so timer work cannot rot) rather than after the
@@ -661,7 +791,7 @@ func (s *shard) dispatchBatch(dgs []Datagram) {
 			s.counters.DecodeErrors++
 			continue
 		}
-		s.dispatchFrame(dgs[i].Addr, &f)
+		s.dispatchFrame(dgs[i].Addr, &f, false)
 	}
 	s.inBatch = false
 	s.flushSends()
@@ -671,9 +801,25 @@ func (s *shard) dispatchBatch(dgs []Datagram) {
 // replies hand engines shard-owned scratch payloads (valid only for
 // the handler call, per the pooled-message contract), so steady-state
 // dispatch allocates nothing. Runs under the shard mutex.
-func (s *shard) dispatchFrame(from netip.AddrPort, f *wire.Frame) {
+//
+// With ReusePort routing on, a frame may belong to another shard — the
+// kernel demultiplexes by flow hash, not NodeID hash — and is then
+// queued on the owning shard's handoff inbox instead of being handled
+// here. handed marks a frame that already rode that path once: it is
+// always handled (or dropped) locally, so no frame loops.
+func (s *shard) dispatchFrame(from netip.AddrPort, f *wire.Frame, handed bool) {
+	route := s.fleet.route && !handed
 	switch f.Kind {
 	case wire.KindReplySAPP, wire.KindReplyDCPP, wire.KindReplyEmpty:
+		if route {
+			// The owning shard's index rides the cycle's top bits (see
+			// routedCycleSeed); an index out of range is foreign junk and
+			// falls through to the ordinary no-pending-probe accounting.
+			if tgt := int(f.Cycle >> routeShardShift); tgt != s.index && tgt < len(s.fleet.shards) {
+				s.handoffTo(s.fleet.shards[tgt], from, f)
+				return
+			}
+		}
 		key := f.ReplayKey()
 		pp, ok := s.pending[key]
 		if !ok {
@@ -718,6 +864,12 @@ func (s *shard) dispatchFrame(from netip.AddrPort, f *wire.Frame) {
 		pp.cp.prober.OnReply(m)
 	case wire.KindProbe:
 		if s.device == nil {
+			if route {
+				if ds := s.fleet.deviceShard.Load(); ds >= 0 && int(ds) != s.index {
+					s.handoffTo(s.fleet.shards[ds], from, f)
+					return
+				}
+			}
 			s.counters.DemuxDrops++
 			return
 		}
@@ -729,8 +881,16 @@ func (s *shard) dispatchFrame(from netip.AddrPort, f *wire.Frame) {
 		s.device.engine.OnProbe(f.From, core.ProbeMsg{From: f.From, Cycle: f.Cycle, Attempt: f.Attempt})
 	case wire.KindBye:
 		ws := s.watchers[f.From]
+		fanned := false
+		if route {
+			// Watchers of one device spread across shards by NodeID hash;
+			// hand a copy to every other shard with at least one.
+			fanned = s.fanOutToWatchers(from, f)
+		}
 		if len(ws) == 0 {
-			s.counters.DemuxDrops++
+			if !fanned {
+				s.counters.DemuxDrops++
+			}
 			return
 		}
 		harden := s.fleet.cfg.Harden
@@ -744,8 +904,14 @@ func (s *shard) dispatchFrame(from netip.AddrPort, f *wire.Frame) {
 		}
 	case wire.KindAnnounce:
 		ws := s.watchers[f.From]
+		fanned := false
+		if route {
+			fanned = s.fanOutToWatchers(from, f)
+		}
 		if len(ws) == 0 {
-			s.counters.DemuxDrops++
+			if !fanned {
+				s.counters.DemuxDrops++
+			}
 			return
 		}
 		for cp := range ws {

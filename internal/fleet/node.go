@@ -153,6 +153,11 @@ func (f *Fleet) AddControlPoint(cfg CPConfig) (*ControlPoint, error) {
 		onAnnounce: cfg.OnAnnounce,
 	}
 	seed := cycleSeed(cfg.ID)
+	if f.route {
+		// ReusePort routing: the cycle's top bits name the owning shard so
+		// any shard can route this CP's replies home with one shift.
+		seed = routedCycleSeed(seed, s.index)
+	}
 	n.lastCycle = seed
 	inner := cfg.Listener
 	if inner == nil {
@@ -180,8 +185,12 @@ func (f *Fleet) AddControlPoint(cfg CPConfig) (*ControlPoint, error) {
 		s.watchers[cfg.Device] = w
 	}
 	w[n] = struct{}{}
+	if f.route {
+		f.noteWatcher(cfg.Device, s.index)
+	}
 	s.liveCPs++
 	prober.Start()
+	s.publishLocked()
 	return &ControlPoint{n: n}, nil
 }
 
@@ -232,6 +241,7 @@ func (cp *ControlPoint) Restart() error {
 		s.liveCPs++
 	}
 	cp.n.prober.Start()
+	s.publishLocked()
 	return nil
 }
 
@@ -256,12 +266,16 @@ func (cp *ControlPoint) Remove() {
 		delete(w, n)
 		if len(w) == 0 {
 			delete(s.watchers, n.device)
+			if s.fleet.route {
+				s.fleet.dropWatcher(n.device, s.index)
+			}
 		}
 	}
 	key := pendKey(n.device, n.lastCycle)
 	if old, ok := s.pending[key]; ok && old.cp == n {
 		delete(s.pending, key)
 	}
+	s.publishLocked()
 }
 
 // deviceNode is a hosted device engine. It implements core.Env; every
@@ -315,6 +329,11 @@ func (f *Fleet) AddDevice(id ident.NodeID, build DeviceBuilder) (*Device, error)
 	if !f.started {
 		return nil, errors.New("fleet: Start before adding nodes")
 	}
+	if f.route && f.deviceShard.Load() >= 0 {
+		// Every routed shard socket shares one address, so a second device
+		// engine could never be told apart by its probers.
+		return nil, errors.New("fleet: a ReusePort fleet shares one address across shards and hosts at most one device")
+	}
 	for _, s := range f.shards {
 		s.mu.Lock()
 		if s.device != nil || s.closed {
@@ -334,7 +353,9 @@ func (f *Fleet) AddDevice(id ident.NodeID, build DeviceBuilder) (*Device, error)
 		n.engine = engine
 		n.timer.fire = engine.OnAlarm
 		s.device = n
+		f.deviceShard.CompareAndSwap(-1, int32(s.index))
 		engine.Start()
+		s.publishLocked()
 		s.mu.Unlock()
 		return &Device{n: n}, nil
 	}
@@ -375,6 +396,7 @@ func (d *Device) Bye() {
 	})
 	s.inBatch = false
 	s.flushSends()
+	s.publishLocked()
 }
 
 // Announce sends a presence announcement to every known peer,
@@ -389,4 +411,5 @@ func (d *Device) Announce(maxAge time.Duration) {
 	})
 	s.inBatch = false
 	s.flushSends()
+	s.publishLocked()
 }

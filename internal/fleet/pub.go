@@ -1,0 +1,113 @@
+package fleet
+
+import "sync/atomic"
+
+// pubCounters is a shard's published counter mirror: one atomic per
+// Counters field, stored by the shard under its own mutex and loaded by
+// Fleet.Snapshot without taking that mutex. The hot path keeps plain
+// counter increments (they are free under the already-held shard mutex
+// and pin the 0 allocs/op budget); the mirror is refreshed in bulk once
+// per event-loop iteration, so a reader never stalls a hot shard loop
+// and sees state at most one loop iteration old.
+//
+// The struct is padded to cache-line multiples on both sides so a
+// scraper hammering Snapshot ping-pongs only these lines, never the
+// shard's loop-owned fields that happen to be neighbours in the shard
+// allocation — the false-sharing trap a one-core benchmark can't see.
+type pubCounters struct {
+	_ [64]byte // pad: keep the mirror off the shard's hot fields' lines
+
+	packetsIn         atomic.Uint64
+	packetsOut        atomic.Uint64
+	decodeErrors      atomic.Uint64
+	sendErrors        atomic.Uint64
+	probesOut         atomic.Uint64
+	repliesIn         atomic.Uint64
+	demuxDrops        atomic.Uint64
+	demuxCollisions   atomic.Uint64
+	timersFired       atomic.Uint64
+	attemptMismatches atomic.Uint64
+	repliesForged     atomic.Uint64
+	byesForged        atomic.Uint64
+	repliesReplayed   atomic.Uint64
+	probesShed        atomic.Uint64
+	handoffsOut       atomic.Uint64
+	handoffsIn        atomic.Uint64
+	syscallsIn        atomic.Uint64
+	syscallsOut       atomic.Uint64
+
+	wheelDepth        atomic.Int64
+	controlPoints     atomic.Int64
+	liveControlPoints atomic.Int64
+	pendingProbes     atomic.Int64
+	devices           atomic.Int64
+
+	_ [64]byte // pad: and off whatever the allocator places after it
+}
+
+// publishLocked refreshes the mirror from the live counters and gauges.
+// Runs under the shard mutex (so each store sees a consistent shard);
+// called once per loop iteration and from the Snapshot fast path.
+func (s *shard) publishLocked() {
+	c := &s.counters
+	p := &s.pub
+	p.packetsIn.Store(c.PacketsIn)
+	p.packetsOut.Store(c.PacketsOut)
+	p.decodeErrors.Store(c.DecodeErrors)
+	p.sendErrors.Store(c.SendErrors)
+	p.probesOut.Store(c.ProbesOut)
+	p.repliesIn.Store(c.RepliesIn)
+	p.demuxDrops.Store(c.DemuxDrops)
+	p.demuxCollisions.Store(c.DemuxCollisions)
+	p.timersFired.Store(c.TimersFired)
+	p.attemptMismatches.Store(c.AttemptMismatches)
+	p.repliesForged.Store(c.RepliesForged)
+	p.byesForged.Store(c.ByesForged)
+	p.repliesReplayed.Store(c.RepliesReplayed)
+	p.probesShed.Store(c.ProbesShed)
+	p.handoffsOut.Store(c.HandoffsOut)
+	p.handoffsIn.Store(c.HandoffsIn)
+	p.syscallsIn.Store(c.SyscallsIn)
+	p.syscallsOut.Store(c.SyscallsOut)
+	p.wheelDepth.Store(int64(s.wheel.Len()))
+	p.controlPoints.Store(int64(len(s.cps)))
+	p.liveControlPoints.Store(int64(s.liveCPs))
+	p.pendingProbes.Store(int64(len(s.pending)))
+	var dev int64
+	if s.device != nil {
+		dev = 1
+	}
+	p.devices.Store(dev)
+}
+
+// loadPub reads the published mirror into a Counters. Safe without the
+// shard mutex; each field is individually atomic, the set as a whole is
+// the state as of the last publishLocked.
+func (s *shard) loadPub() Counters {
+	p := &s.pub
+	return Counters{
+		PacketsIn:         p.packetsIn.Load(),
+		PacketsOut:        p.packetsOut.Load(),
+		DecodeErrors:      p.decodeErrors.Load(),
+		SendErrors:        p.sendErrors.Load(),
+		ProbesOut:         p.probesOut.Load(),
+		RepliesIn:         p.repliesIn.Load(),
+		DemuxDrops:        p.demuxDrops.Load(),
+		DemuxCollisions:   p.demuxCollisions.Load(),
+		TimersFired:       p.timersFired.Load(),
+		AttemptMismatches: p.attemptMismatches.Load(),
+		RepliesForged:     p.repliesForged.Load(),
+		ByesForged:        p.byesForged.Load(),
+		RepliesReplayed:   p.repliesReplayed.Load(),
+		ProbesShed:        p.probesShed.Load(),
+		HandoffsOut:       p.handoffsOut.Load(),
+		HandoffsIn:        p.handoffsIn.Load(),
+		SyscallsIn:        p.syscallsIn.Load(),
+		SyscallsOut:       p.syscallsOut.Load(),
+		WheelDepth:        int(p.wheelDepth.Load()),
+		ControlPoints:     int(p.controlPoints.Load()),
+		LiveControlPoints: int(p.liveControlPoints.Load()),
+		PendingProbes:     int(p.pendingProbes.Load()),
+		Devices:           int(p.devices.Load()),
+	}
+}

@@ -1,0 +1,367 @@
+package fleet_test
+
+// ReusePort equivalence: one scenario driven over the three socket
+// layouts a multi-shard fleet can run on — a single shared socket, one
+// distinct port per shard (the portable fallback), and a reuseport-style
+// group where the network picks the receiving shard by source hash
+// (memnet.ListenGroup, the deterministic stand-in for the kernel's
+// SO_REUSEPORT flow hash) — must produce identical protocol outcomes:
+// the same probes and replies on the wire, the same per-CP cycle
+// counts, the same fleet counters, zero drops. The only sanctioned
+// differences are the transport-shaped ones: which shard a frame lands
+// on (and hence the handoff counters) and how many BYE copies the
+// device fans out (one per distinct peer address it saw).
+//
+// Frames are compared decoded with the cycle's shard-index bits masked:
+// routing embeds the owning shard in the cycle's top bits, and the
+// owning shard for a given CP legitimately differs between a 1-shard
+// and a 2-shard fleet. Everything below those bits — protocol kind,
+// sender, staggered cycle progression, attempt numbers — must match
+// exactly.
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"testing"
+	"time"
+
+	"presence/internal/core"
+	"presence/internal/core/naive"
+	"presence/internal/fleet"
+	"presence/internal/ident"
+	"presence/internal/memnet"
+	"presence/internal/wire"
+)
+
+const (
+	rpCPs      = 24
+	rpCycles   = 4
+	rpDeviceID = ident.NodeID(7)
+	rpCPBaseID = ident.NodeID(100)
+)
+
+// rpCycleMask clears the routeShardBits shard index from a routed cycle
+// number (the top 8 of 32 bits, per fleet.MaxRoutedShards).
+const rpCycleMask = uint32(1<<32/fleet.MaxRoutedShards - 1)
+
+// rpTap records delivered probe/reply traffic decoded and normalised:
+// shard-index bits masked from the cycle, addresses ignored (they are
+// the transport layout under test). BYE fan-out is checked at the
+// outcome level instead — copy counts depend on the peer table.
+type rpTap struct {
+	mu     sync.Mutex
+	frames []string
+}
+
+func (tap *rpTap) observe(ev memnet.PacketEvent) {
+	if ev.Verdict != memnet.Delivered {
+		return
+	}
+	var f wire.Frame
+	if wire.DecodeFrame(ev.Frame, &f) != nil {
+		return
+	}
+	if f.Kind == wire.KindBye || f.Kind == wire.KindAnnounce {
+		return
+	}
+	line := fmt.Sprintf("kind=%d from=%d cycle=%d attempt=%d", f.Kind, f.From, f.Cycle&rpCycleMask, f.Attempt)
+	tap.mu.Lock()
+	tap.frames = append(tap.frames, line)
+	tap.mu.Unlock()
+}
+
+func (tap *rpTap) sorted() []string {
+	tap.mu.Lock()
+	defer tap.mu.Unlock()
+	sort.Strings(tap.frames)
+	return tap.frames
+}
+
+type rpOutcome struct {
+	traffic []string
+	cycles  [rpCPs]uint64 // per-CP completed cycles
+	total   fleet.Counters
+	// preBye is the snapshot after all probe cycles and before the BYE:
+	// the point where handoff counters reflect stray *replies* only (BYE
+	// fan-out legitimately hands off on every multi-shard layout — the
+	// device byes each known peer, and every receiving shard offers the
+	// frame to the other watching shards).
+	preBye   fleet.Snapshot
+	perShard []int // CPs hosted per shard
+}
+
+// runReusePortLeg runs the scenario over one socket layout:
+// "single" (1 shard), "distinct" (2 shards, own port each), "group"
+// (2 shards sharing one address via memnet.ListenGroup). All legs run
+// with ReusePort routing on so cycle spaces are shaped identically.
+func runReusePortLeg(t *testing.T, leg string) rpOutcome {
+	t.Helper()
+	net := memnet.New(memnet.Faults{})
+	defer net.Close()
+	tap := &rpTap{}
+	net.Observe(tap.observe)
+
+	shards := 2
+	transport := fleet.TransportFunc(func(int) (fleet.PacketConn, error) { return net.Listen() })
+	switch leg {
+	case "single":
+		shards = 1
+	case "distinct":
+	case "group":
+		members, err := net.ListenGroup(2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		transport = fleet.TransportFunc(func(shard int) (fleet.PacketConn, error) { return members[shard], nil })
+	default:
+		t.Fatalf("unknown leg %q", leg)
+	}
+
+	devFleet, err := fleet.New(fleet.Config{
+		Shards:    1,
+		Transport: fleet.TransportFunc(func(int) (fleet.PacketConn, error) { return net.Listen() }),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devFleet.Close()
+	if err := devFleet.Start(); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := devFleet.AddDevice(rpDeviceID, func(env core.Env) (core.Device, error) {
+		return naive.NewDevice(rpDeviceID, env)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cpFleet, err := fleet.New(fleet.Config{Shards: shards, ReusePort: true, Transport: transport})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cpFleet.Close()
+	if !cpFleet.Routed() {
+		t.Fatal("ReusePort config must enable shard-aware routing")
+	}
+	if err := cpFleet.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	cps := make([]*fleet.ControlPoint, rpCPs)
+	for i := range cps {
+		cp, err := cpFleet.AddControlPoint(fleet.CPConfig{
+			ID:             rpCPBaseID + ident.NodeID(i),
+			Device:         rpDeviceID,
+			DeviceAddrPort: dev.Addr(),
+			Policy:         &nCyclesPolicy{left: rpCycles},
+			// Instant delivery: generous timeouts so a loaded CI box never
+			// injects retransmits into the comparison.
+			Retransmit: core.RetransmitConfig{
+				FirstTimeout: 30 * time.Second,
+				RetryTimeout: 30 * time.Second,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cps[i] = cp
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for _, cp := range cps {
+		for cp.Stats().CyclesOK < rpCycles {
+			if time.Now().After(deadline) {
+				t.Fatalf("leg %s: cp %v stuck at %d cycles", leg, cp.ID(), cp.Stats().CyclesOK)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	preBye := cpFleet.Snapshot()
+
+	// The device says goodbye; on the group leg the BYE lands on one
+	// member socket and must still stop watchers hosted on both shards
+	// (handoff fan-out via the watcher mask).
+	dev.Bye()
+	for _, cp := range cps {
+		for !cp.Stopped() {
+			if time.Now().After(deadline) {
+				t.Fatalf("leg %s: cp %v (shard %d) never saw the BYE", leg, cp.ID(), cp.Shard())
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	// Handoffs drain asynchronously (the receiving loop is woken by a
+	// deadline poke); wait for conservation before the final snapshot.
+	var snap fleet.Snapshot
+	for {
+		snap = cpFleet.Snapshot()
+		if snap.Total.HandoffsIn == snap.Total.HandoffsOut {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("leg %s: handoffs never drained: in=%d out=%d", leg, snap.Total.HandoffsIn, snap.Total.HandoffsOut)
+		}
+		time.Sleep(time.Millisecond)
+	}
+	out := rpOutcome{
+		total:    snap.Total,
+		preBye:   preBye,
+		perShard: make([]int, shards),
+		traffic:  tap.sorted(),
+	}
+	for i, cp := range cps {
+		out.cycles[i] = cp.Stats().CyclesOK
+		out.perShard[cp.Shard()]++
+	}
+	return out
+}
+
+func TestReusePortEquivalence(t *testing.T) {
+	legs := []string{"single", "distinct", "group"}
+	outs := make(map[string]rpOutcome, len(legs))
+	for _, leg := range legs {
+		outs[leg] = runReusePortLeg(t, leg)
+	}
+
+	for _, leg := range legs {
+		out := outs[leg]
+		// Exact protocol expectations hold per leg, so cross-leg equality
+		// of everything that matters follows from these.
+		if want := uint64(rpCPs * rpCycles); out.total.ProbesOut != want || out.total.RepliesIn != want {
+			t.Errorf("leg %s: ProbesOut=%d RepliesIn=%d, want exactly %d each", leg, out.total.ProbesOut, out.total.RepliesIn, want)
+		}
+		c := out.total
+		if c.DecodeErrors+c.SendErrors+c.DemuxDrops+c.DemuxCollisions+c.AttemptMismatches != 0 {
+			t.Errorf("leg %s: lossless scenario left error counters: %+v", leg, c)
+		}
+		if c.LiveControlPoints != 0 || c.ControlPoints != rpCPs {
+			t.Errorf("leg %s: CPs=%d live=%d after BYE, want %d/0", leg, c.ControlPoints, c.LiveControlPoints, rpCPs)
+		}
+		for i, got := range out.cycles {
+			if got != rpCycles {
+				t.Errorf("leg %s: cp %d completed %d cycles, want %d", leg, i, got, rpCycles)
+			}
+		}
+	}
+
+	// Identical normalised probe/reply traffic on the wire, leg by leg.
+	base := outs["single"].traffic
+	for _, leg := range legs[1:] {
+		got := outs[leg].traffic
+		if len(got) != len(base) {
+			t.Fatalf("leg %s: %d probe/reply frames vs %d on single", leg, len(got), len(base))
+		}
+		for i := range base {
+			if got[i] != base[i] {
+				t.Fatalf("leg %s: frame %d differs: %s vs %s", leg, i, got[i], base[i])
+			}
+		}
+	}
+
+	// The group leg must actually exercise the stray path: every reply
+	// from the device hashes to ONE member socket, so the other shard's
+	// CPs see all their replies via handoff. Before the BYE, handoffs
+	// are exactly those stray replies.
+	group := outs["group"]
+	if group.perShard[0] == 0 || group.perShard[1] == 0 {
+		t.Fatalf("CP ids no longer spread over both shards (%v); pick different ids", group.perShard)
+	}
+	pre := group.preBye.Total
+	if pre.HandoffsIn != pre.HandoffsOut {
+		t.Errorf("group leg: pre-BYE handoffs not conserved: in=%d out=%d (a cycle cannot complete before its reply drains)", pre.HandoffsIn, pre.HandoffsOut)
+	}
+	minPerShard := group.perShard[0]
+	if group.perShard[1] < minPerShard {
+		minPerShard = group.perShard[1]
+	}
+	if want := uint64(minPerShard * rpCycles); pre.HandoffsIn < want {
+		t.Errorf("group leg: pre-BYE HandoffsIn=%d, want >= %d (one shard's replies all arrive as strays)", pre.HandoffsIn, want)
+	}
+	for _, leg := range []string{"single", "distinct"} {
+		if h := outs[leg].preBye.Total.HandoffsOut; h != 0 {
+			t.Errorf("leg %s: pre-BYE HandoffsOut=%d, want 0 (replies arrive on the socket that probed)", leg, h)
+		}
+	}
+}
+
+// TestReusePortUDP is the kernel smoke test: a 2-shard fleet sharing
+// one real UDP port via SO_REUSEPORT completes probe cycles against a
+// real-socket device fleet, with strays riding the handoff path.
+// Skipped where the platform lacks the option (the fleet then falls
+// back to distinct ports, which TestReusePortEquivalence covers).
+func TestReusePortUDP(t *testing.T) {
+	cpFleet, err := fleet.New(fleet.Config{Shards: 2, ReusePort: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cpFleet.Close()
+	if !cpFleet.ReusePortActive() {
+		t.Skip("SO_REUSEPORT not supported on this platform; distinct-port fallback in use")
+	}
+	addrs := cpFleet.Addrs()
+	if addrs[0].Port() != addrs[1].Port() {
+		t.Fatalf("shard sockets must share one port, got %v", addrs)
+	}
+	if err := cpFleet.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	devFleet, err := fleet.New(fleet.Config{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devFleet.Close()
+	if err := devFleet.Start(); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := devFleet.AddDevice(rpDeviceID, func(env core.Env) (core.Device, error) {
+		return naive.NewDevice(rpDeviceID, env)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cps := make([]*fleet.ControlPoint, rpCPs)
+	perShard := make([]int, 2)
+	for i := range cps {
+		cp, err := cpFleet.AddControlPoint(fleet.CPConfig{
+			ID:             rpCPBaseID + ident.NodeID(i),
+			Device:         rpDeviceID,
+			DeviceAddrPort: dev.Addr(),
+			Policy:         &nCyclesPolicy{left: rpCycles},
+			Retransmit: core.RetransmitConfig{
+				FirstTimeout: 5 * time.Second,
+				RetryTimeout: 5 * time.Second,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cps[i] = cp
+		perShard[cp.Shard()]++
+	}
+
+	deadline := time.Now().Add(30 * time.Second)
+	for _, cp := range cps {
+		for cp.Stats().CyclesOK < rpCycles {
+			if time.Now().After(deadline) {
+				snap := cpFleet.Snapshot()
+				t.Fatalf("cp %v (shard %d) stuck at %d cycles; totals %+v", cp.ID(), cp.Shard(), cp.Stats().CyclesOK, snap.Total)
+			}
+			time.Sleep(time.Millisecond)
+		}
+	}
+
+	snap := cpFleet.Snapshot()
+	if want := uint64(rpCPs * rpCycles); snap.Total.RepliesIn < want {
+		t.Errorf("RepliesIn=%d, want >= %d", snap.Total.RepliesIn, want)
+	}
+	// One device socket = one kernel flow = one receiving shard: if both
+	// shards host CPs, the other shard's replies must have been strays.
+	if perShard[0] > 0 && perShard[1] > 0 && snap.Total.HandoffsIn == 0 {
+		t.Errorf("CPs on both shards (%v) but zero handoffs — strays were not routed", perShard)
+	}
+}

@@ -64,6 +64,19 @@ type ScaleOptions struct {
 	// per-packet overhead with the kernel's per-datagram loopback cost
 	// out of the picture.
 	Transport Transport
+	// ReusePort runs the CP fleet on the SO_REUSEPORT layout
+	// (Config.ReusePort): shard sockets share one port, the kernel
+	// demultiplexes by flow hash, and strays ride the handoff path. On
+	// platforms without the option the fleet falls back to distinct
+	// ports with routing still on, so the measured path is identical
+	// minus the strays.
+	ReusePort bool
+	// GoMaxProcs pins runtime.GOMAXPROCS for the duration of the run
+	// (restored afterwards). Zero leaves the ambient value. The scaling
+	// study sweeps this against Shards: shard loops beyond GOMAXPROCS
+	// time-share cores, so packets/s should plateau at min(shards,
+	// procs) on hardware with that many cores.
+	GoMaxProcs int
 }
 
 func (o *ScaleOptions) applyDefaults() {
@@ -170,6 +183,13 @@ type ScaleResult struct {
 	ProbeHz float64 `json:"probe_hz,omitempty"`
 	// SingleDatagram marks a run on the one-packet-per-syscall fallback.
 	SingleDatagram bool `json:"single_datagram,omitempty"`
+	// ReusePort marks a run configured for the shared-port layout;
+	// ReusePortActive reports whether the kernel option was actually in
+	// use (false on non-Linux fallback or a custom Transport).
+	ReusePort       bool `json:"reuseport,omitempty"`
+	ReusePortActive bool `json:"reuseport_active,omitempty"`
+	// GoMaxProcs is runtime.GOMAXPROCS during the run.
+	GoMaxProcs int `json:"gomaxprocs"`
 	// Transport labels the run's transport for reports ("udp" kernel
 	// loopback, "memnet" in-memory). Informational; set by the caller.
 	Transport string `json:"transport,omitempty"`
@@ -213,6 +233,20 @@ type ScaleResult struct {
 	SyscallsOut      uint64  `json:"syscalls_out"`
 	BatchFillMeanIn  float64 `json:"batch_fill_mean_in"`
 	BatchFillMeanOut float64 `json:"batch_fill_mean_out"`
+	// SyscallsPerPacket is transport calls per packet moved over the
+	// window, both directions combined (1/BatchFill when only one
+	// direction flowed; the honest aggregate otherwise).
+	SyscallsPerPacket float64 `json:"syscalls_per_packet"`
+	// HandoffsIn/Out count cross-shard frame handoffs over the window
+	// (nonzero only with ReusePort routing and actual strays).
+	HandoffsIn  uint64 `json:"handoffs_in,omitempty"`
+	HandoffsOut uint64 `json:"handoffs_out,omitempty"`
+	// PerShardPackets is each CP shard's packets (in+out) over the
+	// window, and ShardImbalance is max/mean over those — 1.0 is a
+	// perfectly even spread, the number the kernel's flow-hash demux is
+	// judged on.
+	PerShardPackets []uint64 `json:"per_shard_packets,omitempty"`
+	ShardImbalance  float64  `json:"shard_imbalance,omitempty"`
 }
 
 // LoopbackScale boots the two fleets, joins every CP, waits for all of
@@ -221,6 +255,10 @@ type ScaleResult struct {
 // everything down.
 func LoopbackScale(opts ScaleOptions) (ScaleResult, error) {
 	opts.applyDefaults()
+	if opts.GoMaxProcs > 0 {
+		prev := runtime.GOMAXPROCS(opts.GoMaxProcs)
+		defer runtime.GOMAXPROCS(prev)
+	}
 	res := ScaleResult{
 		CPs:            opts.CPs,
 		Shards:         opts.Shards,
@@ -228,6 +266,8 @@ func LoopbackScale(opts ScaleOptions) (ScaleResult, error) {
 		Protocol:       "dcpp",
 		ProbeHz:        opts.ProbeHz,
 		SingleDatagram: opts.ForceSingleDatagram,
+		ReusePort:      opts.ReusePort,
+		GoMaxProcs:     runtime.GOMAXPROCS(0),
 		WindowSeconds:  opts.Window.Seconds(),
 	}
 	highRate := opts.ProbeHz > 0
@@ -278,10 +318,11 @@ func LoopbackScale(opts ScaleOptions) (ScaleResult, error) {
 		devAddrs[i].addr = dev.Addr()
 	}
 
-	cpFleet, err := New(Config{Shards: opts.Shards, Batch: opts.Batch, ForceSingleDatagram: opts.ForceSingleDatagram, Transport: opts.Transport})
+	cpFleet, err := New(Config{Shards: opts.Shards, Batch: opts.Batch, ForceSingleDatagram: opts.ForceSingleDatagram, Transport: opts.Transport, ReusePort: opts.ReusePort})
 	if err != nil {
 		return res, fmt.Errorf("cp fleet: %w", err)
 	}
+	res.ReusePortActive = cpFleet.ReusePortActive()
 	defer cpFleet.Close()
 	if err := cpFleet.Start(); err != nil {
 		return res, err
@@ -353,6 +394,26 @@ func LoopbackScale(opts ScaleOptions) (ScaleResult, error) {
 	}
 	if calls := after.Total.SyscallsOut - before.Total.SyscallsOut; calls > 0 {
 		res.BatchFillMeanOut = float64(after.Total.PacketsOut-before.Total.PacketsOut) / float64(calls)
+	}
+	if pkts := after.Total.PacketsIn - before.Total.PacketsIn + after.Total.PacketsOut - before.Total.PacketsOut; pkts > 0 {
+		calls := after.Total.SyscallsIn - before.Total.SyscallsIn + after.Total.SyscallsOut - before.Total.SyscallsOut
+		res.SyscallsPerPacket = float64(calls) / float64(pkts)
+	}
+	res.HandoffsIn = after.Total.HandoffsIn - before.Total.HandoffsIn
+	res.HandoffsOut = after.Total.HandoffsOut - before.Total.HandoffsOut
+	res.PerShardPackets = make([]uint64, len(after.Shards))
+	var sum, peak uint64
+	for i := range after.Shards {
+		p := after.Shards[i].PacketsIn - before.Shards[i].PacketsIn +
+			after.Shards[i].PacketsOut - before.Shards[i].PacketsOut
+		res.PerShardPackets[i] = p
+		sum += p
+		if p > peak {
+			peak = p
+		}
+	}
+	if sum > 0 {
+		res.ShardImbalance = float64(peak) * float64(len(after.Shards)) / float64(sum)
 	}
 	res.SteadyCPs = after.Total.LiveControlPoints
 	res.WheelDepth = after.Total.WheelDepth

@@ -155,6 +155,41 @@ func (t udpTransport) Listen(shard int) (PacketConn, error) {
 	return newUDPBatchConn(udpPacketConn{conn}), nil
 }
 
+// reusePortTransport is the multi-core Transport: every shard socket
+// binds the *same* UDP port with SO_REUSEPORT, so the kernel spreads
+// inbound datagrams across the shard sockets by flow hash — receive
+// load fans out across cores in the kernel instead of serializing on
+// one socket's lock and buffer. The first shard resolves the concrete
+// address (the configured one, or a kernel-chosen port for ":0"); every
+// later shard binds that address verbatim, joining the group. Used when
+// Config.ReusePort is set and the platform supports it; New falls back
+// to udpTransport otherwise. Listen calls are sequential (New's loop),
+// so bound needs no lock.
+type reusePortTransport struct {
+	addr   *net.UDPAddr
+	sndRcv int
+	bound  string // concrete shared address after the first Listen
+}
+
+func (t *reusePortTransport) Listen(shard int) (PacketConn, error) {
+	target := t.addr.String()
+	if t.bound != "" {
+		target = t.bound
+	}
+	conn, err := listenReusePort(target)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: shard %d reuseport listen %s: %w", shard, target, err)
+	}
+	if t.bound == "" {
+		t.bound = conn.LocalAddr().String()
+	}
+	if t.sndRcv > 0 {
+		conn.SetReadBuffer(t.sndRcv)  //nolint:errcheck // best effort
+		conn.SetWriteBuffer(t.sndRcv) //nolint:errcheck // best effort
+	}
+	return newUDPBatchConn(udpPacketConn{conn}), nil
+}
+
 // udpPacketConn adapts *net.UDPConn to PacketConn (everything matches
 // except LocalAddrPort).
 type udpPacketConn struct {

@@ -1,0 +1,40 @@
+//go:build linux
+
+package fleet
+
+import (
+	"context"
+	"net"
+	"syscall"
+)
+
+// soReusePort is SO_REUSEPORT from asm-generic/socket.h, defined
+// locally because this module deliberately carries no dependencies
+// (golang.org/x/sys included). The value is uniform across Linux
+// architectures.
+const soReusePort = 0xf
+
+// reusePortSupported gates Config.ReusePort's kernel path: true here,
+// false in the portable stub, where the fleet falls back to the classic
+// distinct-port-per-shard layout.
+const reusePortSupported = true
+
+// listenReusePort binds one UDP socket with SO_REUSEPORT set before
+// bind, so sockets of the same fleet (same uid) may share one port and
+// the kernel demultiplexes inbound datagrams across them by flow hash.
+func listenReusePort(addr string) (*net.UDPConn, error) {
+	lc := net.ListenConfig{Control: func(_, _ string, c syscall.RawConn) error {
+		var serr error
+		if err := c.Control(func(fd uintptr) {
+			serr = syscall.SetsockoptInt(int(fd), syscall.SOL_SOCKET, soReusePort, 1)
+		}); err != nil {
+			return err
+		}
+		return serr
+	}}
+	pc, err := lc.ListenPacket(context.Background(), "udp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return pc.(*net.UDPConn), nil
+}

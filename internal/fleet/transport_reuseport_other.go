@@ -1,0 +1,19 @@
+//go:build !linux
+
+package fleet
+
+import (
+	"errors"
+	"net"
+)
+
+// reusePortSupported is false here: Config.ReusePort falls back to the
+// distinct-port-per-shard layout (shard-aware routing stays on, it just
+// never sees a stray). SO_REUSEPORT exists on the BSDs and Darwin too,
+// but with different demux semantics; only the Linux behaviour is
+// relied on, so only Linux opts in.
+const reusePortSupported = false
+
+func listenReusePort(string) (*net.UDPConn, error) {
+	return nil, errors.New("fleet: SO_REUSEPORT transport unsupported on this platform")
+}

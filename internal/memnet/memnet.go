@@ -26,6 +26,21 @@
 // harness therefore asserts invariants and tolerance-banded metrics,
 // not exact traces.
 //
+// # Concurrency
+//
+// The per-link fault contract needs per-link serialisation, nothing
+// global — and multi-shard fleets run one sender goroutine per shard,
+// so a single network mutex would serialise exactly the parallelism a
+// multi-core scaling run exists to measure. The benign path therefore
+// shares the network lock read-only per burst and takes only sharded
+// per-link locks for fault draws; counters are atomics. One global
+// exception keeps the adversarial harness exact: installing an Observer
+// or a Middlebox switches the network to the fully serialised path
+// (every send under one exclusive lock, in today's order), because both
+// APIs promise globally ordered, synchronous callbacks. Benchmarks run
+// observer-less; conformance runs observed — each gets the semantics it
+// needs.
+//
 // Packets in flight ride real time.AfterFunc timers: a delay model's
 // draw is honoured on the wall clock, which both realises reordering
 // (a slow packet is overtaken by a fast successor) and keeps the
@@ -159,15 +174,50 @@ type Network struct {
 	// partitioned.
 	downCount atomic.Int32
 
-	mu       sync.Mutex
+	// serial is true while an Observer or Middlebox is installed: sends
+	// then run fully serialised under an exclusive mu, preserving the
+	// global callback order those APIs promise. Benign traffic (the
+	// common case for scale runs) keeps mu read-shared and contends only
+	// on per-link locks.
+	serial atomic.Bool
+
+	mu       sync.RWMutex
 	eps      map[netip.AddrPort]*Endpoint
-	links    map[linkKey]*link
+	groups   map[netip.AddrPort][]*Endpoint
 	down     map[netip.AddrPort]bool
 	middle   []Middlebox
 	nextPort uint16
-	counters Counters
 	observer Observer
 	closed   bool
+
+	// links is sharded by key hash so concurrent senders on different
+	// links never touch the same lock; each link additionally carries its
+	// own mutex serialising its fault draws.
+	links [linkShards]linkShard
+
+	cnt cnt
+}
+
+// cnt is the atomic counter block behind Counters.
+type cnt struct {
+	sent       atomic.Uint64
+	delivered  atomic.Uint64
+	lost       atomic.Uint64
+	duplicated atomic.Uint64
+	dropped    atomic.Uint64
+	overflowed atomic.Uint64
+	injected   atomic.Uint64
+	filtered   atomic.Uint64
+}
+
+// linkShards is the link-map shard count: far above any plausible
+// sender (= fleet shard) count, so two links practically never share a
+// map lock.
+const linkShards = 64
+
+type linkShard struct {
+	mu sync.Mutex
+	m  map[linkKey]*link
 }
 
 type linkKey struct {
@@ -175,8 +225,10 @@ type linkKey struct {
 }
 
 // link carries the per-link fault state: its own RNG stream and its
-// own (possibly stateful) loss model.
+// own (possibly stateful) loss model. mu serialises fault draws — the
+// unit of memnet's determinism contract.
 type link struct {
+	mu   sync.Mutex
 	r    *rng.Rand
 	loss simnet.LossModel
 }
@@ -191,31 +243,44 @@ func New(f Faults) *Network {
 	if f.ReorderDelay == 0 {
 		f.ReorderDelay = 2 * time.Millisecond
 	}
-	return &Network{
+	n := &Network{
 		faults:   f,
 		root:     rng.New(f.Seed),
 		epoch:    time.Now(),
 		eps:      make(map[netip.AddrPort]*Endpoint),
-		links:    make(map[linkKey]*link),
+		groups:   make(map[netip.AddrPort][]*Endpoint),
 		down:     make(map[netip.AddrPort]bool),
 		nextPort: 9000,
 	}
+	for i := range n.links {
+		n.links[i].m = make(map[linkKey]*link)
+	}
+	return n
 }
 
 // Observe installs the packet observer (nil removes it). Install it
 // before traffic starts; events already in flight may slip past an
-// observer installed late.
+// observer installed late. While an observer is installed the network
+// runs fully serialised (see the package comment).
 func (n *Network) Observe(obs Observer) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.observer = obs
+	n.serial.Store(obs != nil || len(n.middle) > 0)
 }
 
 // Counters returns a snapshot of the datagram accounting.
 func (n *Network) Counters() Counters {
-	n.mu.Lock()
-	defer n.mu.Unlock()
-	return n.counters
+	return Counters{
+		Sent:       n.cnt.sent.Load(),
+		Delivered:  n.cnt.delivered.Load(),
+		Lost:       n.cnt.lost.Load(),
+		Duplicated: n.cnt.duplicated.Load(),
+		Dropped:    n.cnt.dropped.Load(),
+		Overflowed: n.cnt.overflowed.Load(),
+		Injected:   n.cnt.injected.Load(),
+		Filtered:   n.cnt.filtered.Load(),
+	}
 }
 
 // Since returns the offset from the network's construction — the
@@ -245,6 +310,58 @@ func (n *Network) Listen() (*Endpoint, error) {
 	return e, nil
 }
 
+// ListenGroup allocates size endpoints sharing ONE address — memnet's
+// deterministic stand-in for an SO_REUSEPORT socket group. A datagram
+// to the shared address is delivered to the member selected by a fixed
+// hash of the *source* address, mirroring how the kernel's flow hash
+// pins each peer to one member socket: every reply from a given device
+// lands on the same member, whichever member's control point probed it.
+// Sends from any member carry the shared source address. Closing a
+// member removes it from the group (later deliveries re-spread over the
+// survivors, like kernel reuseport rebalancing); closing the last one
+// releases the address.
+func (n *Network) ListenGroup(size int) ([]*Endpoint, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("memnet: group size %d must be positive", size)
+	}
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	if n.closed {
+		return nil, errors.New("memnet: network closed")
+	}
+	if n.nextPort == 0 {
+		return nil, errors.New("memnet: address space exhausted")
+	}
+	addr := netip.AddrPortFrom(memnetAddr, n.nextPort)
+	n.nextPort++
+	members := make([]*Endpoint, size)
+	for i := range members {
+		members[i] = &Endpoint{
+			n:       n,
+			addr:    addr,
+			grouped: true,
+			inbox:   make(chan datagram, inboxCap),
+			closed:  make(chan struct{}),
+		}
+	}
+	n.groups[addr] = append([]*Endpoint(nil), members...)
+	return members, nil
+}
+
+// groupHash spreads source addresses over group members. Deterministic
+// across runs (memnet addresses are assigned in Listen order), like
+// every other routing decision here; splitmix64's finalizer over the
+// port is plenty — all memnet addresses share one synthetic IP.
+func groupHash(from netip.AddrPort) uint64 {
+	x := uint64(from.Port()) * 0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
 // SetDown partitions an endpoint address away (true) or heals it
 // (false): while down, every datagram to or from the address is
 // dropped, including datagrams already in flight and datagrams already
@@ -267,11 +384,13 @@ func (n *Network) SetDown(addr netip.AddrPort, down bool) {
 // AddMiddlebox installs a middlebox at the tail of the chain. Installed
 // mid-run it sees traffic from the next send onward; frames already in
 // flight pass it by. Middleboxes cannot be removed — tear the network
-// down instead.
+// down instead. While any middlebox is installed the network runs fully
+// serialised (see the package comment).
 func (n *Network) AddMiddlebox(m Middlebox) {
 	n.mu.Lock()
 	defer n.mu.Unlock()
 	n.middle = append(n.middle, m)
+	n.serial.Store(true)
 }
 
 // ForkRNG returns a deterministic sub-stream of the network's seed for
@@ -316,33 +435,65 @@ func acquireFrame(b []byte) *[]byte {
 func releaseFrame(p *[]byte) { framePool.Put(p) }
 
 // linkFor returns (creating on first use) the fault state of a→b.
-// Caller holds n.mu.
+// Safe under either mu mode: the link shard has its own lock.
 func (n *Network) linkFor(from, to netip.AddrPort) *link {
 	key := linkKey{from, to}
-	l, ok := n.links[key]
+	ls := &n.links[(groupHash(from)^groupHash(to)*0x9e3779b97f4a7c15)&(linkShards-1)]
+	ls.mu.Lock()
+	l, ok := ls.m[key]
 	if !ok {
 		l = &link{r: n.root.Fork(fmt.Sprintf("link/%s/%s", from, to))}
 		if n.faults.NewLoss != nil {
 			l.loss = n.faults.NewLoss()
 		}
-		n.links[key] = l
+		ls.m[key] = l
 	}
+	ls.mu.Unlock()
 	return l
 }
 
-// emit reports one packet event. Caller holds n.mu.
+// faultPlan is one datagram's drawn fate — the draws happen atomically
+// per link (under link.mu), the resulting deliveries afterwards.
+type faultPlan struct {
+	lost     bool
+	dup      bool
+	delay    time.Duration
+	dupDelay time.Duration
+}
+
+// drawPlan draws one datagram's fault plan from its link's stream, in
+// the fixed draw order (loss, delay+reorder, duplicate, duplicate's
+// delay+reorder) that the determinism contract pins.
+func (n *Network) drawPlan(l *link) faultPlan {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	var p faultPlan
+	if l.loss != nil && l.loss.Lose(l.r) {
+		p.lost = true
+		return p
+	}
+	p.delay = n.drawDelay(l)
+	if n.faults.DuplicateP > 0 && l.r.Bool(n.faults.DuplicateP) {
+		p.dup = true
+		p.dupDelay = n.drawDelay(l)
+	}
+	return p
+}
+
+// emit reports one packet event on the serialised path. Caller holds
+// n.mu exclusively.
 func (n *Network) emit(from, to netip.AddrPort, frame []byte, v Verdict, dup, injected bool) {
 	switch v {
 	case Delivered:
-		n.counters.Delivered++
+		n.cnt.delivered.Add(1)
 	case Lost:
-		n.counters.Lost++
+		n.cnt.lost.Add(1)
 	case DroppedDown:
-		n.counters.Dropped++
+		n.cnt.dropped.Add(1)
 	case Overflowed:
-		n.counters.Overflowed++
+		n.cnt.overflowed.Add(1)
 	case Filtered:
-		n.counters.Filtered++
+		n.cnt.filtered.Add(1)
 	}
 	if n.observer != nil {
 		n.observer(PacketEvent{
@@ -355,22 +506,120 @@ func (n *Network) emit(from, to netip.AddrPort, frame []byte, v Verdict, dup, in
 // send applies the link's fault plan to one datagram and schedules the
 // surviving copies.
 func (n *Network) send(from, to netip.AddrPort, b []byte) {
-	n.mu.Lock()
-	n.sendLocked(from, to, b)
-	n.mu.Unlock()
+	if n.serial.Load() {
+		n.mu.Lock()
+		n.sendLocked(from, to, b)
+		n.mu.Unlock()
+		return
+	}
+	n.mu.RLock()
+	n.sendFast(from, to, b)
+	n.mu.RUnlock()
 }
 
-// sendLocked is send under an already-held network mutex, so a batched
-// write pays one lock acquisition for the whole burst. The middlebox
-// chain runs first — at the sender's first hop, before the down check,
-// so an on-path adversary observes even traffic addressed to a crashed
+// sendFast is the benign-path send: no observer, no middlebox, so no
+// global ordering to honour — the network lock is held read-shared and
+// the only exclusion is the link's own draw lock. Caller holds
+// n.mu.RLock.
+func (n *Network) sendFast(from, to netip.AddrPort, b []byte) {
+	if n.closed {
+		return
+	}
+	n.cnt.sent.Add(1)
+	if n.downCount.Load() > 0 && (n.down[from] || n.down[to]) {
+		n.cnt.dropped.Add(1)
+		return
+	}
+	p := n.drawPlan(n.linkFor(from, to))
+	if p.lost {
+		n.cnt.lost.Add(1)
+		return
+	}
+	n.transmitFast(datagram{from: from, to: to, frame: acquireFrame(b)}, p.delay)
+	if p.dup {
+		n.cnt.duplicated.Add(1)
+		n.transmitFast(datagram{from: from, to: to, frame: acquireFrame(b), duplicate: true}, p.dupDelay)
+	}
+}
+
+// transmitFast puts one copy in flight on the benign path. Caller holds
+// n.mu.RLock; the delayed closure re-acquires in whatever mode the
+// network is in by then.
+func (n *Network) transmitFast(d datagram, delay time.Duration) {
+	if delay <= 0 {
+		n.deliverFast(d)
+		return
+	}
+	time.AfterFunc(delay, func() { n.deliverAsync(d) })
+}
+
+// deliverAsync completes a delayed delivery, picking the path matching
+// the network's current mode.
+func (n *Network) deliverAsync(d datagram) {
+	if n.serial.Load() {
+		n.mu.Lock()
+		n.deliverLocked(d)
+		n.mu.Unlock()
+		return
+	}
+	n.mu.RLock()
+	n.deliverFast(d)
+	n.mu.RUnlock()
+}
+
+// deliverFast completes one benign-path delivery attempt: counters
+// only, no observer (none is installed in this mode). Caller holds
+// n.mu.RLock.
+func (n *Network) deliverFast(d datagram) {
+	if n.closed {
+		releaseFrame(d.frame)
+		return
+	}
+	if n.downCount.Load() > 0 && (n.down[d.from] || n.down[d.to]) {
+		n.cnt.dropped.Add(1)
+		releaseFrame(d.frame)
+		return
+	}
+	e, ok := n.destFor(d)
+	if !ok {
+		n.cnt.dropped.Add(1)
+		releaseFrame(d.frame)
+		return
+	}
+	select {
+	case e.inbox <- d:
+		n.cnt.delivered.Add(1)
+	default:
+		n.cnt.overflowed.Add(1)
+		releaseFrame(d.frame)
+	}
+}
+
+// destFor resolves a datagram's destination endpoint: a reuseport-style
+// group member picked by source hash when the address names a group,
+// the plain endpoint otherwise. Caller holds n.mu (either mode).
+func (n *Network) destFor(d datagram) (*Endpoint, bool) {
+	if len(n.groups) > 0 {
+		if g, ok := n.groups[d.to]; ok && len(g) > 0 {
+			return g[groupHash(d.from)%uint64(len(g))], true
+		}
+	}
+	e, ok := n.eps[d.to]
+	return e, ok
+}
+
+// sendLocked is the serialised-path send (observer or middlebox
+// installed), under an exclusively-held network mutex — a batched write
+// pays one lock acquisition for the whole burst. The middlebox chain
+// runs first — at the sender's first hop, before the down check, so an
+// on-path adversary observes even traffic addressed to a crashed
 // endpoint — then the link fault plan. Instant deliveries complete
 // inline; delayed copies ride time.AfterFunc.
 func (n *Network) sendLocked(from, to netip.AddrPort, b []byte) {
 	if n.closed {
 		return
 	}
-	n.counters.Sent++
+	n.cnt.sent.Add(1)
 	for _, mb := range n.middle {
 		if mb.Process(time.Since(n.epoch), from, to, b, Injector{n}) == Drop {
 			n.emit(from, to, b, Filtered, false, false)
@@ -388,22 +637,20 @@ func (n *Network) forwardLocked(from, to netip.AddrPort, b []byte, injected bool
 		n.emit(from, to, b, DroppedDown, false, injected)
 		return
 	}
-	l := n.linkFor(from, to)
-	if l.loss != nil && l.loss.Lose(l.r) {
+	p := n.drawPlan(n.linkFor(from, to))
+	if p.lost {
 		n.emit(from, to, b, Lost, false, injected)
 		return
 	}
-	delay := n.drawDelay(l)
-	dup := n.faults.DuplicateP > 0 && l.r.Bool(n.faults.DuplicateP)
-	n.transmitLocked(datagram{from: from, to: to, frame: acquireFrame(b), injected: injected}, delay)
-	if dup {
-		n.counters.Duplicated++
-		n.transmitLocked(datagram{from: from, to: to, frame: acquireFrame(b), duplicate: true, injected: injected}, n.drawDelay(l))
+	n.transmitLocked(datagram{from: from, to: to, frame: acquireFrame(b), injected: injected}, p.delay)
+	if p.dup {
+		n.cnt.duplicated.Add(1)
+		n.transmitLocked(datagram{from: from, to: to, frame: acquireFrame(b), duplicate: true, injected: injected}, p.dupDelay)
 	}
 }
 
 // drawDelay draws one transit time, including a possible reorder hold.
-// Caller holds n.mu.
+// Caller holds l.mu (via drawPlan).
 func (n *Network) drawDelay(l *link) time.Duration {
 	var d time.Duration
 	if n.faults.Delay != nil {
@@ -418,23 +665,21 @@ func (n *Network) drawDelay(l *link) time.Duration {
 	return d
 }
 
-// transmitLocked puts one copy in flight, delivering inline when there
-// is no delay to wait out. Caller holds n.mu.
+// transmitLocked puts one copy in flight on the serialised path,
+// delivering inline when there is no delay to wait out. Caller holds
+// n.mu exclusively; delayed copies complete in whatever mode the
+// network is in at delivery time.
 func (n *Network) transmitLocked(d datagram, delay time.Duration) {
 	if delay <= 0 {
 		n.deliverLocked(d)
 		return
 	}
-	time.AfterFunc(delay, func() {
-		n.mu.Lock()
-		n.deliverLocked(d)
-		n.mu.Unlock()
-	})
+	time.AfterFunc(delay, func() { n.deliverAsync(d) })
 }
 
-// deliverLocked completes one delivery attempt; the frame buffer is
-// recycled unless it made it into an inbox (the reader releases it).
-// Caller holds n.mu.
+// deliverLocked completes one delivery attempt on the serialised path;
+// the frame buffer is recycled unless it made it into an inbox (the
+// reader releases it). Caller holds n.mu exclusively.
 func (n *Network) deliverLocked(d datagram) {
 	if n.closed {
 		releaseFrame(d.frame)
@@ -445,7 +690,7 @@ func (n *Network) deliverLocked(d datagram) {
 		releaseFrame(d.frame)
 		return
 	}
-	e, ok := n.eps[d.to]
+	e, ok := n.destFor(d)
 	if !ok {
 		n.emit(d.from, d.to, *d.frame, DroppedDown, d.duplicate, d.injected)
 		releaseFrame(d.frame)
@@ -480,6 +725,9 @@ const inboxCap = 4096
 type Endpoint struct {
 	n    *Network
 	addr netip.AddrPort
+	// grouped marks a ListenGroup member: several endpoints share addr
+	// and Close detaches from the group, not the eps map.
+	grouped bool
 
 	inbox chan datagram
 
@@ -569,13 +817,11 @@ func (e *Endpoint) dropQueued(d datagram) bool {
 	if n.downCount.Load() == 0 {
 		return false
 	}
-	n.mu.Lock()
+	n.mu.RLock()
 	down := n.down[d.from] || n.down[d.to]
+	n.mu.RUnlock()
 	if down {
-		n.counters.Dropped++
-	}
-	n.mu.Unlock()
-	if down {
+		n.cnt.dropped.Add(1)
 		releaseFrame(d.frame)
 	}
 	return down
@@ -645,20 +891,46 @@ func (e *Endpoint) WriteBatch(dgs []fleet.Datagram) (int, error) {
 		return 0, errClosed
 	default:
 	}
-	e.n.mu.Lock()
-	for i := range dgs {
-		e.n.sendLocked(e.addr, dgs[i].Addr, dgs[i].Buf)
+	n := e.n
+	if n.serial.Load() {
+		n.mu.Lock()
+		for i := range dgs {
+			n.sendLocked(e.addr, dgs[i].Addr, dgs[i].Buf)
+		}
+		n.mu.Unlock()
+	} else {
+		n.mu.RLock()
+		for i := range dgs {
+			n.sendFast(e.addr, dgs[i].Addr, dgs[i].Buf)
+		}
+		n.mu.RUnlock()
 	}
-	e.n.mu.Unlock()
 	return len(dgs), nil
 }
 
-// Close detaches the endpoint and wakes any blocked reader.
+// Close detaches the endpoint and wakes any blocked reader. A group
+// member detaches from its group only; the shared address stays live
+// until the last member closes.
 func (e *Endpoint) Close() error {
 	e.once.Do(func() {
 		close(e.closed)
 		e.n.mu.Lock()
-		delete(e.n.eps, e.addr)
+		if e.grouped {
+			g := e.n.groups[e.addr]
+			for i, m := range g {
+				if m == e {
+					g = append(g[:i], g[i+1:]...)
+					break
+				}
+			}
+			if len(g) == 0 {
+				delete(e.n.groups, e.addr)
+			} else {
+				e.n.groups[e.addr] = g
+			}
+		} else {
+			delete(e.n.eps, e.addr)
+		}
 		e.n.mu.Unlock()
 	})
 	return nil

@@ -3,6 +3,7 @@ package memnet_test
 import (
 	"errors"
 	"net"
+	"net/netip"
 	"sync"
 	"testing"
 	"time"
@@ -116,6 +117,156 @@ func TestDeliveryAndAddressing(t *testing.T) {
 	c := n.Counters()
 	if c.Sent != 1 || c.Delivered != 1 {
 		t.Fatalf("counters = %+v", c)
+	}
+}
+
+// TestListenGroupDemux pins the deterministic SO_REUSEPORT emulation:
+// group members share one address, a given source always lands on the
+// same member (flow affinity), distinct sources spread over members,
+// and closing a member shrinks the group (remaining traffic rehashes
+// onto the survivors) rather than blackholing its share.
+func TestListenGroupDemux(t *testing.T) {
+	n := memnet.New(memnet.Faults{})
+	defer n.Close()
+	members, err := n.ListenGroup(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	shared := members[0].LocalAddrPort()
+	for i, m := range members {
+		if m.LocalAddrPort() != shared {
+			t.Fatalf("member %d address %v, want shared %v", i, m.LocalAddrPort(), shared)
+		}
+	}
+
+	const senders = 16
+	srcs := make([]*memnet.Endpoint, senders)
+	for i := range srcs {
+		if srcs[i], err = n.Listen(); err != nil {
+			t.Fatal(err)
+		}
+	}
+	recvMember := func() map[netip.AddrPort]int {
+		got := make(map[netip.AddrPort]int) // source → member index
+		for i, m := range members {
+			buf := make([]byte, 16)
+			for {
+				m.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+				_, from, err := m.ReadFromUDPAddrPort(buf)
+				if err != nil {
+					break // deadline: member drained
+				}
+				if prev, ok := got[from]; ok && prev != i {
+					t.Fatalf("source %v delivered to members %d and %d", from, prev, i)
+				}
+				got[from] = i
+			}
+		}
+		return got
+	}
+
+	for round := 0; round < 2; round++ {
+		for _, s := range srcs {
+			if _, err := s.WriteToUDPAddrPort([]byte("ping"), shared); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	first := recvMember()
+	if len(first) != senders {
+		t.Fatalf("%d sources delivered, want %d", len(first), senders)
+	}
+	hit := make(map[int]bool)
+	for _, m := range first {
+		hit[m] = true
+	}
+	if len(hit) < 2 {
+		t.Fatalf("all %d sources hashed to one member; demux does not spread", senders)
+	}
+
+	// Same sources again: affinity must be stable across sends.
+	for _, s := range srcs {
+		if _, err := s.WriteToUDPAddrPort([]byte("again"), shared); err != nil {
+			t.Fatal(err)
+		}
+	}
+	second := recvMember()
+	for src, m := range second {
+		if first[src] != m {
+			t.Fatalf("source %v moved from member %d to %d without membership change", src, first[src], m)
+		}
+	}
+
+	// Closing a member rehashes its flows onto the survivors.
+	members[0].Close()
+	for _, s := range srcs {
+		if _, err := s.WriteToUDPAddrPort([]byte("rehash"), shared); err != nil {
+			t.Fatal(err)
+		}
+	}
+	live := 0
+	for _, m := range members[1:] {
+		buf := make([]byte, 16)
+		for {
+			m.SetReadDeadline(time.Now().Add(20 * time.Millisecond))
+			if _, _, err := m.ReadFromUDPAddrPort(buf); err != nil {
+				break
+			}
+			live++
+		}
+	}
+	if live != senders {
+		t.Fatalf("%d of %d datagrams survived a member close", live, senders)
+	}
+}
+
+// TestConcurrentFastPathCounters hammers the observer-free fast path
+// (shared read-lock, sharded links, atomic counters) from many sender
+// goroutines at once: every accepted datagram must be accounted for
+// exactly once. With -race this doubles as the contention audit for
+// the lock split.
+func TestConcurrentFastPathCounters(t *testing.T) {
+	n := memnet.New(memnet.Faults{})
+	defer n.Close()
+	const senders, perSender = 8, 200
+	sink, err := n.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for i := 0; i < senders; i++ {
+		src, err := n.Listen()
+		if err != nil {
+			t.Fatal(err)
+		}
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perSender; j++ {
+				src.WriteToUDPAddrPort([]byte{byte(j)}, sink.LocalAddrPort()) //nolint:errcheck
+			}
+		}()
+	}
+	// Drain concurrently so the bounded inbox never overflows.
+	got := 0
+	buf := make([]byte, 16)
+	deadline := time.Now().Add(10 * time.Second)
+	for got < senders*perSender && time.Now().Before(deadline) {
+		sink.SetReadDeadline(time.Now().Add(50 * time.Millisecond))
+		if _, _, err := sink.ReadFromUDPAddrPort(buf); err == nil {
+			got++
+		}
+	}
+	wg.Wait()
+	if got != senders*perSender {
+		t.Fatalf("read %d datagrams, want %d", got, senders*perSender)
+	}
+	c := n.Counters()
+	if want := uint64(senders * perSender); c.Sent != want || c.Delivered != want {
+		t.Fatalf("counters sent=%d delivered=%d, want %d each", c.Sent, c.Delivered, want)
+	}
+	if c.Lost+c.Dropped+c.Overflowed+c.Duplicated != 0 {
+		t.Fatalf("fault-free network recorded faults: %+v", c)
 	}
 }
 

@@ -59,6 +59,6 @@ func (in Injector) Inject(from, to netip.AddrPort, frame []byte) {
 	if n == nil || n.closed {
 		return
 	}
-	n.counters.Injected++
+	n.cnt.injected.Add(1)
 	n.forwardLocked(from, to, frame, true)
 }
