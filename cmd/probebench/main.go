@@ -21,7 +21,10 @@
 // BENCH_<n>.json in the working directory when PATH is empty — the
 // cross-PR performance trajectory (every -json snapshot also carries a
 // "shard_hot_path" section: BenchmarkShardHotPath's ns and allocs per
-// op for the batch and single-datagram paths, gated by -compare). With
+// op for the batch and single-datagram paths, gated by -compare, and an
+// "observability" section measuring the hot path with the telemetry
+// plane on vs off — -compare requires the metrics-on side to stay at 0
+// allocs/op). With
 // -fleet, the internal/fleet loopback scale harness also runs (10k
 // control points against loopback DCPP devices by default; -fleet-rate
 // switches to the high-rate naive mode) and its measurements land in
@@ -565,11 +568,15 @@ type benchSnapshot struct {
 	// HotPath pins the shard packet path (BenchmarkShardHotPath, batch
 	// and single-datagram variants); -compare gates its allocs/op like
 	// the simulator's.
-	HotPath     *hotPathSection               `json:"shard_hot_path,omitempty"`
-	Fleet       *fleetSection                 `json:"fleet,omitempty"`
-	Conformance []*conformance.Result         `json:"conformance,omitempty"`
-	Adversarial *adversarialSection           `json:"adversarial,omitempty"`
-	Metrics     map[string]map[string]float64 `json:"metrics"`
+	HotPath *hotPathSection `json:"shard_hot_path,omitempty"`
+	// Observability measures what the telemetry plane (per-shard
+	// histograms + flight recorder) costs on the hot path; -compare
+	// requires the metrics-on side to stay at 0 allocs/op.
+	Observability *observabilitySection         `json:"observability,omitempty"`
+	Fleet         *fleetSection                 `json:"fleet,omitempty"`
+	Conformance   []*conformance.Result         `json:"conformance,omitempty"`
+	Adversarial   *adversarialSection           `json:"adversarial,omitempty"`
+	Metrics       map[string]map[string]float64 `json:"metrics"`
 }
 
 // adversarialSection is the snapshot's robustness block: the adv-*
@@ -741,56 +748,105 @@ func measureThroughput() (throughputStats, error) {
 	return st, nil
 }
 
-// measureHotPath runs the shard hot-path harness under
-// testing.Benchmark for both I/O paths — the same numbers as `go test
-// -bench BenchmarkShardHotPath`.
-func measureHotPath() (*hotPathSection, error) {
-	one := func(single bool) (fleet.HotPathStats, error) {
-		var (
-			setupErr   error
-			cps, perOp int
-		)
-		res := testing.Benchmark(func(b *testing.B) {
-			h, err := fleet.NewHotPathBench(fleet.HotPathOptions{ForceSingleDatagram: single})
-			if err != nil {
-				setupErr = err
-				return
-			}
-			defer h.Close()
-			cps, perOp = h.CPs(), h.PacketsPerStep()
-			for i := 0; i < 10; i++ {
-				h.Step() // warm-up, as in TestShardHotPathZeroAlloc
-			}
-			b.ReportAllocs()
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				h.Step()
-			}
-		})
-		if setupErr != nil {
-			return fleet.HotPathStats{}, setupErr
+// benchHotPath runs the shard hot-path harness under testing.Benchmark
+// with the given options — the same numbers as `go test -bench
+// BenchmarkShardHotPath` for the matching configuration.
+func benchHotPath(opts fleet.HotPathOptions) (fleet.HotPathStats, error) {
+	var (
+		setupErr   error
+		cps, perOp int
+	)
+	res := testing.Benchmark(func(b *testing.B) {
+		h, err := fleet.NewHotPathBench(opts)
+		if err != nil {
+			setupErr = err
+			return
 		}
-		st := fleet.HotPathStats{
-			CPs:          cps,
-			NsPerOp:      res.NsPerOp(),
-			AllocsPerOp:  res.AllocsPerOp(),
-			BytesPerOp:   res.AllocedBytesPerOp(),
-			PacketsPerOp: perOp,
+		defer h.Close()
+		cps, perOp = h.CPs(), h.PacketsPerStep()
+		for i := 0; i < 10; i++ {
+			h.Step() // warm-up, as in TestShardHotPathZeroAlloc
 		}
-		if ns := res.NsPerOp(); ns > 0 {
-			st.PacketsPerSec = float64(perOp) / (float64(ns) / 1e9)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			h.Step()
 		}
-		return st, nil
+	})
+	if setupErr != nil {
+		return fleet.HotPathStats{}, setupErr
 	}
-	batch, err := one(false)
+	st := fleet.HotPathStats{
+		CPs:          cps,
+		NsPerOp:      res.NsPerOp(),
+		AllocsPerOp:  res.AllocsPerOp(),
+		BytesPerOp:   res.AllocedBytesPerOp(),
+		PacketsPerOp: perOp,
+	}
+	if ns := res.NsPerOp(); ns > 0 {
+		st.PacketsPerSec = float64(perOp) / (float64(ns) / 1e9)
+	}
+	return st, nil
+}
+
+// measureHotPath pins the shard packet path for both I/O paths, with
+// telemetry in its default (on) state.
+func measureHotPath() (*hotPathSection, error) {
+	batch, err := benchHotPath(fleet.HotPathOptions{})
 	if err != nil {
 		return nil, err
 	}
-	single, err := one(true)
+	single, err := benchHotPath(fleet.HotPathOptions{ForceSingleDatagram: true})
 	if err != nil {
 		return nil, err
 	}
 	return &hotPathSection{Batch: batch, Single: single}, nil
+}
+
+// observabilitySection is the snapshot's telemetry-cost block: the same
+// hot-path measurement with the histograms + flight recorder on (the
+// default, the shape the 0 allocs/op gate runs) and off, plus the
+// derived per-packet overhead. -compare gates the on-side allocations
+// at absolute zero — the telemetry plane must never buy observability
+// with heap traffic.
+type observabilitySection struct {
+	MetricsOn  fleet.HotPathStats `json:"metrics_on"`
+	MetricsOff fleet.HotPathStats `json:"metrics_off"`
+	// OverheadNsPerPacket is (on − off) ns/op over packets/op; negative
+	// measurements (noise) are reported as measured, not clamped.
+	OverheadNsPerPacket float64 `json:"overhead_ns_per_packet"`
+	OverheadPercent     float64 `json:"overhead_percent"`
+}
+
+// measureObservability measures the telemetry plane's hot-path cost.
+func measureObservability() (*observabilitySection, error) {
+	on, err := benchHotPath(fleet.HotPathOptions{})
+	if err != nil {
+		return nil, err
+	}
+	off, err := benchHotPath(fleet.HotPathOptions{DisableTelemetry: true})
+	if err != nil {
+		return nil, err
+	}
+	sec := &observabilitySection{MetricsOn: on, MetricsOff: off}
+	if on.PacketsPerOp > 0 {
+		sec.OverheadNsPerPacket = float64(on.NsPerOp-off.NsPerOp) / float64(on.PacketsPerOp)
+	}
+	if off.NsPerOp > 0 {
+		sec.OverheadPercent = 100 * float64(on.NsPerOp-off.NsPerOp) / float64(off.NsPerOp)
+	}
+	return sec, nil
+}
+
+// gateObservability re-derives the telemetry-cost pass condition from a
+// snapshot section: the instrumented hot path must stay allocation-free.
+func gateObservability(sec *observabilitySection) []string {
+	var fails []string
+	if sec.MetricsOn.AllocsPerOp != 0 {
+		fails = append(fails, fmt.Sprintf("observability: metrics-on hot path allocates (%d allocs/op, want 0)",
+			sec.MetricsOn.AllocsPerOp))
+	}
+	return fails
 }
 
 // writeJSONSnapshot measures throughput and writes the snapshot to path,
@@ -804,16 +860,21 @@ func writeJSONSnapshot(path string, seed uint64, scale experiments.Scale, metric
 	if err != nil {
 		return "", err
 	}
+	obsSec, err := measureObservability()
+	if err != nil {
+		return "", err
+	}
 	snap := benchSnapshot{
-		Generated:   time.Now().UTC().Format(time.RFC3339),
-		Seed:        seed,
-		Scale:       string(scale),
-		Throughput:  tp,
-		HotPath:     hp,
-		Fleet:       fleetSec,
-		Conformance: confResults,
-		Adversarial: advSec,
-		Metrics:     metrics,
+		Generated:     time.Now().UTC().Format(time.RFC3339),
+		Seed:          seed,
+		Scale:         string(scale),
+		Throughput:    tp,
+		HotPath:       hp,
+		Observability: obsSec,
+		Fleet:         fleetSec,
+		Conformance:   confResults,
+		Adversarial:   advSec,
+		Metrics:       metrics,
 	}
 	if path == "" {
 		for n := 1; ; n++ {
@@ -917,6 +978,15 @@ func runCompare(out io.Writer, oldPath, newPath string, maxSlow, maxAlloc float6
 		if maxAlloc > 0 && newA > oldA && float64(newA-oldA) > maxAlloc*float64(max(oldA, 1)) {
 			fails = append(fails, fmt.Sprintf("shard hot path allocs/op grew %d → %d", oldA, newA))
 		}
+	}
+	// The observability section is an absolute gate on the new snapshot:
+	// the instrumented (default) hot path must stay allocation-free, and
+	// its measured overhead is printed for the reader.
+	if obs := newSnap.Observability; obs != nil {
+		fmt.Fprintf(out, "%-16s %14d %14d  (overhead %+.1f ns/packet, %+.1f%%)\n", "telemetry allocs",
+			obs.MetricsOff.AllocsPerOp, obs.MetricsOn.AllocsPerOp,
+			obs.OverheadNsPerPacket, obs.OverheadPercent)
+		fails = append(fails, gateObservability(obs)...)
 	}
 	// The scaling study is likewise an absolute health gate on the new
 	// snapshot (all CPs alive, zero decode errors); the curve itself is

@@ -10,7 +10,7 @@
 //	           [-loopback N | -device ADDR -device-id N]
 //	           [-min-gap D] [-min-cp-delay D]
 //	           [-duration D] [-interval D] [-join-ramp D]
-//	           [-batch N] [-single] [-reuseport] [-harden] [-pprof ADDR]
+//	           [-batch N] [-single] [-reuseport] [-harden] [-status ADDR]
 //
 // By default it runs self-contained: -loopback N hosts N devices of the
 // chosen protocol in a second, devices-only fleet and points the CPs at
@@ -21,10 +21,20 @@
 // -protocol naive -period 1/F, the configuration that stresses the
 // batched transport path instead of exercising DCPP's frugality.
 // -single forces the one-datagram-per-syscall fallback (the baseline
-// the batching win is measured against), -harden switches on the
+// the batching win is measured against), and -harden switches on the
 // adversarial defenses (fleet Config.Harden) and reports their
-// counters in the final dump, and -pprof serves net/http/pprof on ADDR
-// for live profiling of long runs.
+// counters in the final dump.
+//
+// -status ADDR serves the fleet's status plane (internal/obs) on ADDR:
+// Prometheus /metrics (counters plus the probe-RTT, detection-latency,
+// handoff-latency, batch-fill and timer-cascade histograms), /healthz,
+// /statusz (per-shard JSON snapshot), /debug/flight (the flight
+// recorder's newest probe-lifecycle events per shard) and the pprof
+// handlers — one mux, explicitly registered, shut down gracefully with
+// the daemon. -pprof ADDR is the deprecated alias that used to serve
+// only pprof. SIGQUIT dumps the flight recorder to stdout without
+// stopping the daemon (the classic thread-dump idiom); the final
+// SIGINT/SIGTERM dump also prints a latency digest off the histograms.
 //
 // -reuseport binds every CP-fleet shard socket to one shared UDP port
 // with SO_REUSEPORT (fleet Config.ReusePort): the kernel demultiplexes
@@ -42,11 +52,10 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
-	"net/http"
-	_ "net/http/pprof" // -pprof registers its handlers on DefaultServeMux
 	"net/netip"
 	"os"
 	"os/signal"
@@ -59,6 +68,7 @@ import (
 	"presence/internal/core/sapp"
 	"presence/internal/fleet"
 	"presence/internal/ident"
+	"presence/internal/obs"
 	"presence/internal/rtnet"
 )
 
@@ -71,7 +81,7 @@ func main() {
 
 func signalChan() <-chan os.Signal {
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGQUIT)
 	return sig
 }
 
@@ -93,6 +103,7 @@ type options struct {
 	single     bool
 	reuseport  bool
 	harden     bool
+	statusAddr string
 	pprofAddr  string
 }
 
@@ -116,7 +127,8 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 	fs.BoolVar(&o.single, "single", false, "force the one-datagram-per-syscall fallback path")
 	fs.BoolVar(&o.reuseport, "reuseport", false, "share one UDP port across CP-fleet shards via SO_REUSEPORT (kernel flow-hash demux; falls back to distinct ports where unsupported)")
 	fs.BoolVar(&o.harden, "harden", false, "enable the adversarial defenses (BYE verification, source pinning, replay window, per-source shedding) on both fleets")
-	fs.StringVar(&o.pprofAddr, "pprof", "", "serve net/http/pprof on this address (e.g. localhost:6060)")
+	fs.StringVar(&o.statusAddr, "status", "", "serve the status plane (/metrics, /healthz, /statusz, /debug/flight, pprof) on this address (e.g. localhost:6060)")
+	fs.StringVar(&o.pprofAddr, "pprof", "", "deprecated alias for -status (the pprof handlers live on the status mux)")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -139,13 +151,8 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 	if o.joinRamp == 0 {
 		o.joinRamp = fleet.DefaultJoinRamp(o.cps)
 	}
-	if o.pprofAddr != "" {
-		go func() {
-			if err := http.ListenAndServe(o.pprofAddr, nil); err != nil {
-				fmt.Fprintf(os.Stderr, "probefleet: pprof: %v\n", err)
-			}
-		}()
-		fmt.Fprintf(out, "probefleet: pprof on http://%s/debug/pprof/\n", o.pprofAddr)
+	if o.statusAddr == "" {
+		o.statusAddr = o.pprofAddr // deprecated alias
 	}
 
 	cpFleet, err := fleet.New(fleet.Config{Shards: o.shards, Batch: o.batch, ForceSingleDatagram: o.single, ReusePort: o.reuseport, Harden: o.harden})
@@ -155,6 +162,24 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 	defer cpFleet.Close()
 	if err := cpFleet.Start(); err != nil {
 		return err
+	}
+	if o.statusAddr != "" {
+		status, err := obs.New(obs.Config{Fleet: cpFleet})
+		if err != nil {
+			return err
+		}
+		addr, err := status.Start(o.statusAddr)
+		if err != nil {
+			return fmt.Errorf("status plane: %w", err)
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			if err := status.Shutdown(ctx); err != nil {
+				fmt.Fprintf(os.Stderr, "probefleet: status shutdown: %v\n", err)
+			}
+		}()
+		fmt.Fprintf(out, "probefleet: status plane on http://%s/ (metrics, statusz, debug/flight, debug/pprof)\n", addr)
 	}
 	if o.reuseport {
 		if cpFleet.ReusePortActive() {
@@ -241,7 +266,15 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 			cur := cpFleet.Snapshot()
 			printLive(out, prev, cur)
 			prev = cur
-		case <-sig:
+		case s := <-sig:
+			if s == syscall.SIGQUIT {
+				// Thread-dump idiom: dump the flight recorder, keep running.
+				fmt.Fprintln(out, "probefleet: SIGQUIT — flight recorder dump")
+				if err := cpFleet.WriteFlight(out); err != nil {
+					fmt.Fprintf(os.Stderr, "probefleet: flight dump: %v\n", err)
+				}
+				continue
+			}
 			fmt.Fprintln(out, "probefleet: signal received, shutting down")
 			return finalDump(out, cpFleet, devFleet)
 		case <-timeout:
@@ -342,6 +375,10 @@ func shardSpread(prev, cur fleet.Snapshot) float64 {
 // (probe shedding, forged byes) that never shows on the CP fleet.
 func finalDump(out io.Writer, f, devFleet *fleet.Fleet) error {
 	snap := f.Snapshot()
+	var hist fleet.Histograms
+	if f.TelemetryEnabled() {
+		hist = f.Histograms()
+	}
 	err := f.Close()
 	t := snap.Total
 	if devFleet != nil {
@@ -365,6 +402,19 @@ func finalDump(out io.Writer, f, devFleet *fleet.Fleet) error {
 	if h := t.AttemptMismatches + t.RepliesForged + t.ByesForged + t.RepliesReplayed + t.ProbesShed; h > 0 {
 		fmt.Fprintf(out, "probefleet: hardening — attempt-mismatch=%d forged replies=%d byes=%d replayed=%d shed=%d\n",
 			t.AttemptMismatches, t.RepliesForged, t.ByesForged, t.RepliesReplayed, t.ProbesShed)
+	}
+	if hist.ProbeRTT.Count > 0 {
+		us := func(v uint64) time.Duration { return (time.Duration(v) * time.Microsecond).Round(time.Microsecond) }
+		fmt.Fprintf(out, "probefleet: latency — rtt p50≤%v p99≤%v (n=%d)",
+			us(hist.ProbeRTT.Quantile(0.5)), us(hist.ProbeRTT.Quantile(0.99)), hist.ProbeRTT.Count)
+		if hist.DetectionLatency.Count > 0 {
+			fmt.Fprintf(out, " detect p50≤%v (n=%d)",
+				us(hist.DetectionLatency.Quantile(0.5)), hist.DetectionLatency.Count)
+		}
+		if hist.HandoffLatency.Count > 0 {
+			fmt.Fprintf(out, " handoff p99≤%v", us(hist.HandoffLatency.Quantile(0.99)))
+		}
+		fmt.Fprintf(out, " fill mean=%.1f\n", hist.BatchFill.Mean())
 	}
 	for i, c := range snap.Shards {
 		fmt.Fprintf(out, "  shard %2d: cps=%d/%d in=%d out=%d probes=%d replies=%d wheel=%d handoffs=%d/%d\n",

@@ -118,6 +118,34 @@
 // hardened-vs-unhardened results in EXPERIMENTS.md "Adversarial
 // workloads").
 //
+// # Observability
+//
+// The fleet carries a zero-allocation telemetry plane, on by default
+// (fleet.Config.DisableTelemetry / FlightRecorder opt out):
+//
+//   - internal/metrics: cache-line-padded atomic log₂-bucket histograms
+//     record probe RTT, detection latency, cross-shard handoff latency,
+//     receive-batch fill and timer-cascade duration on the shard hot
+//     path (three uncontended atomic adds per observation; the 0
+//     allocs/op gate runs with telemetry on), merged across shards at
+//     scrape time and rendered in Prometheus text exposition format by
+//     a stdlib-only writer;
+//   - internal/trace: a bounded per-shard flight recorder — a ring of
+//     fixed-size probe-lifecycle events (probe sent, reply matched,
+//     attempt expired, verdicts, handoffs) — dumpable live
+//     (/debug/flight, SIGQUIT on probefleet) and normalizable
+//     (trace.Normalize) into per-CP timelines that are byte-identical
+//     across same-structure memnet runs, so conformance failures carry
+//     their probe-level evidence (Result.Flight);
+//   - internal/obs: the status server probefleet -status mounts —
+//     /metrics, /healthz, /statusz (per-shard JSON snapshot including
+//     memnet middlebox counters when scraping a memnet-backed fleet)
+//     and explicitly registered pprof handlers on one gracefully
+//     shut-down mux. probebench snapshots the telemetry plane's
+//     hot-path cost (metrics on vs off) into the BENCH_<n>.json
+//     "observability" section, and -compare fails if the instrumented
+//     path ever allocates.
+//
 // # Quick start (simulation)
 //
 //	w, err := presence.NewSimulation(presence.SimConfig{

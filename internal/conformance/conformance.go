@@ -69,6 +69,7 @@ import (
 	"presence/internal/scenario"
 	"presence/internal/simnet"
 	"presence/internal/simrun"
+	"presence/internal/trace"
 )
 
 // Tolerances bands the simulator-vs-fleet metric diffs. See the
@@ -206,7 +207,12 @@ type Result struct {
 	Violations    []string        `json:"violations"`
 	TappedPackets uint64          `json:"tapped_packets"`
 	Net           memnet.Counters `json:"net_counters"`
-	Pass          bool            `json:"pass"`
+	// Flight is the CP fleet's normalized flight-recorder timeline (one
+	// line per CP, timestamps stripped, cycles rebased — see
+	// trace.Normalize): the per-device probe-lifecycle evidence a failing
+	// diff is debugged from.
+	Flight []string `json:"flight,omitempty"`
+	Pass   bool     `json:"pass"`
 }
 
 // Format renders the result as a readable block (valid Markdown).
@@ -237,6 +243,19 @@ func (r *Result) Format() string {
 	fmt.Fprintf(&b, "\n- invariants: %d violations over %d tapped packets\n", len(r.Violations), r.TappedPackets)
 	for _, v := range r.Violations {
 		fmt.Fprintf(&b, "  - VIOLATION: %s\n", v)
+	}
+	// On failure, attach the flight-recorder timelines: which probes each
+	// CP sent, what came back, and where the verdict landed.
+	if !r.Pass && len(r.Flight) > 0 {
+		const maxLines = 12
+		fmt.Fprintf(&b, "- flight recorder (%d control points):\n", len(r.Flight))
+		for i, line := range r.Flight {
+			if i == maxLines {
+				fmt.Fprintf(&b, "  … %d more\n", len(r.Flight)-maxLines)
+				break
+			}
+			fmt.Fprintf(&b, "  %s\n", line)
+		}
 	}
 	return b.String()
 }
@@ -300,6 +319,7 @@ func Run(c Case, seed uint64) (*Result, error) {
 	res.Violations = out.violations
 	res.TappedPackets = out.tapped
 	res.Net = out.net
+	res.Flight = out.flight
 
 	tol := c.Tol
 	add := func(name string, sim, fl, abs, rel float64) {
@@ -571,6 +591,9 @@ type fleetOutcome struct {
 	devCounters  fleet.Counters
 	proberStats  core.ProberStats
 	adv          *advTaps
+	// flight is the CP fleet's normalized flight-recorder dump, captured
+	// before the fleets close.
+	flight []string
 }
 
 // runFleet replays the schedule against a real fleet over memnet.
@@ -759,6 +782,7 @@ func runFleet(spec *scenario.Spec, sched *schedule, c Case, seed uint64) (fleetO
 	out.violations = checker.Violations()
 	out.tapped = checker.Packets()
 	out.net = net.Counters()
+	out.flight = trace.Normalize(cpFleet.FlightSnapshot())
 	out.cpCounters = cpFleet.Snapshot().Total
 	out.devCounters = devFleet.Snapshot().Total
 	for _, cp := range cps {

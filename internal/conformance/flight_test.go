@@ -1,0 +1,192 @@
+package conformance
+
+import (
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"presence/internal/core"
+	"presence/internal/core/naive"
+	"presence/internal/fleet"
+	"presence/internal/ident"
+	"presence/internal/memnet"
+	"presence/internal/trace"
+)
+
+// flightListener counts verdicts, thread-safe.
+type flightListener struct {
+	mu    sync.Mutex
+	alive int
+	lost  int
+	byes  int
+}
+
+func (l *flightListener) DeviceAlive(ident.NodeID, core.CycleResult) {
+	l.mu.Lock()
+	l.alive++
+	l.mu.Unlock()
+}
+
+func (l *flightListener) DeviceLost(ident.NodeID, time.Duration) {
+	l.mu.Lock()
+	l.lost++
+	l.mu.Unlock()
+}
+
+func (l *flightListener) DeviceBye(ident.NodeID, time.Duration) {
+	l.mu.Lock()
+	l.byes++
+	l.mu.Unlock()
+}
+
+func (l *flightListener) snapshot() (alive, lost, byes int) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.alive, l.lost, l.byes
+}
+
+// flightRun replays one fixed-structure fleet run over memnet and
+// returns the normalized flight-recorder dump. The structure forces a
+// deterministic event sequence per CP regardless of wall-clock jitter:
+// the probing CPs use an hour-long period (exactly one cycle: one probe
+// out, one reply back, then the device's BYE), and the doomed CP probes
+// a black-hole endpoint so its cycle walks the fixed retransmit ladder
+// into a lost verdict. Timestamps and absolute cycle numbers — the
+// run-to-run noise — are exactly what Normalize strips.
+func flightRun(t *testing.T) []string {
+	t.Helper()
+	net := memnet.New(memnet.Faults{})
+	defer net.Close()
+	transport := fleet.TransportFunc(func(int) (fleet.PacketConn, error) { return net.Listen() })
+
+	devFleet, err := fleet.New(fleet.Config{Shards: 1, Transport: transport})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devFleet.Close()
+	if err := devFleet.Start(); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := devFleet.AddDevice(1, func(env core.Env) (core.Device, error) {
+		return naive.NewDevice(1, env)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A black hole: a memnet endpoint that never reads or replies.
+	hole, err := net.Listen()
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer hole.Close()
+
+	f, err := fleet.New(fleet.Config{Shards: 2, Transport: transport})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	lst := &flightListener{}
+	for i := 0; i < 4; i++ {
+		policy, err := naive.NewPolicy(time.Hour)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := f.AddControlPoint(fleet.CPConfig{
+			ID: ident.NodeID(800 + i), Device: 1, DeviceAddrPort: dev.Addr(),
+			Policy: policy, Listener: lst,
+			// Generous timeouts: the one live cycle must never retransmit.
+			Retransmit: core.RetransmitConfig{
+				FirstTimeout: 30 * time.Second, RetryTimeout: 30 * time.Second,
+			},
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	policy, err := naive.NewPolicy(time.Hour)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := f.AddControlPoint(fleet.CPConfig{
+		ID: 900, Device: 2, DeviceAddrPort: hole.LocalAddrPort(),
+		Policy: policy, Listener: lst,
+		// The fixed ladder the lost verdict walks: first timeout plus
+		// exactly MaxRetransmits retries, whatever the wall clock does.
+		Retransmit: core.RetransmitConfig{
+			FirstTimeout: 80 * time.Millisecond, RetryTimeout: 40 * time.Millisecond,
+			MaxRetransmits: 3,
+		},
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		alive, lost, _ := lst.snapshot()
+		if alive >= 4 && lost == 1 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out: alive=%d lost=%d", alive, lost)
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	dev.Bye()
+	for {
+		_, _, byes := lst.snapshot()
+		if byes == 4 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for byes: %d", func() int { _, _, b := lst.snapshot(); return b }())
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+	return trace.Normalize(f.FlightSnapshot())
+}
+
+// TestFlightRecorderDeterminism runs the same-structure memnet replay
+// twice and requires byte-identical normalized flight dumps — the
+// property that lets a failing conformance case be diffed against a
+// rerun.
+func TestFlightRecorderDeterminism(t *testing.T) {
+	a := strings.Join(flightRun(t), "\n")
+	b := strings.Join(flightRun(t), "\n")
+	if a != b {
+		t.Fatalf("normalized flight dumps differ across same-structure runs:\n--- run 1 ---\n%s\n--- run 2 ---\n%s", a, b)
+	}
+	if a == "" {
+		t.Fatal("normalized flight dump empty")
+	}
+	for _, want := range []string{"probe-sent", "reply-matched", "verdict-bye", "attempt-expired", "verdict-lost"} {
+		if !strings.Contains(a, want) {
+			t.Errorf("dump missing %q:\n%s", want, a)
+		}
+	}
+	if got := len(strings.Split(a, "\n")); got != 5 {
+		t.Errorf("dump has %d CP lines, want 5:\n%s", got, a)
+	}
+}
+
+// TestConformanceResultCarriesFlight checks a full conformance Run
+// attaches the normalized per-device timelines to its Result.
+func TestConformanceResultCarriesFlight(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full conformance replay")
+	}
+	cases := DefaultCases()
+	res, err := Run(cases[0], 2005)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Flight) == 0 {
+		t.Fatal("conformance result has no flight timeline")
+	}
+	joined := strings.Join(res.Flight, "\n")
+	if !strings.Contains(joined, "probe-sent") {
+		t.Errorf("flight timeline missing probe lifecycle:\n%.300s", joined)
+	}
+}

@@ -110,6 +110,22 @@
 // hostile links and diff the outcome against the simulator
 // (memnet.ListenGroup emulates the kernel's flow-hash spread
 // deterministically for the shared-address layout).
+//
+// # Telemetry and the flight recorder
+//
+// Each shard also carries an allocation-free telemetry plane, on by
+// default: five cache-line-padded atomic log₂-bucket histograms
+// (internal/metrics) — probe RTT, detection latency, cross-shard
+// handoff latency, receive-batch fill, timer-cascade duration — whose
+// hot-path cost is three uncontended atomic adds per observation (the
+// 0 allocs/op gate runs with telemetry on), and a bounded flight
+// recorder (internal/trace.Ring) of fixed-size probe-lifecycle events
+// (probe sent, reply matched, attempt expired, verdicts, handoffs)
+// written under the shard mutex. Fleet.Histograms merges the shards at
+// scrape time; Fleet.FlightSnapshot/WriteFlight dump the recorders;
+// internal/obs serves both over HTTP (/metrics in Prometheus text
+// format, /statusz, /debug/flight). Config.DisableTelemetry and a
+// negative Config.FlightRecorder opt out per plane.
 package fleet
 
 import (
@@ -125,6 +141,7 @@ import (
 	"presence/internal/core"
 	"presence/internal/ident"
 	"presence/internal/rtnet"
+	"presence/internal/trace"
 	"presence/internal/wire"
 )
 
@@ -219,6 +236,17 @@ type Config struct {
 	// used when Harden is set.
 	PerSourceProbeHz float64
 	PerSourceBurst   int
+	// DisableTelemetry turns off the per-shard latency histograms (probe
+	// RTT, detection latency, handoff latency, batch fill, timer-cascade
+	// duration — see telemetry.go). Telemetry is on by default: recording
+	// a sample is a few uncontended atomic adds with no allocation, pinned
+	// inside the 0 allocs/op hot-path gate. The switch exists so
+	// probebench can measure exactly what the samples cost.
+	DisableTelemetry bool
+	// FlightRecorder is the per-shard flight-recorder capacity: how many
+	// probe-lifecycle events each shard retains for /debug/flight and
+	// SIGQUIT dumps. Zero means 4096; negative disables recording.
+	FlightRecorder int
 }
 
 func (c *Config) applyDefaults() {
@@ -251,6 +279,9 @@ func (c *Config) applyDefaults() {
 	}
 	if c.PerSourceBurst == 0 {
 		c.PerSourceBurst = 20
+	}
+	if c.FlightRecorder == 0 {
+		c.FlightRecorder = defaultFlightEvents
 	}
 }
 
@@ -475,6 +506,14 @@ type shard struct {
 	// pub is the published counter mirror Fleet.Snapshot reads without
 	// taking mu — padded to keep scrapers off the loop's cache lines.
 	pub pubCounters
+
+	// hist is the shard's latency histogram set (telemetry.go), nil when
+	// Config.DisableTelemetry. Recorded by the loop, snapshotted by
+	// scrapers without the mutex (the cells are padded atomics).
+	hist *shardHists
+	// rec is the shard's flight recorder, nil when disabled. Written and
+	// snapshotted only under mu.
+	rec *trace.Ring
 }
 
 // maxPoll bounds how long a shard loop sleeps in a read when no timer
@@ -537,6 +576,12 @@ func New(cfg Config) (*Fleet, error) {
 		if cfg.Harden {
 			s.completed = make(map[uint64]time.Duration)
 			s.sources = make(map[netip.AddrPort]*srcBucket)
+		}
+		if !cfg.DisableTelemetry {
+			s.hist = &shardHists{}
+		}
+		if cfg.FlightRecorder > 0 {
+			s.rec = trace.NewRing(cfg.FlightRecorder)
 		}
 		s.bconn, s.single = batchConn(conn, cfg.ForceSingleDatagram)
 		for j := range s.recvBufs {
@@ -707,6 +752,11 @@ func (s *shard) loop() {
 				d.t.fire()
 			}
 		}
+		if s.hist != nil && len(due) > 0 {
+			// One cascade = the loop's largest indivisible unit of work;
+			// its distribution is the event loop's responsiveness bound.
+			s.hist.cascade.Observe(us(s.fleet.sinceEpoch() - now))
+		}
 		s.inBatch = false
 		s.flushSends()
 		wait := maxPoll
@@ -784,6 +834,9 @@ var pastDeadline = time.Unix(1, 0)
 // every send the handlers coalesced. Runs under the shard mutex.
 func (s *shard) dispatchBatch(dgs []Datagram) {
 	s.counters.PacketsIn += uint64(len(dgs))
+	if s.hist != nil {
+		s.hist.fill.Observe(uint64(len(dgs)))
+	}
 	s.inBatch = true
 	var f wire.Frame
 	for i := range dgs {
@@ -846,8 +899,20 @@ func (s *shard) dispatchFrame(from netip.AddrPort, f *wire.Frame, handed bool) {
 			return
 		}
 		delete(s.pending, key)
-		if s.completed != nil {
-			s.completed[key] = s.fleet.sinceEpoch()
+		if s.completed != nil || s.hist != nil || s.rec != nil {
+			now := s.fleet.sinceEpoch()
+			if s.completed != nil {
+				s.completed[key] = now
+			}
+			if s.hist != nil {
+				// RTT from the cycle's first attempt (pp.at survives
+				// retransmits), the latency the prober's timeout races.
+				s.hist.rtt.Observe(us(now - pp.at))
+			}
+			if s.rec != nil {
+				s.rec.Record(trace.Event{At: now, Kind: trace.EvReplyMatched,
+					Device: f.From, CP: pp.cp.id, Cycle: f.Cycle, Attempt: f.Attempt})
+			}
 		}
 		s.counters.RepliesIn++
 		m := core.ReplyMsg{From: f.From, Cycle: f.Cycle, Attempt: f.Attempt}
@@ -926,9 +991,10 @@ func (s *shard) dispatchFrame(from netip.AddrPort, f *wire.Frame, handed bool) {
 
 // notePending registers a probe attempt in the demux table: the first
 // attempt of a cycle claims the (device, cycle) key, retransmits widen
-// the entry's acceptable-attempt bitmask. Runs under the shard mutex
-// (called from a CP engine's Send).
-func (s *shard) notePending(n *cpNode, cycle uint32, attempt uint8) {
+// the entry's acceptable-attempt bitmask. now is the caller's clock
+// read (cpNode.Send shares one read between the demux entry and the
+// flight recorder). Runs under the shard mutex.
+func (s *shard) notePending(n *cpNode, cycle uint32, attempt uint8, now time.Duration) {
 	key := pendKey(n.device, cycle)
 	if n.lastCycle != cycle {
 		// The previous cycle can no longer complete (the prober moved
@@ -948,7 +1014,7 @@ func (s *shard) notePending(n *cpNode, cycle uint32, attempt uint8) {
 	if old, ok := s.pending[key]; ok && old.cp != n {
 		s.counters.DemuxCollisions++
 	}
-	s.pending[key] = pendingProbe{cp: n, at: s.fleet.sinceEpoch(), attempts: attemptBit(attempt)}
+	s.pending[key] = pendingProbe{cp: n, at: now, attempts: attemptBit(attempt)}
 }
 
 // admitProbe charges one probe from the source's token bucket,

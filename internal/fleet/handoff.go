@@ -4,8 +4,10 @@ import (
 	"net/netip"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"presence/internal/ident"
+	"presence/internal/trace"
 	"presence/internal/wire"
 )
 
@@ -63,9 +65,11 @@ func (m *shardMask) empty() bool {
 
 // handoffFrame is one decoded frame in flight between shards. The frame
 // is carried decoded (it is a flat value struct) so the owning shard
-// pays no second decode and no buffer management.
+// pays no second decode and no buffer management. at is the sender's
+// clock at enqueue, the start of the handoff-latency measurement.
 type handoffFrame struct {
 	from netip.AddrPort
+	at   time.Duration
 	f    wire.Frame
 }
 
@@ -95,8 +99,12 @@ type handoffQueue struct {
 // so shard mutexes never nest.
 func (s *shard) handoffTo(t *shard, from netip.AddrPort, f *wire.Frame) {
 	s.counters.HandoffsOut++
+	var at time.Duration
+	if t.hist != nil {
+		at = s.fleet.sinceEpoch()
+	}
 	t.ho.mu.Lock()
-	t.ho.q = append(t.ho.q, handoffFrame{from: from, f: *f})
+	t.ho.q = append(t.ho.q, handoffFrame{from: from, at: at, f: *f})
 	t.ho.pending.Store(true)
 	t.ho.mu.Unlock()
 	t.conn.SetReadDeadline(pastDeadline) //nolint:errcheck // fails only when closed
@@ -110,8 +118,19 @@ func (s *shard) drainHandoffs() {
 	s.ho.q = s.ho.spare[:0]
 	s.ho.pending.Store(false)
 	s.ho.mu.Unlock()
+	var now time.Duration
+	if (s.hist != nil || s.rec != nil) && len(q) > 0 {
+		now = s.fleet.sinceEpoch()
+	}
 	for i := range q {
 		s.counters.HandoffsIn++
+		if s.hist != nil {
+			s.hist.handoff.Observe(us(now - q[i].at))
+		}
+		if s.rec != nil {
+			s.rec.Record(trace.Event{At: now, Kind: trace.EvHandoff,
+				Device: q[i].f.From, Cycle: q[i].f.Cycle})
+		}
 		s.dispatchFrame(q[i].from, &q[i].f, true)
 	}
 	s.ho.spare = q

@@ -34,6 +34,10 @@ type HotPathOptions struct {
 	// ForceSingleDatagram measures the loop-over-single-datagram
 	// fallback instead of the batch path.
 	ForceSingleDatagram bool
+	// DisableTelemetry turns histograms and the flight recorder off —
+	// the baseline probebench's observability section measures the
+	// default (telemetry-on) path against.
+	DisableTelemetry bool
 }
 
 // HotPathBench is one assembled harness: a single shard hosting a
@@ -58,12 +62,17 @@ func NewHotPathBench(opts HotPathOptions) (*HotPathBench, error) {
 	// Ring capacity: one full CP burst of probes or replies, plus the
 	// retransmissions a slow benchmark machine might sneak in.
 	conn := newRingConn(4 * opts.CPs)
-	f, err := New(Config{
+	cfg := Config{
 		Shards:              1,
 		Batch:               opts.Batch,
 		ForceSingleDatagram: opts.ForceSingleDatagram,
 		Transport:           TransportFunc(func(int) (PacketConn, error) { return conn, nil }),
-	})
+	}
+	if opts.DisableTelemetry {
+		cfg.DisableTelemetry = true
+		cfg.FlightRecorder = -1
+	}
+	f, err := New(cfg)
 	if err != nil {
 		return nil, err
 	}

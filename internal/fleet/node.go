@@ -9,6 +9,7 @@ import (
 	"presence/internal/core"
 	"presence/internal/ident"
 	"presence/internal/rtnet"
+	"presence/internal/trace"
 )
 
 // CPConfig configures a fleet-hosted control point.
@@ -65,13 +66,31 @@ func (n *cpNode) Now() time.Duration { return n.shard.fleet.sinceEpoch() }
 func (n *cpNode) Send(_ ident.NodeID, msg core.Message) {
 	switch m := msg.(type) {
 	case *core.ProbeMsg:
-		n.shard.notePending(n, m.Cycle, m.Attempt)
-		n.shard.counters.ProbesOut++
+		n.noteProbe(m.Cycle, m.Attempt)
 	case core.ProbeMsg:
-		n.shard.notePending(n, m.Cycle, m.Attempt)
-		n.shard.counters.ProbesOut++
+		n.noteProbe(m.Cycle, m.Attempt)
 	}
 	n.shard.sendTo(n.deviceAddr, msg)
+}
+
+// noteProbe does the bookkeeping of one outgoing probe: the demux
+// entry, the probe counter, and the flight-recorder events. A
+// retransmit (attempt > 0) implies the previous attempt of the same
+// cycle expired unanswered — the prober does not surface that
+// transition, so the recorder derives it here.
+func (n *cpNode) noteProbe(cycle uint32, attempt uint8) {
+	s := n.shard
+	now := s.fleet.sinceEpoch()
+	s.notePending(n, cycle, attempt, now)
+	s.counters.ProbesOut++
+	if s.rec != nil {
+		if attempt > 0 {
+			s.rec.Record(trace.Event{At: now, Kind: trace.EvAttemptExpired,
+				Device: n.device, CP: n.id, Cycle: cycle, Attempt: attempt - 1})
+		}
+		s.rec.Record(trace.Event{At: now, Kind: trace.EvProbeSent,
+			Device: n.device, CP: n.id, Cycle: cycle, Attempt: attempt})
+	}
 }
 
 // SetAlarm implements core.Env on the shard's timer wheel.
@@ -92,12 +111,31 @@ func (l cpListener) DeviceAlive(d ident.NodeID, res core.CycleResult) {
 }
 
 func (l cpListener) DeviceLost(d ident.NodeID, at time.Duration) {
-	l.n.markStopped()
+	n := l.n
+	s := n.shard
+	if s.hist != nil {
+		// Detection latency as the prober observes it: first probe of the
+		// failing cycle → verdict. The pending entry for the CP's current
+		// cycle still holds that first-probe time when the verdict fires.
+		if pp, ok := s.pending[pendKey(n.device, n.lastCycle)]; ok && pp.cp == n {
+			s.hist.detect.Observe(us(at - pp.at))
+		}
+	}
+	if s.rec != nil {
+		s.rec.Record(trace.Event{At: at, Kind: trace.EvVerdictLost,
+			Device: n.device, CP: n.id, Cycle: n.lastCycle})
+	}
+	n.markStopped()
 	l.inner.DeviceLost(d, at)
 }
 
 func (l cpListener) DeviceBye(d ident.NodeID, at time.Duration) {
-	l.n.markStopped()
+	n := l.n
+	if s := n.shard; s.rec != nil {
+		s.rec.Record(trace.Event{At: at, Kind: trace.EvVerdictBye,
+			Device: n.device, CP: n.id, Cycle: n.lastCycle})
+	}
+	n.markStopped()
 	l.inner.DeviceBye(d, at)
 }
 

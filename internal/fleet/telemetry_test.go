@@ -1,0 +1,195 @@
+package fleet
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"presence/internal/core"
+	"presence/internal/core/naive"
+	"presence/internal/ident"
+	"presence/internal/trace"
+)
+
+// TestHotPathTelemetry drives the deterministic hot-path harness with
+// default config (telemetry and flight recorder ON — the production
+// shape the 0 allocs/op gate also runs) and checks the histograms and
+// recorder actually saw the traffic.
+func TestHotPathTelemetry(t *testing.T) {
+	h, err := NewHotPathBench(HotPathOptions{CPs: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if !h.fleet.TelemetryEnabled() || !h.fleet.FlightRecorderEnabled() {
+		t.Fatal("telemetry should default on")
+	}
+	const steps = 5
+	for i := 0; i < steps; i++ {
+		h.Step()
+	}
+	hist := h.fleet.Histograms()
+	// Every step completes one reply per CP (the build burst adds one
+	// more already-delivered cycle's worth before the first Step).
+	if hist.ProbeRTT.Count < steps*8 {
+		t.Errorf("rtt count = %d, want ≥ %d", hist.ProbeRTT.Count, steps*8)
+	}
+	if hist.BatchFill.Count == 0 || hist.BatchFill.Sum == 0 {
+		t.Errorf("batch fill not recorded: %+v", hist.BatchFill)
+	}
+	if hist.ProbeRTT.Quantile(0.99) > uint64(time.Minute/time.Microsecond) {
+		t.Errorf("in-memory rtt p99 = %d µs — pp.at plumbing is broken", hist.ProbeRTT.Quantile(0.99))
+	}
+	var sent, matched int
+	for _, events := range h.fleet.FlightSnapshot() {
+		for _, e := range events {
+			switch e.Kind {
+			case trace.EvProbeSent:
+				sent++
+			case trace.EvReplyMatched:
+				matched++
+			}
+		}
+	}
+	if sent == 0 || matched == 0 {
+		t.Errorf("flight recorder saw sent=%d matched=%d, want both > 0", sent, matched)
+	}
+	var sb strings.Builder
+	if err := h.fleet.WriteFlight(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), "probe-sent") || !strings.Contains(sb.String(), "reply-matched") {
+		t.Errorf("flight dump missing lifecycle events:\n%.300s", sb.String())
+	}
+}
+
+func TestTelemetryDisabled(t *testing.T) {
+	h, err := NewHotPathBench(HotPathOptions{CPs: 4, DisableTelemetry: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if h.fleet.TelemetryEnabled() || h.fleet.FlightRecorderEnabled() {
+		t.Fatal("DisableTelemetry should turn both planes off")
+	}
+	h.Step()
+	if hist := h.fleet.Histograms(); hist.ProbeRTT.Count != 0 || hist.BatchFill.Count != 0 {
+		t.Errorf("disabled telemetry still recorded: %+v", hist)
+	}
+	for i, events := range h.fleet.FlightSnapshot() {
+		if len(events) != 0 {
+			t.Errorf("shard %d recorded %d events with recorder disabled", i, len(events))
+		}
+	}
+}
+
+// TestDetectionLatencyAndVerdictEvents runs a real (loopback UDP) fleet
+// probing a device that is then silenced, and checks the lost verdict
+// lands in the detection-latency histogram and the flight recorder.
+func TestDetectionLatencyAndVerdictEvents(t *testing.T) {
+	f := startedFleet(t, Config{Shards: 1})
+	// The device lives in its own fleet so it can be silenced (fleet
+	// closed) without touching the control point's shard loop.
+	devFleet := startedFleet(t, Config{Shards: 1})
+	dev, err := devFleet.AddDevice(77, func(env core.Env) (core.Device, error) {
+		return naive.NewDevice(77, env)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := naive.NewPolicy(50 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lst := &countingListener{}
+	if _, err := f.AddControlPoint(CPConfig{
+		ID: 501, Device: 77, DeviceAddrPort: dev.Addr(),
+		Policy: policy, Listener: lst, Retransmit: fastRetransmit(),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, 5*time.Second, "a completed cycle", func() bool {
+		a, _, _ := lst.snapshot()
+		return a >= 2
+	})
+	// Silence the device: the next cycle times out through every
+	// retransmit and the prober declares the device lost.
+	devFleet.Close()
+	waitFor(t, 5*time.Second, "lost verdict", func() bool {
+		_, lost, _ := lst.snapshot()
+		return lost == 1
+	})
+	hist := f.Histograms()
+	if hist.DetectionLatency.Count != 1 {
+		t.Fatalf("detection latency count = %d, want 1", hist.DetectionLatency.Count)
+	}
+	// fastRetransmit: 60ms first timeout + 3 × 40ms retries ≈ 180ms.
+	if got := hist.DetectionLatency.Mean(); got < 100_000 || got > 5_000_000 {
+		t.Errorf("detection latency mean = %.0f µs, expected ~180ms", got)
+	}
+	var lost, expired int
+	for _, events := range f.FlightSnapshot() {
+		for _, e := range events {
+			switch e.Kind {
+			case trace.EvVerdictLost:
+				lost++
+				if e.CP != 501 || e.Device != 77 {
+					t.Errorf("verdict event ids: %+v", e)
+				}
+			case trace.EvAttemptExpired:
+				expired++
+			}
+		}
+	}
+	if lost != 1 || expired < 3 {
+		t.Errorf("flight recorder: lost=%d expired=%d, want 1/≥3", lost, expired)
+	}
+}
+
+// TestHandoffTelemetry checks the routed layout feeds the handoff
+// histogram and EvHandoff events (which Normalize must then drop).
+func TestHandoffTelemetry(t *testing.T) {
+	if !reusePortSupported {
+		t.Skip("no SO_REUSEPORT on this platform")
+	}
+	f := startedFleet(t, Config{Shards: 2, ReusePort: true})
+	dev, err := f.AddDevice(99, func(env core.Env) (core.Device, error) {
+		return naive.NewDevice(99, env)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	policy, err := naive.NewPolicy(20 * time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lst := &countingListener{}
+	for i := 0; i < 8; i++ {
+		if _, err := f.AddControlPoint(CPConfig{
+			ID: ident.NodeID(600 + i), Device: 99, DeviceAddrPort: dev.Addr(),
+			Policy: policy, Listener: lst, Retransmit: fastRetransmit(),
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	waitFor(t, 10*time.Second, "cross-shard handoffs", func() bool {
+		return f.Snapshot().Total.HandoffsIn > 0
+	})
+	waitFor(t, 10*time.Second, "handoff latency samples", func() bool {
+		return f.Histograms().HandoffLatency.Count > 0
+	})
+	var handoffs int
+	for _, events := range f.FlightSnapshot() {
+		for _, e := range events {
+			if e.Kind == trace.EvHandoff {
+				handoffs++
+			}
+		}
+	}
+	if handoffs == 0 {
+		t.Error("no EvHandoff events recorded on a routed fleet")
+	}
+	if len(trace.Normalize(f.FlightSnapshot())) == 0 {
+		t.Error("normalized dump empty despite live CPs")
+	}
+}

@@ -1,0 +1,239 @@
+package metrics
+
+// Prometheus text exposition format, version 0.0.4 — the format every
+// scraper speaks. Rendered by hand (stdlib only): the grammar is one
+// page — # HELP / # TYPE header lines per family, then one
+// `name{labels} value` sample per line; histograms render cumulative
+// le-bucket counters plus _sum and _count. The writer validates metric
+// and label names against the grammar and escapes label values, so an
+// invalid series is a caller bug surfaced as an error, never a
+// half-written scrape.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+	"strings"
+)
+
+// Label is one name="value" pair of a sample.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Sample is one counter/gauge series of a family.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// HistogramSample is one histogram series of a family.
+type HistogramSample struct {
+	Labels []Label
+	Snap   HistogramSnapshot
+}
+
+// ValidMetricName reports whether s matches the exposition grammar for
+// metric names: [a-zA-Z_:][a-zA-Z0-9_:]*.
+func ValidMetricName(s string) bool {
+	if s == "" {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' || c == ':' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			(i > 0 && '0' <= c && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// ValidLabelName reports whether s matches the label-name grammar:
+// [a-zA-Z_][a-zA-Z0-9_]* and not a reserved "__" name.
+func ValidLabelName(s string) bool {
+	if s == "" || strings.HasPrefix(s, "__") {
+		return false
+	}
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		ok := c == '_' ||
+			('a' <= c && c <= 'z') || ('A' <= c && c <= 'Z') ||
+			(i > 0 && '0' <= c && c <= '9')
+		if !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// Writer renders one scrape. Families must be written whole (one
+// Counter/Gauge/Histogram call each) and each family name at most once
+// per scrape — both enforced, since duplicate headers make the whole
+// exposition unparseable. Errors stick: the first one wins and every
+// later call is a no-op, so call sites chain without checks and read
+// Err once at the end.
+type Writer struct {
+	w    io.Writer
+	seen map[string]bool
+	err  error
+	buf  []byte
+}
+
+// NewWriter returns a Writer rendering to w.
+func NewWriter(w io.Writer) *Writer {
+	return &Writer{w: w, seen: make(map[string]bool)}
+}
+
+// Err returns the first error encountered (bad name, duplicate family,
+// underlying write failure).
+func (w *Writer) Err() error { return w.err }
+
+// Counter writes one counter family: HELP/TYPE header plus every
+// sample. Counter values must be cumulative and non-decreasing; the
+// writer renders what it is given.
+func (w *Writer) Counter(name, help string, samples ...Sample) {
+	w.family(name, help, "counter", samples)
+}
+
+// Gauge writes one gauge family.
+func (w *Writer) Gauge(name, help string, samples ...Sample) {
+	w.family(name, help, "gauge", samples)
+}
+
+func (w *Writer) family(name, help, typ string, samples []Sample) {
+	if !w.header(name, help, typ) {
+		return
+	}
+	for _, s := range samples {
+		w.sample(name, "", s.Labels, "", "", s.Value)
+	}
+}
+
+// Histogram writes one histogram family: per sample, the cumulative
+// le buckets, the +Inf bucket, _sum and _count. unit scales recorded
+// integer observations into the exposed base unit — durations recorded
+// in microseconds expose seconds with unit 1e-6; pass 1 for unit-free
+// histograms (packet counts).
+func (w *Writer) Histogram(name, help string, unit float64, samples ...HistogramSample) {
+	if !w.header(name, help, "histogram") {
+		return
+	}
+	for _, s := range samples {
+		var cum uint64
+		for i := 0; i < NumBuckets-1; i++ {
+			cum += s.Snap.Buckets[i]
+			le := strconv.FormatFloat(float64(UpperBound(i))*unit, 'g', -1, 64)
+			w.sample(name, "_bucket", s.Labels, "le", le, float64(cum))
+		}
+		w.sample(name, "_bucket", s.Labels, "le", "+Inf", float64(s.Snap.Count))
+		w.sample(name, "_sum", s.Labels, "", "", float64(s.Snap.Sum)*unit)
+		w.sample(name, "_count", s.Labels, "", "", float64(s.Snap.Count))
+	}
+}
+
+// header validates the family name, rejects duplicates, and writes the
+// HELP and TYPE lines. Reports whether the family may proceed.
+func (w *Writer) header(name, help, typ string) bool {
+	if w.err != nil {
+		return false
+	}
+	if !ValidMetricName(name) {
+		w.err = fmt.Errorf("metrics: invalid metric name %q", name)
+		return false
+	}
+	if w.seen[name] {
+		w.err = fmt.Errorf("metrics: family %q written twice", name)
+		return false
+	}
+	w.seen[name] = true
+	// HELP text escapes backslash and newline (the format's two escapes
+	// for help lines).
+	esc := strings.NewReplacer("\\", `\\`, "\n", `\n`).Replace(help)
+	if _, err := fmt.Fprintf(w.w, "# HELP %s %s\n# TYPE %s %s\n", name, esc, name, typ); err != nil {
+		w.err = err
+		return false
+	}
+	return true
+}
+
+// sample renders one `name[suffix]{labels[,extraName="extraValue"]} value`
+// line. extraName carries the histogram "le" label so callers never
+// splice label slices on the scrape path.
+func (w *Writer) sample(name, suffix string, labels []Label, extraName, extraValue string, v float64) {
+	if w.err != nil {
+		return
+	}
+	b := w.buf[:0]
+	b = append(b, name...)
+	b = append(b, suffix...)
+	if len(labels) > 0 || extraName != "" {
+		b = append(b, '{')
+		first := true
+		for _, l := range labels {
+			if !ValidLabelName(l.Name) {
+				w.err = fmt.Errorf("metrics: invalid label name %q on %s", l.Name, name)
+				return
+			}
+			if !first {
+				b = append(b, ',')
+			}
+			first = false
+			b = appendLabel(b, l.Name, l.Value)
+		}
+		if extraName != "" {
+			if !first {
+				b = append(b, ',')
+			}
+			b = appendLabel(b, extraName, extraValue)
+		}
+		b = append(b, '}')
+	}
+	b = append(b, ' ')
+	b = appendValue(b, v)
+	b = append(b, '\n')
+	w.buf = b
+	if _, err := w.w.Write(b); err != nil {
+		w.err = err
+	}
+}
+
+// appendLabel renders name="value" with the format's label-value
+// escapes (backslash, double quote, newline).
+func appendLabel(b []byte, name, value string) []byte {
+	b = append(b, name...)
+	b = append(b, '=', '"')
+	for i := 0; i < len(value); i++ {
+		switch c := value[i]; c {
+		case '\\':
+			b = append(b, '\\', '\\')
+		case '"':
+			b = append(b, '\\', '"')
+		case '\n':
+			b = append(b, '\\', 'n')
+		default:
+			b = append(b, c)
+		}
+	}
+	return append(b, '"')
+}
+
+// appendValue renders a sample value: integral floats (the common case
+// — counters and bucket counts) render without an exponent, and the
+// infinities render as the format's +Inf/-Inf.
+func appendValue(b []byte, v float64) []byte {
+	switch {
+	case math.IsInf(v, 1):
+		return append(b, "+Inf"...)
+	case math.IsInf(v, -1):
+		return append(b, "-Inf"...)
+	case v == math.Trunc(v) && math.Abs(v) < 1e15:
+		return strconv.AppendFloat(b, v, 'f', -1, 64)
+	default:
+		return strconv.AppendFloat(b, v, 'g', -1, 64)
+	}
+}

@@ -1,0 +1,239 @@
+package metrics
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var update = flag.Bool("update", false, "rewrite golden files")
+
+// sampleScrape renders a representative scrape: counters with and
+// without labels, a gauge, and a histogram with a duration unit —
+// every rendering path the fleet's status plane exercises.
+func sampleScrape(w *Writer) {
+	w.Counter("fleet_probes_out_total", "Probe datagrams sent.",
+		Sample{Labels: []Label{{"shard", "0"}}, Value: 42},
+		Sample{Labels: []Label{{"shard", "1"}}, Value: 7},
+	)
+	w.Gauge("fleet_live_control_points", "Control points currently registered.",
+		Sample{Value: 3},
+	)
+	w.Counter("fleet_weird_values_total", `Label escaping: backslash \ quote " newline.`,
+		Sample{Labels: []Label{{"path", "a\\b\"c\nd"}}, Value: 1},
+	)
+	var h Histogram
+	for _, v := range []uint64{1, 3, 900, 1500, 2_000_000} {
+		h.Observe(v)
+	}
+	w.Histogram("fleet_probe_rtt_seconds", "Probe round-trip time.", 1e-6,
+		HistogramSample{Snap: h.Snapshot()},
+	)
+	var fill Histogram
+	fill.Observe(1)
+	fill.Observe(32)
+	w.Histogram("fleet_recv_batch_fill_datagrams", "Datagrams per receive batch.", 1,
+		HistogramSample{Labels: []Label{{"shard", "0"}}, Snap: fill.Snapshot()},
+	)
+}
+
+func TestExpositionGolden(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	sampleScrape(w)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "expo.golden")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition differs from golden file:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+var (
+	helpRe   = regexp.MustCompile(`^# HELP ([a-zA-Z_:][a-zA-Z0-9_:]*) .*$`)
+	typeRe   = regexp.MustCompile(`^# TYPE ([a-zA-Z_:][a-zA-Z0-9_:]*) (counter|gauge|histogram|summary|untyped)$`)
+	sampleRe = regexp.MustCompile(`^([a-zA-Z_:][a-zA-Z0-9_:]*)(\{([a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")(,[a-zA-Z_][a-zA-Z0-9_]*="(\\.|[^"\\])*")*\})? (\+Inf|-Inf|NaN|[-+0-9.eE]+)$`)
+)
+
+// checkExposition is a strict line-level parser for the text format:
+// every line must be a valid HELP, TYPE, or sample line, sample names
+// must belong to the most recently declared family, and no family may
+// be declared twice. Returns families → sample counts.
+func checkExposition(t *testing.T, text string) map[string]int {
+	t.Helper()
+	families := map[string]int{}
+	declared := map[string]bool{}
+	current := ""
+	if !strings.HasSuffix(text, "\n") {
+		t.Error("exposition must end in a newline")
+	}
+	for ln, line := range strings.Split(strings.TrimSuffix(text, "\n"), "\n") {
+		switch {
+		case strings.HasPrefix(line, "# HELP "):
+			m := helpRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: bad HELP line %q", ln+1, line)
+			}
+			if declared[m[1]] {
+				t.Fatalf("line %d: family %q declared twice", ln+1, m[1])
+			}
+			declared[m[1]] = true
+			current = m[1]
+		case strings.HasPrefix(line, "# TYPE "):
+			m := typeRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: bad TYPE line %q", ln+1, line)
+			}
+			if m[1] != current {
+				t.Fatalf("line %d: TYPE for %q but current family is %q", ln+1, m[1], current)
+			}
+		case strings.HasPrefix(line, "#"):
+			t.Fatalf("line %d: unexpected comment %q", ln+1, line)
+		default:
+			m := sampleRe.FindStringSubmatch(line)
+			if m == nil {
+				t.Fatalf("line %d: bad sample line %q", ln+1, line)
+			}
+			name := strings.TrimSuffix(strings.TrimSuffix(strings.TrimSuffix(m[1], "_bucket"), "_sum"), "_count")
+			if name != current {
+				t.Fatalf("line %d: sample %q outside its family block (current %q)", ln+1, m[1], current)
+			}
+			if v := m[len(m)-1]; v != "+Inf" && v != "-Inf" && v != "NaN" {
+				if _, err := strconv.ParseFloat(v, 64); err != nil {
+					t.Fatalf("line %d: bad value %q: %v", ln+1, v, err)
+				}
+			}
+			families[current]++
+		}
+	}
+	return families
+}
+
+func TestExpositionGrammar(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	sampleScrape(w)
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	families := checkExposition(t, sb.String())
+	// A 32-bucket histogram renders 31 finite buckets + +Inf + sum + count.
+	if n := families["fleet_probe_rtt_seconds"]; n != NumBuckets+2 {
+		t.Errorf("rtt histogram rendered %d sample lines, want %d", n, NumBuckets+2)
+	}
+	if n := families["fleet_probes_out_total"]; n != 2 {
+		t.Errorf("counter rendered %d samples, want 2", n)
+	}
+}
+
+// TestHistogramCumulative checks the le buckets are cumulative and the
+// +Inf bucket equals _count — the two properties scrapers compute
+// quantiles from.
+func TestHistogramCumulative(t *testing.T) {
+	var h Histogram
+	for v := uint64(1); v < 5000; v *= 2 {
+		h.Observe(v)
+	}
+	h.Observe(1 << 40) // overflow bucket
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Histogram("x_seconds", "x", 1, HistogramSample{Snap: h.Snapshot()})
+	if err := w.Err(); err != nil {
+		t.Fatal(err)
+	}
+	var prev float64
+	var infVal, countVal float64
+	for _, line := range strings.Split(sb.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, "x_seconds_bucket{le=\"+Inf\"}"):
+			fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &infVal)
+		case strings.HasPrefix(line, "x_seconds_bucket"):
+			var v float64
+			fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &v)
+			if v < prev {
+				t.Fatalf("bucket counts not cumulative: %v after %v in %q", v, prev, line)
+			}
+			prev = v
+		case strings.HasPrefix(line, "x_seconds_count"):
+			fmt.Sscanf(line[strings.LastIndex(line, " ")+1:], "%g", &countVal)
+		}
+	}
+	if infVal != countVal || countVal != 14 {
+		t.Fatalf("+Inf bucket %v != count %v (want 14)", infVal, countVal)
+	}
+	if infVal < prev {
+		t.Fatalf("+Inf bucket %v below last finite bucket %v", infVal, prev)
+	}
+}
+
+func TestNameValidators(t *testing.T) {
+	valid := []string{"a", "fleet_probes_out_total", "A9", "_x", "ns:sub"}
+	for _, s := range valid {
+		if !ValidMetricName(s) {
+			t.Errorf("ValidMetricName(%q) = false", s)
+		}
+	}
+	invalid := []string{"", "9a", "a-b", "a b", "é", "a\n"}
+	for _, s := range invalid {
+		if ValidMetricName(s) {
+			t.Errorf("ValidMetricName(%q) = true", s)
+		}
+	}
+	if !ValidLabelName("shard") || !ValidLabelName("_x") {
+		t.Error("label names rejected")
+	}
+	for _, s := range []string{"", "__name__", "9a", "a:b", "le\n"} {
+		if ValidLabelName(s) {
+			t.Errorf("ValidLabelName(%q) = true", s)
+		}
+	}
+}
+
+func TestWriterErrors(t *testing.T) {
+	var sb strings.Builder
+	w := NewWriter(&sb)
+	w.Counter("ok_total", "x", Sample{Value: 1})
+	w.Counter("ok_total", "x", Sample{Value: 2})
+	if err := w.Err(); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("duplicate family not rejected: %v", err)
+	}
+
+	w = NewWriter(&sb)
+	w.Gauge("bad-name", "x", Sample{Value: 1})
+	if err := w.Err(); err == nil || !strings.Contains(err.Error(), "invalid metric name") {
+		t.Fatalf("bad metric name not rejected: %v", err)
+	}
+
+	w = NewWriter(&sb)
+	w.Counter("ok_total", "x", Sample{Labels: []Label{{"bad-label", "v"}}, Value: 1})
+	if err := w.Err(); err == nil || !strings.Contains(err.Error(), "invalid label name") {
+		t.Fatalf("bad label name not rejected: %v", err)
+	}
+
+	// Errors stick: later families are silently dropped, not rendered.
+	before := sb.Len()
+	w.Gauge("later", "x", Sample{Value: 1})
+	if sb.Len() != before {
+		t.Fatal("writer kept rendering after an error")
+	}
+}

@@ -1,0 +1,115 @@
+package metrics
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestBucketIndex(t *testing.T) {
+	cases := []struct {
+		v    uint64
+		want int
+	}{
+		{0, 0}, {1, 0}, {2, 1}, {3, 2}, {4, 2}, {5, 3}, {8, 3}, {9, 4},
+		{1024, 10}, {1025, 11},
+		{1 << 30, 30}, {1<<30 + 1, 31},
+		{1 << 31, 31}, {1 << 40, 31}, {^uint64(0), 31},
+	}
+	for _, c := range cases {
+		if got := BucketIndex(c.v); got != c.want {
+			t.Errorf("BucketIndex(%d) = %d, want %d", c.v, got, c.want)
+		}
+	}
+	// The invariant the exposition rendering depends on: every finite
+	// bucket's observations are ≤ its upper bound, and > the previous
+	// bucket's.
+	for v := uint64(1); v < 1<<20; v = v*3 + 1 {
+		i := BucketIndex(v)
+		if i < NumBuckets-1 && v > UpperBound(i) {
+			t.Fatalf("v=%d landed in bucket %d with upper bound %d", v, i, UpperBound(i))
+		}
+		if i > 0 && v <= UpperBound(i-1) {
+			t.Fatalf("v=%d landed in bucket %d but fits bucket %d (bound %d)", v, i, i-1, UpperBound(i-1))
+		}
+	}
+}
+
+// TestMergeEqualsSingle proves the property scraping relies on: merging
+// per-shard snapshots is indistinguishable from one histogram having
+// recorded every sample.
+func TestMergeEqualsSingle(t *testing.T) {
+	rng := rand.New(rand.NewSource(2005))
+	const shards = 4
+	var sharded [shards]Histogram
+	var single Histogram
+	for i := 0; i < 10000; i++ {
+		// Mix of magnitudes: sub-bucket, mid-range, overflow.
+		v := uint64(rng.Intn(3))
+		switch rng.Intn(3) {
+		case 0:
+			v = uint64(rng.Intn(16))
+		case 1:
+			v = uint64(rng.Intn(1 << 20))
+		case 2:
+			v = uint64(rng.Int63())
+		}
+		sharded[rng.Intn(shards)].Observe(v)
+		single.Observe(v)
+	}
+	var merged HistogramSnapshot
+	for i := range sharded {
+		s := sharded[i].Snapshot()
+		merged.Merge(s)
+	}
+	want := single.Snapshot()
+	if merged != want {
+		t.Fatalf("merged shards != single histogram:\n merged: %+v\n single: %+v", merged, want)
+	}
+}
+
+func TestObserveZeroAlloc(t *testing.T) {
+	var h Histogram
+	v := uint64(0)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		h.Observe(v)
+		v = v*7 + 13
+	}); allocs != 0 {
+		t.Fatalf("Observe allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func TestSnapshotStats(t *testing.T) {
+	var h Histogram
+	for _, v := range []uint64{1, 2, 3, 100, 1000} {
+		h.Observe(v)
+	}
+	s := h.Snapshot()
+	if s.Count != 5 || s.Sum != 1106 {
+		t.Fatalf("count=%d sum=%d, want 5/1106", s.Count, s.Sum)
+	}
+	if m := s.Mean(); m != 1106.0/5 {
+		t.Fatalf("mean=%v", m)
+	}
+	// Quantile returns the bucket upper bound the rank falls in.
+	if q := s.Quantile(0); q != 1 {
+		t.Fatalf("p0=%d, want 1", q)
+	}
+	if q := s.Quantile(0.5); q != 4 { // rank 2 → value 3 → bucket bound 4
+		t.Fatalf("p50=%d, want 4", q)
+	}
+	if q := s.Quantile(1); q != 1024 { // value 1000 → bucket bound 1024
+		t.Fatalf("p100=%d, want 1024", q)
+	}
+	var empty HistogramSnapshot
+	if empty.Mean() != 0 || empty.Quantile(0.99) != 0 {
+		t.Fatal("empty snapshot should report zeros")
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	var h Histogram
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		h.Observe(uint64(i))
+	}
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"presence/internal/ident"
+)
+
+func ev(kind EventKind, cp, dev ident.NodeID, cycle uint32, attempt uint8) Event {
+	return Event{At: time.Millisecond, Kind: kind, CP: cp, Device: dev, Cycle: cycle, Attempt: attempt}
+}
+
+func TestRingBounded(t *testing.T) {
+	r := NewRing(4)
+	if got := r.Snapshot(); len(got) != 0 {
+		t.Fatalf("empty ring snapshot has %d events", len(got))
+	}
+	for i := uint32(0); i < 10; i++ {
+		r.Record(ev(EvProbeSent, 1, 2, i, 0))
+	}
+	if r.Total() != 10 || r.Dropped() != 6 {
+		t.Fatalf("total=%d dropped=%d, want 10/6", r.Total(), r.Dropped())
+	}
+	got := r.Snapshot()
+	if len(got) != 4 {
+		t.Fatalf("snapshot has %d events, want 4", len(got))
+	}
+	for i, e := range got {
+		if e.Cycle != uint32(6+i) {
+			t.Fatalf("snapshot[%d].Cycle = %d, want %d (oldest-first, newest retained)", i, e.Cycle, 6+i)
+		}
+	}
+}
+
+func TestRingRecordZeroAlloc(t *testing.T) {
+	r := NewRing(64)
+	e := ev(EvReplyMatched, 3, 4, 7, 1)
+	if allocs := testing.AllocsPerRun(1000, func() { r.Record(e) }); allocs != 0 {
+		t.Fatalf("Record allocates %.1f per call, want 0", allocs)
+	}
+}
+
+func TestWriteFlightFormat(t *testing.T) {
+	var sb strings.Builder
+	events := []Event{
+		ev(EvProbeSent, 12, 5, 1034, 0),
+		ev(EvHandoff, ident.None, 5, 99, 0),
+	}
+	if err := WriteFlight(&sb, 0, events); err != nil {
+		t.Fatal(err)
+	}
+	want := "s0 +0.001000 probe-sent dev=n5 cp=n12 cycle=1034 attempt=0\n" +
+		"s0 +0.001000 handoff dev=n5 cycle=99\n"
+	if sb.String() != want {
+		t.Fatalf("got:\n%swant:\n%s", sb.String(), want)
+	}
+}
+
+// TestNormalizeDeterministic pins the normalization rules: timestamps
+// and absolute cycle numbers must not leak into the output, handoffs
+// are skipped, and shard/arrival order must not matter for distinct CPs.
+func TestNormalizeDeterministic(t *testing.T) {
+	runA := [][]Event{{
+		{At: 5 * time.Millisecond, Kind: EvProbeSent, CP: 10, Device: 2, Cycle: 1000, Attempt: 0},
+		{At: 6 * time.Millisecond, Kind: EvReplyMatched, CP: 10, Device: 2, Cycle: 1000, Attempt: 0},
+		{At: 7 * time.Millisecond, Kind: EvHandoff, Device: 2, Cycle: 55},
+	}, {
+		{At: 8 * time.Millisecond, Kind: EvProbeSent, CP: 11, Device: 3, Cycle: 7000, Attempt: 0},
+		{At: 9 * time.Millisecond, Kind: EvAttemptExpired, CP: 11, Device: 3, Cycle: 7000, Attempt: 0},
+		{At: 10 * time.Millisecond, Kind: EvProbeSent, CP: 11, Device: 3, Cycle: 7000, Attempt: 1},
+		{At: 11 * time.Millisecond, Kind: EvVerdictLost, CP: 11, Device: 3, Cycle: 7001, Attempt: 1},
+	}}
+	// Same protocol history, different wall times, different absolute
+	// cycle seeds, CPs on swapped shards, no handoff.
+	runB := [][]Event{{
+		{At: 123 * time.Millisecond, Kind: EvProbeSent, CP: 11, Device: 3, Cycle: 40, Attempt: 0},
+		{At: 124 * time.Millisecond, Kind: EvAttemptExpired, CP: 11, Device: 3, Cycle: 40, Attempt: 0},
+		{At: 125 * time.Millisecond, Kind: EvProbeSent, CP: 11, Device: 3, Cycle: 40, Attempt: 1},
+		{At: 126 * time.Millisecond, Kind: EvVerdictLost, CP: 11, Device: 3, Cycle: 41, Attempt: 1},
+	}, {
+		{At: 99 * time.Millisecond, Kind: EvProbeSent, CP: 10, Device: 2, Cycle: 1, Attempt: 0},
+		{At: 100 * time.Millisecond, Kind: EvReplyMatched, CP: 10, Device: 2, Cycle: 1, Attempt: 0},
+	}}
+	a, b := Normalize(runA), Normalize(runB)
+	if strings.Join(a, "\n") != strings.Join(b, "\n") {
+		t.Fatalf("normalized dumps differ:\nA: %v\nB: %v", a, b)
+	}
+	want := []string{
+		"n2<-n10: probe-sent(c+0,a0) reply-matched(c+0,a0)",
+		"n3<-n11: probe-sent(c+0,a0) attempt-expired(c+0,a0) probe-sent(c+0,a1) verdict-lost(c+1,a1)",
+	}
+	if strings.Join(a, "\n") != strings.Join(want, "\n") {
+		t.Fatalf("normalized dump:\n%v\nwant:\n%v", a, want)
+	}
+}

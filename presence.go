@@ -10,6 +10,8 @@ import (
 	"presence/internal/experiments"
 	"presence/internal/fleet"
 	"presence/internal/ident"
+	"presence/internal/metrics"
+	"presence/internal/obs"
 	"presence/internal/rtnet"
 	"presence/internal/scenario"
 	"presence/internal/simrun"
@@ -321,6 +323,32 @@ func NewFleetSAPPControlPoint(f *Fleet, cfg FleetCPConfig, policy SAPPCPConfig, 
 func FleetLoopbackScale(opts FleetScaleOptions) (FleetScaleResult, error) {
 	return fleet.LoopbackScale(opts)
 }
+
+// Telemetry plane (see internal/metrics, internal/obs and the fleet's
+// Histograms/FlightSnapshot methods): allocation-free per-shard
+// histograms on the probe hot path, a Prometheus /metrics + /statusz
+// status server, and a bounded flight recorder of probe-lifecycle
+// events.
+type (
+	// FleetHistograms is the fleet's merged latency/fill histogram
+	// snapshot (probe RTT, detection latency, handoff latency, batch
+	// fill, timer-cascade duration).
+	FleetHistograms = fleet.Histograms
+	// HistogramSnapshot is one immutable log₂-bucket histogram snapshot.
+	HistogramSnapshot = metrics.HistogramSnapshot
+	// StatusConfig wires a fleet (and optionally a memnet network) into
+	// a status server.
+	StatusConfig = obs.Config
+	// StatusServer serves /metrics, /healthz, /statusz, /debug/flight
+	// and the pprof handlers for one fleet.
+	StatusServer = obs.Server
+	// StatusSnapshot is the /statusz document.
+	StatusSnapshot = obs.Status
+)
+
+// NewStatusServer builds the status plane for a fleet. Call Start to
+// serve it, or mount Handler on an existing mux.
+func NewStatusServer(cfg StatusConfig) (*StatusServer, error) { return obs.New(cfg) }
 
 // NewUDPDCPPControlPoint monitors a DCPP device over UDP. The listener
 // may be nil.
