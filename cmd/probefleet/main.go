@@ -10,7 +10,8 @@
 //	           [-loopback N | -device ADDR -device-id N]
 //	           [-min-gap D] [-min-cp-delay D]
 //	           [-duration D] [-interval D] [-join-ramp D]
-//	           [-batch N] [-single] [-reuseport] [-harden] [-status ADDR]
+//	           [-batch N] [-single] [-reuseport] [-harden]
+//	           [-status ADDR] [-admin] [-churn F]
 //
 // By default it runs self-contained: -loopback N hosts N devices of the
 // chosen protocol in a second, devices-only fleet and points the CPs at
@@ -35,6 +36,22 @@
 // only pprof. SIGQUIT dumps the flight recorder to stdout without
 // stopping the daemon (the classic thread-dump idiom); the final
 // SIGINT/SIGTERM dump also prints a latency digest off the histograms.
+//
+// -admin arms the runtime-administration endpoints on the -status mux
+// (POST /admin/cp/add, /admin/cp/remove, /admin/device/add,
+// /admin/device/remove, /admin/drain, /admin/rebalance and GET/POST
+// /admin/config — see internal/obs): live control-point and device
+// churn, shard drain/rebalance and config pushes against the running
+// daemon, e.g.
+//
+//	curl -X POST -d '{"shard":0}' http://localhost:6060/admin/drain
+//
+// -churn F drives synthetic runtime churn at F ops/s through the same
+// admin plane the endpoints use: each operation adds a control point
+// (fresh id, round-robin device) until a rolling pool of 100 is live,
+// then alternates removing the oldest and adding a new one — the
+// steady-state add/remove mix a self-configuring network produces.
+// Live stats then also show the churn pool and total ops.
 //
 // -reuseport binds every CP-fleet shard socket to one shared UDP port
 // with SO_REUSEPORT (fleet Config.ReusePort): the kernel demultiplexes
@@ -105,6 +122,8 @@ type options struct {
 	harden     bool
 	statusAddr string
 	pprofAddr  string
+	admin      bool
+	churn      float64
 }
 
 func run(args []string, out io.Writer, sig <-chan os.Signal) error {
@@ -129,6 +148,8 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 	fs.BoolVar(&o.harden, "harden", false, "enable the adversarial defenses (BYE verification, source pinning, replay window, per-source shedding) on both fleets")
 	fs.StringVar(&o.statusAddr, "status", "", "serve the status plane (/metrics, /healthz, /statusz, /debug/flight, pprof) on this address (e.g. localhost:6060)")
 	fs.StringVar(&o.pprofAddr, "pprof", "", "deprecated alias for -status (the pprof handlers live on the status mux)")
+	fs.BoolVar(&o.admin, "admin", false, "mount the runtime admin endpoints (/admin/...) on the -status mux")
+	fs.Float64Var(&o.churn, "churn", 0, "drive synthetic runtime churn at this many control-point add/remove ops per second")
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
@@ -154,6 +175,12 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 	if o.statusAddr == "" {
 		o.statusAddr = o.pprofAddr // deprecated alias
 	}
+	if o.admin && o.statusAddr == "" {
+		return fmt.Errorf("-admin needs -status ADDR to serve the endpoints on")
+	}
+	if o.churn < 0 {
+		return fmt.Errorf("-churn %g must be non-negative", o.churn)
+	}
 
 	cpFleet, err := fleet.New(fleet.Config{Shards: o.shards, Batch: o.batch, ForceSingleDatagram: o.single, ReusePort: o.reuseport, Harden: o.harden})
 	if err != nil {
@@ -164,7 +191,7 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 		return err
 	}
 	if o.statusAddr != "" {
-		status, err := obs.New(obs.Config{Fleet: cpFleet})
+		status, err := obs.New(obs.Config{Fleet: cpFleet, Admin: o.admin})
 		if err != nil {
 			return err
 		}
@@ -229,7 +256,8 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 			}
 			targets = append(targets, target{id: id, addr: dev.Addr()})
 		}
-		fmt.Fprintf(out, "probefleet: %d loopback %s device(s) up\n", o.loopback, o.protocol)
+		fmt.Fprintf(out, "probefleet: %d loopback %s device(s) up, first at %s\n",
+			o.loopback, o.protocol, targets[0].addr)
 	}
 
 	fmt.Fprintf(out, "probefleet: joining %d %s control points on %d shard(s) over %v\n",
@@ -253,6 +281,23 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 	}
 	fmt.Fprintf(out, "probefleet: all %d control points joined\n", o.cps)
 
+	// The -churn driver: a rolling pool of extra control points added
+	// and removed through the fleet's admin plane at the requested rate.
+	var churnTick <-chan time.Time
+	var churnIDs []ident.NodeID
+	var churnOps uint64
+	churnNext := ident.NodeID(1 << 20) // clear of the Allocator's ids
+	if o.churn > 0 {
+		iv := time.Duration(float64(time.Second) / o.churn)
+		if iv < time.Millisecond {
+			iv = time.Millisecond // ticker floor; ops coalesce below it
+		}
+		ct := time.NewTicker(iv)
+		defer ct.Stop()
+		churnTick = ct.C
+	}
+	const churnPool = 100
+
 	ticker := time.NewTicker(o.interval)
 	defer ticker.Stop()
 	var timeout <-chan time.Time
@@ -265,7 +310,38 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 		case <-ticker.C:
 			cur := cpFleet.Snapshot()
 			printLive(out, prev, cur)
+			if o.churn > 0 {
+				fmt.Fprintf(out, "          churn pool=%d ops=%d\n", len(churnIDs), churnOps)
+			}
 			prev = cur
+		case <-churnTick:
+			churnOps++
+			if len(churnIDs) >= churnPool {
+				// Remove the oldest pool member, then fall through to add so
+				// the pool stays full: one remove+add pair per tick at
+				// saturation.
+				if err := cpFleet.RemoveControlPoint(churnIDs[0]); err != nil {
+					fmt.Fprintf(os.Stderr, "probefleet: churn remove: %v\n", err)
+				}
+				churnIDs = churnIDs[1:]
+				churnOps++
+			}
+			policy, err := cpPolicy(o)
+			if err != nil {
+				return err
+			}
+			tgt := targets[int(churnNext)%len(targets)]
+			if _, err := cpFleet.AddControlPoint(fleet.CPConfig{
+				ID:             churnNext,
+				Device:         tgt.id,
+				DeviceAddrPort: tgt.addr,
+				Policy:         policy,
+			}); err != nil {
+				fmt.Fprintf(os.Stderr, "probefleet: churn add: %v\n", err)
+			} else {
+				churnIDs = append(churnIDs, churnNext)
+			}
+			churnNext++
 		case s := <-sig:
 			if s == syscall.SIGQUIT {
 				// Thread-dump idiom: dump the flight recorder, keep running.

@@ -89,7 +89,17 @@
 //     internal/memnet supplies a deterministic in-memory network with
 //     injectable loss (Bernoulli and Gilbert–Elliott), delay,
 //     duplication, reordering and partitions for driving the real shard
-//     loops over hostile links.
+//     loops over hostile links;
+//   - a runtime administration plane mutates a live fleet without
+//     stopping it: Add/RemoveControlPoint and Add/RemoveDevice run as
+//     commands on the owning shard's bounded inbox (refusals surface as
+//     fleet.ErrAdmissionRejected), DrainShard/Rebalance migrate control
+//     points between shards without losing a pending cycle or
+//     manufacturing a verdict, SetConfig pushes versioned runtime
+//     configuration (hardening, TTLs, the per-device probe budget that
+//     sheds over-budget probes under overload), and probefleet -admin
+//     exposes it all as HTTP endpoints next to /metrics (churn-soak and
+//     drain-equivalence tests in internal/fleet pin the contracts).
 //
 // # Conformance harness
 //

@@ -52,8 +52,14 @@
 package conformance
 
 import (
+	"bytes"
+	"context"
+	"encoding/json"
 	"fmt"
+	"io"
 	"math"
+	"net/http"
+	"net/netip"
 	"sort"
 	"strings"
 	"sync"
@@ -66,6 +72,7 @@ import (
 	"presence/internal/fleet"
 	"presence/internal/ident"
 	"presence/internal/memnet"
+	"presence/internal/obs"
 	"presence/internal/scenario"
 	"presence/internal/simnet"
 	"presence/internal/simrun"
@@ -122,6 +129,13 @@ type Case struct {
 	// Harden enables the fleet's adversarial defenses (fleet
 	// Config.Harden) on both the CP and device fleets.
 	Harden bool
+	// ViaAdmin drives the fleet-side membership through the runtime
+	// admin plane — HTTP POSTs against an obs server with Config.Admin —
+	// instead of direct AddControlPoint/Remove calls, proving the
+	// production admin endpoints realise the same schedule. Verdicts
+	// then flow through the fleet-wide Config.Verdicts hook (the admin
+	// plane attaches no per-CP listeners).
+	ViaAdmin bool
 	// Tol bands the metric diffs (zero value = DefaultTolerances).
 	Tol Tolerances
 }
@@ -138,16 +152,19 @@ func (c *Case) applyDefaults() {
 	}
 }
 
-// DefaultCases returns the standing battery: the three conf-* named
-// scenarios — fast uniform churn, the same churn over a
-// Gilbert-Elliott burst-loss channel, and flash-crowd cohorts with a
-// graceful bye — each with a pinch of extra reordering.
+// DefaultCases returns the standing battery: the conf-* named
+// scenarios — fast uniform churn (replayed twice: once through the
+// direct fleet API and once through the runtime admin endpoints), the
+// same churn over a Gilbert-Elliott burst-loss channel, and
+// flash-crowd cohorts with a graceful bye — each with a pinch of extra
+// reordering.
 func DefaultCases() []Case {
 	lossy := DefaultTolerances()
 	lossy.FracAbs = 0.6
 	lossy.LoadRel = 0.5
 	return []Case{
 		{Scenario: "conf-churn", ExtraReorderP: 0.05},
+		{Scenario: "conf-admin-churn", ExtraReorderP: 0.05, ViaAdmin: true},
 		{Scenario: "conf-bursty-loss", ExtraReorderP: 0.05, Tol: lossy},
 		{Scenario: "conf-flash-crowd", ExtraReorderP: 0.05},
 	}
@@ -558,6 +575,107 @@ type collector struct {
 	checker *Checker
 }
 
+// onVerdict is the fleet-wide verdict hook used by ViaAdmin replays:
+// the admin plane attaches no per-CP listeners, so verdicts arrive
+// through fleet Config.Verdicts and are keyed back to CP indices by the
+// cpID convention. Runs on the shard event loop: cheap, non-blocking.
+func (col *collector) onVerdict(ev fleet.VerdictEvent) {
+	idx := int(ev.CP) - int(cpID(0))
+	if idx < 0 || idx >= len(col.recs) {
+		return
+	}
+	now := time.Now()
+	col.mu.Lock()
+	switch ev.Kind {
+	case fleet.VerdictLost:
+		if col.recs[idx].lostAt.IsZero() {
+			col.recs[idx].lostAt = now
+		}
+	case fleet.VerdictBye:
+		if col.recs[idx].byeAt.IsZero() {
+			col.recs[idx].byeAt = now
+		}
+	}
+	col.mu.Unlock()
+	switch ev.Kind {
+	case fleet.VerdictLost:
+		col.checker.CPLost(ev.CP)
+	case fleet.VerdictBye:
+		col.checker.CPBye(ev.CP)
+	}
+}
+
+// adminClient drives the fleet's runtime admin plane over real HTTP —
+// the ViaAdmin replay path.
+type adminClient struct {
+	base   string
+	client http.Client
+}
+
+func (a *adminClient) post(path string, req, resp any) error {
+	body, err := json.Marshal(req)
+	if err != nil {
+		return err
+	}
+	r, err := a.client.Post(a.base+path, "application/json", bytes.NewReader(body))
+	if err != nil {
+		return err
+	}
+	defer r.Body.Close()
+	if r.StatusCode != http.StatusOK {
+		msg, _ := io.ReadAll(io.LimitReader(r.Body, 512))
+		return fmt.Errorf("%s: %s: %s", path, r.Status, strings.TrimSpace(string(msg)))
+	}
+	if resp == nil {
+		return nil
+	}
+	return json.NewDecoder(r.Body).Decode(resp)
+}
+
+// addCP joins one control point through POST /admin/cp/add, carrying
+// the same protocol and retransmit parameters the direct path uses
+// (the admin plane builds paper-default sapp/dcpp policies — exactly
+// what the conformance scenarios' compiled configs hold). Returns the
+// shard the fleet placed it on.
+func (a *adminClient) addCP(id ident.NodeID, cfg simrun.Config, devAddr netip.AddrPort) (int, error) {
+	var proto string
+	switch cfg.Protocol {
+	case simrun.ProtocolSAPP:
+		proto = "sapp"
+	case simrun.ProtocolDCPP:
+		proto = "dcpp"
+	case simrun.ProtocolNaive:
+		proto = "naive"
+	default:
+		return 0, fmt.Errorf("conformance: unknown protocol %q", cfg.Protocol)
+	}
+	req := map[string]any{
+		"id":       uint32(id),
+		"device":   uint32(deviceID),
+		"addr":     devAddr.String(),
+		"protocol": proto,
+		"retransmit": map[string]any{
+			"first_timeout":   cfg.Retransmit.FirstTimeout.String(),
+			"retry_timeout":   cfg.Retransmit.RetryTimeout.String(),
+			"max_retransmits": cfg.Retransmit.MaxRetransmits,
+		},
+	}
+	if proto == "naive" {
+		req["period"] = cfg.NaivePeriod.String()
+	}
+	var resp struct {
+		Shard int `json:"shard"`
+	}
+	if err := a.post("/admin/cp/add", req, &resp); err != nil {
+		return 0, err
+	}
+	return resp.Shard, nil
+}
+
+func (a *adminClient) removeCP(id ident.NodeID) error {
+	return a.post("/admin/cp/remove", map[string]any{"id": uint32(id)}, nil)
+}
+
 // timeline event kinds, in tie-break order: a join at the same instant
 // as the device event still joins first, like the simulator's
 // same-time event ordering (insertion order puts population events
@@ -650,7 +768,15 @@ func runFleet(spec *scenario.Spec, sched *schedule, c Case, seed uint64) (fleetO
 	}
 	net.Observe(observe)
 
-	cpFleet, err := fleet.New(fleet.Config{Shards: c.Shards, Transport: transport, Harden: c.Harden})
+	n := len(sched.joinAt)
+	col := &collector{recs: make([]cpRecord, n), checker: checker}
+	cps := make([]*fleet.ControlPoint, n)
+
+	fcfg := fleet.Config{Shards: c.Shards, Transport: transport, Harden: c.Harden}
+	if c.ViaAdmin {
+		fcfg.Verdicts = col.onVerdict
+	}
+	cpFleet, err := fleet.New(fcfg)
 	if err != nil {
 		return out, err
 	}
@@ -660,9 +786,23 @@ func runFleet(spec *scenario.Spec, sched *schedule, c Case, seed uint64) (fleetO
 	}
 	shardAddrs := cpFleet.Addrs()
 
-	n := len(sched.joinAt)
-	col := &collector{recs: make([]cpRecord, n), checker: checker}
-	cps := make([]*fleet.ControlPoint, n)
+	var admin *adminClient
+	if c.ViaAdmin {
+		srv, err := obs.New(obs.Config{Fleet: cpFleet, Admin: true})
+		if err != nil {
+			return out, err
+		}
+		addr, err := srv.Start("127.0.0.1:0")
+		if err != nil {
+			return out, err
+		}
+		defer func() {
+			ctx, cancel := context.WithTimeout(context.Background(), 2*time.Second)
+			defer cancel()
+			srv.Shutdown(ctx) //nolint:errcheck // teardown best-effort
+		}()
+		admin = &adminClient{base: "http://" + addr.String()}
+	}
 
 	timeline := make([]timelineEvent, 0, 2*n+2)
 	for i, at := range sched.joinAt {
@@ -700,29 +840,43 @@ func runFleet(spec *scenario.Spec, sched *schedule, c Case, seed uint64) (fleetO
 		}
 		switch ev.kind {
 		case evJoin:
-			policy, err := newCPPolicy(cfg)
-			if err != nil {
-				return out, err
-			}
 			id := cpID(ev.idx)
 			checker.RegisterCP(id)
-			cp, err := cpFleet.AddControlPoint(fleet.CPConfig{
-				ID:             id,
-				Device:         deviceID,
-				DeviceAddrPort: dev.Addr(),
-				Policy:         policy,
-				Listener:       cpListener{col: col, idx: ev.idx, id: id},
-				Retransmit:     cfg.Retransmit,
-			})
-			if err != nil {
-				return out, fmt.Errorf("conformance: join cp %d: %w", ev.idx, err)
+			if admin != nil {
+				shard, err := admin.addCP(id, cfg, dev.Addr())
+				if err != nil {
+					return out, fmt.Errorf("conformance: admin join cp %d: %w", ev.idx, err)
+				}
+				checker.SetShard(id, shardAddrs[shard])
+			} else {
+				policy, err := newCPPolicy(cfg)
+				if err != nil {
+					return out, err
+				}
+				cp, err := cpFleet.AddControlPoint(fleet.CPConfig{
+					ID:             id,
+					Device:         deviceID,
+					DeviceAddrPort: dev.Addr(),
+					Policy:         policy,
+					Listener:       cpListener{col: col, idx: ev.idx, id: id},
+					Retransmit:     cfg.Retransmit,
+				})
+				if err != nil {
+					return out, fmt.Errorf("conformance: join cp %d: %w", ev.idx, err)
+				}
+				checker.SetShard(id, shardAddrs[cp.Shard()])
+				cps[ev.idx] = cp
 			}
-			checker.SetShard(id, shardAddrs[cp.Shard()])
-			cps[ev.idx] = cp
 			joined++
 			presentNow++
 		case evLeave:
-			cps[ev.idx].Remove()
+			if admin != nil {
+				if err := admin.removeCP(cpID(ev.idx)); err != nil {
+					return out, fmt.Errorf("conformance: admin leave cp %d: %w", ev.idx, err)
+				}
+			} else {
+				cps[ev.idx].Remove()
+			}
 			checker.CPRemoved(cpID(ev.idx))
 			presentNow--
 		case evDevice:

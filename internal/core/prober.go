@@ -232,6 +232,25 @@ func (p *Prober) Stop() {
 	p.verifying = false
 }
 
+// Rehome moves the prober into a new cycle-number space: the next cycle
+// is numbered firstCycle+1 (FirstCycle semantics). Shared-socket
+// runtimes stagger and route replies by cycle number, so migrating a
+// prober between sockets re-seeds the space. A cycle in flight when the
+// space changes could never be attributed to the old numbering again:
+// it is abandoned without a verdict and a fresh cycle opens in the new
+// space immediately (a pending bye-verification carries over to that
+// cycle). In any other state only the numbering changes — the armed
+// alarm, the learned policy state and the stop status are untouched.
+func (p *Prober) Rehome(firstCycle uint32) {
+	if p.state == stateAwaitReply {
+		p.env.StopAlarm()
+		p.cycle = firstCycle
+		p.beginCycle()
+		return
+	}
+	p.cycle = firstCycle
+}
+
 func (p *Prober) beginCycle() {
 	p.cycle++
 	p.attempt = 0

@@ -1,0 +1,111 @@
+package fleet
+
+// Scale gate for the mutation plane: the ISSUE's acceptance bar is
+// add-then-remove of 50k control points on a live fleet, with every
+// gauge back at its floor afterwards. Adds and removes run from 16
+// goroutines at once, so the directory, the per-shard command inboxes
+// and the wake path all see real contention. (The hot-path allocation
+// bar is pinned separately by TestShardHotPathZeroAlloc — this test
+// pins that bulk administration terminates and leaks nothing.)
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"presence/internal/core"
+	"presence/internal/core/naive"
+	"presence/internal/ident"
+)
+
+func TestAdminScale50k(t *testing.T) {
+	if testing.Short() {
+		t.Skip("50k churn skipped in -short")
+	}
+	if raceEnabled {
+		t.Skip("50k churn skipped under -race (runs in the plain CI leg)")
+	}
+	const (
+		nCPs    = 50_000
+		workers = 16
+	)
+	f := startedFleet(t, Config{Shards: 4})
+	dev, err := f.AddDevice(1, func(env core.Env) (core.Device, error) {
+		return naive.NewDevice(1, env)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < nCPs; i += workers {
+				policy, err := naive.NewPolicy(time.Hour) // one probe, then park
+				if err != nil {
+					errs <- err
+					return
+				}
+				if _, err := f.AddControlPoint(CPConfig{
+					ID: ident.NodeID(1000 + i), Device: 1, DeviceAddrPort: dev.Addr(),
+					Policy: policy,
+					// A dropped reply in the 50k loopback burst must not
+					// schedule mid-test retransmit traffic.
+					Retransmit: core.RetransmitConfig{FirstTimeout: time.Hour, RetryTimeout: time.Hour},
+				}); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	added := time.Since(start)
+	snap := f.Snapshot().Total
+	if snap.ControlPoints != nCPs || snap.LiveControlPoints != nCPs {
+		t.Fatalf("after bulk add: %d hosted, %d live, want %d", snap.ControlPoints, snap.LiveControlPoints, nCPs)
+	}
+	if snap.ProbesOut < nCPs/2 {
+		t.Fatalf("only %d probes left for %d CPs — probers not running", snap.ProbesOut, nCPs)
+	}
+
+	start = time.Now()
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < nCPs; i += workers {
+				if err := f.RemoveControlPoint(ident.NodeID(1000 + i)); err != nil {
+					errs <- err
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	select {
+	case err := <-errs:
+		t.Fatal(err)
+	default:
+	}
+	removed := time.Since(start)
+	t.Logf("50k CPs: add %v, remove %v", added.Round(time.Millisecond), removed.Round(time.Millisecond))
+
+	waitFor(t, 10*time.Second, "gauges to drain", func() bool {
+		s := f.Snapshot().Total
+		return s.ControlPoints == 0 && s.LiveControlPoints == 0 &&
+			s.PendingProbes == 0 && s.WheelDepth == f.Shards()
+	})
+	// The fleet is still healthy: a fresh CP probes and completes.
+	cp := addDCPPCP(t, f, 70, 1, dev.Addr().String(), nil)
+	waitFor(t, 5*time.Second, "post-churn cycle", func() bool { return cp.Stats().CyclesOK >= 1 })
+}

@@ -1,0 +1,213 @@
+package fleet_test
+
+// Drain equivalence: migrating a shard's control points mid-run must
+// be invisible to everyone who did not move. The same bounded memnet
+// scenario runs twice — once undisturbed, once with DrainShard fired
+// while cycles are in flight — and the trace.Normalize timelines of
+// the control points homed on the surviving shard must be
+// byte-identical between the runs. The migrated control points get a
+// weaker but still absolute guarantee, checked in both runs: every
+// cycle completes, nobody is lost, and the device's final BYE reaches
+// every control point — zero false verdicts through the migration.
+
+import (
+	"fmt"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"presence/internal/core"
+	"presence/internal/core/naive"
+	"presence/internal/fleet"
+	"presence/internal/ident"
+	"presence/internal/memnet"
+	"presence/internal/trace"
+)
+
+const (
+	deqCPs      = 16
+	deqCycles   = 20
+	deqDeviceID = ident.NodeID(7)
+	deqBaseID   = ident.NodeID(300)
+)
+
+// deqOutcome is one run's comparable residue.
+type deqOutcome struct {
+	lines map[ident.NodeID]string // Normalize line per CP
+	homes map[ident.NodeID]int    // hash-home shard per CP
+	moved int
+	lost  int64
+	byes  int64
+}
+
+func runDrainScenario(t *testing.T, drain bool) deqOutcome {
+	t.Helper()
+	net := memnet.New(memnet.Faults{})
+	defer net.Close()
+	transport := fleet.TransportFunc(func(int) (fleet.PacketConn, error) { return net.Listen() })
+
+	devFleet, err := fleet.New(fleet.Config{Shards: 1, Transport: transport})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer devFleet.Close()
+	if err := devFleet.Start(); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := devFleet.AddDevice(deqDeviceID, func(env core.Env) (core.Device, error) {
+		return naive.NewDevice(deqDeviceID, env)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var lost, byes atomic.Int64
+	cpFleet, err := fleet.New(fleet.Config{
+		Shards: 2, Transport: transport,
+		Verdicts: func(ev fleet.VerdictEvent) {
+			switch ev.Kind {
+			case fleet.VerdictLost:
+				lost.Add(1)
+			case fleet.VerdictBye:
+				byes.Add(1)
+			}
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cpFleet.Close()
+	if err := cpFleet.Start(); err != nil {
+		t.Fatal(err)
+	}
+
+	out := deqOutcome{lines: map[ident.NodeID]string{}, homes: map[ident.NodeID]int{}}
+	cps := make([]*fleet.ControlPoint, deqCPs)
+	for i := range cps {
+		id := deqBaseID + ident.NodeID(i)
+		out.homes[id] = cpFleet.HomeShard(id)
+		cp, err := cpFleet.AddControlPoint(fleet.CPConfig{
+			ID: id, Device: deqDeviceID, DeviceAddrPort: dev.Addr(),
+			Policy: &nCyclesPolicy{left: deqCycles},
+			// No retransmits on a perfect in-memory network: one probe
+			// and one reply per cycle, so both runs put the same event
+			// sequence in the flight recorder.
+			Retransmit: core.RetransmitConfig{
+				FirstTimeout: 30 * time.Second,
+				RetryTimeout: 30 * time.Second,
+			},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		cps[i] = cp
+	}
+
+	waitCycles := func(n uint64) {
+		deadline := time.Now().Add(30 * time.Second)
+		for _, cp := range cps {
+			for cp.Stats().CyclesOK < n {
+				if time.Now().After(deadline) {
+					t.Fatalf("cp %v stuck at %d cycles (drain=%v)", cp.ID(), cp.Stats().CyclesOK, drain)
+				}
+				time.Sleep(time.Millisecond)
+			}
+		}
+	}
+
+	if drain {
+		// Mid-run, with every CP actively cycling: shard 1's CPs move
+		// to shard 0 while probes are in flight.
+		waitCycles(deqCycles / 4)
+		moved, err := cpFleet.DrainShard(1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if moved == 0 {
+			t.Fatal("drain moved nothing — the scenario exercised no migration")
+		}
+		out.moved = moved
+	}
+	waitCycles(deqCycles)
+
+	// Graceful leave: the BYE must reach all CPs — including the
+	// migrated ones, at their new shard's socket.
+	dev.Bye()
+	deadline := time.Now().Add(10 * time.Second)
+	for byes.Load() < deqCPs {
+		if time.Now().After(deadline) {
+			t.Fatalf("BYE reached %d/%d CPs (drain=%v)", byes.Load(), deqCPs, drain)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	for _, line := range trace.Normalize(cpFleet.FlightSnapshot()) {
+		for id := range out.homes {
+			if strings.HasPrefix(line, fmt.Sprintf("%v<-%v:", deqDeviceID, id)) {
+				out.lines[id] = line
+				break
+			}
+		}
+	}
+	out.lost, out.byes = lost.Load(), byes.Load()
+	return out
+}
+
+func TestDrainEquivalence(t *testing.T) {
+	baseline := runDrainScenario(t, false)
+	drained := runDrainScenario(t, true)
+
+	// Absolute guarantees in both runs: every CP completed all cycles
+	// and saw the BYE; nobody was ever declared lost.
+	for _, out := range []deqOutcome{baseline, drained} {
+		if out.lost != 0 {
+			t.Fatalf("false lost verdicts: %d", out.lost)
+		}
+		if out.byes != deqCPs {
+			t.Fatalf("byes = %d, want %d", out.byes, deqCPs)
+		}
+		if len(out.lines) != deqCPs {
+			t.Fatalf("flight recorder holds %d CP timelines, want %d", len(out.lines), deqCPs)
+		}
+	}
+	if drained.moved == 0 || drained.moved >= deqCPs {
+		t.Fatalf("drain moved %d of %d CPs — scenario needs a proper split", drained.moved, deqCPs)
+	}
+
+	// The untouched CPs — homed on the surviving shard — must have
+	// byte-identical normalized timelines across the two runs.
+	untouched := 0
+	for id, home := range baseline.homes {
+		if home != 0 {
+			continue
+		}
+		untouched++
+		if baseline.lines[id] != drained.lines[id] {
+			t.Errorf("untouched CP %v timeline changed under drain:\n  baseline: %s\n  drained:  %s",
+				id, baseline.lines[id], drained.lines[id])
+		}
+	}
+	if untouched == 0 {
+		t.Fatal("no CP homed on the surviving shard — nothing was compared")
+	}
+	t.Logf("moved %d CPs, %d untouched timelines byte-identical", drained.moved, untouched)
+
+	// The migrated CPs still ran every cycle: 20 probe/reply pairs and
+	// a closing BYE verdict, wherever the events were recorded.
+	for id, home := range drained.homes {
+		if home != 1 {
+			continue
+		}
+		line := drained.lines[id]
+		if got := strings.Count(line, "probe-sent"); got != deqCycles {
+			t.Errorf("migrated CP %v recorded %d probes, want %d: %s", id, got, deqCycles, line)
+		}
+		if got := strings.Count(line, "reply-matched"); got != deqCycles {
+			t.Errorf("migrated CP %v recorded %d replies, want %d: %s", id, got, deqCycles, line)
+		}
+		if !strings.Contains(line, "verdict-bye") {
+			t.Errorf("migrated CP %v missing its BYE verdict: %s", id, line)
+		}
+	}
+}

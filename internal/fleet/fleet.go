@@ -126,6 +126,20 @@
 // internal/obs serves both over HTTP (/metrics in Prometheus text
 // format, /statusz, /debug/flight). Config.DisableTelemetry and a
 // negative Config.FlightRecorder opt out per plane.
+//
+// # Runtime administration
+//
+// A running fleet is mutable: AddControlPoint/RemoveControlPoint and
+// AddDevice/RemoveDevice work after Start, DrainShard/Rebalance
+// migrate control points between shards without losing a pending cycle
+// or manufacturing a verdict, and SetConfig pushes versioned runtime
+// configuration (hardening toggles, TTLs, admission rates, the
+// per-device probe budget that sheds over-budget probes under
+// overload). Every mutation executes as a command on the owning
+// shard's bounded inbox — same wake path as the handoff inbox, one
+// atomic load per loop iteration on the steady state, refusals surface
+// as ErrAdmissionRejected. See admin.go for the full design, and
+// internal/obs (Config.Admin) for the HTTP spelling of this API.
 package fleet
 
 import (
@@ -236,6 +250,21 @@ type Config struct {
 	// used when Harden is set.
 	PerSourceProbeHz float64
 	PerSourceBurst   int
+	// PerDeviceProbeHz and PerDeviceBurst parameterise the per-device
+	// outgoing-probe budget — the overload-shedding backstop (see
+	// RuntimeConfig.PerDeviceProbeHz). Zero disables shedding.
+	PerDeviceProbeHz float64
+	PerDeviceBurst   int
+	// AdmissionQueue bounds each shard's admin-command inbox (see
+	// RuntimeConfig.AdmissionQueue). Zero means 1024.
+	AdmissionQueue int
+	// Verdicts, if non-nil, receives every terminal presence verdict
+	// (device lost, device bye) any hosted control point reaches. It
+	// fires on the shard event loop under the shard mutex — it must be
+	// cheap, must not block, and must not call back into the fleet. It
+	// is the fleet-wide hook admin consumers use where per-CP Listeners
+	// are impractical (control points added over the admin API).
+	Verdicts func(VerdictEvent)
 	// DisableTelemetry turns off the per-shard latency histograms (probe
 	// RTT, detection latency, handoff latency, batch fill, timer-cascade
 	// duration — see telemetry.go). Telemetry is on by default: recording
@@ -330,13 +359,23 @@ type Counters struct {
 	// admission (Harden only).
 	ProbesShed uint64
 	// HandoffsOut counts frames this shard received but forwarded to the
-	// owning shard, and HandoffsIn counts frames received that way. Both
-	// are zero unless Config.ReusePort is set: with every shard socket
-	// sharing one port the kernel demultiplexes by flow hash, not by the
-	// fleet's NodeID hash, so a reply can land on any shard and is handed
-	// off in-process to the shard that owns the control point.
+	// owning shard, and HandoffsIn counts frames received that way. With
+	// Config.ReusePort set every shard socket shares one port and the
+	// kernel demultiplexes by flow hash, not by the fleet's NodeID hash,
+	// so a reply can land on any shard and is handed off in-process to
+	// the shard that owns the control point. On unrouted fleets both stay
+	// zero until a DrainShard/Rebalance migration: replies of in-flight
+	// cycles then chase the old socket and ride the same handoff path to
+	// the control point's new shard.
 	HandoffsOut uint64
 	HandoffsIn  uint64
+	// Migrations counts control points migrated INTO this shard by
+	// DrainShard/Rebalance.
+	Migrations uint64
+	// AdmissionRejected counts admin commands refused because this
+	// shard's bounded command inbox (RuntimeConfig.AdmissionQueue) was
+	// full.
+	AdmissionRejected uint64
 	// SyscallsIn and SyscallsOut count transport read and write calls.
 	// On the batch path one call moves a whole burst (one
 	// recvmmsg/sendmmsg syscall on kernel sockets), so
@@ -375,6 +414,8 @@ func (c *Counters) add(o Counters) {
 	c.ProbesShed += o.ProbesShed
 	c.HandoffsOut += o.HandoffsOut
 	c.HandoffsIn += o.HandoffsIn
+	c.Migrations += o.Migrations
+	c.AdmissionRejected += o.AdmissionRejected
 	c.TimersFired += o.TimersFired
 	c.SyscallsIn += o.SyscallsIn
 	c.SyscallsOut += o.SyscallsOut
@@ -415,14 +456,51 @@ type Fleet struct {
 	deviceShard atomic.Int32
 
 	// watchMu guards watchMask: device id → bitmask of shards hosting at
-	// least one watcher, maintained only when route is set, read on the
-	// bye/announce fan-out path to hand frames to every watching shard.
+	// least one watcher, read on the bye/announce fan-out path to hand
+	// frames to every watching shard. Maintained always (it is cheap and
+	// off the packet hot path); consulted when route is set or after a
+	// migration has spread a device's watchers off their hash shards.
 	watchMu   sync.Mutex
 	watchMask map[ident.NodeID]*shardMask
 
-	mu      sync.Mutex // lifecycle + device placement
+	mu      sync.Mutex // lifecycle
 	started bool
 	closed  bool
+
+	// adminMu guards the runtime-admin state below — a leaf mutex like
+	// watchMu: taken under shard mutexes by register/remove, never held
+	// across a shard lock or a runOn (commands take it themselves).
+	adminMu sync.Mutex
+	// dir maps every hosted control point's id to its node, across
+	// shards — the admin plane's id→node directory. The node pointer is
+	// stable across migrations (the node's owner pointer moves instead).
+	dir map[ident.NodeID]*cpNode
+	// devices maps hosted device ids to their nodes (nil value = a
+	// placement in flight).
+	devices map[ident.NodeID]*deviceNode
+	// draining marks shards DrainShard emptied; placeShard skips them
+	// until Rebalance clears the marks.
+	draining []bool
+	// rt and rtVer are the master runtime config and its version; each
+	// shard holds its own copy under its mutex (shard.rt).
+	rt    RuntimeConfig
+	rtVer uint64
+
+	// devMu serialises device placement (AddDevice/RemoveDevice), which
+	// spans several shard commands.
+	devMu sync.Mutex
+	// migMu serialises DrainShard/Rebalance: at most one migration batch
+	// exists fleet-wide, making migrateLocked's src→dst mutex nesting
+	// safe.
+	migMu sync.Mutex
+	// migratedAny flips true after the first successful migration and
+	// never resets: it gates the unrouted bye/announce watcher fan-out,
+	// so fleets that never migrate pay one atomic load per bye and
+	// behave bit-identically to the pre-admin runtime.
+	migratedAny atomic.Bool
+	// admissionBound caches rt.AdmissionQueue for lock-free reads on the
+	// command enqueue path.
+	admissionBound atomic.Int64
 
 	shards []*shard
 	wg     sync.WaitGroup
@@ -480,6 +558,18 @@ type shard struct {
 	// accepted demux keys, and the per-source probe-admission buckets.
 	completed map[uint64]time.Duration
 	sources   map[netip.AddrPort]*srcBucket
+	// rt is the shard's copy of the live runtime config, pushed through
+	// the command inbox by Fleet.SetConfig; the dispatch/sweep paths read
+	// it under the mutex they already hold.
+	rt RuntimeConfig
+	// forwards redirects replies of migrated in-flight cycles to the
+	// control point's new shard (nil until a migration leaves one
+	// behind); see forwardEntry.
+	forwards map[uint64]forwardEntry
+	// devBudget is the per-device outgoing-probe token-bucket table —
+	// nil when rt.PerDeviceProbeHz is zero, so the default hot path pays
+	// one nil check.
+	devBudget map[ident.NodeID]*srcBucket
 	device    *deviceNode
 	counters  Counters
 	liveCPs   int
@@ -502,6 +592,22 @@ type shard struct {
 	// kernel's flow hash landed on the wrong shard, queued here by the
 	// receiving shard and drained by this shard's loop. See handoff.go.
 	ho handoffQueue
+
+	// cmd is the bounded admin-command inbox (admin.go): structural
+	// mutations queued by off-loop threads, drained by this shard's loop
+	// right before the handoffs, woken by the same read-deadline poke.
+	cmd cmdQueue
+	// admRejected counts inbox rejects. Incremented off-loop (the loop
+	// never sees a rejected command), so it is an atomic read directly
+	// into Counters.AdmissionRejected rather than a mirrored field.
+	admRejected atomic.Uint64
+	// loopStarted tells runOn whether a loop goroutine exists to hand a
+	// command to; false before Start and in harnesses that drive the
+	// loop themselves, where commands execute inline under mu.
+	loopStarted atomic.Bool
+	// loopDone closes when the loop goroutine exits, unblocking runOn
+	// callers whose queued commands will never run.
+	loopDone chan struct{}
 
 	// pub is the published counter mirror Fleet.Snapshot reads without
 	// taking mu — padded to keep scrapers off the loop's cache lines.
@@ -552,9 +658,13 @@ func New(cfg Config) (*Fleet, error) {
 	}
 	f := &Fleet{cfg: cfg, epoch: time.Now(), route: cfg.ReusePort, reusePortActive: reuseActive}
 	f.deviceShard.Store(-1)
-	if f.route {
-		f.watchMask = make(map[ident.NodeID]*shardMask)
-	}
+	f.watchMask = make(map[ident.NodeID]*shardMask)
+	f.dir = make(map[ident.NodeID]*cpNode)
+	f.devices = make(map[ident.NodeID]*deviceNode)
+	f.draining = make([]bool, cfg.Shards)
+	f.rt = runtimeFromConfig(&cfg)
+	f.rtVer = 1
+	f.admissionBound.Store(int64(f.rt.AdmissionQueue))
 	for i := 0; i < cfg.Shards; i++ {
 		conn, err := transport.Listen(i)
 		if err != nil {
@@ -572,11 +682,9 @@ func New(cfg Config) (*Fleet, error) {
 			recvRing: make([]Datagram, cfg.Batch),
 			recvBufs: make([][]byte, cfg.Batch),
 			sendQ:    make([]Datagram, 0, cfg.Batch),
+			loopDone: make(chan struct{}),
 		}
-		if cfg.Harden {
-			s.completed = make(map[uint64]time.Duration)
-			s.sources = make(map[netip.AddrPort]*srcBucket)
-		}
+		s.applyConfigLocked(f.rt) // construction: no lock needed yet
 		if !cfg.DisableTelemetry {
 			s.hist = &shardHists{}
 		}
@@ -633,9 +741,10 @@ func (f *Fleet) Start() error {
 	f.started = true
 	for _, s := range f.shards {
 		s.mu.Lock()
-		s.wheel.Schedule(&s.sweeper, f.sinceEpoch()+f.cfg.PendingTTL/2)
+		s.wheel.Schedule(&s.sweeper, f.sinceEpoch()+s.rt.PendingTTL/2)
 		s.mu.Unlock()
 		f.wg.Add(1)
+		s.loopStarted.Store(true)
 		go s.loop()
 	}
 	return nil
@@ -734,6 +843,7 @@ const recvBufSize = 2048
 // mutex.
 func (s *shard) loop() {
 	defer s.fleet.wg.Done()
+	defer close(s.loopDone)
 	for {
 		s.mu.Lock()
 		if s.closed {
@@ -742,6 +852,9 @@ func (s *shard) loop() {
 		}
 		now := s.fleet.sinceEpoch()
 		s.inBatch = true
+		if s.cmd.pending.Load() {
+			s.drainCommands()
+		}
 		if s.ho.pending.Load() {
 			s.drainHandoffs()
 		}
@@ -778,11 +891,12 @@ func (s *shard) loop() {
 			wait = 0
 		}
 		s.conn.SetReadDeadline(time.Now().Add(wait)) //nolint:errcheck // fails only when closed
-		if s.ho.pending.Load() {
-			// A handoff arrived between the drain above and the deadline we
-			// just set, and its wake-up poke (an already-expired deadline
-			// written by the sending shard) may have been overwritten by
-			// that store. Re-expire so the read below returns immediately.
+		if s.ho.pending.Load() || s.cmd.pending.Load() {
+			// A handoff or admin command arrived between the drain above and
+			// the deadline we just set, and its wake-up poke (an
+			// already-expired deadline written by the sender) may have been
+			// overwritten by that store. Re-expire so the read below returns
+			// immediately.
 			s.conn.SetReadDeadline(pastDeadline) //nolint:errcheck // fails only when closed
 		}
 		for round := 0; ; round++ {
@@ -876,6 +990,17 @@ func (s *shard) dispatchFrame(from netip.AddrPort, f *wire.Frame, handed bool) {
 		key := f.ReplayKey()
 		pp, ok := s.pending[key]
 		if !ok {
+			if !handed {
+				if fw, fok := s.forwards[key]; fok {
+					// The cycle's control point migrated away with the probe
+					// still in flight; the reply chased the old socket. Hand
+					// it to the new shard like a ReusePort stray. (handed
+					// frames never re-forward, so a stale breadcrumb cannot
+					// bounce a frame between shards.)
+					s.handoffTo(fw.to, from, f)
+					return
+				}
+			}
 			if _, replayed := s.completed[key]; replayed {
 				// The key was accepted within the replay window: a
 				// replayed copy, not an ordinary latecomer.
@@ -892,7 +1017,7 @@ func (s *shard) dispatchFrame(from netip.AddrPort, f *wire.Frame, handed bool) {
 			s.counters.AttemptMismatches++
 			return
 		}
-		if s.fleet.cfg.Harden && from != pp.cp.deviceAddr {
+		if s.rt.Harden && from != pp.cp.deviceAddr {
 			// Right key, wrong source: someone answering for the device.
 			// Keep the entry for the genuine reply.
 			s.counters.RepliesForged++
@@ -947,9 +1072,13 @@ func (s *shard) dispatchFrame(from netip.AddrPort, f *wire.Frame, handed bool) {
 	case wire.KindBye:
 		ws := s.watchers[f.From]
 		fanned := false
-		if route {
-			// Watchers of one device spread across shards by NodeID hash;
-			// hand a copy to every other shard with at least one.
+		if route || (!handed && s.fleet.migratedAny.Load()) {
+			// Watchers of one device spread across shards — by NodeID hash
+			// under ReusePort routing, or after a migration moved some off
+			// their hash shard (a device's peer table keeps the old shard's
+			// source address, so its BYE arrives there); hand a copy to
+			// every other shard with at least one. Duplicate deliveries are
+			// harmless: stopped probers ignore BYEs.
 			fanned = s.fanOutToWatchers(from, f)
 		}
 		if len(ws) == 0 {
@@ -958,7 +1087,7 @@ func (s *shard) dispatchFrame(from netip.AddrPort, f *wire.Frame, handed bool) {
 			}
 			return
 		}
-		harden := s.fleet.cfg.Harden
+		harden := s.rt.Harden
 		for cp := range ws {
 			if harden && from != cp.deviceAddr {
 				// A BYE claiming the device but sent from elsewhere.
@@ -970,7 +1099,7 @@ func (s *shard) dispatchFrame(from netip.AddrPort, f *wire.Frame, handed bool) {
 	case wire.KindAnnounce:
 		ws := s.watchers[f.From]
 		fanned := false
-		if route {
+		if route || (!handed && s.fleet.migratedAny.Load()) {
 			fanned = s.fanOutToWatchers(from, f)
 		}
 		if len(ws) == 0 {
@@ -1022,14 +1151,13 @@ func (s *shard) notePending(n *cpNode, cycle uint32, attempt uint8, now time.Dur
 // Harden only (s.sources is non-nil).
 func (s *shard) admitProbe(from netip.AddrPort) bool {
 	now := s.fleet.sinceEpoch()
-	cfg := &s.fleet.cfg
 	b := s.sources[from]
 	if b == nil {
-		b = &srcBucket{tokens: float64(cfg.PerSourceBurst), last: now}
+		b = &srcBucket{tokens: float64(s.rt.PerSourceBurst), last: now}
 		s.sources[from] = b
 	}
-	b.tokens += (now - b.last).Seconds() * cfg.PerSourceProbeHz
-	if max := float64(cfg.PerSourceBurst); b.tokens > max {
+	b.tokens += (now - b.last).Seconds() * s.rt.PerSourceProbeHz
+	if max := float64(s.rt.PerSourceBurst); b.tokens > max {
 		b.tokens = max
 	}
 	b.last = now
@@ -1041,19 +1169,19 @@ func (s *shard) admitProbe(from netip.AddrPort) bool {
 }
 
 // sweepPending drops demux entries whose cycle can no longer complete
-// (stopped CPs, lost replies), expires the replay window and idle
-// admission buckets, and re-arms itself. Runs on the shard loop under
-// the mutex.
+// (stopped CPs, lost replies), expires the replay window, idle
+// admission and device-budget buckets and stale migration forwards,
+// and re-arms itself. Runs on the shard loop under the mutex.
 func (s *shard) sweepPending() {
 	now := s.fleet.sinceEpoch()
-	ttl := s.fleet.cfg.PendingTTL
+	ttl := s.rt.PendingTTL
 	for key, pp := range s.pending {
 		if now-pp.at > ttl {
 			delete(s.pending, key)
 		}
 	}
 	if s.completed != nil {
-		window := s.fleet.cfg.ReplayWindow
+		window := s.rt.ReplayWindow
 		for key, at := range s.completed {
 			if now-at > window {
 				delete(s.completed, key)
@@ -1063,10 +1191,27 @@ func (s *shard) sweepPending() {
 	if s.sources != nil {
 		// A bucket untouched for long enough to be full again carries no
 		// information; drop it so the table tracks active sources only.
-		idle := time.Duration(float64(s.fleet.cfg.PerSourceBurst)/s.fleet.cfg.PerSourceProbeHz*float64(time.Second)) + ttl
+		idle := time.Duration(float64(s.rt.PerSourceBurst)/s.rt.PerSourceProbeHz*float64(time.Second)) + ttl
 		for addr, b := range s.sources {
 			if now-b.last > idle {
 				delete(s.sources, addr)
+			}
+		}
+	}
+	if s.devBudget != nil {
+		idle := time.Duration(float64(s.rt.PerDeviceBurst)/s.rt.PerDeviceProbeHz*float64(time.Second)) + ttl
+		for id, b := range s.devBudget {
+			if now-b.last > idle {
+				delete(s.devBudget, id)
+			}
+		}
+	}
+	if s.forwards != nil {
+		// A forward older than the pending TTL redirects a cycle that can
+		// no longer complete anywhere.
+		for key, fw := range s.forwards {
+			if now-fw.at > ttl {
+				delete(s.forwards, key)
 			}
 		}
 	}

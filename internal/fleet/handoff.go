@@ -161,8 +161,10 @@ func (s *shard) fanOutToWatchers(from netip.AddrPort, f *wire.Frame) bool {
 	return fanned
 }
 
-// noteWatcher records that a shard hosts a watcher of device. Routed
-// fleets only; watchMu is a leaf below the shard mutexes.
+// noteWatcher records that a shard hosts a watcher of device. The mask
+// is maintained for every fleet (unrouted fleets consult it only after
+// a migration has moved a CP off its device's home shard); watchMu is a
+// leaf below the shard mutexes.
 func (f *Fleet) noteWatcher(device ident.NodeID, shard int) {
 	f.watchMu.Lock()
 	m := f.watchMask[device]

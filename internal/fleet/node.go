@@ -4,6 +4,7 @@ import (
 	"errors"
 	"fmt"
 	"net/netip"
+	"sync/atomic"
 	"time"
 
 	"presence/internal/core"
@@ -44,7 +45,11 @@ type CPConfig struct {
 // slot and demux state. It implements core.Env; every method runs under
 // the owning shard's mutex.
 type cpNode struct {
-	shard      *shard
+	// owner is the shard currently hosting the node. It moves only
+	// during a DrainShard/Rebalance migration, written under the old
+	// shard's mutex with the new shard's also held; engine callbacks
+	// always see the shard whose mutex they run under.
+	owner      atomic.Pointer[shard]
 	id         ident.NodeID
 	device     ident.NodeID
 	deviceAddr netip.AddrPort
@@ -58,19 +63,53 @@ type cpNode struct {
 
 var _ core.Env = (*cpNode)(nil)
 
+// sh returns the shard currently owning this node.
+func (n *cpNode) sh() *shard { return n.owner.Load() }
+
+// lockShard locks and returns the owning shard, retrying when a
+// migration moved the node between the load and the lock (the pointer
+// is rewritten under the old shard's mutex, so holding the lock and
+// re-reading it is a consistent check).
+func (n *cpNode) lockShard() *shard {
+	for {
+		s := n.sh()
+		s.mu.Lock()
+		if n.sh() == s {
+			return s
+		}
+		s.mu.Unlock()
+	}
+}
+
 // Now implements core.Env on the fleet's shared monotonic clock.
-func (n *cpNode) Now() time.Duration { return n.shard.fleet.sinceEpoch() }
+func (n *cpNode) Now() time.Duration { return n.sh().fleet.sinceEpoch() }
 
 // Send transmits to the CP's device, registering outgoing probes in the
-// shard's demux table so the reply finds its way back.
+// shard's demux table so the reply finds its way back. Probes over the
+// per-device budget (RuntimeConfig.PerDeviceProbeHz) are shed before
+// the wire: the prober sees the cycle exactly as if the probe were
+// lost, so overload degrades to slower detection instead of amplified
+// probe load.
 func (n *cpNode) Send(_ ident.NodeID, msg core.Message) {
+	s := n.sh()
+	var cycle uint32
+	var attempt uint8
+	probe := false
 	switch m := msg.(type) {
 	case *core.ProbeMsg:
-		n.noteProbe(m.Cycle, m.Attempt)
+		cycle, attempt, probe = m.Cycle, m.Attempt, true
 	case core.ProbeMsg:
-		n.noteProbe(m.Cycle, m.Attempt)
+		cycle, attempt, probe = m.Cycle, m.Attempt, true
 	}
-	n.shard.sendTo(n.deviceAddr, msg)
+	if probe {
+		if s.devBudget != nil && !s.admitDeviceProbe(n.device) {
+			s.counters.ProbesShed++
+			core.Recycle(msg)
+			return
+		}
+		n.noteProbe(s, cycle, attempt)
+	}
+	s.sendTo(n.deviceAddr, msg)
 }
 
 // noteProbe does the bookkeeping of one outgoing probe: the demux
@@ -78,8 +117,7 @@ func (n *cpNode) Send(_ ident.NodeID, msg core.Message) {
 // retransmit (attempt > 0) implies the previous attempt of the same
 // cycle expired unanswered — the prober does not surface that
 // transition, so the recorder derives it here.
-func (n *cpNode) noteProbe(cycle uint32, attempt uint8) {
-	s := n.shard
+func (n *cpNode) noteProbe(s *shard, cycle uint32, attempt uint8) {
 	now := s.fleet.sinceEpoch()
 	s.notePending(n, cycle, attempt, now)
 	s.counters.ProbesOut++
@@ -94,13 +132,14 @@ func (n *cpNode) noteProbe(cycle uint32, attempt uint8) {
 }
 
 // SetAlarm implements core.Env on the shard's timer wheel.
-func (n *cpNode) SetAlarm(at time.Duration) { n.shard.wheel.Schedule(&n.timer, at) }
+func (n *cpNode) SetAlarm(at time.Duration) { n.sh().wheel.Schedule(&n.timer, at) }
 
 // StopAlarm implements core.Env.
-func (n *cpNode) StopAlarm() { n.shard.wheel.Cancel(&n.timer) }
+func (n *cpNode) StopAlarm() { n.sh().wheel.Cancel(&n.timer) }
 
 // cpListener wraps the user listener to maintain the shard's live-CP
-// gauge. It runs under the shard mutex like any engine callback.
+// gauge and deliver the fleet-wide verdict hook. It runs under the
+// shard mutex like any engine callback.
 type cpListener struct {
 	n     *cpNode
 	inner core.Listener
@@ -112,7 +151,7 @@ func (l cpListener) DeviceAlive(d ident.NodeID, res core.CycleResult) {
 
 func (l cpListener) DeviceLost(d ident.NodeID, at time.Duration) {
 	n := l.n
-	s := n.shard
+	s := n.sh()
 	if s.hist != nil {
 		// Detection latency as the prober observes it: first probe of the
 		// failing cycle → verdict. The pending entry for the CP's current
@@ -126,28 +165,40 @@ func (l cpListener) DeviceLost(d ident.NodeID, at time.Duration) {
 			Device: n.device, CP: n.id, Cycle: n.lastCycle})
 	}
 	n.markStopped()
+	if h := s.fleet.cfg.Verdicts; h != nil {
+		h(VerdictEvent{CP: n.id, Device: n.device, Kind: VerdictLost, At: at})
+	}
 	l.inner.DeviceLost(d, at)
 }
 
 func (l cpListener) DeviceBye(d ident.NodeID, at time.Duration) {
 	n := l.n
-	if s := n.shard; s.rec != nil {
+	s := n.sh()
+	if s.rec != nil {
 		s.rec.Record(trace.Event{At: at, Kind: trace.EvVerdictBye,
 			Device: n.device, CP: n.id, Cycle: n.lastCycle})
 	}
 	n.markStopped()
+	if h := s.fleet.cfg.Verdicts; h != nil {
+		h(VerdictEvent{CP: n.id, Device: n.device, Kind: VerdictBye, At: at})
+	}
 	l.inner.DeviceBye(d, at)
 }
 
 func (n *cpNode) markStopped() {
 	if !n.stopped {
 		n.stopped = true
-		n.shard.liveCPs--
+		n.sh().liveCPs--
 	}
 }
 
+// errNotStarted gates mutation APIs on Fleet.Start.
+var errNotStarted = errors.New("fleet: Start before adding nodes")
+
 // AddControlPoint hosts a new control point and starts it probing
-// immediately. The fleet must be started.
+// immediately. The node is constructed here but hooked into its shard
+// by that shard's event loop (via the admin command inbox), so calling
+// goroutines never run engine work. The fleet must be started.
 func (f *Fleet) AddControlPoint(cfg CPConfig) (*ControlPoint, error) {
 	if !cfg.ID.Valid() {
 		return nil, errors.New("fleet: control point needs a valid id")
@@ -165,31 +216,17 @@ func (f *Fleet) AddControlPoint(cfg CPConfig) (*ControlPoint, error) {
 			return nil, err
 		}
 	}
-	f.mu.Lock()
-	started, closed := f.started, f.closed
-	f.mu.Unlock()
-	if closed {
-		return nil, errClosed
+	if err := f.adminReady(); err != nil {
+		return nil, err
 	}
-	if !started {
-		return nil, errors.New("fleet: Start before adding nodes")
-	}
-	s := f.shardFor(cfg.ID)
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.closed {
-		return nil, errClosed
-	}
-	if _, dup := s.cps[cfg.ID]; dup {
-		return nil, fmt.Errorf("fleet: control point %v already hosted", cfg.ID)
-	}
+	s := f.placeShard(cfg.ID)
 	n := &cpNode{
-		shard:      s,
 		id:         cfg.ID,
 		device:     cfg.Device,
 		deviceAddr: addr,
 		onAnnounce: cfg.OnAnnounce,
 	}
+	n.owner.Store(s)
 	seed := cycleSeed(cfg.ID)
 	if f.route {
 		// ReusePort routing: the cycle's top bits name the owning shard so
@@ -201,6 +238,9 @@ func (f *Fleet) AddControlPoint(cfg CPConfig) (*ControlPoint, error) {
 	if inner == nil {
 		inner = core.NopListener{}
 	}
+	f.adminMu.Lock()
+	verifyBye := f.rt.Harden
+	f.adminMu.Unlock()
 	prober, err := core.NewProber(core.ProberOptions{
 		ID:         cfg.ID,
 		Device:     cfg.Device,
@@ -209,27 +249,84 @@ func (f *Fleet) AddControlPoint(cfg CPConfig) (*ControlPoint, error) {
 		Listener:   cpListener{n: n, inner: inner},
 		Retransmit: cfg.Retransmit,
 		FirstCycle: seed,
-		VerifyBye:  f.cfg.Harden,
+		VerifyBye:  verifyBye,
 	})
 	if err != nil {
 		return nil, err
 	}
 	n.prober = prober
 	n.timer.fire = prober.OnAlarm
-	s.cps[cfg.ID] = n
-	w := s.watchers[cfg.Device]
+	// Claim the id fleet-wide before registration so two concurrent adds
+	// of the same id cannot both land.
+	f.adminMu.Lock()
+	if _, dup := f.dir[cfg.ID]; dup {
+		f.adminMu.Unlock()
+		return nil, fmt.Errorf("fleet: control point %v already hosted", cfg.ID)
+	}
+	f.dir[cfg.ID] = n
+	f.adminMu.Unlock()
+	if err := f.runOn(s, func(sh *shard) error {
+		sh.registerCPLocked(n)
+		return nil
+	}); err != nil {
+		f.adminMu.Lock()
+		if f.dir[cfg.ID] == n {
+			delete(f.dir, cfg.ID)
+		}
+		f.adminMu.Unlock()
+		return nil, err
+	}
+	return &ControlPoint{n: n}, nil
+}
+
+// registerCPLocked hooks a fully-constructed control point into the
+// shard and starts it probing. Runs under the shard mutex, on the
+// shard's event loop when it has one.
+func (s *shard) registerCPLocked(n *cpNode) {
+	s.cps[n.id] = n
+	w := s.watchers[n.device]
 	if w == nil {
 		w = make(map[*cpNode]struct{})
-		s.watchers[cfg.Device] = w
+		s.watchers[n.device] = w
 	}
 	w[n] = struct{}{}
-	if f.route {
-		f.noteWatcher(cfg.Device, s.index)
-	}
+	s.fleet.noteWatcher(n.device, s.index)
 	s.liveCPs++
-	prober.Start()
+	n.prober.Start()
 	s.publishLocked()
-	return &ControlPoint{n: n}, nil
+}
+
+// removeCPLocked stops a control point and unhooks it from its shard
+// and from the fleet directory. Idempotent; runs under the shard mutex.
+func (s *shard) removeCPLocked(n *cpNode) {
+	if n.removed {
+		return
+	}
+	n.removed = true
+	n.prober.Stop() // cancels the wheel alarm via StopAlarm
+	if !n.stopped {
+		n.stopped = true
+		s.liveCPs--
+	}
+	delete(s.cps, n.id)
+	if w := s.watchers[n.device]; w != nil {
+		delete(w, n)
+		if len(w) == 0 {
+			delete(s.watchers, n.device)
+			s.fleet.dropWatcher(n.device, s.index)
+		}
+	}
+	key := pendKey(n.device, n.lastCycle)
+	if old, ok := s.pending[key]; ok && old.cp == n {
+		delete(s.pending, key)
+	}
+	fl := s.fleet
+	fl.adminMu.Lock()
+	if fl.dir[n.id] == n {
+		delete(fl.dir, n.id)
+	}
+	fl.adminMu.Unlock()
+	s.publishLocked()
 }
 
 // ControlPoint is the handle to a fleet-hosted control point. Its
@@ -244,29 +341,27 @@ func (cp *ControlPoint) ID() ident.NodeID { return cp.n.id }
 // Device returns the monitored device's node id.
 func (cp *ControlPoint) Device() ident.NodeID { return cp.n.device }
 
-// Shard returns the index of the shard hosting this CP.
-func (cp *ControlPoint) Shard() int { return cp.n.shard.index }
+// Shard returns the index of the shard currently hosting this CP (it
+// can change across a DrainShard/Rebalance).
+func (cp *ControlPoint) Shard() int { return cp.n.sh().index }
 
 // Stats returns the prober's cycle counters.
 func (cp *ControlPoint) Stats() core.ProberStats {
-	s := cp.n.shard
-	s.mu.Lock()
+	s := cp.n.lockShard()
 	defer s.mu.Unlock()
 	return cp.n.prober.Stats()
 }
 
 // Stopped reports whether the prober has stopped (device lost or bye).
 func (cp *ControlPoint) Stopped() bool {
-	s := cp.n.shard
-	s.mu.Lock()
+	s := cp.n.lockShard()
 	defer s.mu.Unlock()
 	return cp.n.prober.Stopped()
 }
 
 // Restart resumes probing after the prober stopped.
 func (cp *ControlPoint) Restart() error {
-	s := cp.n.shard
-	s.mu.Lock()
+	s := cp.n.lockShard()
 	defer s.mu.Unlock()
 	if s.closed {
 		return errClosed
@@ -284,46 +379,24 @@ func (cp *ControlPoint) Restart() error {
 }
 
 // Remove stops the control point and unhooks it from the fleet. It is
-// idempotent; the handle is dead afterwards.
+// idempotent; the handle is dead afterwards. Fleet.RemoveControlPoint
+// is the same operation addressed by id.
 func (cp *ControlPoint) Remove() {
-	n := cp.n
-	s := n.shard
-	s.mu.Lock()
+	s := cp.n.lockShard()
 	defer s.mu.Unlock()
-	if n.removed {
-		return
-	}
-	n.removed = true
-	n.prober.Stop() // cancels the wheel alarm via StopAlarm
-	if !n.stopped {
-		n.stopped = true
-		s.liveCPs--
-	}
-	delete(s.cps, n.id)
-	if w := s.watchers[n.device]; w != nil {
-		delete(w, n)
-		if len(w) == 0 {
-			delete(s.watchers, n.device)
-			if s.fleet.route {
-				s.fleet.dropWatcher(n.device, s.index)
-			}
-		}
-	}
-	key := pendKey(n.device, n.lastCycle)
-	if old, ok := s.pending[key]; ok && old.cp == n {
-		delete(s.pending, key)
-	}
-	s.publishLocked()
+	s.removeCPLocked(cp.n)
 }
 
 // deviceNode is a hosted device engine. It implements core.Env; every
-// method runs under the owning shard's mutex.
+// method runs under the owning shard's mutex. Devices never migrate —
+// their probe address is the shard socket.
 type deviceNode struct {
-	shard  *shard
-	id     ident.NodeID
-	engine core.Device
-	peers  *rtnet.PeerTable
-	timer  wheelTimer
+	shard   *shard
+	id      ident.NodeID
+	engine  core.Device
+	peers   *rtnet.PeerTable
+	timer   wheelTimer
+	removed bool
 }
 
 var _ core.Env = (*deviceNode)(nil)
@@ -348,6 +421,10 @@ func (n *deviceNode) SetAlarm(at time.Duration) { n.shard.wheel.Schedule(&n.time
 // StopAlarm implements core.Env.
 func (n *deviceNode) StopAlarm() { n.shard.wheel.Cancel(&n.timer) }
 
+// errShardOccupied is the internal placement signal: try the next
+// shard, this one already hosts a device engine.
+var errShardOccupied = errors.New("fleet: shard already hosts a device")
+
 // AddDevice hosts a device engine for loopback testing, on the first
 // shard without one. Probes carry only their sender's id, so one shard
 // socket can demultiplex to at most one device engine: a fleet hosts at
@@ -359,44 +436,65 @@ func (f *Fleet) AddDevice(id ident.NodeID, build DeviceBuilder) (*Device, error)
 	if build == nil {
 		return nil, errors.New("fleet: device needs an engine builder")
 	}
-	f.mu.Lock()
-	defer f.mu.Unlock()
-	if f.closed {
-		return nil, errClosed
+	if err := f.adminReady(); err != nil {
+		return nil, err
 	}
-	if !f.started {
-		return nil, errors.New("fleet: Start before adding nodes")
-	}
+	f.devMu.Lock()
+	defer f.devMu.Unlock()
 	if f.route && f.deviceShard.Load() >= 0 {
 		// Every routed shard socket shares one address, so a second device
 		// engine could never be told apart by its probers.
 		return nil, errors.New("fleet: a ReusePort fleet shares one address across shards and hosts at most one device")
 	}
+	f.adminMu.Lock()
+	if _, dup := f.devices[id]; dup {
+		f.adminMu.Unlock()
+		return nil, fmt.Errorf("fleet: device %v already hosted", id)
+	}
+	f.devices[id] = nil // reserve the id while placement runs
+	f.adminMu.Unlock()
+	release := func() {
+		f.adminMu.Lock()
+		delete(f.devices, id)
+		f.adminMu.Unlock()
+	}
 	for _, s := range f.shards {
-		s.mu.Lock()
-		if s.device != nil || s.closed {
-			s.mu.Unlock()
+		var dn *deviceNode
+		err := f.runOn(s, func(sh *shard) error {
+			if sh.device != nil {
+				return errShardOccupied
+			}
+			nd := &deviceNode{
+				shard: sh,
+				id:    id,
+				peers: rtnet.NewPeerTable(f.cfg.MaxPeersPerDevice),
+			}
+			engine, err := build(nd)
+			if err != nil {
+				return err
+			}
+			nd.engine = engine
+			nd.timer.fire = engine.OnAlarm
+			sh.device = nd
+			f.deviceShard.CompareAndSwap(-1, int32(sh.index))
+			engine.Start()
+			sh.publishLocked()
+			dn = nd
+			return nil
+		})
+		if err == errShardOccupied {
 			continue
 		}
-		n := &deviceNode{
-			shard: s,
-			id:    id,
-			peers: rtnet.NewPeerTable(f.cfg.MaxPeersPerDevice),
-		}
-		engine, err := build(n)
 		if err != nil {
-			s.mu.Unlock()
+			release()
 			return nil, err
 		}
-		n.engine = engine
-		n.timer.fire = engine.OnAlarm
-		s.device = n
-		f.deviceShard.CompareAndSwap(-1, int32(s.index))
-		engine.Start()
-		s.publishLocked()
-		s.mu.Unlock()
-		return &Device{n: n}, nil
+		f.adminMu.Lock()
+		f.devices[id] = dn
+		f.adminMu.Unlock()
+		return &Device{n: dn}, nil
 	}
+	release()
 	return nil, fmt.Errorf("fleet: all %d shard sockets already host a device (frames carry no destination id; grow Shards or run a second fleet)", len(f.shards))
 }
 
@@ -414,20 +512,26 @@ func (d *Device) Addr() netip.AddrPort {
 }
 
 // Peers returns the number of distinct control points the device has
-// heard from.
+// heard from (zero after RemoveDevice).
 func (d *Device) Peers() int {
 	s := d.n.shard
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if d.n.removed {
+		return 0
+	}
 	return d.n.peers.Len()
 }
 
 // Bye announces a graceful leave to every known peer, coalescing the
-// fan-out into batched transport writes.
+// fan-out into batched transport writes. A no-op after RemoveDevice.
 func (d *Device) Bye() {
 	s := d.n.shard
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if d.n.removed {
+		return
+	}
 	s.inBatch = true
 	d.n.peers.Each(func(_ ident.NodeID, addr netip.AddrPort) {
 		s.sendTo(addr, core.ByeMsg{From: d.n.id})
@@ -438,11 +542,15 @@ func (d *Device) Bye() {
 }
 
 // Announce sends a presence announcement to every known peer,
-// coalescing the fan-out into batched transport writes.
+// coalescing the fan-out into batched transport writes. A no-op after
+// RemoveDevice.
 func (d *Device) Announce(maxAge time.Duration) {
 	s := d.n.shard
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if d.n.removed {
+		return
+	}
 	s.inBatch = true
 	d.n.peers.Each(func(_ ident.NodeID, addr netip.AddrPort) {
 		s.sendTo(addr, core.AnnounceMsg{From: d.n.id, MaxAge: maxAge})

@@ -33,6 +33,7 @@ type pubCounters struct {
 	probesShed        atomic.Uint64
 	handoffsOut       atomic.Uint64
 	handoffsIn        atomic.Uint64
+	migrations        atomic.Uint64
 	syscallsIn        atomic.Uint64
 	syscallsOut       atomic.Uint64
 
@@ -67,6 +68,7 @@ func (s *shard) publishLocked() {
 	p.probesShed.Store(c.ProbesShed)
 	p.handoffsOut.Store(c.HandoffsOut)
 	p.handoffsIn.Store(c.HandoffsIn)
+	p.migrations.Store(c.Migrations)
 	p.syscallsIn.Store(c.SyscallsIn)
 	p.syscallsOut.Store(c.SyscallsOut)
 	p.wheelDepth.Store(int64(s.wheel.Len()))
@@ -102,6 +104,10 @@ func (s *shard) loadPub() Counters {
 		ProbesShed:        p.probesShed.Load(),
 		HandoffsOut:       p.handoffsOut.Load(),
 		HandoffsIn:        p.handoffsIn.Load(),
+		Migrations:        p.migrations.Load(),
+		// AdmissionRejected is incremented off-loop by rejected enqueues,
+		// so the atomic itself is the source of truth — no mirror needed.
+		AdmissionRejected: s.admRejected.Load(),
 		SyscallsIn:        p.syscallsIn.Load(),
 		SyscallsOut:       p.syscallsOut.Load(),
 		WheelDepth:        int(p.wheelDepth.Load()),

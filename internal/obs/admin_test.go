@@ -1,0 +1,293 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"presence/internal/core"
+	"presence/internal/core/naive"
+	"presence/internal/fleet"
+	"presence/internal/memnet"
+)
+
+// adminPlane is testPlane with the mutation endpoints enabled: a
+// 2-shard CP fleet over memnet, a device fleet hosting the probe
+// target, and a Server with Config.Admin set. The device's address is
+// returned for cp/add request bodies.
+func adminPlane(t *testing.T) (*Server, *fleet.Fleet, string) {
+	t.Helper()
+	net := memnet.New(memnet.Faults{})
+	t.Cleanup(func() { net.Close() })
+	transport := fleet.TransportFunc(func(int) (fleet.PacketConn, error) { return net.Listen() })
+
+	devFleet, err := fleet.New(fleet.Config{Shards: 1, Transport: transport})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { devFleet.Close() })
+	if err := devFleet.Start(); err != nil {
+		t.Fatal(err)
+	}
+	dev, err := devFleet.AddDevice(1, func(env core.Env) (core.Device, error) {
+		return naive.NewDevice(1, env)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f, err := fleet.New(fleet.Config{Shards: 2, Transport: transport})
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { f.Close() })
+	if err := f.Start(); err != nil {
+		t.Fatal(err)
+	}
+	srv, err := New(Config{Fleet: f, Net: net, Admin: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv, f, dev.Addr().String()
+}
+
+func post(t *testing.T, h http.Handler, path, body string) (int, string) {
+	t.Helper()
+	rec := httptest.NewRecorder()
+	req := httptest.NewRequest("POST", path, strings.NewReader(body))
+	h.ServeHTTP(rec, req)
+	return rec.Code, rec.Body.String()
+}
+
+// TestAdminDisabledByDefault pins the opt-in: a Server built without
+// Config.Admin must not route any mutation endpoint, so a scrape-only
+// deployment exposes a read-only plane.
+func TestAdminDisabledByDefault(t *testing.T) {
+	srv, _ := testPlane(t)
+	for _, path := range []string{
+		"/admin/cp/add", "/admin/cp/remove", "/admin/device/add",
+		"/admin/device/remove", "/admin/drain", "/admin/rebalance", "/admin/config",
+	} {
+		if code, _ := post(t, srv.Handler(), path, "{}"); code != http.StatusNotFound {
+			t.Errorf("POST %s on a read-only server = %d, want 404", path, code)
+		}
+	}
+	if code, _, _ := get(t, srv.Handler(), "/admin/config"); code != http.StatusNotFound {
+		t.Errorf("GET /admin/config on a read-only server = %d, want 404", code)
+	}
+}
+
+func TestAdminCPLifecycle(t *testing.T) {
+	srv, f, devAddr := adminPlane(t)
+	h := srv.Handler()
+
+	add := fmt.Sprintf(`{"id":70,"device":1,"addr":%q,"protocol":"naive","period":"20ms",
+		"retransmit":{"first_timeout":"2s","retry_timeout":"2s"}}`, devAddr)
+	code, body := post(t, h, "/admin/cp/add", add)
+	if code != 200 {
+		t.Fatalf("cp/add = %d: %s", code, body)
+	}
+	var resp struct {
+		ID    uint32 `json:"id"`
+		Shard int    `json:"shard"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 70 || resp.Shard < 0 || resp.Shard >= f.Shards() {
+		t.Fatalf("cp/add response %+v", resp)
+	}
+	if n := f.Snapshot().Total.ControlPoints; n != 1 {
+		t.Fatalf("fleet hosts %d CPs after cp/add", n)
+	}
+	// The CP is live, not just registered: probes flow.
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Snapshot().Total.RepliesIn == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("admin-added CP never completed a cycle")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	if code, body := post(t, h, "/admin/cp/add", add); code != http.StatusBadRequest {
+		t.Fatalf("duplicate cp/add = %d: %s", code, body)
+	}
+	if code, _ := post(t, h, "/admin/cp/add", `{"id":71,"device":1,"addr":"x","protocol":"nope"}`); code != http.StatusBadRequest {
+		t.Errorf("unknown protocol accepted: %d", code)
+	}
+	if code, _ := post(t, h, "/admin/cp/add", `{"id":71,"unknown_field":1}`); code != http.StatusBadRequest {
+		t.Errorf("unknown field accepted: %d", code)
+	}
+	if code, _ := post(t, h, "/admin/cp/remove", `not json`); code != http.StatusBadRequest {
+		t.Errorf("malformed body accepted: %d", code)
+	}
+
+	if code, body := post(t, h, "/admin/cp/remove", `{"id":70}`); code != 200 || !strings.Contains(body, `"removed":true`) {
+		t.Fatalf("cp/remove = %d: %s", code, body)
+	}
+	if n := f.Snapshot().Total.ControlPoints; n != 0 {
+		t.Fatalf("fleet hosts %d CPs after cp/remove", n)
+	}
+	if code, _ := post(t, h, "/admin/cp/remove", `{"id":70}`); code != http.StatusBadRequest {
+		t.Errorf("double cp/remove = %d, want 400", code)
+	}
+}
+
+func TestAdminDeviceLifecycle(t *testing.T) {
+	srv, f, _ := adminPlane(t)
+	h := srv.Handler()
+
+	code, body := post(t, h, "/admin/device/add", `{"id":5,"protocol":"naive"}`)
+	if code != 200 {
+		t.Fatalf("device/add = %d: %s", code, body)
+	}
+	var resp struct {
+		ID   uint32 `json:"id"`
+		Addr string `json:"addr"`
+	}
+	if err := json.Unmarshal([]byte(body), &resp); err != nil {
+		t.Fatal(err)
+	}
+	if resp.ID != 5 || resp.Addr == "" {
+		t.Fatalf("device/add response %+v", resp)
+	}
+	// The returned address is probeable: point a CP at it.
+	add := fmt.Sprintf(`{"id":80,"device":5,"addr":%q,"protocol":"naive","period":"20ms"}`, resp.Addr)
+	if code, body := post(t, h, "/admin/cp/add", add); code != 200 {
+		t.Fatalf("cp/add against admin device = %d: %s", code, body)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for f.Snapshot().Total.RepliesIn == 0 {
+		if time.Now().After(deadline) {
+			t.Fatal("no cycle against the admin-added device")
+		}
+		time.Sleep(2 * time.Millisecond)
+	}
+
+	if code, _ := post(t, h, "/admin/device/add", `{"id":6,"protocol":"wat"}`); code != http.StatusBadRequest {
+		t.Errorf("unknown device protocol accepted: %d", code)
+	}
+	if code, _ := post(t, h, "/admin/cp/remove", `{"id":80}`); code != 200 {
+		t.Fatalf("cp/remove = %d", code)
+	}
+	if code, body := post(t, h, "/admin/device/remove", `{"id":5}`); code != 200 {
+		t.Fatalf("device/remove = %d: %s", code, body)
+	}
+	if code, _ := post(t, h, "/admin/device/remove", `{"id":5}`); code != http.StatusBadRequest {
+		t.Errorf("double device/remove = %d, want 400", code)
+	}
+}
+
+func TestAdminDrainRebalanceAndConfig(t *testing.T) {
+	srv, f, devAddr := adminPlane(t)
+	h := srv.Handler()
+
+	// Spread a few CPs, then drain shard 0 over HTTP.
+	for i := 0; i < 8; i++ {
+		add := fmt.Sprintf(`{"id":%d,"device":1,"addr":%q,"protocol":"naive","period":"1h"}`, 100+i, devAddr)
+		if code, body := post(t, h, "/admin/cp/add", add); code != 200 {
+			t.Fatalf("cp/add = %d: %s", code, body)
+		}
+	}
+	code, body := post(t, h, "/admin/drain", `{"shard":0}`)
+	if code != 200 {
+		t.Fatalf("drain = %d: %s", code, body)
+	}
+	var moved struct {
+		Moved int `json:"moved"`
+	}
+	if err := json.Unmarshal([]byte(body), &moved); err != nil {
+		t.Fatal(err)
+	}
+	if !f.Draining()[0] {
+		t.Fatal("shard 0 not marked draining after /admin/drain")
+	}
+	if code, _ := post(t, h, "/admin/drain", `{"shard":99}`); code != http.StatusBadRequest {
+		t.Errorf("out-of-range drain = %d, want 400", code)
+	}
+	code, body = post(t, h, "/admin/rebalance", "")
+	if code != 200 {
+		t.Fatalf("rebalance = %d: %s", code, body)
+	}
+	var back struct {
+		Moved int `json:"moved"`
+	}
+	if err := json.Unmarshal([]byte(body), &back); err != nil {
+		t.Fatal(err)
+	}
+	if back.Moved != moved.Moved {
+		t.Errorf("rebalance moved %d, drain had moved %d", back.Moved, moved.Moved)
+	}
+	if f.Draining()[0] {
+		t.Error("draining mark survived /admin/rebalance")
+	}
+
+	// Config: GET the live document, flip two knobs with a partial
+	// POST, and confirm untouched fields survive the round-trip.
+	code, body, _ = get(t, h, "/admin/config")
+	if code != 200 {
+		t.Fatalf("config GET = %d", code)
+	}
+	var got struct {
+		Version uint64     `json:"version"`
+		Config  configJSON `json:"config"`
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if got.Version != 1 || got.Config.PendingTTL != "30s" {
+		t.Fatalf("startup config over HTTP: %+v", got)
+	}
+	code, body = post(t, h, "/admin/config", `{"harden":true,"per_device_probe_hz":2.5}`)
+	if code != 200 || !strings.Contains(body, `"version":2`) {
+		t.Fatalf("config POST = %d: %s", code, body)
+	}
+	code, body, _ = get(t, h, "/admin/config")
+	if code != 200 {
+		t.Fatalf("config GET = %d", code)
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Config.Harden || got.Config.PerDeviceProbeHz != 2.5 || got.Config.PendingTTL != "30s" {
+		t.Fatalf("partial update clobbered fields: %+v", got.Config)
+	}
+	if code, _ := post(t, h, "/admin/config", `{"pending_ttl":"soon"}`); code != http.StatusBadRequest {
+		t.Errorf("bad duration accepted: %d", code)
+	}
+	st := srv.StatusSnapshot()
+	if st.ConfigVersion != 2 {
+		t.Errorf("statusz config_version = %d, want 2", st.ConfigVersion)
+	}
+}
+
+// TestMetricsAdminSeries pins the admin-plane counters in the
+// exposition: migrations and admission rejections must be scrapeable
+// whether or not they have fired yet.
+func TestMetricsAdminSeries(t *testing.T) {
+	srv, f, devAddr := adminPlane(t)
+	if code, body := post(t, srv.Handler(), "/admin/cp/add",
+		fmt.Sprintf(`{"id":70,"device":1,"addr":%q,"protocol":"naive","period":"1h"}`, devAddr)); code != 200 {
+		t.Fatalf("cp/add = %d: %s", code, body)
+	}
+	if _, err := f.DrainShard(0); err != nil {
+		t.Fatal(err)
+	}
+	code, body, _ := get(t, srv.Handler(), "/metrics")
+	if code != 200 {
+		t.Fatalf("/metrics = %d", code)
+	}
+	for _, want := range []string{
+		"# TYPE fleet_migrations_total counter",
+		"# TYPE fleet_admission_rejected_total counter",
+		"# TYPE fleet_probes_shed_total counter",
+	} {
+		if !strings.Contains(body, want) {
+			t.Errorf("exposition missing %q", want)
+		}
+	}
+}

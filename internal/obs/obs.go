@@ -2,7 +2,9 @@
 // Prometheus /metrics, /healthz, /statusz (per-shard JSON snapshot),
 // /debug/flight (the flight-recorder dump) and the pprof handlers —
 // everything a production operator scrapes, on one dedicated server
-// with a graceful shutdown, stdlib only.
+// with a graceful shutdown, stdlib only. With Config.Admin it also
+// mounts the runtime-administration endpoints (live control-point and
+// device churn, shard drain/rebalance, config pushes — see admin.go).
 //
 // The package sits above both internal/fleet and internal/memnet
 // (which imports fleet and so cannot be imported by it): a scrape of
@@ -28,6 +30,7 @@
 // fleet_replies_forged_total, fleet_byes_forged_total,
 // fleet_replies_replayed_total, fleet_probes_shed_total,
 // fleet_handoffs_out_total, fleet_handoffs_in_total,
+// fleet_migrations_total, fleet_admission_rejected_total,
 // fleet_syscalls_in_total, fleet_syscalls_out_total.
 //
 // Gauges: fleet_uptime_seconds, fleet_shards, fleet_wheel_depth,
@@ -68,6 +71,11 @@ type Config struct {
 	// the middlebox verdicts adversarial runs are scored on — to every
 	// scrape. Nil for fleets on kernel sockets.
 	Net *memnet.Network
+	// Admin mounts the runtime-administration endpoints (/admin/cp/add,
+	// /admin/cp/remove, /admin/device/add, /admin/device/remove,
+	// /admin/drain, /admin/rebalance, /admin/config — see admin.go). Off
+	// by default: the status plane is read-only unless explicitly armed.
+	Admin bool
 }
 
 // Server is the status plane. Construct with New, expose with Start
@@ -96,6 +104,9 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	s.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	s.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	if cfg.Admin {
+		s.registerAdmin()
+	}
 	return s, nil
 }
 
@@ -172,9 +183,11 @@ func (s *Server) WriteMetrics(out io.Writer) error {
 	w.Counter("fleet_replies_forged_total", "Replies rejected for a wrong source address (Harden).", one(t.RepliesForged))
 	w.Counter("fleet_byes_forged_total", "BYE frames rejected for a wrong source address (Harden).", one(t.ByesForged))
 	w.Counter("fleet_replies_replayed_total", "Replies replayed inside the replay window (Harden).", one(t.RepliesReplayed))
-	w.Counter("fleet_probes_shed_total", "Probes dropped by per-source admission (Harden).", one(t.ProbesShed))
+	w.Counter("fleet_probes_shed_total", "Probes dropped by per-source admission (Harden) or the per-device probe budget.", one(t.ProbesShed))
 	w.Counter("fleet_handoffs_out_total", "Frames forwarded to their owning shard.", one(t.HandoffsOut))
 	w.Counter("fleet_handoffs_in_total", "Frames received via cross-shard handoff.", one(t.HandoffsIn))
+	w.Counter("fleet_migrations_total", "Control points migrated between shards (drain/rebalance).", one(t.Migrations))
+	w.Counter("fleet_admission_rejected_total", "Admin commands rejected by a full admission queue.", one(t.AdmissionRejected))
 	w.Counter("fleet_syscalls_in_total", "Transport read calls.", one(t.SyscallsIn))
 	w.Counter("fleet_syscalls_out_total", "Transport write calls.", one(t.SyscallsOut))
 
@@ -220,6 +233,7 @@ func (s *Server) WriteMetrics(out io.Writer) error {
 // ShardStatus is one shard's slice of the /statusz report.
 type ShardStatus struct {
 	Index      int              `json:"index"`
+	Draining   bool             `json:"draining,omitempty"`
 	Counters   fleet.Counters   `json:"counters"`
 	Histograms fleet.Histograms `json:"histograms"`
 }
@@ -233,6 +247,7 @@ type Status struct {
 	Routed         bool             `json:"routed"`
 	Telemetry      bool             `json:"telemetry"`
 	FlightRecorder bool             `json:"flight_recorder"`
+	ConfigVersion  uint64           `json:"config_version"`
 	Total          fleet.Counters   `json:"total"`
 	Histograms     fleet.Histograms `json:"histograms"`
 	PerShard       []ShardStatus    `json:"per_shard"`
@@ -244,6 +259,8 @@ func (s *Server) StatusSnapshot() Status {
 	f := s.cfg.Fleet
 	snap := f.Snapshot()
 	hists := f.ShardHistograms()
+	_, ver := f.ConfigSnapshot()
+	draining := f.Draining()
 	st := Status{
 		UptimeSeconds:  snap.At.Seconds(),
 		Shards:         f.Shards(),
@@ -251,12 +268,13 @@ func (s *Server) StatusSnapshot() Status {
 		Routed:         f.Routed(),
 		Telemetry:      f.TelemetryEnabled(),
 		FlightRecorder: f.FlightRecorderEnabled(),
+		ConfigVersion:  ver,
 		Total:          snap.Total,
 		Histograms:     f.Histograms(),
 		PerShard:       make([]ShardStatus, len(snap.Shards)),
 	}
 	for i := range snap.Shards {
-		st.PerShard[i] = ShardStatus{Index: i, Counters: snap.Shards[i], Histograms: hists[i]}
+		st.PerShard[i] = ShardStatus{Index: i, Draining: draining[i], Counters: snap.Shards[i], Histograms: hists[i]}
 	}
 	if s.cfg.Net != nil {
 		c := s.cfg.Net.Counters()

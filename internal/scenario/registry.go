@@ -173,6 +173,17 @@ func init() {
 		CrashAt:    []Duration{sec(3)},
 	})
 	Register(&Spec{
+		Name:        "conf-admin-churn",
+		Description: "conformance: the conf-churn dynamics with the fleet-side membership driven through the runtime admin API (HTTP add/remove) instead of direct calls",
+		Protocol:    "dcpp",
+		Horizon:     sec(5),
+		Population: Population{UniformChurn: &UniformChurn{
+			Min: 4, Max: 12, Rate: 0.8,
+		}},
+		Processing: &Processing{Disabled: true},
+		CrashAt:    []Duration{sec(3)},
+	})
+	Register(&Spec{
 		Name:        "conf-bursty-loss",
 		Description: "conformance: fast uniform churn over a Gilbert-Elliott burst-loss channel, device crash at t=3s",
 		Protocol:    "dcpp",

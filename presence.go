@@ -266,6 +266,16 @@ type (
 	FleetScaleOptions = fleet.ScaleOptions
 	// FleetScaleResult is what the loopback scale harness measured.
 	FleetScaleResult = fleet.ScaleResult
+	// FleetRuntimeConfig carries every fleet knob changeable while the
+	// fleet runs (Fleet.SetConfig / Fleet.ConfigSnapshot): harden
+	// toggles, replay/pending windows, per-device probe budgets and the
+	// admin-command admission bound.
+	FleetRuntimeConfig = fleet.RuntimeConfig
+	// FleetVerdictEvent is one terminal presence verdict, delivered to
+	// FleetConfig.Verdicts.
+	FleetVerdictEvent = fleet.VerdictEvent
+	// FleetVerdictKind names a verdict: lost or bye.
+	FleetVerdictKind = fleet.VerdictKind
 	// FleetTransport opens one packet conn per shard (custom networks).
 	FleetTransport = fleet.Transport
 	// FleetPacketConn is the single-datagram transport contract.
@@ -278,8 +288,20 @@ type (
 	FleetDatagram = fleet.Datagram
 )
 
+// The verdict kinds (FleetVerdictEvent.Kind).
+const (
+	FleetVerdictLost = fleet.VerdictLost
+	FleetVerdictBye  = fleet.VerdictBye
+)
+
 // NewFleet builds a sharded presence server. Call Start, then
-// AddControlPoint/AddDevice; Close tears it down.
+// AddControlPoint/AddDevice; Close tears it down. A running fleet is
+// mutable throughout: AddControlPoint/RemoveControlPoint and
+// AddDevice/RemoveDevice churn membership live, DrainShard/Rebalance
+// migrate control points between shards without losing pending probe
+// cycles, and SetConfig pushes versioned runtime-configuration changes
+// — all executed on the owning shard's event loop, leaving the packet
+// hot path lock-free and allocation-free.
 func NewFleet(cfg FleetConfig) (*Fleet, error) { return fleet.New(cfg) }
 
 // NewDCPPDeviceBuilder returns a builder for a DCPP device engine,
