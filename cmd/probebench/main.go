@@ -21,9 +21,12 @@
 // BENCH_<n>.json in the working directory when PATH is empty — the
 // cross-PR performance trajectory (every -json snapshot also carries a
 // "shard_hot_path" section: BenchmarkShardHotPath's ns and allocs per
-// op for the batch and single-datagram paths, gated by -compare, and an
+// op for the batch and single-datagram paths, gated by -compare, an
 // "observability" section measuring the hot path with the telemetry
 // plane on vs off — -compare requires the metrics-on side to stay at 0
+// allocs/op — and an "auth" section measuring it with wire v2 frame
+// authentication (HMAC tags signed and verified per exchange) on vs
+// off, gated the same way: the authenticated side must also stay at 0
 // allocs/op). With
 // -fleet, the internal/fleet loopback scale harness also runs (10k
 // control points against loopback DCPP devices by default; -fleet-rate
@@ -43,9 +46,12 @@
 // in the snapshot's "conformance" section; any failing case makes the
 // command exit non-zero. With -adversarial, the adversarial battery
 // (internal/conformance's adv-* scenarios) runs twice — hardened and
-// unhardened — and both sides land in the snapshot's "adversarial"
-// section; a hardened case with any false verdict exits non-zero, and
-// -compare re-gates the section when diffing snapshots. With -scenario,
+// unhardened — followed by the adv-auth-* battery (frame tampering,
+// forged tags, tag stripping, version downgrade) with authentication
+// on and off, and all four sides land in the snapshot's "adversarial"
+// section; a hardened or authenticated case with any false verdict
+// exits non-zero, and -compare re-gates both when diffing snapshots.
+// With -scenario,
 // one declarative scenario
 // (registered name or JSON file, see internal/scenario) runs instead of
 // the suite and is summarised as a report. With -compare, two previously
@@ -113,7 +119,7 @@ func run(args []string, out io.Writer) error {
 		confSeed = fs.Uint64("conformance-seed", 2005, "seed for -conformance")
 		confOnly = fs.String("conformance-scenario", "", "run a single conformance case by scenario name (default: all)")
 
-		advRun  = fs.Bool("adversarial", false, "also run the adversarial battery hardened and unhardened; a hardened false verdict exits non-zero")
+		advRun  = fs.Bool("adversarial", false, "also run the adversarial battery hardened and unhardened, plus the adv-auth-* battery authenticated and not; a hardened or authenticated false verdict exits non-zero")
 		advSeed = fs.Uint64("adversarial-seed", 2005, "seed for -adversarial")
 
 		compare  = fs.Bool("compare", false, "compare two BENCH_<n>.json snapshots (probebench -compare OLD NEW) and exit non-zero on regression")
@@ -369,7 +375,30 @@ func run(args []string, out io.Writer) error {
 				advSec.Unhardened = results
 			}
 		}
-		if fails := gateAdversarial(advSec.Hardened); len(fails) > 0 {
+		for _, auth := range []bool{true, false} {
+			mode := "authenticated"
+			if !auth {
+				mode = "unauthenticated"
+			}
+			fmt.Fprintf(out, "==> auth adversarial battery, %s (seed %d)\n", mode, *advSeed)
+			t0 := time.Now()
+			results, err := conformance.RunAuthAdversarialSuite(*advSeed, auth)
+			if err != nil {
+				return fmt.Errorf("auth adversarial (%s): %w", mode, err)
+			}
+			for _, res := range results {
+				fmt.Fprintln(out, res.Format())
+				report.WriteString(res.Format())
+				report.WriteString("\n")
+			}
+			fmt.Fprintf(out, "    (%s)\n\n", time.Since(t0).Round(time.Millisecond))
+			if auth {
+				advSec.AuthAuthenticated = results
+			} else {
+				advSec.AuthUnauthenticated = results
+			}
+		}
+		if fails := append(gateAdversarial(advSec.Hardened), gateAdversarial(advSec.AuthAuthenticated)...); len(fails) > 0 {
 			return fmt.Errorf("adversarial: %s", strings.Join(fails, "; "))
 		}
 	}
@@ -572,20 +601,29 @@ type benchSnapshot struct {
 	// Observability measures what the telemetry plane (per-shard
 	// histograms + flight recorder) costs on the hot path; -compare
 	// requires the metrics-on side to stay at 0 allocs/op.
-	Observability *observabilitySection         `json:"observability,omitempty"`
-	Fleet         *fleetSection                 `json:"fleet,omitempty"`
-	Conformance   []*conformance.Result         `json:"conformance,omitempty"`
-	Adversarial   *adversarialSection           `json:"adversarial,omitempty"`
-	Metrics       map[string]map[string]float64 `json:"metrics"`
+	Observability *observabilitySection `json:"observability,omitempty"`
+	// Auth measures what wire v2 frame authentication (HMAC-SHA256
+	// tags, sign + verify per exchange) costs on the hot path; -compare
+	// requires the auth-on side to stay at 0 allocs/op.
+	Auth        *authSection                  `json:"auth,omitempty"`
+	Fleet       *fleetSection                 `json:"fleet,omitempty"`
+	Conformance []*conformance.Result         `json:"conformance,omitempty"`
+	Adversarial *adversarialSection           `json:"adversarial,omitempty"`
+	Metrics     map[string]map[string]float64 `json:"metrics"`
 }
 
 // adversarialSection is the snapshot's robustness block: the adv-*
-// battery run with the fleet defenses on and off. The hardened side is
-// a gate (zero false verdicts, re-checked by -compare); the unhardened
-// side documents what the attacks do to an undefended runtime.
+// battery run with the fleet defenses on and off, and the adv-auth-*
+// battery (frame tampering, forged tags, tag stripping, version
+// downgrade) with frame authentication on and off. The hardened and
+// authenticated sides are gates (zero false verdicts, re-checked by
+// -compare); the unhardened/unauthenticated sides document what the
+// attacks do to an undefended runtime.
 type adversarialSection struct {
-	Hardened   []*conformance.AdvResult `json:"hardened,omitempty"`
-	Unhardened []*conformance.AdvResult `json:"unhardened,omitempty"`
+	Hardened            []*conformance.AdvResult `json:"hardened,omitempty"`
+	Unhardened          []*conformance.AdvResult `json:"unhardened,omitempty"`
+	AuthAuthenticated   []*conformance.AdvResult `json:"auth_authenticated,omitempty"`
+	AuthUnauthenticated []*conformance.AdvResult `json:"auth_unauthenticated,omitempty"`
 }
 
 // gateAdversarial re-derives the hardened pass condition from a
@@ -849,6 +887,52 @@ func gateObservability(sec *observabilitySection) []string {
 	return fails
 }
 
+// authSection is the snapshot's frame-authentication cost block: the
+// hot-path measurement with wire v2 HMAC tags required on every frame
+// (sign each probe, verify each reply) and without, plus the derived
+// per-packet cost of authenticating. -compare gates the auth-on side
+// at absolute zero allocations — the MAC must ride the same pooled
+// buffers as the rest of the packet path.
+type authSection struct {
+	AuthOn  fleet.HotPathStats `json:"auth_on"`
+	AuthOff fleet.HotPathStats `json:"auth_off"`
+	// OverheadNsPerPacket is (on − off) ns/op over packets/op — the cost
+	// of one HMAC-SHA256 sign plus one verify per probe/reply exchange.
+	OverheadNsPerPacket float64 `json:"overhead_ns_per_packet"`
+	OverheadPercent     float64 `json:"overhead_percent"`
+}
+
+// measureAuth measures what frame authentication costs on the hot path.
+func measureAuth() (*authSection, error) {
+	on, err := benchHotPath(fleet.HotPathOptions{Auth: true})
+	if err != nil {
+		return nil, err
+	}
+	off, err := benchHotPath(fleet.HotPathOptions{})
+	if err != nil {
+		return nil, err
+	}
+	sec := &authSection{AuthOn: on, AuthOff: off}
+	if on.PacketsPerOp > 0 {
+		sec.OverheadNsPerPacket = float64(on.NsPerOp-off.NsPerOp) / float64(on.PacketsPerOp)
+	}
+	if off.NsPerOp > 0 {
+		sec.OverheadPercent = 100 * float64(on.NsPerOp-off.NsPerOp) / float64(off.NsPerOp)
+	}
+	return sec, nil
+}
+
+// gateAuth re-derives the authentication-cost pass condition from a
+// snapshot section: the authenticated hot path must stay allocation-free.
+func gateAuth(sec *authSection) []string {
+	var fails []string
+	if sec.AuthOn.AllocsPerOp != 0 {
+		fails = append(fails, fmt.Sprintf("auth: authenticated hot path allocates (%d allocs/op, want 0)",
+			sec.AuthOn.AllocsPerOp))
+	}
+	return fails
+}
+
 // writeJSONSnapshot measures throughput and writes the snapshot to path,
 // or to the next free BENCH_<n>.json when path is empty.
 func writeJSONSnapshot(path string, seed uint64, scale experiments.Scale, metrics map[string]map[string]float64, fleetSec *fleetSection, confResults []*conformance.Result, advSec *adversarialSection) (string, error) {
@@ -864,6 +948,10 @@ func writeJSONSnapshot(path string, seed uint64, scale experiments.Scale, metric
 	if err != nil {
 		return "", err
 	}
+	authSec, err := measureAuth()
+	if err != nil {
+		return "", err
+	}
 	snap := benchSnapshot{
 		Generated:     time.Now().UTC().Format(time.RFC3339),
 		Seed:          seed,
@@ -871,6 +959,7 @@ func writeJSONSnapshot(path string, seed uint64, scale experiments.Scale, metric
 		Throughput:    tp,
 		HotPath:       hp,
 		Observability: obsSec,
+		Auth:          authSec,
 		Fleet:         fleetSec,
 		Conformance:   confResults,
 		Adversarial:   advSec,
@@ -988,6 +1077,15 @@ func runCompare(out io.Writer, oldPath, newPath string, maxSlow, maxAlloc float6
 			obs.OverheadNsPerPacket, obs.OverheadPercent)
 		fails = append(fails, gateObservability(obs)...)
 	}
+	// The auth section is likewise an absolute gate on the new snapshot:
+	// signing and verifying every frame must not buy integrity with heap
+	// traffic; the measured per-packet cost is printed for the reader.
+	if auth := newSnap.Auth; auth != nil {
+		fmt.Fprintf(out, "%-16s %14d %14d  (overhead %+.1f ns/packet, %+.1f%%)\n", "auth allocs",
+			auth.AuthOff.AllocsPerOp, auth.AuthOn.AllocsPerOp,
+			auth.OverheadNsPerPacket, auth.OverheadPercent)
+		fails = append(fails, gateAuth(auth)...)
+	}
 	// The scaling study is likewise an absolute health gate on the new
 	// snapshot (all CPs alive, zero decode errors); the curve itself is
 	// printed for the reader, not gated — it is machine-dependent.
@@ -1012,7 +1110,10 @@ func runCompare(out io.Writer, oldPath, newPath string, maxSlow, maxAlloc float6
 		}
 		rows("hard", adv.Hardened)
 		rows("none", adv.Unhardened)
+		rows("auth", adv.AuthAuthenticated)
+		rows("plain", adv.AuthUnauthenticated)
 		fails = append(fails, gateAdversarial(adv.Hardened)...)
+		fails = append(fails, gateAdversarial(adv.AuthAuthenticated)...)
 	}
 	if len(fails) > 0 {
 		return fmt.Errorf("regression: %s", strings.Join(fails, "; "))

@@ -6,6 +6,9 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+
+	"presence/internal/conformance"
+	"presence/internal/fleet"
 )
 
 func TestListExperiments(t *testing.T) {
@@ -187,6 +190,37 @@ func TestCompareMode(t *testing.T) {
 	out.Reset()
 	if err := run([]string{"-compare", "-compare-max-slowdown", "0", oldPath, newPath}, &out); err != nil {
 		t.Fatalf("disabled time gate still failed: %v", err)
+	}
+
+	// The auth section is an absolute gate on the new snapshot: the
+	// authenticated hot path must stay allocation-free.
+	leakyAuth := base
+	leakyAuth.Auth = &authSection{
+		AuthOn:  fleet.HotPathStats{NsPerOp: 95000, AllocsPerOp: 3, PacketsPerOp: 256},
+		AuthOff: fleet.HotPathStats{NsPerOp: 57000, AllocsPerOp: 0, PacketsPerOp: 256},
+	}
+	writeSnapshotFile(t, newPath, leakyAuth)
+	out.Reset()
+	err = run([]string{"-compare", oldPath, newPath}, &out)
+	if err == nil || !strings.Contains(err.Error(), "authenticated hot path allocates") {
+		t.Fatalf("auth alloc regression not flagged: %v", err)
+	}
+
+	// ... and the authenticated adversarial battery is re-gated like the
+	// hardened one: an accepted forgery in a committed snapshot fails.
+	forged := base
+	forged.Adversarial = &adversarialSection{
+		AuthAuthenticated: []*conformance.AdvResult{{
+			Scenario: "adv-auth-downgrade", Seed: 42, Harden: true, Auth: true,
+			Adv:  conformance.AdvMetrics{FalsePresent: 8},
+			Pass: false,
+		}},
+	}
+	writeSnapshotFile(t, newPath, forged)
+	out.Reset()
+	err = run([]string{"-compare", oldPath, newPath}, &out)
+	if err == nil || !strings.Contains(err.Error(), "adv-auth-downgrade") {
+		t.Fatalf("auth adversarial regression not flagged: %v", err)
 	}
 
 	// Metric drift is reported (informationally) when seed+scale match.

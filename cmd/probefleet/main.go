@@ -98,32 +98,34 @@ func main() {
 
 func signalChan() <-chan os.Signal {
 	sig := make(chan os.Signal, 1)
-	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGQUIT)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM, syscall.SIGQUIT, syscall.SIGHUP)
 	return sig
 }
 
 type options struct {
-	cps        int
-	shards     int
-	protocol   string
-	period     time.Duration
-	rate       float64
-	loopback   int
-	device     string
-	deviceID   uint
-	minGap     time.Duration
-	minCPDelay time.Duration
-	duration   time.Duration
-	interval   time.Duration
-	joinRamp   time.Duration
-	batch      int
-	single     bool
-	reuseport  bool
-	harden     bool
-	statusAddr string
-	pprofAddr  string
-	admin      bool
-	churn      float64
+	cps         int
+	shards      int
+	protocol    string
+	period      time.Duration
+	rate        float64
+	loopback    int
+	device      string
+	deviceID    uint
+	minGap      time.Duration
+	minCPDelay  time.Duration
+	duration    time.Duration
+	interval    time.Duration
+	joinRamp    time.Duration
+	batch       int
+	single      bool
+	reuseport   bool
+	harden      bool
+	authKeyfile string
+	authRequire bool
+	statusAddr  string
+	pprofAddr   string
+	admin       bool
+	churn       float64
 }
 
 func run(args []string, out io.Writer, sig <-chan os.Signal) error {
@@ -146,6 +148,8 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 	fs.BoolVar(&o.single, "single", false, "force the one-datagram-per-syscall fallback path")
 	fs.BoolVar(&o.reuseport, "reuseport", false, "share one UDP port across CP-fleet shards via SO_REUSEPORT (kernel flow-hash demux; falls back to distinct ports where unsupported)")
 	fs.BoolVar(&o.harden, "harden", false, "enable the adversarial defenses (BYE verification, source pinning, replay window, per-source shedding) on both fleets")
+	fs.StringVar(&o.authKeyfile, "auth-keyfile", "", "authenticate frames (wire v2 HMAC tags) with the master key read from this file; SIGHUP re-reads it and rotates live")
+	fs.BoolVar(&o.authRequire, "auth-require", false, "refuse unauthenticated v1 frames outright (needs -auth-keyfile)")
 	fs.StringVar(&o.statusAddr, "status", "", "serve the status plane (/metrics, /healthz, /statusz, /debug/flight, pprof) on this address (e.g. localhost:6060)")
 	fs.StringVar(&o.pprofAddr, "pprof", "", "deprecated alias for -status (the pprof handlers live on the status mux)")
 	fs.BoolVar(&o.admin, "admin", false, "mount the runtime admin endpoints (/admin/...) on the -status mux")
@@ -181,8 +185,12 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 	if o.churn < 0 {
 		return fmt.Errorf("-churn %g must be non-negative", o.churn)
 	}
+	if o.authRequire && o.authKeyfile == "" {
+		return fmt.Errorf("-auth-require needs -auth-keyfile")
+	}
+	auth := fleet.AuthConfig{KeyFile: o.authKeyfile, Require: o.authRequire}
 
-	cpFleet, err := fleet.New(fleet.Config{Shards: o.shards, Batch: o.batch, ForceSingleDatagram: o.single, ReusePort: o.reuseport, Harden: o.harden})
+	cpFleet, err := fleet.New(fleet.Config{Shards: o.shards, Batch: o.batch, ForceSingleDatagram: o.single, ReusePort: o.reuseport, Harden: o.harden, Auth: auth})
 	if err != nil {
 		return err
 	}
@@ -216,6 +224,13 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 			fmt.Fprintln(out, "probefleet: SO_REUSEPORT unavailable here — distinct ports per shard, routing still on")
 		}
 	}
+	if o.authKeyfile != "" {
+		mode := "v1 accepted until a peer speaks v2"
+		if o.authRequire {
+			mode = "unauthenticated frames refused"
+		}
+		fmt.Fprintf(out, "probefleet: frame authentication on (key from %s, %s); SIGHUP rotates\n", o.authKeyfile, mode)
+	}
 
 	// The devices the CPs monitor: in-process loopback or external.
 	type target struct {
@@ -236,7 +251,7 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 		targets = []target{{id: ident.NodeID(uint32(o.deviceID)), addr: addr}}
 	} else {
 		var err error
-		devFleet, err = fleet.New(fleet.Config{Shards: o.loopback, Batch: o.batch, ForceSingleDatagram: o.single, Harden: o.harden})
+		devFleet, err = fleet.New(fleet.Config{Shards: o.loopback, Batch: o.batch, ForceSingleDatagram: o.single, Harden: o.harden, Auth: auth})
 		if err != nil {
 			return err
 		}
@@ -349,6 +364,32 @@ func run(args []string, out io.Writer, sig <-chan os.Signal) error {
 				if err := cpFleet.WriteFlight(out); err != nil {
 					fmt.Fprintf(os.Stderr, "probefleet: flight dump: %v\n", err)
 				}
+				continue
+			}
+			if s == syscall.SIGHUP {
+				// Live key rotation: re-read the keyfile and push it through
+				// the admin plane of every fleet this process runs. The
+				// dual-key grace keeps in-flight frames verifying.
+				if o.authKeyfile == "" {
+					fmt.Fprintln(out, "probefleet: SIGHUP ignored — no -auth-keyfile to reload")
+					continue
+				}
+				key, err := fleet.LoadAuthKey(o.authKeyfile)
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "probefleet: SIGHUP key reload: %v\n", err)
+					continue
+				}
+				for _, fl := range []*fleet.Fleet{devFleet, cpFleet} {
+					if fl == nil {
+						continue
+					}
+					rc, _ := fl.ConfigSnapshot()
+					rc.AuthKey = key
+					if _, err := fl.SetConfig(rc); err != nil {
+						fmt.Fprintf(os.Stderr, "probefleet: SIGHUP key rotation: %v\n", err)
+					}
+				}
+				fmt.Fprintf(out, "probefleet: SIGHUP — auth key reloaded from %s\n", o.authKeyfile)
 				continue
 			}
 			fmt.Fprintln(out, "probefleet: signal received, shutting down")
@@ -464,6 +505,11 @@ func finalDump(out io.Writer, f, devFleet *fleet.Fleet) error {
 		t.ByesForged += d.ByesForged
 		t.RepliesReplayed += d.RepliesReplayed
 		t.ProbesShed += d.ProbesShed
+		t.AuthVerified += d.AuthVerified
+		t.AuthStaleKey += d.AuthStaleKey
+		t.AuthRejected += d.AuthRejected
+		t.AuthDowngraded += d.AuthDowngraded
+		t.BadFrames += d.BadFrames
 	}
 	fmt.Fprintf(out, "probefleet: final after %s — cps=%d/%d in=%d out=%d syscalls=%d/%d probes=%d replies=%d timers=%d errs dec=%d send=%d drop=%d coll=%d\n",
 		snap.At.Round(time.Millisecond),
@@ -478,6 +524,10 @@ func finalDump(out io.Writer, f, devFleet *fleet.Fleet) error {
 	if h := t.AttemptMismatches + t.RepliesForged + t.ByesForged + t.RepliesReplayed + t.ProbesShed; h > 0 {
 		fmt.Fprintf(out, "probefleet: hardening — attempt-mismatch=%d forged replies=%d byes=%d replayed=%d shed=%d\n",
 			t.AttemptMismatches, t.RepliesForged, t.ByesForged, t.RepliesReplayed, t.ProbesShed)
+	}
+	if a := t.AuthVerified + t.AuthStaleKey + t.AuthRejected + t.AuthDowngraded; a > 0 {
+		fmt.Fprintf(out, "probefleet: auth — verified=%d stale-key=%d rejected=%d downgrades=%d bad-frames=%d\n",
+			t.AuthVerified, t.AuthStaleKey, t.AuthRejected, t.AuthDowngraded, t.BadFrames)
 	}
 	if hist.ProbeRTT.Count > 0 {
 		us := func(v uint64) time.Duration { return (time.Duration(v) * time.Microsecond).Round(time.Microsecond) }

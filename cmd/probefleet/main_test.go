@@ -2,7 +2,9 @@ package main
 
 import (
 	"os"
+	"path/filepath"
 	"strings"
+	"syscall"
 	"testing"
 	"time"
 )
@@ -83,6 +85,65 @@ func TestSignalTriggersFinalDump(t *testing.T) {
 	s := out.String()
 	if !strings.Contains(s, "signal received") || !strings.Contains(s, "probefleet: final after") {
 		t.Fatalf("signal path output:\n%s", s)
+	}
+}
+
+// TestAuthKeyfileAndSIGHUPReload runs an authenticated loopback fleet
+// (wire v2 tags required on every frame), rotates the master key live
+// via SIGHUP mid-run, and checks the daemon keeps probing across the
+// rotation with zero rejected frames — the dual-key grace at work.
+func TestAuthKeyfileAndSIGHUPReload(t *testing.T) {
+	keyfile := filepath.Join(t.TempDir(), "master.key")
+	if err := os.WriteFile(keyfile, []byte("probefleet-test-master-key\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	sig := make(chan os.Signal, 1)
+	done := make(chan error, 1)
+	var out strings.Builder
+	go func() {
+		done <- run([]string{
+			"-cps", "20", "-shards", "1", "-loopback", "1",
+			"-min-gap", "5ms", "-min-cp-delay", "20ms",
+			"-interval", "100ms", "-join-ramp", "1ms",
+			"-auth-keyfile", keyfile, "-auth-require",
+		}, &out, sig)
+	}()
+	time.Sleep(400 * time.Millisecond)
+	if err := os.WriteFile(keyfile, []byte("probefleet-test-rotated-key\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	sig <- syscall.SIGHUP
+	time.Sleep(400 * time.Millisecond)
+	sig <- os.Interrupt
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Fatal(err)
+		}
+	case <-time.After(10 * time.Second):
+		t.Fatal("run did not return after the signal")
+	}
+	s := out.String()
+	for _, want := range []string{
+		"frame authentication on (key from " + keyfile + ", unauthenticated frames refused); SIGHUP rotates",
+		"SIGHUP — auth key reloaded from " + keyfile,
+		"probefleet: auth — verified=",
+	} {
+		if !strings.Contains(s, want) {
+			t.Fatalf("output missing %q:\n%s", want, s)
+		}
+	}
+	// Every frame in a loopback run shares the keyfile, so nothing may
+	// be rejected — a rejection here means rotation broke verification.
+	if strings.Contains(s, "rejected=") && !strings.Contains(s, "rejected=0 ") {
+		t.Fatalf("auth rejections in a benign authenticated run:\n%s", s)
+	}
+}
+
+func TestAuthRequireNeedsKeyfile(t *testing.T) {
+	var out strings.Builder
+	if err := run([]string{"-auth-require", "-cps", "1", "-duration", "1ms"}, &out, nil); err == nil {
+		t.Fatal("-auth-require without -auth-keyfile accepted, want error")
 	}
 }
 

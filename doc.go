@@ -128,6 +128,27 @@
 // hardened-vs-unhardened results in EXPERIMENTS.md "Adversarial
 // workloads").
 //
+// # Authenticated frames
+//
+// Hardening's heuristics (source pinning, replay windows) cannot stop
+// an attacker who forges well-formed frames, so the wire format has an
+// authenticated version 2: every frame carries a truncated HMAC-SHA256
+// tag under a key derived per (control point, device) pair from a
+// master secret (internal/wire's AuthKey/DeriveKey). fleet.AuthConfig
+// enables it — Key or KeyFile for the master secret, Require to refuse
+// unauthenticated v1 frames — and FleetRuntimeConfig.AuthKey rotates
+// the key on a live fleet with a dual-key grace (probefleet
+// -auth-keyfile re-reads and rotates on SIGHUP). Peers that have
+// spoken v2 are pinned to it (a per-peer high-water mark), so
+// stripping the tag or replaying v1 does not downgrade them. The
+// adv-auth-* scenarios (frame tampering, forged tags, tag stripping,
+// version downgrade against a crashed device) gate acceptance of any
+// forged frame at zero, signing and verifying stay inside the hot
+// path's 0 allocs/op budget (the BENCH "auth" section), and the
+// downgrade attack is kept as an expected failure of hardening alone —
+// the measured reason the MAC exists (EXPERIMENTS.md "Authenticated
+// frames").
+//
 // # Observability
 //
 // The fleet carries a zero-allocation telemetry plane, on by default

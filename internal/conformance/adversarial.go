@@ -37,6 +37,11 @@ type AdvCase struct {
 	Shards int
 	// Harden toggles the fleet defenses — the comparison axis.
 	Harden bool
+	// Auth runs both fleets with frame authentication on (shared master
+	// key, Require mode): every frame carries a v2 HMAC tag and
+	// unauthenticated frames are refused. The defense axis for the
+	// adv-auth-* scenarios.
+	Auth bool
 }
 
 // DefaultAdvCases returns the standing adversarial battery over the
@@ -47,6 +52,19 @@ func DefaultAdvCases(harden bool) []AdvCase {
 		{Scenario: "adv-replay", Harden: harden},
 		{Scenario: "adv-byzantine", Harden: harden},
 		{Scenario: "adv-amplify", Harden: harden},
+	}
+}
+
+// DefaultAuthAdvCases returns the authenticated-wire battery over the
+// four adv-auth-* scenarios. With auth on, the runs are gated (zero
+// forged frames accepted, zero false verdicts); with auth off they are
+// the demonstration that the attacks bite an unauthenticated runtime.
+func DefaultAuthAdvCases(auth bool) []AdvCase {
+	return []AdvCase{
+		{Scenario: "adv-auth-tamper", Harden: auth, Auth: auth},
+		{Scenario: "adv-auth-bitflip", Harden: auth, Auth: auth},
+		{Scenario: "adv-auth-strip", Harden: auth, Auth: auth},
+		{Scenario: "adv-auth-downgrade", Harden: auth, Auth: auth},
 	}
 }
 
@@ -82,6 +100,14 @@ type AdvMetrics struct {
 	// Engine-level bye-verification accounting, summed over all CPs.
 	ByeVerifications uint64 `json:"bye_verifications"`
 	SpoofedByes      uint64 `json:"spoofed_byes"`
+	// Frame-authentication accounting, summed over both fleets' shards.
+	// With auth on, every tampered v2 frame must land in AuthRejected
+	// and every stripped or downgraded v1 frame that reaches a live
+	// endpoint in AuthDowngraded — never in a verdict.
+	AuthVerified   uint64 `json:"auth_verified"`
+	AuthStaleKey   uint64 `json:"auth_stale_key"`
+	AuthRejected   uint64 `json:"auth_rejected"`
+	AuthDowngraded uint64 `json:"auth_downgraded"`
 }
 
 // AdvResult is one adversarial case's outcome.
@@ -89,6 +115,7 @@ type AdvResult struct {
 	Scenario string `json:"scenario"`
 	Seed     uint64 `json:"seed"`
 	Harden   bool   `json:"harden"`
+	Auth     bool   `json:"auth"`
 	// Sim is the attack-free simulator baseline of the same spec and
 	// seed; Fleet is the attacked replay's view.
 	Sim   RuntimeMetrics `json:"sim"`
@@ -113,6 +140,9 @@ func (r *AdvResult) Format() string {
 	if r.Harden {
 		mode = "hardened"
 	}
+	if r.Auth {
+		mode += "+auth"
+	}
 	fmt.Fprintf(&b, "### adversarial %s — seed %d, %s — %s\n\n", r.Scenario, r.Seed, mode, verdict)
 	a := &r.Adv
 	fmt.Fprintf(&b, "- verdicts: %d present at event, %d false-ABSENT, %d false-PRESENT\n",
@@ -125,6 +155,10 @@ func (r *AdvResult) Format() string {
 	fmt.Fprintf(&b, "- defense: %d attempt mismatches, %d forged replies, %d forged byes, %d replayed, %d shed (rate %.2f), %d bye verifications (%d spoofs refuted)\n",
 		a.AttemptMismatches, a.RepliesForged, a.ByesForged, a.RepliesReplayed, a.ProbesShed, a.ShedRate,
 		a.ByeVerifications, a.SpoofedByes)
+	if r.Auth || a.AuthVerified+a.AuthRejected+a.AuthDowngraded > 0 {
+		fmt.Fprintf(&b, "- auth: %d verified, %d stale-key, %d rejected, %d downgrades refused\n",
+			a.AuthVerified, a.AuthStaleKey, a.AuthRejected, a.AuthDowngraded)
+	}
 	fmt.Fprintf(&b, "- invariants: %d violations over %d tapped packets\n", len(r.Violations), r.TappedPackets)
 	if r.Harden {
 		for _, v := range r.Violations {
@@ -145,6 +179,10 @@ type advTaps struct {
 	replayer   *memnet.Replayer
 	byzantine  *memnet.Byzantine
 	amplifier  *memnet.Amplifier
+	tamperer   *memnet.Tamperer
+	bitflipper *memnet.BitFlipper
+	stripper   *memnet.TagStripper
+	downgrader *memnet.Downgrader
 	victimAddr netip.AddrPort
 
 	victimReplies atomic.Uint64
@@ -164,6 +202,18 @@ func (t *advTaps) injected() uint64 {
 	}
 	if t.amplifier != nil {
 		n += t.amplifier.Injected()
+	}
+	if t.tamperer != nil {
+		n += t.tamperer.Injected()
+	}
+	if t.bitflipper != nil {
+		n += t.bitflipper.Injected()
+	}
+	if t.stripper != nil {
+		n += t.stripper.Injected()
+	}
+	if t.downgrader != nil {
+		n += t.downgrader.Injected()
 	}
 	return n
 }
@@ -216,6 +266,37 @@ func installAdversaries(net *memnet.Network, spec *scenario.Spec, deviceAddr net
 		}
 		net.AddMiddlebox(t.byzantine)
 	}
+	if s := a.Tamper; s != nil {
+		t.tamperer = &memnet.Tamperer{
+			Device: deviceID, DeviceAddr: deviceAddr,
+			Window: window(s.AttackWindow), P: s.P,
+			R: net.ForkRNG("adv/tamper"),
+		}
+		net.AddMiddlebox(t.tamperer)
+	}
+	if s := a.BitFlip; s != nil {
+		t.bitflipper = &memnet.BitFlipper{
+			DeviceAddr: deviceAddr,
+			Window:     window(s.AttackWindow), P: s.P, FlipBits: s.FlipBits,
+			R: net.ForkRNG("adv/bit-flip"),
+		}
+		net.AddMiddlebox(t.bitflipper)
+	}
+	if s := a.StripTag; s != nil {
+		t.stripper = &memnet.TagStripper{
+			DeviceAddr: deviceAddr,
+			Window:     window(s.AttackWindow), P: s.P,
+			R: net.ForkRNG("adv/strip-tag"),
+		}
+		net.AddMiddlebox(t.stripper)
+	}
+	if s := a.Downgrade; s != nil {
+		t.downgrader = &memnet.Downgrader{
+			Device: deviceID, DeviceAddr: deviceAddr,
+			Window: window(s.AttackWindow),
+		}
+		net.AddMiddlebox(t.downgrader)
+	}
 	if am := a.Amplify; am != nil {
 		victim, err := net.Listen()
 		if err != nil {
@@ -249,10 +330,10 @@ func RunAdversarial(c AdvCase, seed uint64) (*AdvResult, error) {
 	case spec.Devices > 1:
 		return nil, fmt.Errorf("conformance: scenario %s: multi-device specs not supported", spec.Name)
 	}
-	cc := Case{Scenario: c.Scenario, Shards: c.Shards, Harden: c.Harden}
+	cc := Case{Scenario: c.Scenario, Shards: c.Shards, Harden: c.Harden, Auth: c.Auth}
 	cc.applyDefaults()
 
-	res := &AdvResult{Scenario: spec.Name, Seed: seed, Harden: c.Harden}
+	res := &AdvResult{Scenario: spec.Name, Seed: seed, Harden: c.Harden, Auth: c.Auth}
 	sched, simM, err := runSim(spec, seed)
 	if err != nil {
 		return nil, err
@@ -280,6 +361,10 @@ func RunAdversarial(c AdvCase, seed uint64) (*AdvResult, error) {
 	a.ProbesShed = out.cpCounters.ProbesShed + out.devCounters.ProbesShed
 	a.ByeVerifications = out.proberStats.ByeVerifications
 	a.SpoofedByes = out.proberStats.SpoofedByes
+	a.AuthVerified = out.cpCounters.AuthVerified + out.devCounters.AuthVerified
+	a.AuthStaleKey = out.cpCounters.AuthStaleKey + out.devCounters.AuthStaleKey
+	a.AuthRejected = out.cpCounters.AuthRejected + out.devCounters.AuthRejected
+	a.AuthDowngraded = out.cpCounters.AuthDowngraded + out.devCounters.AuthDowngraded
 	if tap := out.adv; tap != nil {
 		a.InjectedFrames = tap.injected()
 		a.VictimReplies = tap.victimReplies.Load()
@@ -293,11 +378,12 @@ func RunAdversarial(c AdvCase, seed uint64) (*AdvResult, error) {
 		a.ShedRate = float64(a.ProbesShed) / float64(in)
 	}
 
-	// The gate: a hardened runtime must issue no false verdict of
-	// either kind and break no invariant, no matter the attack. An
-	// unhardened run is the demonstration that the attack bites —
-	// its numbers are reported, not judged.
-	res.Pass = !c.Harden ||
+	// The gate: a defended runtime (hardened, authenticated, or both)
+	// must issue no false verdict of either kind and break no
+	// invariant, no matter the attack. An undefended run is the
+	// demonstration that the attack bites — its numbers are reported,
+	// not judged.
+	res.Pass = !(c.Harden || c.Auth) ||
 		(a.FalseAbsent == 0 && a.FalsePresent == 0 && len(res.Violations) == 0)
 	return res, nil
 }
@@ -307,6 +393,21 @@ func RunAdversarial(c AdvCase, seed uint64) (*AdvResult, error) {
 func RunAdversarialSuite(seed uint64, harden bool) ([]*AdvResult, error) {
 	var out []*AdvResult
 	for _, c := range DefaultAdvCases(harden) {
+		r, err := RunAdversarial(c, seed)
+		if err != nil {
+			return out, fmt.Errorf("conformance: %s: %w", c.Scenario, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+// RunAuthAdversarialSuite executes the authenticated-wire battery (the
+// adv-auth-* scenarios) with one seed, with frame authentication on
+// (gated) or off (demonstration).
+func RunAuthAdversarialSuite(seed uint64, auth bool) ([]*AdvResult, error) {
+	var out []*AdvResult
+	for _, c := range DefaultAuthAdvCases(auth) {
 		r, err := RunAdversarial(c, seed)
 		if err != nil {
 			return out, fmt.Errorf("conformance: %s: %w", c.Scenario, err)

@@ -1,0 +1,99 @@
+package conformance
+
+import (
+	"fmt"
+	"testing"
+)
+
+// TestAuthAdversarial is the authenticated-wire gate: with frame
+// authentication on (shared key, Require), every adv-auth-* attack at
+// every acceptance seed yields zero false verdicts and zero invariant
+// violations — no tampered, corrupted, stripped or downgraded frame is
+// ever accepted.
+func TestAuthAdversarial(t *testing.T) {
+	for _, c := range DefaultAuthAdvCases(true) {
+		for _, seed := range advSeeds {
+			c, seed := c, seed
+			t.Run(fmt.Sprintf("%s/seed=%d", c.Scenario, seed), func(t *testing.T) {
+				t.Parallel()
+				res, err := RunAdversarial(c, seed)
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Logf("\n%s", res.Format())
+				a := &res.Adv
+				if a.InjectedFrames == 0 {
+					t.Fatal("adversary injected nothing — the attack never ran")
+				}
+				if a.AuthVerified == 0 {
+					t.Fatal("fleets verified no frames — authentication not active")
+				}
+				if a.FalseAbsent != 0 {
+					t.Errorf("authenticated run issued %d false-ABSENT verdicts", a.FalseAbsent)
+				}
+				if a.FalsePresent != 0 {
+					t.Errorf("authenticated run holds %d false-PRESENT beliefs at the horizon", a.FalsePresent)
+				}
+				for _, v := range res.Violations {
+					t.Errorf("invariant violation under attack: %s", v)
+				}
+				// The refusals must be visible where the attack predicts
+				// them: stale-tag rewrites land in AuthRejected, valid v1
+				// frames from a v2 peer in AuthDowngraded.
+				switch c.Scenario {
+				case "adv-auth-tamper":
+					if a.AuthRejected == 0 {
+						t.Error("tampered BYEs were not rejected by tag verification")
+					}
+				case "adv-auth-bitflip":
+					if a.AuthRejected == 0 {
+						t.Error("no corrupted frame reached (and failed) tag verification")
+					}
+				case "adv-auth-strip", "adv-auth-downgrade":
+					if a.AuthDowngraded == 0 {
+						t.Error("no v1 frame was refused as a downgrade")
+					}
+				}
+				if !res.Pass {
+					t.Error("authenticated case did not pass")
+				}
+			})
+		}
+	}
+}
+
+// TestAuthAdversarialUnauthenticatedFails demonstrates the attacks are
+// real — and that PR-6's heuristics alone cannot stop them. The
+// downgrade attack forges v1 replies from the device's own address
+// with the right cycle and attempt: source pinning, the attempt
+// bitmask and the replay window all pass, so even a HARDENED but
+// unauthenticated fleet believes the dead device alive forever. If
+// these stop failing, the attacker layer has rotted and the gate above
+// proves nothing.
+func TestAuthAdversarialUnauthenticatedFails(t *testing.T) {
+	t.Run("downgrade/beats-hardening", func(t *testing.T) {
+		t.Parallel()
+		res, err := RunAdversarial(AdvCase{Scenario: "adv-auth-downgrade", Harden: true}, advSeeds[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("\n%s", res.Format())
+		if res.Adv.FalsePresent == 0 {
+			t.Error("hardened-but-unauthenticated fleet detected the crash despite forged v1 replies — attack ineffective")
+		}
+		if res.Pass {
+			t.Error("the downgrade attack must defeat hardening without authentication")
+		}
+	})
+	t.Run("tamper/false-absent", func(t *testing.T) {
+		t.Parallel()
+		res, err := RunAdversarial(AdvCase{Scenario: "adv-auth-tamper"}, advSeeds[2])
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("\n%s", res.Format())
+		if res.Adv.FalseAbsent == 0 {
+			t.Error("undefended fleet survived in-transit reply-to-BYE tampering — attack ineffective")
+		}
+	})
+}

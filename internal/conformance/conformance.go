@@ -129,6 +129,12 @@ type Case struct {
 	// Harden enables the fleet's adversarial defenses (fleet
 	// Config.Harden) on both the CP and device fleets.
 	Harden bool
+	// Auth enables frame authentication on both fleets: a shared test
+	// master key with Require set, so every frame carries a v2 HMAC tag
+	// and unauthenticated frames are refused. Benign replays with Auth
+	// on must land inside the same tolerance bands as without — signing
+	// and verifying every frame must not move a single metric.
+	Auth bool
 	// ViaAdmin drives the fleet-side membership through the runtime
 	// admin plane — HTTP POSTs against an obs server with Config.Admin —
 	// instead of direct AddControlPoint/Remove calls, proving the
@@ -153,11 +159,13 @@ func (c *Case) applyDefaults() {
 }
 
 // DefaultCases returns the standing battery: the conf-* named
-// scenarios — fast uniform churn (replayed twice: once through the
-// direct fleet API and once through the runtime admin endpoints), the
-// same churn over a Gilbert-Elliott burst-loss channel, and
-// flash-crowd cohorts with a graceful bye — each with a pinch of extra
-// reordering.
+// scenarios — fast uniform churn (replayed three times: through the
+// direct fleet API, through the runtime admin endpoints, and with
+// frame authentication on), the same churn over a Gilbert-Elliott
+// burst-loss channel, and flash-crowd cohorts with a graceful bye —
+// each with a pinch of extra reordering. The authenticated replay pins
+// that signing and verifying every frame moves no metric: the sim
+// baseline it diffs against knows nothing about auth.
 func DefaultCases() []Case {
 	lossy := DefaultTolerances()
 	lossy.FracAbs = 0.6
@@ -165,6 +173,7 @@ func DefaultCases() []Case {
 	return []Case{
 		{Scenario: "conf-churn", ExtraReorderP: 0.05},
 		{Scenario: "conf-admin-churn", ExtraReorderP: 0.05, ViaAdmin: true},
+		{Scenario: "conf-auth-churn", ExtraReorderP: 0.05, Auth: true},
 		{Scenario: "conf-bursty-loss", ExtraReorderP: 0.05, Tol: lossy},
 		{Scenario: "conf-flash-crowd", ExtraReorderP: 0.05},
 	}
@@ -734,7 +743,16 @@ func runFleet(spec *scenario.Spec, sched *schedule, c Case, seed uint64) (fleetO
 
 	checker := NewChecker(cfg.Retransmit)
 
-	devFleet, err := fleet.New(fleet.Config{Shards: 1, Transport: transport, Harden: c.Harden})
+	// With Auth on, both fleets share one master key and refuse
+	// unauthenticated frames: the strongest negotiation posture, and the
+	// one the adv-auth-* gates assume (a first-contact v1 frame is a
+	// downgrade by definition, not a legacy peer).
+	var auth fleet.AuthConfig
+	if c.Auth {
+		auth = fleet.AuthConfig{Key: []byte("conformance-master-key"), Require: true}
+	}
+
+	devFleet, err := fleet.New(fleet.Config{Shards: 1, Transport: transport, Harden: c.Harden, Auth: auth})
 	if err != nil {
 		return out, err
 	}
@@ -772,7 +790,7 @@ func runFleet(spec *scenario.Spec, sched *schedule, c Case, seed uint64) (fleetO
 	col := &collector{recs: make([]cpRecord, n), checker: checker}
 	cps := make([]*fleet.ControlPoint, n)
 
-	fcfg := fleet.Config{Shards: c.Shards, Transport: transport, Harden: c.Harden}
+	fcfg := fleet.Config{Shards: c.Shards, Transport: transport, Harden: c.Harden, Auth: auth}
 	if c.ViaAdmin {
 		fcfg.Verdicts = col.onVerdict
 	}

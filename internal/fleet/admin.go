@@ -210,6 +210,19 @@ type RuntimeConfig struct {
 	// beyond it are rejected with ErrAdmissionRejected
 	// (Counters.AdmissionRejected). Zero means 1024.
 	AdmissionQueue int
+	// AuthKey is the fleet's master authentication secret (see
+	// AuthConfig.Key). Pushing a config whose AuthKey differs from the
+	// live one rotates the keys: the old master stays accepted for
+	// AuthRotationGrace (Counters.AuthStaleKey), then expires. Pushing
+	// an empty AuthKey disables authentication. The slice is retained;
+	// callers must not mutate it afterwards.
+	AuthKey []byte
+	// AuthRequire rejects every unauthenticated v1 frame (see
+	// AuthConfig.Require). Requires AuthKey.
+	AuthRequire bool
+	// AuthRotationGrace bounds the dual-key acceptance window after a
+	// rotation. Zero means 30 s (when AuthKey is set).
+	AuthRotationGrace time.Duration
 }
 
 func (rc *RuntimeConfig) applyDefaults() {
@@ -231,6 +244,9 @@ func (rc *RuntimeConfig) applyDefaults() {
 	if rc.AdmissionQueue == 0 {
 		rc.AdmissionQueue = defaultAdmissionQueue
 	}
+	if len(rc.AuthKey) > 0 && rc.AuthRotationGrace == 0 {
+		rc.AuthRotationGrace = 30 * time.Second
+	}
 }
 
 func (rc *RuntimeConfig) validate() error {
@@ -243,6 +259,12 @@ func (rc *RuntimeConfig) validate() error {
 	}
 	if rc.AdmissionQueue < 0 {
 		return errors.New("fleet: negative admission queue in runtime config")
+	}
+	if rc.AuthRequire && len(rc.AuthKey) == 0 {
+		return errAuthRequireNoKey
+	}
+	if rc.AuthRotationGrace < 0 {
+		return errors.New("fleet: negative auth rotation grace in runtime config")
 	}
 	return nil
 }
@@ -259,6 +281,10 @@ func runtimeFromConfig(cfg *Config) RuntimeConfig {
 		PerDeviceProbeHz: cfg.PerDeviceProbeHz,
 		PerDeviceBurst:   cfg.PerDeviceBurst,
 		AdmissionQueue:   cfg.AdmissionQueue,
+
+		AuthKey:           cfg.Auth.Key,
+		AuthRequire:       cfg.Auth.Require,
+		AuthRotationGrace: cfg.Auth.RotationGrace,
 	}
 	rc.applyDefaults()
 	return rc
@@ -327,6 +353,7 @@ func (s *shard) applyConfigLocked(rc RuntimeConfig) {
 	} else {
 		s.devBudget = nil
 	}
+	s.applyAuthLocked(&rc)
 }
 
 // admitDeviceProbe charges one outgoing probe against the device's
@@ -641,6 +668,20 @@ func (s *shard) migrateLocked(dst *shard, ids []ident.NodeID) int {
 		}
 		w[n] = struct{}{}
 		fl.noteWatcher(n.device, dst.index)
+		if dst.auth.enabled {
+			// Re-point the node at the destination's per-device auth state,
+			// carrying the v2 high-water mark along so a migration cannot
+			// reopen the downgrade window. The pair schedules stay: every
+			// shard derives them from the same masters, and a divergent key
+			// epoch re-derives on first use.
+			st := dst.devAuthFor(n.device)
+			if n.devAuth != nil && n.devAuth.seenV2 {
+				st.seenV2 = true
+			}
+			n.devAuth = st
+		} else {
+			n.devAuth = nil
+		}
 		if !n.stopped {
 			dst.liveCPs++
 		}

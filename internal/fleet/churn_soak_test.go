@@ -51,17 +51,30 @@ func soakWait(t *testing.T, timeout time.Duration, what string, cond func() bool
 
 func TestChurnSoak(t *testing.T) {
 	for _, seed := range []int64{1, 7, 42, 2005} {
-		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) { churnSoak(t, seed) })
+		t.Run(fmt.Sprintf("seed-%d", seed), func(t *testing.T) { churnSoak(t, seed, false) })
 	}
 }
 
-func churnSoak(t *testing.T, seed int64) {
+// TestChurnSoakAuthRotation is the same storm with frame authentication
+// on and the master key rotating every two dozen mutations: schedule
+// re-derivation, the dual-key grace and the auth cache sweeps all run
+// concurrently with add/remove churn and migration. One seed keeps the
+// -race runtime bounded; the schedule is still reproducible.
+func TestChurnSoakAuthRotation(t *testing.T) {
+	churnSoak(t, 7, true)
+}
+
+func churnSoak(t *testing.T, seed int64, rotateAuth bool) {
 	goroutines := runtime.NumGoroutine()
 
 	net := memnet.New(memnet.Faults{})
 	transport := fleet.TransportFunc(func(int) (fleet.PacketConn, error) { return net.Listen() })
 
-	devFleet, err := fleet.New(fleet.Config{Shards: 2, Transport: transport})
+	var auth fleet.AuthConfig
+	if rotateAuth {
+		auth = fleet.AuthConfig{Key: []byte("soak-master-0")}
+	}
+	devFleet, err := fleet.New(fleet.Config{Shards: 2, Transport: transport, Auth: auth})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -75,12 +88,28 @@ func churnSoak(t *testing.T, seed int64) {
 		t.Fatal(err)
 	}
 
-	cpFleet, err := fleet.New(fleet.Config{Shards: 2, Transport: transport})
+	cpFleet, err := fleet.New(fleet.Config{Shards: 2, Transport: transport, Auth: auth})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if err := cpFleet.Start(); err != nil {
 		t.Fatal(err)
+	}
+
+	// rotateKey pushes master key number n to both fleets back to back.
+	// The default 30 s grace covers the push skew and every in-flight
+	// frame, so rotation mid-storm must not manufacture rejections.
+	rotations := 0
+	rotateKey := func(n int) {
+		key := []byte(fmt.Sprintf("soak-master-%d", n))
+		for _, f := range []*fleet.Fleet{devFleet, cpFleet} {
+			rc, _ := f.ConfigSnapshot()
+			rc.AuthKey = key
+			if _, err := f.SetConfig(rc); err != nil {
+				t.Fatalf("rotate to key %d: %v", n, err)
+			}
+		}
+		rotations++
 	}
 
 	rng := rand.New(rand.NewSource(seed))
@@ -139,12 +168,40 @@ func churnSoak(t *testing.T, seed int64) {
 			}
 			churnDevUp = !churnDevUp
 		}
+		if rotateAuth && op%24 == 17 {
+			rotateKey(rotations + 1)
+		}
 		if op%8 == 0 {
 			time.Sleep(time.Millisecond) // let probe traffic interleave with the churn
 		}
 	}
 	if cpFleet.Snapshot().Total.RepliesIn == 0 {
 		t.Fatal("soak produced no probe traffic — the storm tested nothing")
+	}
+	if rotateAuth {
+		if rotations == 0 {
+			t.Fatal("auth soak rotated no keys — the storm tested nothing")
+		}
+		// Both fleets authenticated every frame of the storm. Rotation
+		// skew between the two SetConfig pushes can reject a handful of
+		// in-flight frames (they look like packet loss and are retried);
+		// downgrades would mean an unauthenticated frame got through to
+		// the high-water check, which must never happen here.
+		for name, c := range map[string]fleet.Counters{
+			"cp": cpFleet.Snapshot().Total, "dev": devFleet.Snapshot().Total,
+		} {
+			if c.AuthVerified == 0 {
+				t.Errorf("%s fleet verified no frames during the auth soak", name)
+			}
+			if c.AuthDowngraded != 0 {
+				t.Errorf("%s fleet saw v1 frames in an all-v2 soak: %+v", name, c)
+			}
+		}
+		t.Logf("rotated %d keys; cp auth: verified=%d stale=%d rejected=%d",
+			rotations,
+			cpFleet.Snapshot().Total.AuthVerified,
+			cpFleet.Snapshot().Total.AuthStaleKey,
+			cpFleet.Snapshot().Total.AuthRejected)
 	}
 
 	// Tear everything down through the admin API and let the wire drain.

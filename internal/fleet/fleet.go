@@ -140,6 +140,22 @@
 // atomic load per loop iteration on the steady state, refusals surface
 // as ErrAdmissionRejected. See admin.go for the full design, and
 // internal/obs (Config.Admin) for the HTTP spelling of this API.
+//
+// # Authenticated frames
+//
+// Config.Auth (AuthConfig) turns on wire v2: every frame the fleet
+// sends carries a truncated HMAC-SHA256 tag under a key derived per
+// (control point, device) pair from the configured master secret, and
+// every received v2 frame is verified before dispatch — keys are
+// cached per peer so the hot path signs and verifies without
+// allocating. Pushing a new RuntimeConfig.AuthKey through SetConfig
+// rotates live: the previous key keeps verifying for a grace period
+// (Counters.AuthStaleKey) while senders move to the new epoch. A peer
+// that has spoken v2 is pinned to it by a high-water mark, so
+// stripping tags or replaying old v1 traffic cannot downgrade an
+// authenticated pair (Counters.AuthDowngraded); AuthConfig.Require
+// refuses v1 outright. See auth.go for the key hierarchy and the
+// verification paths.
 package fleet
 
 import (
@@ -258,6 +274,9 @@ type Config struct {
 	// AdmissionQueue bounds each shard's admin-command inbox (see
 	// RuntimeConfig.AdmissionQueue). Zero means 1024.
 	AdmissionQueue int
+	// Auth configures frame authentication (wire v2, HMAC-tagged
+	// frames; see AuthConfig and auth.go). The zero value disables it.
+	Auth AuthConfig
 	// Verdicts, if non-nil, receives every terminal presence verdict
 	// (device lost, device bye) any hosted control point reaches. It
 	// fires on the shard event loop under the shard mutex — it must be
@@ -326,7 +345,13 @@ type Counters struct {
 	PacketsIn    uint64
 	PacketsOut   uint64
 	DecodeErrors uint64
-	SendErrors   uint64
+	// BadFrames counts received frames with a good magic but an
+	// unsupported wire version — a subset of DecodeErrors, and the
+	// signature of a version flood or a speaker from the future. The
+	// decoder returns a static sentinel for these, so the flood costs no
+	// allocation.
+	BadFrames  uint64
+	SendErrors uint64
 	// ProbesOut counts probes sent by hosted control points (a subset of
 	// PacketsOut; the rest are device replies/byes/announces).
 	ProbesOut uint64
@@ -358,6 +383,18 @@ type Counters struct {
 	// ProbesShed counts probes to a hosted device dropped by per-source
 	// admission (Harden only).
 	ProbesShed uint64
+	// AuthVerified counts v2 frames whose HMAC tag verified (auth only).
+	// AuthStaleKey of them verified under the previous master inside the
+	// rotation grace window — a live rotation in progress.
+	AuthVerified uint64
+	AuthStaleKey uint64
+	// AuthRejected counts v2 frames whose tag verified under no accepted
+	// key: tampered, forged, or signed with an expired master.
+	AuthRejected uint64
+	// AuthDowngraded counts unauthenticated v1 frames rejected because
+	// the sender had already spoken v2 (the per-device high-water mark)
+	// or because AuthConfig.Require closes the v1 window entirely.
+	AuthDowngraded uint64
 	// HandoffsOut counts frames this shard received but forwarded to the
 	// owning shard, and HandoffsIn counts frames received that way. With
 	// Config.ReusePort set every shard socket shares one port and the
@@ -402,6 +439,7 @@ func (c *Counters) add(o Counters) {
 	c.PacketsIn += o.PacketsIn
 	c.PacketsOut += o.PacketsOut
 	c.DecodeErrors += o.DecodeErrors
+	c.BadFrames += o.BadFrames
 	c.SendErrors += o.SendErrors
 	c.ProbesOut += o.ProbesOut
 	c.RepliesIn += o.RepliesIn
@@ -412,6 +450,10 @@ func (c *Counters) add(o Counters) {
 	c.ByesForged += o.ByesForged
 	c.RepliesReplayed += o.RepliesReplayed
 	c.ProbesShed += o.ProbesShed
+	c.AuthVerified += o.AuthVerified
+	c.AuthStaleKey += o.AuthStaleKey
+	c.AuthRejected += o.AuthRejected
+	c.AuthDowngraded += o.AuthDowngraded
 	c.HandoffsOut += o.HandoffsOut
 	c.HandoffsIn += o.HandoffsIn
 	c.Migrations += o.Migrations
@@ -570,9 +612,15 @@ type shard struct {
 	// nil when rt.PerDeviceProbeHz is zero, so the default hot path pays
 	// one nil check.
 	devBudget map[ident.NodeID]*srcBucket
-	device    *deviceNode
-	counters  Counters
-	liveCPs   int
+	// auth is the shard's frame-authentication plane (auth.go): the live
+	// master secrets and the key epoch node schedules cache against.
+	// devAuth carries per-device broadcast schedules and v2 high-water
+	// marks, nil until authentication enables.
+	auth     authPlane
+	devAuth  map[ident.NodeID]*devAuthState
+	device   *deviceNode
+	counters Counters
+	liveCPs  int
 	// sendQ is the coalescing send queue: engine sends encode into
 	// reusable slots and one WriteBatch flushes them per timer cascade /
 	// receive burst (inBatch true) or before an external caller returns
@@ -637,6 +685,13 @@ func New(cfg Config) (*Fleet, error) {
 	if cfg.ReusePort && cfg.Shards > MaxRoutedShards {
 		return nil, fmt.Errorf("fleet: ReusePort routing supports at most %d shards, got %d", MaxRoutedShards, cfg.Shards)
 	}
+	if cfg.Auth.KeyFile != "" && len(cfg.Auth.Key) == 0 {
+		key, err := LoadAuthKey(cfg.Auth.KeyFile)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Auth.Key = key
+	}
 	reuseActive := false
 	transport := cfg.Transport
 	if transport == nil {
@@ -663,6 +718,9 @@ func New(cfg Config) (*Fleet, error) {
 	f.devices = make(map[ident.NodeID]*deviceNode)
 	f.draining = make([]bool, cfg.Shards)
 	f.rt = runtimeFromConfig(&cfg)
+	if err := f.rt.validate(); err != nil {
+		return nil, err
+	}
 	f.rtVer = 1
 	f.admissionBound.Store(int64(f.rt.AdmissionQueue))
 	for i := 0; i < cfg.Shards; i++ {
@@ -954,8 +1012,11 @@ func (s *shard) dispatchBatch(dgs []Datagram) {
 	s.inBatch = true
 	var f wire.Frame
 	for i := range dgs {
-		if wire.DecodeFrame(dgs[i].Buf, &f) != nil {
+		if err := wire.DecodeFrame(dgs[i].Buf, &f); err != nil {
 			s.counters.DecodeErrors++
+			if err == wire.ErrBadVersion {
+				s.counters.BadFrames++
+			}
 			continue
 		}
 		s.dispatchFrame(dgs[i].Addr, &f, false)
@@ -1008,6 +1069,12 @@ func (s *shard) dispatchFrame(from netip.AddrPort, f *wire.Frame, handed bool) {
 			} else {
 				s.counters.DemuxDrops++
 			}
+			return
+		}
+		if s.auth.enabled && !s.authCheckReply(pp.cp, f) {
+			// Bad or missing tag (or a v1 downgrade). The pending entry is
+			// kept: the genuine reply may still be on the wire, so a
+			// forgery cannot starve the cycle into a false verdict.
 			return
 		}
 		if pp.attempts&attemptBit(f.Attempt) == 0 {
@@ -1067,9 +1134,24 @@ func (s *shard) dispatchFrame(from netip.AddrPort, f *wire.Frame, handed bool) {
 			s.counters.ProbesShed++
 			return
 		}
+		if s.auth.enabled && !s.authCheckProbe(f) {
+			// Verify before the peer table sees the claimed sender id, so
+			// a forged probe cannot poison reply routing.
+			return
+		}
 		s.device.peers.Note(f.From, from)
 		s.device.engine.OnProbe(f.From, core.ProbeMsg{From: f.From, Cycle: f.Cycle, Attempt: f.Attempt})
 	case wire.KindBye:
+		if s.auth.enabled {
+			st := s.broadcastAuthFor(f.From)
+			if st == nil {
+				s.counters.DemuxDrops++ // unwatched device, same as pre-auth
+				return
+			}
+			if !s.authCheckBroadcast(st, f) {
+				return
+			}
+		}
 		ws := s.watchers[f.From]
 		fanned := false
 		if route || (!handed && s.fleet.migratedAny.Load()) {
@@ -1097,6 +1179,16 @@ func (s *shard) dispatchFrame(from netip.AddrPort, f *wire.Frame, handed bool) {
 			cp.prober.OnBye(core.ByeMsg{From: f.From})
 		}
 	case wire.KindAnnounce:
+		if s.auth.enabled {
+			st := s.broadcastAuthFor(f.From)
+			if st == nil {
+				s.counters.DemuxDrops++
+				return
+			}
+			if !s.authCheckBroadcast(st, f) {
+				return
+			}
+		}
 		ws := s.watchers[f.From]
 		fanned := false
 		if route || (!handed && s.fleet.migratedAny.Load()) {
@@ -1215,16 +1307,20 @@ func (s *shard) sweepPending() {
 			}
 		}
 	}
+	if s.devAuth != nil {
+		s.sweepAuthLocked()
+	}
 	s.wheel.Schedule(&s.sweeper, now+ttl/2)
 }
 
 // sendTo encodes msg into the next reusable slot of the shard's
-// coalescing send queue. Pooled messages are recycled. Inside a loop
-// batch (timer cascade, receive burst, Bye/Announce fan-out) the queue
-// flushes once at the end of the batch; on any other path it flushes
-// before the caller returns, so external sends are never parked behind
-// a sleeping event loop. Runs under the shard mutex.
-func (s *shard) sendTo(addr netip.AddrPort, msg core.Message) {
+// coalescing send queue — signed (wire v2) when k is non-nil,
+// unauthenticated v1 otherwise. Pooled messages are recycled. Inside a
+// loop batch (timer cascade, receive burst, Bye/Announce fan-out) the
+// queue flushes once at the end of the batch; on any other path it
+// flushes before the caller returns, so external sends are never
+// parked behind a sleeping event loop. Runs under the shard mutex.
+func (s *shard) sendTo(addr netip.AddrPort, msg core.Message, k *wire.AuthKey) {
 	defer core.Recycle(msg)
 	if len(s.sendQ) == cap(s.sendQ) {
 		s.flushSends()
@@ -1235,7 +1331,13 @@ func (s *shard) sendTo(addr netip.AddrPort, msg core.Message) {
 	if d.Buf == nil {
 		d.Buf = make([]byte, 0, wire.MaxFrameSize)
 	}
-	frame, err := wire.AppendEncode(d.Buf[:0], msg)
+	var frame []byte
+	var err error
+	if k != nil {
+		frame, err = wire.AppendEncodeAuth(d.Buf[:0], msg, k)
+	} else {
+		frame, err = wire.AppendEncode(d.Buf[:0], msg)
+	}
 	if err != nil {
 		s.sendQ = s.sendQ[:i]
 		s.counters.SendErrors++

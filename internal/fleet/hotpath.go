@@ -38,7 +38,16 @@ type HotPathOptions struct {
 	// the baseline probebench's observability section measures the
 	// default (telemetry-on) path against.
 	DisableTelemetry bool
+	// Auth enables frame authentication (wire v2) with a fixed harness
+	// master key: every probe and reply is HMAC-signed and verified.
+	// probebench's auth section measures its ns/packet cost, and the
+	// zero-alloc gate pins that signing and verifying stay off the heap.
+	Auth bool
 }
+
+// hotPathAuthMaster is the fixed master secret the auth-enabled harness
+// derives its schedules from.
+var hotPathAuthMaster = []byte("hot-path-bench-master-secret")
 
 // HotPathBench is one assembled harness: a single shard hosting a
 // naive device and CPs probing it through an in-memory ring transport.
@@ -71,6 +80,9 @@ func NewHotPathBench(opts HotPathOptions) (*HotPathBench, error) {
 	if opts.DisableTelemetry {
 		cfg.DisableTelemetry = true
 		cfg.FlightRecorder = -1
+	}
+	if opts.Auth {
+		cfg.Auth = AuthConfig{Key: hotPathAuthMaster}
 	}
 	f, err := New(cfg)
 	if err != nil {

@@ -11,6 +11,7 @@ import (
 	"presence/internal/ident"
 	"presence/internal/rtnet"
 	"presence/internal/trace"
+	"presence/internal/wire"
 )
 
 // CPConfig configures a fleet-hosted control point.
@@ -59,6 +60,16 @@ type cpNode struct {
 	lastCycle  uint32 // cycle currently claimed in the demux table
 	stopped    bool
 	removed    bool
+
+	// Pair-key schedules for the (this CP, device) relationship, derived
+	// lazily against the owning shard's key epoch (auth.go); devAuth
+	// points at the shard's per-device auth state so the reply path sets
+	// the v2 high-water mark without a map lookup. All nil while
+	// authentication is off.
+	authEpoch uint64
+	authCur   *wire.AuthKey
+	authPrev  *wire.AuthKey
+	devAuth   *devAuthState
 }
 
 var _ core.Env = (*cpNode)(nil)
@@ -109,7 +120,12 @@ func (n *cpNode) Send(_ ident.NodeID, msg core.Message) {
 		}
 		n.noteProbe(s, cycle, attempt)
 	}
-	s.sendTo(n.deviceAddr, msg)
+	var k *wire.AuthKey
+	if s.auth.enabled {
+		s.ensureCPAuth(n)
+		k = n.authCur
+	}
+	s.sendTo(n.deviceAddr, msg, k)
 }
 
 // noteProbe does the bookkeeping of one outgoing probe: the demux
@@ -292,6 +308,11 @@ func (s *shard) registerCPLocked(n *cpNode) {
 	w[n] = struct{}{}
 	s.fleet.noteWatcher(n.device, s.index)
 	s.liveCPs++
+	if s.auth.enabled {
+		// Pre-derive the pair schedules so the first probe and its reply
+		// stay on the zero-allocation path.
+		s.ensureCPAuth(n)
+	}
 	n.prober.Start()
 	s.publishLocked()
 }
@@ -397,6 +418,14 @@ type deviceNode struct {
 	peers   *rtnet.PeerTable
 	timer   wheelTimer
 	removed bool
+
+	// peerAuth caches pair-key schedules and v2 high-water marks per
+	// known control point, bounded by (and evicted with) the peer table;
+	// ownKey is the device's broadcast signing schedule (auth.go). Nil
+	// while authentication is off.
+	peerAuth  map[ident.NodeID]*peerAuthState
+	authEpoch uint64
+	ownKey    *wire.AuthKey
 }
 
 var _ core.Env = (*deviceNode)(nil)
@@ -412,7 +441,11 @@ func (n *deviceNode) Send(to ident.NodeID, msg core.Message) {
 		core.Recycle(msg)
 		return
 	}
-	n.shard.sendTo(addr, msg)
+	var k *wire.AuthKey
+	if n.shard.auth.enabled {
+		k = n.shard.deviceSendKey(n, to, msg)
+	}
+	n.shard.sendTo(addr, msg, k)
 }
 
 // SetAlarm implements core.Env on the shard's timer wheel.
@@ -469,6 +502,9 @@ func (f *Fleet) AddDevice(id ident.NodeID, build DeviceBuilder) (*Device, error)
 				id:    id,
 				peers: rtnet.NewPeerTable(f.cfg.MaxPeersPerDevice),
 			}
+			// Keep the per-peer key cache in lockstep with the peer table's
+			// LRU bound.
+			nd.peers.OnEvict(func(peer ident.NodeID) { delete(nd.peerAuth, peer) })
 			engine, err := build(nd)
 			if err != nil {
 				return err
@@ -532,9 +568,13 @@ func (d *Device) Bye() {
 	if d.n.removed {
 		return
 	}
+	var k *wire.AuthKey
+	if s.auth.enabled {
+		k = s.deviceOwnKey(d.n)
+	}
 	s.inBatch = true
 	d.n.peers.Each(func(_ ident.NodeID, addr netip.AddrPort) {
-		s.sendTo(addr, core.ByeMsg{From: d.n.id})
+		s.sendTo(addr, core.ByeMsg{From: d.n.id}, k)
 	})
 	s.inBatch = false
 	s.flushSends()
@@ -551,9 +591,13 @@ func (d *Device) Announce(maxAge time.Duration) {
 	if d.n.removed {
 		return
 	}
+	var k *wire.AuthKey
+	if s.auth.enabled {
+		k = s.deviceOwnKey(d.n)
+	}
 	s.inBatch = true
 	d.n.peers.Each(func(_ ident.NodeID, addr netip.AddrPort) {
-		s.sendTo(addr, core.AnnounceMsg{From: d.n.id, MaxAge: maxAge})
+		s.sendTo(addr, core.AnnounceMsg{From: d.n.id, MaxAge: maxAge}, k)
 	})
 	s.inBatch = false
 	s.flushSends()

@@ -20,6 +20,7 @@ type pubCounters struct {
 	packetsIn         atomic.Uint64
 	packetsOut        atomic.Uint64
 	decodeErrors      atomic.Uint64
+	badFrames         atomic.Uint64
 	sendErrors        atomic.Uint64
 	probesOut         atomic.Uint64
 	repliesIn         atomic.Uint64
@@ -31,6 +32,10 @@ type pubCounters struct {
 	byesForged        atomic.Uint64
 	repliesReplayed   atomic.Uint64
 	probesShed        atomic.Uint64
+	authVerified      atomic.Uint64
+	authStaleKey      atomic.Uint64
+	authRejected      atomic.Uint64
+	authDowngraded    atomic.Uint64
 	handoffsOut       atomic.Uint64
 	handoffsIn        atomic.Uint64
 	migrations        atomic.Uint64
@@ -55,6 +60,7 @@ func (s *shard) publishLocked() {
 	p.packetsIn.Store(c.PacketsIn)
 	p.packetsOut.Store(c.PacketsOut)
 	p.decodeErrors.Store(c.DecodeErrors)
+	p.badFrames.Store(c.BadFrames)
 	p.sendErrors.Store(c.SendErrors)
 	p.probesOut.Store(c.ProbesOut)
 	p.repliesIn.Store(c.RepliesIn)
@@ -66,6 +72,10 @@ func (s *shard) publishLocked() {
 	p.byesForged.Store(c.ByesForged)
 	p.repliesReplayed.Store(c.RepliesReplayed)
 	p.probesShed.Store(c.ProbesShed)
+	p.authVerified.Store(c.AuthVerified)
+	p.authStaleKey.Store(c.AuthStaleKey)
+	p.authRejected.Store(c.AuthRejected)
+	p.authDowngraded.Store(c.AuthDowngraded)
 	p.handoffsOut.Store(c.HandoffsOut)
 	p.handoffsIn.Store(c.HandoffsIn)
 	p.migrations.Store(c.Migrations)
@@ -91,6 +101,7 @@ func (s *shard) loadPub() Counters {
 		PacketsIn:         p.packetsIn.Load(),
 		PacketsOut:        p.packetsOut.Load(),
 		DecodeErrors:      p.decodeErrors.Load(),
+		BadFrames:         p.badFrames.Load(),
 		SendErrors:        p.sendErrors.Load(),
 		ProbesOut:         p.probesOut.Load(),
 		RepliesIn:         p.repliesIn.Load(),
@@ -102,6 +113,10 @@ func (s *shard) loadPub() Counters {
 		ByesForged:        p.byesForged.Load(),
 		RepliesReplayed:   p.repliesReplayed.Load(),
 		ProbesShed:        p.probesShed.Load(),
+		AuthVerified:      p.authVerified.Load(),
+		AuthStaleKey:      p.authStaleKey.Load(),
+		AuthRejected:      p.authRejected.Load(),
+		AuthDowngraded:    p.authDowngraded.Load(),
 		HandoffsOut:       p.handoffsOut.Load(),
 		HandoffsIn:        p.handoffsIn.Load(),
 		Migrations:        p.migrations.Load(),

@@ -633,7 +633,10 @@ func (n *Network) sendLocked(from, to netip.AddrPort, b []byte) {
 // datagram — the tail of sendLocked, shared with middlebox injection.
 // Caller holds n.mu.
 func (n *Network) forwardLocked(from, to netip.AddrPort, b []byte, injected bool) {
-	if n.down[from] || n.down[to] {
+	// An injected frame's source address is claimed, not real — an
+	// attacker can stamp a crashed host's address on a datagram it
+	// originates itself — so the down check binds only its destination.
+	if (!injected && n.down[from]) || n.down[to] {
 		n.emit(from, to, b, DroppedDown, false, injected)
 		return
 	}
@@ -685,7 +688,7 @@ func (n *Network) deliverLocked(d datagram) {
 		releaseFrame(d.frame)
 		return
 	}
-	if n.down[d.from] || n.down[d.to] {
+	if (!d.injected && n.down[d.from]) || n.down[d.to] {
 		n.emit(d.from, d.to, *d.frame, DroppedDown, d.duplicate, d.injected)
 		releaseFrame(d.frame)
 		return
@@ -818,7 +821,9 @@ func (e *Endpoint) dropQueued(d datagram) bool {
 		return false
 	}
 	n.mu.RLock()
-	down := n.down[d.from] || n.down[d.to]
+	// As in forwardLocked: an injected frame's source is spoofed, so
+	// only its destination's partition state applies.
+	down := (!d.injected && n.down[d.from]) || n.down[d.to]
 	n.mu.RUnlock()
 	if down {
 		n.cnt.dropped.Add(1)

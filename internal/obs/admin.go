@@ -282,6 +282,14 @@ type configDTO struct {
 	PerDeviceProbeHz *float64 `json:"per_device_probe_hz,omitempty"`
 	PerDeviceBurst   *int     `json:"per_device_burst,omitempty"`
 	AdmissionQueue   *int     `json:"admission_queue,omitempty"`
+	// AuthKey sets the frame-authentication master key directly (empty
+	// string = disable auth); AuthKeyFile reads it from a file instead —
+	// POSTing the same path again re-reads it, which is how a rotation
+	// is pushed without the key ever crossing the admin socket.
+	AuthKey           *string `json:"auth_key,omitempty"`
+	AuthKeyFile       *string `json:"auth_key_file,omitempty"`
+	AuthRequire       *bool   `json:"auth_require,omitempty"`
+	AuthRotationGrace *string `json:"auth_rotation_grace,omitempty"`
 }
 
 // apply overlays the DTO's present fields onto rc.
@@ -318,6 +326,29 @@ func (d *configDTO) apply(rc *fleet.RuntimeConfig) error {
 	if d.AdmissionQueue != nil {
 		rc.AdmissionQueue = *d.AdmissionQueue
 	}
+	if d.AuthKey != nil && d.AuthKeyFile != nil {
+		return fmt.Errorf("auth_key and auth_key_file are mutually exclusive")
+	}
+	if d.AuthKey != nil {
+		rc.AuthKey = []byte(*d.AuthKey)
+	}
+	if d.AuthKeyFile != nil {
+		key, err := fleet.LoadAuthKey(*d.AuthKeyFile)
+		if err != nil {
+			return fmt.Errorf("auth_key_file: %w", err)
+		}
+		rc.AuthKey = key
+	}
+	if d.AuthRequire != nil {
+		rc.AuthRequire = *d.AuthRequire
+	}
+	if d.AuthRotationGrace != nil {
+		v, err := time.ParseDuration(*d.AuthRotationGrace)
+		if err != nil {
+			return fmt.Errorf("auth_rotation_grace: %w", err)
+		}
+		rc.AuthRotationGrace = v
+	}
 	return nil
 }
 
@@ -331,18 +362,26 @@ type configJSON struct {
 	PerDeviceProbeHz float64 `json:"per_device_probe_hz"`
 	PerDeviceBurst   int     `json:"per_device_burst"`
 	AdmissionQueue   int     `json:"admission_queue"`
+	// The master key itself is a secret and never rendered; AuthEnabled
+	// says whether one is installed.
+	AuthEnabled       bool   `json:"auth_enabled"`
+	AuthRequire       bool   `json:"auth_require"`
+	AuthRotationGrace string `json:"auth_rotation_grace"`
 }
 
 func renderConfig(rc fleet.RuntimeConfig) configJSON {
 	return configJSON{
-		Harden:           rc.Harden,
-		PendingTTL:       rc.PendingTTL.String(),
-		ReplayWindow:     rc.ReplayWindow.String(),
-		PerSourceProbeHz: rc.PerSourceProbeHz,
-		PerSourceBurst:   rc.PerSourceBurst,
-		PerDeviceProbeHz: rc.PerDeviceProbeHz,
-		PerDeviceBurst:   rc.PerDeviceBurst,
-		AdmissionQueue:   rc.AdmissionQueue,
+		Harden:            rc.Harden,
+		PendingTTL:        rc.PendingTTL.String(),
+		ReplayWindow:      rc.ReplayWindow.String(),
+		PerSourceProbeHz:  rc.PerSourceProbeHz,
+		PerSourceBurst:    rc.PerSourceBurst,
+		PerDeviceProbeHz:  rc.PerDeviceProbeHz,
+		PerDeviceBurst:    rc.PerDeviceBurst,
+		AdmissionQueue:    rc.AdmissionQueue,
+		AuthEnabled:       len(rc.AuthKey) > 0,
+		AuthRequire:       rc.AuthRequire,
+		AuthRotationGrace: rc.AuthRotationGrace.String(),
 	}
 }
 

@@ -5,6 +5,8 @@ import (
 	"fmt"
 	"net/http"
 	"net/http/httptest"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 	"time"
@@ -262,6 +264,52 @@ func TestAdminDrainRebalanceAndConfig(t *testing.T) {
 	st := srv.StatusSnapshot()
 	if st.ConfigVersion != 2 {
 		t.Errorf("statusz config_version = %d, want 2", st.ConfigVersion)
+	}
+
+	// Auth over the admin plane: install a key (the secret never renders
+	// back), flip Require, then disable with an empty key. A keyfile
+	// push re-reads the file, and the invalid combinations 400.
+	if got.Config.AuthEnabled {
+		t.Fatal("auth enabled before a key was installed")
+	}
+	code, body = post(t, h, "/admin/config", `{"auth_key":"admin-master-secret","auth_require":true,"auth_rotation_grace":"5s"}`)
+	if code != 200 {
+		t.Fatalf("auth config POST = %d: %s", code, body)
+	}
+	code, body, _ = get(t, h, "/admin/config")
+	if code != 200 {
+		t.Fatalf("config GET = %d", code)
+	}
+	if strings.Contains(body, "admin-master-secret") {
+		t.Fatal("master key rendered back over the admin socket")
+	}
+	if err := json.Unmarshal([]byte(body), &got); err != nil {
+		t.Fatal(err)
+	}
+	if !got.Config.AuthEnabled || !got.Config.AuthRequire || got.Config.AuthRotationGrace != "5s" {
+		t.Fatalf("auth config did not apply: %+v", got.Config)
+	}
+	if !srv.StatusSnapshot().AuthEnabled {
+		t.Error("statusz auth_enabled false with a key installed")
+	}
+	keyfile := filepath.Join(t.TempDir(), "master.key")
+	if err := os.WriteFile(keyfile, []byte("file-master-secret\n"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if code, body := post(t, h, "/admin/config", fmt.Sprintf(`{"auth_key_file":%q}`, keyfile)); code != 200 {
+		t.Fatalf("keyfile rotation POST = %d: %s", code, body)
+	}
+	if code, _ := post(t, h, "/admin/config", `{"auth_key":"x","auth_key_file":"y"}`); code != http.StatusBadRequest {
+		t.Errorf("auth_key + auth_key_file accepted: %d", code)
+	}
+	if code, _ := post(t, h, "/admin/config", `{"auth_key":""}`); code != http.StatusBadRequest {
+		t.Errorf("disabling auth while require is set accepted: %d", code)
+	}
+	if code, body := post(t, h, "/admin/config", `{"auth_key":"","auth_require":false}`); code != 200 {
+		t.Fatalf("auth disable POST = %d: %s", code, body)
+	}
+	if srv.StatusSnapshot().AuthEnabled {
+		t.Error("statusz auth_enabled true after disabling")
 	}
 }
 

@@ -184,6 +184,11 @@ func (s *Server) WriteMetrics(out io.Writer) error {
 	w.Counter("fleet_byes_forged_total", "BYE frames rejected for a wrong source address (Harden).", one(t.ByesForged))
 	w.Counter("fleet_replies_replayed_total", "Replies replayed inside the replay window (Harden).", one(t.RepliesReplayed))
 	w.Counter("fleet_probes_shed_total", "Probes dropped by per-source admission (Harden) or the per-device probe budget.", one(t.ProbesShed))
+	w.Counter("fleet_bad_frames_total", "Received datagrams rejected before dispatch (bad magic, version, length or checksum).", one(t.BadFrames))
+	w.Counter("fleet_auth_verified_total", "Frames whose v2 HMAC tag verified under the current key.", one(t.AuthVerified))
+	w.Counter("fleet_auth_stale_key_total", "Frames verified under the previous key inside the rotation grace.", one(t.AuthStaleKey))
+	w.Counter("fleet_auth_rejected_total", "v2 frames whose tag verified under no installed key.", one(t.AuthRejected))
+	w.Counter("fleet_auth_downgraded_total", "v1 frames refused because the peer negotiated v2 (or Require is set).", one(t.AuthDowngraded))
 	w.Counter("fleet_handoffs_out_total", "Frames forwarded to their owning shard.", one(t.HandoffsOut))
 	w.Counter("fleet_handoffs_in_total", "Frames received via cross-shard handoff.", one(t.HandoffsIn))
 	w.Counter("fleet_migrations_total", "Control points migrated between shards (drain/rebalance).", one(t.Migrations))
@@ -247,6 +252,7 @@ type Status struct {
 	Routed         bool             `json:"routed"`
 	Telemetry      bool             `json:"telemetry"`
 	FlightRecorder bool             `json:"flight_recorder"`
+	AuthEnabled    bool             `json:"auth_enabled"`
 	ConfigVersion  uint64           `json:"config_version"`
 	Total          fleet.Counters   `json:"total"`
 	Histograms     fleet.Histograms `json:"histograms"`
@@ -259,7 +265,7 @@ func (s *Server) StatusSnapshot() Status {
 	f := s.cfg.Fleet
 	snap := f.Snapshot()
 	hists := f.ShardHistograms()
-	_, ver := f.ConfigSnapshot()
+	rc, ver := f.ConfigSnapshot()
 	draining := f.Draining()
 	st := Status{
 		UptimeSeconds:  snap.At.Seconds(),
@@ -268,6 +274,7 @@ func (s *Server) StatusSnapshot() Status {
 		Routed:         f.Routed(),
 		Telemetry:      f.TelemetryEnabled(),
 		FlightRecorder: f.FlightRecorderEnabled(),
+		AuthEnabled:    len(rc.AuthKey) > 0,
 		ConfigVersion:  ver,
 		Total:          snap.Total,
 		Histograms:     f.Histograms(),

@@ -19,7 +19,16 @@ type PeerTable struct {
 	seq   uint64
 	addrs map[ident.NodeID]netip.AddrPort
 	seqs  map[ident.NodeID]uint64
+	// onEvict, if set, observes every peer dropped by the LRU bound, so
+	// owners keeping per-peer side state (the fleet's key-schedule cache)
+	// stay in sync with the table.
+	onEvict func(ident.NodeID)
 }
+
+// OnEvict installs fn as the eviction observer: it is called with the
+// id of every peer the LRU bound drops, under the same serialisation
+// as the Note that evicted it. fn must not mutate the table.
+func (t *PeerTable) OnEvict(fn func(ident.NodeID)) { t.onEvict = fn }
 
 // NewPeerTable returns a table holding at most max peers (max must be
 // positive).
@@ -45,6 +54,9 @@ func (t *PeerTable) Note(id ident.NodeID, addr netip.AddrPort) {
 		}
 		delete(t.addrs, oldest)
 		delete(t.seqs, oldest)
+		if t.onEvict != nil {
+			t.onEvict(oldest)
+		}
 	}
 	t.addrs[id] = addr
 	t.seqs[id] = t.seq

@@ -34,6 +34,23 @@ func TestPeerTableEvictsLeastRecentlySeen(t *testing.T) {
 	}
 }
 
+func TestPeerTableEvictionCallback(t *testing.T) {
+	pt := NewPeerTable(2)
+	var evicted []ident.NodeID
+	pt.OnEvict(func(id ident.NodeID) { evicted = append(evicted, id) })
+	pt.Note(1, addrN(1))
+	pt.Note(2, addrN(2))
+	pt.Note(2, addrN(22)) // refresh: no eviction
+	if len(evicted) != 0 {
+		t.Fatalf("refresh evicted %v", evicted)
+	}
+	pt.Note(3, addrN(3)) // evicts 1 (least recently seen)
+	pt.Note(4, addrN(4)) // evicts 2
+	if len(evicted) != 2 || evicted[0] != 1 || evicted[1] != 2 {
+		t.Fatalf("evicted %v, want [1 2]", evicted)
+	}
+}
+
 func TestPeerTableRefreshDoesNotEvict(t *testing.T) {
 	pt := NewPeerTable(2)
 	pt.Note(1, addrN(1))

@@ -184,6 +184,17 @@ func init() {
 		CrashAt:    []Duration{sec(3)},
 	})
 	Register(&Spec{
+		Name:        "conf-auth-churn",
+		Description: "conformance: the conf-churn dynamics with frame authentication on (wire v2 HMAC tags, Require mode) — signing every frame must move no metric",
+		Protocol:    "dcpp",
+		Horizon:     sec(5),
+		Population: Population{UniformChurn: &UniformChurn{
+			Min: 4, Max: 12, Rate: 0.8,
+		}},
+		Processing: &Processing{Disabled: true},
+		CrashAt:    []Duration{sec(3)},
+	})
+	Register(&Spec{
 		Name:        "conf-bursty-loss",
 		Description: "conformance: fast uniform churn over a Gilbert-Elliott burst-loss channel, device crash at t=3s",
 		Protocol:    "dcpp",
@@ -270,6 +281,62 @@ func init() {
 		CrashAt:     []Duration{sec(3)},
 		Adversary: &Adversary{Amplify: &AmplifySpec{
 			AttackWindow: AttackWindow{From: sec(1), Until: sec(3)}, Factor: 30,
+		}},
+	})
+
+	// Authenticated-wire adversaries: attackers that start from observed
+	// traffic rather than forging from whole cloth — tampering, random
+	// corruption, tag stripping and protocol downgrade. All four inject
+	// copies and pass the original frames through, so the benign traffic
+	// is untouched and any false verdict in an attacked run means a
+	// forged frame was ACCEPTED — the zero-tolerance property the
+	// conformance harness gates with frame authentication on.
+	Register(&Spec{
+		Name:        "adv-auth-tamper",
+		Description: "adversarial: device replies rewritten into BYEs in transit (p=0.5, window 1-2.8s), crash at t=3s",
+		Protocol:    "dcpp",
+		Horizon:     sec(5),
+		Population:  Population{Static: &Static{CPs: 8, Spread: sec(0.8)}},
+		Processing:  &Processing{Disabled: true},
+		CrashAt:     []Duration{sec(3)},
+		Adversary: &Adversary{Tamper: &TamperSpec{
+			AttackWindow: AttackWindow{From: sec(1), Until: sec(2.8)}, P: 0.5,
+		}},
+	})
+	Register(&Spec{
+		Name:        "adv-auth-bitflip",
+		Description: "adversarial: corrupted copies of device-link frames injected (p=0.35, 1 bit flip, window 1-2.8s), crash at t=3s",
+		Protocol:    "dcpp",
+		Horizon:     sec(5),
+		Population:  Population{Static: &Static{CPs: 8, Spread: sec(0.8)}},
+		Processing:  &Processing{Disabled: true},
+		CrashAt:     []Duration{sec(3)},
+		Adversary: &Adversary{BitFlip: &BitFlipSpec{
+			AttackWindow: AttackWindow{From: sec(1), Until: sec(2.8)}, P: 0.35,
+		}},
+	})
+	Register(&Spec{
+		Name:        "adv-auth-strip",
+		Description: "adversarial: observed v2 frames re-encoded as valid v1 in transit (p=0.6, window 1-2.8s), crash at t=3s",
+		Protocol:    "dcpp",
+		Horizon:     sec(5),
+		Population:  Population{Static: &Static{CPs: 8, Spread: sec(0.8)}},
+		Processing:  &Processing{Disabled: true},
+		CrashAt:     []Duration{sec(3)},
+		Adversary: &Adversary{StripTag: &StripTagSpec{
+			AttackWindow: AttackWindow{From: sec(1), Until: sec(2.8)}, P: 0.6,
+		}},
+	})
+	Register(&Spec{
+		Name:        "adv-auth-downgrade",
+		Description: "adversarial: v1 replies forged from the device's own address from the crash at t=3s onward",
+		Protocol:    "dcpp",
+		Horizon:     sec(5),
+		Population:  Population{Static: &Static{CPs: 8, Spread: sec(0.8)}},
+		Processing:  &Processing{Disabled: true},
+		CrashAt:     []Duration{sec(3)},
+		Adversary: &Adversary{Downgrade: &DowngradeSpec{
+			AttackWindow: AttackWindow{From: sec(3)},
 		}},
 	})
 }

@@ -108,6 +108,19 @@ type Adversary struct {
 	// Amplify reflects forged probes off the device toward a bystander
 	// victim address.
 	Amplify *AmplifySpec `json:"amplify,omitempty"`
+	// Tamper rewrites observed device replies into BYE frames in
+	// transit, keeping the observed wire version (v2 rewrites carry the
+	// observed, now-stale tag).
+	Tamper *TamperSpec `json:"tamper,omitempty"`
+	// BitFlip injects copies of observed frames with random bits
+	// flipped — line noise and low-effort corruption.
+	BitFlip *BitFlipSpec `json:"bit_flip,omitempty"`
+	// StripTag re-encodes observed v2 frames as valid v1 frames (tag
+	// removed, CRC computed) — downgrade-in-transit.
+	StripTag *StripTagSpec `json:"strip_tag,omitempty"`
+	// Downgrade answers probes for the crashed device with well-formed
+	// v1 replies spoofed from the device's own address.
+	Downgrade *DowngradeSpec `json:"downgrade,omitempty"`
 }
 
 // AttackWindow bounds when an attacker acts: [From, Until), with
@@ -154,6 +167,35 @@ type AmplifySpec struct {
 	Factor int `json:"factor,omitempty"`
 }
 
+// TamperSpec parameterises the in-transit reply-to-BYE rewriter: P is
+// the per-observed-reply tamper probability.
+type TamperSpec struct {
+	AttackWindow
+	P float64 `json:"p"`
+}
+
+// BitFlipSpec parameterises the frame corrupter: P is the
+// per-observed-frame injection probability, FlipBits the flips per
+// corrupted copy (0 = 1).
+type BitFlipSpec struct {
+	AttackWindow
+	P        float64 `json:"p"`
+	FlipBits int     `json:"flip_bits,omitempty"`
+}
+
+// StripTagSpec parameterises the downgrade-in-transit attacker: P is
+// the per-observed-v2-frame strip probability.
+type StripTagSpec struct {
+	AttackWindow
+	P float64 `json:"p"`
+}
+
+// DowngradeSpec parameterises the v1 answering-for-the-dead attacker;
+// open the window at the device's crash instant.
+type DowngradeSpec struct {
+	AttackWindow
+}
+
 func (a *Adversary) validate() error {
 	none := true
 	if s := a.SpoofBye; s != nil {
@@ -187,6 +229,42 @@ func (a *Adversary) validate() error {
 		}
 		if m.Factor < 0 {
 			return fmt.Errorf("scenario: amplify factor %d negative", m.Factor)
+		}
+	}
+	if s := a.Tamper; s != nil {
+		none = false
+		if err := s.validate("tamper"); err != nil {
+			return err
+		}
+		if s.P <= 0 || s.P > 1 {
+			return fmt.Errorf("scenario: tamper p %g outside (0,1]", s.P)
+		}
+	}
+	if s := a.BitFlip; s != nil {
+		none = false
+		if err := s.validate("bit_flip"); err != nil {
+			return err
+		}
+		if s.P <= 0 || s.P > 1 {
+			return fmt.Errorf("scenario: bit_flip p %g outside (0,1]", s.P)
+		}
+		if s.FlipBits < 0 {
+			return fmt.Errorf("scenario: bit_flip flip_bits %d negative", s.FlipBits)
+		}
+	}
+	if s := a.StripTag; s != nil {
+		none = false
+		if err := s.validate("strip_tag"); err != nil {
+			return err
+		}
+		if s.P <= 0 || s.P > 1 {
+			return fmt.Errorf("scenario: strip_tag p %g outside (0,1]", s.P)
+		}
+	}
+	if s := a.Downgrade; s != nil {
+		none = false
+		if err := s.validate("downgrade"); err != nil {
+			return err
 		}
 	}
 	if none {

@@ -1,0 +1,121 @@
+package wire
+
+// Frame authentication (wire version 2).
+//
+// A v2 frame replaces the CRC-32 trailer with a TagSize-byte truncated
+// HMAC-SHA256 tag over the whole header+payload region — magic,
+// version, type, ids, cycle, attempt, payload. 16 bytes (128 bits) is
+// the conventional MAC truncation (RFC 2104 permits any t >= 80 bits;
+// 128 keeps the forgery bound at 2^-128 per guess while holding the
+// largest frame to 45 bytes, still a single-datagram protocol for
+// small devices). The tag subsumes the CRC: any corruption an IEEE
+// CRC-32 would catch also breaks the MAC.
+//
+// Keys are derived, never used raw: DeriveKey runs HKDF-SHA256 over a
+// master secret with a caller-chosen info string, so one pre-shared
+// fleet secret yields independent per-(control-point, device) pair
+// keys and per-device broadcast keys, and compromise of one derived
+// key reveals nothing about its siblings.
+//
+// An AuthKey is a pre-computed key schedule built for packet-rate use
+// on a single goroutine: the HMAC state is retained and Reset per
+// frame (go's crypto/hmac caches the inner/outer pads, so Reset is two
+// block copies, not a re-key), the SHA-256 sum lands in an embedded
+// scratch array, and VerifyFrame re-encodes the signed region into an
+// embedded buffer — zero heap allocations per sign or verify, the
+// property the fleet's 0 allocs/op hot-path gate extends over.
+// AuthKey is NOT safe for concurrent use; give each shard its own
+// schedule (the fleet derives them per shard-owned node).
+
+import (
+	"crypto/hkdf"
+	"crypto/hmac"
+	"crypto/sha256"
+	"encoding/binary"
+	"fmt"
+	"hash"
+
+	"presence/internal/ident"
+)
+
+// hkdfSalt domain-separates presence wire keys from any other use of
+// the same master secret.
+var hkdfSalt = []byte("presence-wire-v2")
+
+// derivedKeySize is the length of every derived subkey — one SHA-256
+// block's worth of entropy, the natural HMAC-SHA256 key size.
+const derivedKeySize = 32
+
+// AuthKey is a ready-to-use frame authentication key schedule. Build
+// one per (sender, receiver) relationship with DeriveKey (or NewAuthKey
+// for a raw key) and keep it: construction allocates, sign and verify
+// do not. Not safe for concurrent use.
+type AuthKey struct {
+	mac hash.Hash
+	sum [sha256.Size]byte
+	buf [MaxFrameSize]byte
+}
+
+// NewAuthKey builds a key schedule from a raw key. Prefer DeriveKey,
+// which domain-separates keys derived from one master secret.
+func NewAuthKey(key []byte) *AuthKey {
+	return &AuthKey{mac: hmac.New(sha256.New, key)}
+}
+
+// DeriveKey derives the subkey named by info from a master secret via
+// HKDF-SHA256 and returns its schedule. Cold path: construction
+// allocates; the returned schedule does not.
+func DeriveKey(master []byte, info string) (*AuthKey, error) {
+	if len(master) == 0 {
+		return nil, fmt.Errorf("wire: empty master key")
+	}
+	sub, err := hkdf.Key(sha256.New, master, hkdfSalt, info, derivedKeySize)
+	if err != nil {
+		return nil, fmt.Errorf("wire: derive %q: %w", info, err)
+	}
+	return NewAuthKey(sub), nil
+}
+
+// PairInfo names the (control point, device) pairwise subkey: both
+// endpoints of one monitoring relationship derive the same key and use
+// it for probes and replies in either direction.
+func PairInfo(cp, device ident.NodeID) string {
+	var b [8]byte
+	binary.BigEndian.PutUint32(b[:4], uint32(cp))
+	binary.BigEndian.PutUint32(b[4:], uint32(device))
+	return "pair:" + string(b[:])
+}
+
+// DeviceInfo names a device's broadcast subkey, used for the frames a
+// device fans out to every watcher (BYE, announce) — one verification
+// per received frame regardless of how many control points watch.
+func DeviceInfo(device ident.NodeID) string {
+	var b [4]byte
+	binary.BigEndian.PutUint32(b[:], uint32(device))
+	return "dev:" + string(b[:])
+}
+
+// tag computes the truncated tag over b into the schedule's scratch
+// and returns it (valid until the next tag/VerifyFrame call).
+func (k *AuthKey) tag(b []byte) []byte {
+	k.mac.Reset()
+	k.mac.Write(b) //nolint:errcheck // hash writes cannot fail
+	sum := k.mac.Sum(k.sum[:0])
+	return sum[:TagSize]
+}
+
+// VerifyFrame reports whether the decoded v2 frame f carries a valid
+// tag under k. The signed region is re-encoded into the schedule's
+// scratch buffer (decode∘encode is an identity on frames DecodeFrame
+// accepts, so the reconstruction is byte-exact) and the comparison is
+// constant-time. Zero allocations; false for non-v2 frames.
+func (k *AuthKey) VerifyFrame(f *Frame) bool {
+	if f.Version != VersionAuth {
+		return false
+	}
+	body, err := appendFrameBody(k.buf[:0], f, VersionAuth)
+	if err != nil {
+		return false
+	}
+	return hmac.Equal(k.tag(body), f.Tag[:])
+}

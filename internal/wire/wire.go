@@ -4,20 +4,33 @@
 // Frame layout (big endian):
 //
 //	magic   uint16  0xAD05 ("are you still there", DSN'05)
-//	version uint8   1
+//	version uint8   1 (checksummed) or 2 (authenticated)
 //	type    uint8   message type
 //	from    uint32  sender node id
 //	cycle   uint32  probe cycle (0 for bye/leave)
 //	attempt uint8   attempt within the cycle (0 for bye/leave)
 //	payload ...     type specific (see below)
-//	crc     uint32  IEEE CRC-32 over everything above
+//	trailer         v1: crc uint32, IEEE CRC-32 over everything above
+//	                v2: tag [16]byte, truncated HMAC-SHA256 over
+//	                    everything above (see auth.go)
 //
 // Payloads: probe/bye/empty-reply carry none; a SAPP reply carries
 // pc (uint64) and the two last-prober ids (2×uint32); a DCPP reply
 // carries the wait in nanoseconds (int64); a leave notice carries the
 // device, origin, sequence number (3×uint32) and TTL (uint8).
 //
-// Every frame fits comfortably in one UDP datagram (max 31 bytes), in
+// Version 1 frames are integrity-checked (CRC-32 catches corruption,
+// not forgery). Version 2 frames replace the checksum with a truncated
+// HMAC-SHA256 tag keyed per sender/receiver pair: the tag subsumes the
+// CRC's corruption detection and additionally authenticates the frame,
+// so an on-path attacker without the key can neither forge nor tamper.
+// DecodeFrame accepts both versions structurally; verifying a v2 tag is
+// a separate keyed step (AuthKey.VerifyFrame) so receivers can look up
+// the pairwise key after demultiplexing. The boxed Decode path remains
+// v1-only — it has no key plumbing, and silently accepting
+// unverified-but-authenticated frames would be a downgrade.
+//
+// Every frame fits comfortably in one UDP datagram (max 45 bytes), in
 // keeping with the protocol's "small computing devices" ambition.
 package wire
 
@@ -35,8 +48,12 @@ import (
 // Magic identifies presence-protocol frames.
 const Magic uint16 = 0xAD05
 
-// Version is the current wire format version.
+// Version is the unauthenticated (CRC-trailed) wire format version.
 const Version uint8 = 1
+
+// VersionAuth is the authenticated wire format version: the CRC-32
+// trailer is replaced by a TagSize-byte truncated HMAC-SHA256 tag.
+const VersionAuth uint8 = 2
 
 // Message types on the wire.
 const (
@@ -52,11 +69,17 @@ const (
 const (
 	headerSize = 2 + 1 + 1 + 4 + 4 + 1
 	crcSize    = 4
-	// MaxFrameSize is the largest encoded frame (SAPP reply).
-	MaxFrameSize = headerSize + 8 + 4 + 4 + crcSize
+	// TagSize is the truncated HMAC-SHA256 tag length of a v2 frame.
+	TagSize = 16
+	// MaxFrameSize is the largest encoded frame (an authenticated SAPP
+	// reply: header + 16-byte payload + tag).
+	MaxFrameSize = headerSize + 8 + 4 + 4 + TagSize
 )
 
-// Decoding errors.
+// Decoding errors. All are static sentinels: DecodeFrame runs per
+// received packet on fleet hot paths, where a garbage or attack flood
+// must not allocate an error per frame (receivers count rejects in
+// Counters.BadFrames instead of formatting them).
 var (
 	ErrTooShort    = errors.New("wire: frame too short")
 	ErrBadMagic    = errors.New("wire: bad magic")
@@ -64,6 +87,10 @@ var (
 	ErrBadChecksum = errors.New("wire: checksum mismatch")
 	ErrUnknownType = errors.New("wire: unknown message type")
 	ErrBadLength   = errors.New("wire: wrong frame length for type")
+	// ErrAuthFrame reports a structurally valid v2 (authenticated) frame
+	// handed to the boxed Decode path, which has no key plumbing and
+	// would otherwise silently skip tag verification.
+	ErrAuthFrame = errors.New("wire: authenticated frame requires keyed decode")
 )
 
 // Encode serialises a protocol message into a fresh buffer.
@@ -79,6 +106,28 @@ func Encode(msg core.Message) ([]byte, error) {
 // fleet's per-packet send path is built on (the caller keeps ownership
 // either way).
 func AppendEncode(dst []byte, msg core.Message) ([]byte, error) {
+	f, err := frameOf(msg)
+	if err != nil {
+		return nil, err
+	}
+	return AppendEncodeFrame(dst, &f)
+}
+
+// AppendEncodeAuth serialises msg as an authenticated v2 frame, tagged
+// under k, appending to dst. Like AppendEncode it allocates nothing
+// when dst has capacity — the fleet's send path signs into its reusable
+// send-queue slots.
+func AppendEncodeAuth(dst []byte, msg core.Message, k *AuthKey) ([]byte, error) {
+	f, err := frameOf(msg)
+	if err != nil {
+		return nil, err
+	}
+	return AppendEncodeFrameAuth(dst, &f, k)
+}
+
+// frameOf flattens a boxed message into a Frame. Pooled pointer forms
+// flatten identically to their value forms without boxing them back.
+func frameOf(msg core.Message) (Frame, error) {
 	var f Frame
 	switch m := msg.(type) {
 	case core.ProbeMsg:
@@ -88,12 +137,12 @@ func AppendEncode(dst []byte, msg core.Message) ([]byte, error) {
 	case core.ReplyMsg:
 		f = Frame{From: m.From, Cycle: m.Cycle, Attempt: m.Attempt}
 		if err := replyFrame(&f, m.Payload); err != nil {
-			return nil, err
+			return Frame{}, err
 		}
 	case *core.ReplyMsg:
 		f = Frame{From: m.From, Cycle: m.Cycle, Attempt: m.Attempt}
 		if err := replyFrame(&f, m.Payload); err != nil {
-			return nil, err
+			return Frame{}, err
 		}
 	case core.ByeMsg:
 		f = Frame{Kind: KindBye, From: m.From}
@@ -102,9 +151,9 @@ func AppendEncode(dst []byte, msg core.Message) ([]byte, error) {
 	case core.LeaveNotice:
 		f = Frame{Kind: KindLeave, From: m.Origin, Device: m.Device, Origin: m.Origin, Seq: m.Seq, TTL: m.TTL}
 	default:
-		return nil, fmt.Errorf("wire: unsupported message type %T", msg)
+		return Frame{}, fmt.Errorf("wire: unsupported message type %T", msg)
 	}
-	return AppendEncodeFrame(dst, &f)
+	return f, nil
 }
 
 // replyFrame fills the payload union from either payload form.
@@ -127,7 +176,44 @@ func replyFrame(f *Frame, pl core.Payload) error {
 }
 
 // AppendEncodeFrame serialises one flat Frame — DecodeFrame's inverse.
+// Frames with Version 0 or 1 gain a CRC trailer; a Frame with Version 2
+// is re-serialised with its Tag field verbatim (the decode→re-encode
+// identity the fuzzer pins), which is only useful for frames that came
+// out of DecodeFrame — fresh authenticated encodes go through
+// AppendEncodeFrameAuth, which computes the tag.
 func AppendEncodeFrame(dst []byte, f *Frame) ([]byte, error) {
+	start := len(dst)
+	version := f.Version
+	if version == 0 {
+		version = Version
+	}
+	out, err := appendFrameBody(dst, f, version)
+	if err != nil {
+		return nil, err
+	}
+	if version == VersionAuth {
+		return append(out, f.Tag[:]...), nil
+	}
+	crc := crc32.ChecksumIEEE(out[start:])
+	return binary.BigEndian.AppendUint32(out, crc), nil
+}
+
+// AppendEncodeFrameAuth serialises one flat Frame as a v2 frame with a
+// freshly computed tag under k, recording the tag in f.Tag.
+func AppendEncodeFrameAuth(dst []byte, f *Frame, k *AuthKey) ([]byte, error) {
+	start := len(dst)
+	out, err := appendFrameBody(dst, f, VersionAuth)
+	if err != nil {
+		return nil, err
+	}
+	f.Version = VersionAuth
+	copy(f.Tag[:], k.tag(out[start:]))
+	return append(out, f.Tag[:]...), nil
+}
+
+// appendFrameBody serialises the signed/checksummed region of a frame:
+// header (with the given version byte) plus payload, no trailer.
+func appendFrameBody(dst []byte, f *Frame, version uint8) ([]byte, error) {
 	var typ uint8
 	switch f.Kind {
 	case KindProbe:
@@ -147,9 +233,8 @@ func AppendEncodeFrame(dst []byte, f *Frame) ([]byte, error) {
 	default:
 		return nil, fmt.Errorf("wire: unsupported frame kind %d", f.Kind)
 	}
-	start := len(dst)
 	dst = binary.BigEndian.AppendUint16(dst, Magic)
-	dst = append(dst, Version, typ)
+	dst = append(dst, version, typ)
 	dst = binary.BigEndian.AppendUint32(dst, uint32(f.From))
 	dst = binary.BigEndian.AppendUint32(dst, f.Cycle)
 	dst = append(dst, f.Attempt)
@@ -168,8 +253,7 @@ func AppendEncodeFrame(dst []byte, f *Frame) ([]byte, error) {
 		dst = binary.BigEndian.AppendUint32(dst, f.Seq)
 		dst = append(dst, f.TTL)
 	}
-	crc := crc32.ChecksumIEEE(dst[start:])
-	return binary.BigEndian.AppendUint32(dst, crc), nil
+	return dst, nil
 }
 
 // Kind tags a decoded Frame with its message type.
@@ -197,9 +281,13 @@ const (
 // Valid fields by Kind: From always; Cycle and Attempt for probes and
 // replies; ProbeCount and LastProbers for SAPP replies; Wait for DCPP
 // replies; MaxAge for announces; Device, Origin, Seq and TTL for leave
-// notices.
+// notices. Version records the wire version the frame was decoded from
+// (encoders treat 0 as 1); Tag holds a v2 frame's unverified HMAC tag —
+// call AuthKey.VerifyFrame before trusting any other field of a
+// VersionAuth frame.
 type Frame struct {
 	Kind    Kind
+	Version uint8
 	From    ident.NodeID
 	Cycle   uint32
 	Attempt uint8
@@ -213,6 +301,8 @@ type Frame struct {
 	Origin ident.NodeID
 	Seq    uint32
 	TTL    uint8
+
+	Tag [TagSize]byte
 }
 
 // ReplayKey is a reply frame's replay-detection identity: the
@@ -226,8 +316,12 @@ func (f *Frame) ReplayKey() uint64 {
 }
 
 // DecodeFrame parses one frame into f without allocating. It validates
-// magic, version, checksum and the exact frame length for the message
-// type; on error f.Kind is KindInvalid.
+// magic, version, the v1 checksum and the exact frame length for the
+// message type; on error f.Kind is KindInvalid. A v2 frame is accepted
+// structurally with its tag copied into f.Tag but NOT verified — the
+// tag is keyed, and receivers demultiplex first to find the pairwise
+// key, then call AuthKey.VerifyFrame. Every error is a static sentinel
+// so a garbage flood costs the receive path no allocations.
 func DecodeFrame(b []byte, f *Frame) error {
 	f.Kind = KindInvalid
 	if len(b) < headerSize+crcSize {
@@ -236,18 +330,32 @@ func DecodeFrame(b []byte, f *Frame) error {
 	if binary.BigEndian.Uint16(b) != Magic {
 		return ErrBadMagic
 	}
-	if b[2] != Version {
-		return fmt.Errorf("%w: %d", ErrBadVersion, b[2])
-	}
-	body, crcBytes := b[:len(b)-crcSize], b[len(b)-crcSize:]
-	if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(crcBytes) {
-		return ErrBadChecksum
+	var payload []byte
+	switch b[2] {
+	case Version:
+		body, crcBytes := b[:len(b)-crcSize], b[len(b)-crcSize:]
+		if crc32.ChecksumIEEE(body) != binary.BigEndian.Uint32(crcBytes) {
+			return ErrBadChecksum
+		}
+		payload = body[headerSize:]
+	case VersionAuth:
+		if len(b) < headerSize+TagSize {
+			return ErrTooShort
+		}
+		payload = b[headerSize : len(b)-TagSize]
+	default:
+		return ErrBadVersion
 	}
 	typ := b[3]
+	f.Version = b[2]
 	f.From = ident.NodeID(binary.BigEndian.Uint32(b[4:]))
 	f.Cycle = binary.BigEndian.Uint32(b[8:])
 	f.Attempt = b[12]
-	payload := body[headerSize:]
+	if f.Version == VersionAuth {
+		copy(f.Tag[:], b[len(b)-TagSize:])
+	} else {
+		f.Tag = [TagSize]byte{}
+	}
 	switch typ {
 	case typeProbe:
 		if len(payload) != 0 {
@@ -296,17 +404,23 @@ func DecodeFrame(b []byte, f *Frame) error {
 		f.Seq = binary.BigEndian.Uint32(payload[8:])
 		f.TTL = payload[12]
 	default:
-		return fmt.Errorf("%w: %d", ErrUnknownType, typ)
+		return ErrUnknownType
 	}
 	return nil
 }
 
-// Decode parses one frame. It validates magic, version, checksum and the
-// exact frame length for the message type.
+// Decode parses one frame. It validates magic, version, checksum and
+// the exact frame length for the message type. It speaks v1 only: a
+// structurally valid v2 frame returns ErrAuthFrame, because this path
+// has nowhere to thread the verification key and returning the message
+// unverified would quietly drop authentication.
 func Decode(b []byte) (core.Message, error) {
 	var f Frame
 	if err := DecodeFrame(b, &f); err != nil {
 		return nil, err
+	}
+	if f.Version == VersionAuth {
+		return nil, ErrAuthFrame
 	}
 	switch f.Kind {
 	case KindProbe:
@@ -327,6 +441,6 @@ func Decode(b []byte) (core.Message, error) {
 	case KindLeave:
 		return core.LeaveNotice{Device: f.Device, Origin: f.Origin, Seq: f.Seq, TTL: f.TTL}, nil
 	default:
-		return nil, fmt.Errorf("%w: %d", ErrUnknownType, b[3])
+		return nil, ErrUnknownType
 	}
 }

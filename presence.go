@@ -268,8 +268,9 @@ type (
 	FleetScaleResult = fleet.ScaleResult
 	// FleetRuntimeConfig carries every fleet knob changeable while the
 	// fleet runs (Fleet.SetConfig / Fleet.ConfigSnapshot): harden
-	// toggles, replay/pending windows, per-device probe budgets and the
-	// admin-command admission bound.
+	// toggles, replay/pending windows, per-device probe budgets, the
+	// admin-command admission bound and the frame-authentication key
+	// (pushing a new AuthKey rotates live, with a dual-key grace).
 	FleetRuntimeConfig = fleet.RuntimeConfig
 	// FleetVerdictEvent is one terminal presence verdict, delivered to
 	// FleetConfig.Verdicts.
@@ -280,6 +281,11 @@ type (
 	FleetTransport = fleet.Transport
 	// FleetPacketConn is the single-datagram transport contract.
 	FleetPacketConn = fleet.PacketConn
+	// FleetAuthConfig enables wire v2 frame authentication: a master
+	// key (inline or from a file) every frame is HMAC-tagged under,
+	// and optionally Require to refuse unauthenticated v1 frames.
+	// Runtime rotation goes through FleetRuntimeConfig.AuthKey.
+	FleetAuthConfig = fleet.AuthConfig
 	// FleetBatchPacketConn is the batched transport contract: a
 	// PacketConn that moves []FleetDatagram per call; the fleet uses it
 	// automatically when a transport provides it.
@@ -345,6 +351,11 @@ func NewFleetSAPPControlPoint(f *Fleet, cfg FleetCPConfig, policy SAPPCPConfig, 
 func FleetLoopbackScale(opts FleetScaleOptions) (FleetScaleResult, error) {
 	return fleet.LoopbackScale(opts)
 }
+
+// LoadFleetAuthKey reads a frame-authentication master key from a
+// keyfile (surrounding whitespace trimmed), for FleetAuthConfig.Key or
+// a FleetRuntimeConfig.AuthKey rotation push.
+func LoadFleetAuthKey(path string) ([]byte, error) { return fleet.LoadAuthKey(path) }
 
 // Telemetry plane (see internal/metrics, internal/obs and the fleet's
 // Histograms/FlightSnapshot methods): allocation-free per-shard
